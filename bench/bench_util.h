@@ -1,0 +1,58 @@
+// Shared helpers for the figure benches: client-list collection, simple flag
+// parsing (--csv, --scale), and percentage formatting.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/testbed.h"
+#include "common/table.h"
+
+namespace imca::bench {
+
+template <typename Testbed>
+std::vector<fsapi::FileSystemClient*> clients_of(Testbed& tb) {
+  std::vector<fsapi::FileSystemClient*> out;
+  for (std::size_t i = 0; i < tb.n_clients(); ++i) {
+    out.push_back(&tb.client(i));
+  }
+  return out;
+}
+
+struct BenchArgs {
+  bool csv = false;
+  // Scales the workload volume (files, file sizes): 1 = the bench default
+  // (itself scaled down from the paper; see EXPERIMENTS.md), larger values
+  // approach the paper's raw volumes at the cost of runtime.
+  double scale = 1.0;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+      if (args.scale <= 0) args.scale = 1.0;
+    }
+  }
+  return args;
+}
+
+inline void print_table(const Table& table, const BenchArgs& args) {
+  if (args.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+  }
+}
+
+inline std::string pct_reduction(double baseline, double value) {
+  if (baseline <= 0) return "n/a";
+  return Table::cell(100.0 * (baseline - value) / baseline, 1) + "%";
+}
+
+}  // namespace imca::bench

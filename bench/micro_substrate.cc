@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: CRC32 and
+// selector hashing, block-span computation, the memcached engine, the slab
+// allocator and the DES kernel. These measure *host* performance of the
+// simulator's building blocks, not simulated time.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "imca/block_mapper.h"
+#include "imca/keys.h"
+#include "mcclient/selector.h"
+#include "memcache/cache.h"
+#include "sim/event_loop.h"
+#include "sim/sync.h"
+
+namespace {
+
+using namespace imca;
+
+void BM_Crc32(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(std::string_view(key)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(16)->Arg(64)->Arg(2048);
+
+void BM_LibmemcacheSelector(benchmark::State& state) {
+  mcclient::Crc32Selector sel;
+  std::uint64_t block = 0;
+  for (auto _ : state) {
+    const auto key = core::data_key("/data/some/file", block * 2048);
+    benchmark::DoNotOptimize(sel.pick(key, block, 4));
+    ++block;
+  }
+}
+BENCHMARK(BM_LibmemcacheSelector);
+
+void BM_ConsistentSelector(benchmark::State& state) {
+  mcclient::ConsistentSelector sel(16);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sel.pick("/data/file" + std::to_string(i++ & 1023), std::nullopt, 6));
+  }
+}
+BENCHMARK(BM_ConsistentSelector);
+
+void BM_BlockCovering(benchmark::State& state) {
+  const core::BlockMapper mapper(2048);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapper.covering(offset, static_cast<std::uint64_t>(state.range(0))));
+    offset += 4097;
+  }
+}
+BENCHMARK(BM_BlockCovering)->Arg(2048)->Arg(65536);
+
+void BM_McCacheSetGet(benchmark::State& state) {
+  memcache::McCache cache(256 * kMiB);
+  const std::vector<std::byte> value(static_cast<std::size_t>(state.range(0)),
+                                     std::byte{7});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "key" + std::to_string(i & 4095);
+    (void)cache.set(key, 0, 0, value, i);
+    benchmark::DoNotOptimize(cache.get(key, i));
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_McCacheSetGet)->Arg(128)->Arg(2048)->Arg(65536);
+
+void BM_McCacheLruChurn(benchmark::State& state) {
+  // Cache sized to hold ~1000 items of this class: constant eviction.
+  memcache::McCache cache(2 * kMiB);
+  const std::vector<std::byte> value(2000, std::byte{1});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    (void)cache.set("churn" + std::to_string(i), 0, 0, value, i);
+    ++i;
+  }
+  state.counters["evictions"] =
+      static_cast<double>(cache.stats().evictions);
+}
+BENCHMARK(BM_McCacheLruChurn);
+
+void BM_EventLoopSpawnResume(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    for (int i = 0; i < 1000; ++i) {
+      loop.spawn([](sim::EventLoop& l) -> sim::Task<void> {
+        co_await l.sleep(1);
+        co_await l.sleep(1);
+      }(loop));
+    }
+    loop.run();
+    benchmark::DoNotOptimize(loop.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          3000);  // spawn + 2 sleeps each
+}
+BENCHMARK(BM_EventLoopSpawnResume);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    sim::Channel<int> ping(loop), pong(loop);
+    loop.spawn([](sim::Channel<int>& in, sim::Channel<int>& out)
+                   -> sim::Task<void> {
+      for (int i = 0; i < 1000; ++i) {
+        out.send(co_await in.recv());
+      }
+    }(ping, pong));
+    loop.spawn([](sim::Channel<int>& out, sim::Channel<int>& in)
+                   -> sim::Task<void> {
+      for (int i = 0; i < 1000; ++i) {
+        out.send(i);
+        (void)co_await in.recv();
+      }
+    }(ping, pong));
+    loop.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+}  // namespace
+
+BENCHMARK_MAIN();

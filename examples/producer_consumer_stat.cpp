@@ -1,0 +1,114 @@
+// Producer/consumer coordination through stat polling — the motivating use
+// case of the paper's §4.2: "a producer will write or append to a file. A
+// consumer may look at the modification time on the file to determine if an
+// update has become available. This avoids the need and cost for explicit
+// synchronization primitives such as locks."
+//
+// One producer appends batches to a log file; eight consumers poll the
+// file's mtime and fetch the new bytes when it changes. With IMCa the polls
+// are absorbed by the MCD array (SMCache republishes the stat structure
+// after every write), so the GlusterFS server sees almost none of the
+// polling storm. Run once with the cache and once without to see the load
+// difference printed at the end.
+#include <cstdio>
+
+#include "cluster/testbed.h"
+
+using namespace imca;
+
+namespace {
+
+constexpr int kBatches = 20;
+constexpr std::size_t kConsumers = 8;
+constexpr SimDuration kPollInterval = 2 * kMilli;
+constexpr SimDuration kProduceInterval = 20 * kMilli;
+
+sim::Task<void> producer(cluster::GlusterTestbed& tb) {
+  auto& fs = tb.client(0);
+  auto file = co_await fs.create("/feed/updates.log");
+  std::uint64_t offset = 0;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    co_await tb.loop().sleep(kProduceInterval);
+    const std::string record =
+        "update #" + std::to_string(batch) + ": fresh data\n";
+    (void)co_await fs.write(*file, offset, to_bytes(record));
+    offset += record.size();
+  }
+}
+
+sim::Task<void> consumer(cluster::GlusterTestbed& tb, std::size_t id,
+                         std::uint64_t& polls, std::uint64_t& updates_seen) {
+  auto& fs = tb.client(id);
+  // Wait for the feed to appear.
+  while (!(co_await fs.stat("/feed/updates.log"))) {
+    co_await tb.loop().sleep(kPollInterval);
+  }
+  auto file = co_await fs.open("/feed/updates.log");
+  SimTime last_mtime = 0;
+  std::uint64_t consumed = 0;
+  for (int i = 0; i < 400; ++i) {
+    co_await tb.loop().sleep(kPollInterval);
+    auto st = co_await fs.stat("/feed/updates.log");  // the poll
+    ++polls;
+    if (!st || st->mtime == last_mtime) continue;  // nothing new
+    last_mtime = st->mtime;
+    auto fresh = co_await fs.read(*file, consumed, st->size - consumed);
+    if (fresh && !fresh->empty()) {
+      consumed += fresh->size();
+      ++updates_seen;
+    }
+    if (updates_seen == kBatches) break;  // saw everything
+  }
+}
+
+struct Outcome {
+  std::uint64_t polls = 0;
+  std::uint64_t server_fops = 0;
+  double seen_fraction = 0;
+};
+
+Outcome run(std::size_t n_mcds) {
+  cluster::GlusterTestbedConfig cfg;
+  cfg.n_clients = 1 + kConsumers;  // producer + consumers
+  cfg.n_mcds = n_mcds;
+  cluster::GlusterTestbed tb(cfg);
+
+  std::uint64_t polls = 0;
+  std::uint64_t total_updates = 0;
+  tb.loop().spawn(producer(tb));
+  for (std::size_t c = 1; c <= kConsumers; ++c) {
+    tb.loop().spawn(consumer(tb, c, polls, total_updates));
+  }
+  tb.loop().run();
+
+  Outcome out;
+  out.polls = polls;
+  out.server_fops = tb.server().fops_served();
+  out.seen_fraction = static_cast<double>(total_updates) /
+                      static_cast<double>(kBatches * kConsumers);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Producer/consumer stat polling (%zu consumers, %d batches)\n\n",
+              kConsumers, kBatches);
+  const Outcome nocache = run(0);
+  const Outcome imca = run(2);
+
+  std::printf("%-22s %12s %12s\n", "", "NoCache", "IMCa(2MCD)");
+  std::printf("%-22s %12llu %12llu\n", "stat polls issued",
+              static_cast<unsigned long long>(nocache.polls),
+              static_cast<unsigned long long>(imca.polls));
+  std::printf("%-22s %12llu %12llu\n", "file-server fops",
+              static_cast<unsigned long long>(nocache.server_fops),
+              static_cast<unsigned long long>(imca.server_fops));
+  std::printf("%-22s %11.0f%% %11.0f%%\n", "updates delivered",
+              100 * nocache.seen_fraction, 100 * imca.seen_fraction);
+  std::printf("\nWith the cache bank, the polling storm lands on the MCDs:"
+              " the file server handled %.1fx fewer operations.\n",
+              static_cast<double>(nocache.server_fops) /
+                  static_cast<double>(imca.server_fops));
+  return 0;
+}

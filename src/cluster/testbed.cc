@@ -1,0 +1,98 @@
+#include "cluster/testbed.h"
+
+namespace imca::cluster {
+
+GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
+    : cfg_(std::move(cfg)), fabric_(loop_, cfg_.transport), rpc_(fabric_) {
+  const auto server_node =
+      fabric_.add_node("gluster-server", kCoresPerNode).id();
+
+  for (std::size_t i = 0; i < cfg_.n_mcds; ++i) {
+    const auto n =
+        fabric_.add_node("mcd" + std::to_string(i), kCoresPerNode).id();
+    mcd_nodes_.push_back(n);
+    mcds_.push_back(
+        std::make_unique<memcache::McServer>(rpc_, n, cfg_.mcd_memory));
+    mcds_.back()->start();
+  }
+
+  server_ = std::make_unique<gluster::GlusterServer>(rpc_, server_node,
+                                                     cfg_.server);
+  if (!mcds_.empty()) {
+    auto sm = std::make_unique<core::SmCacheXlator>(
+        loop_,
+        std::make_unique<mcclient::McClient>(
+            rpc_, server_node, mcd_nodes_, core::make_selector(cfg_.imca),
+            core::make_mcclient_params(cfg_.imca)),
+        cfg_.imca);
+    smcache_ = sm.get();
+    server_->push_translator(std::move(sm));
+  }
+  server_->start();
+
+  for (std::size_t c = 0; c < cfg_.n_clients; ++c) {
+    const auto n =
+        fabric_.add_node("client" + std::to_string(c), kCoresPerNode).id();
+    clients_.push_back(
+        std::make_unique<gluster::GlusterClient>(rpc_, n, server_node));
+    if (!mcds_.empty()) {
+      auto cm = std::make_unique<core::CmCacheXlator>(
+          std::make_unique<mcclient::McClient>(
+              rpc_, n, mcd_nodes_, core::make_selector(cfg_.imca),
+              core::make_mcclient_params(cfg_.imca)),
+          cfg_.imca);
+      cmcaches_.push_back(cm.get());
+      clients_.back()->push_translator(std::move(cm));
+    }
+  }
+}
+
+memcache::CacheStats GlusterTestbed::mcd_totals() const {
+  memcache::CacheStats total;
+  for (const auto& m : mcds_) {
+    const auto& s = m->cache().stats();
+    total.cmd_get += s.cmd_get;
+    total.cmd_set += s.cmd_set;
+    total.get_hits += s.get_hits;
+    total.get_misses += s.get_misses;
+    total.evictions += s.evictions;
+    total.expired_unfetched += s.expired_unfetched;
+    total.curr_items += s.curr_items;
+    total.bytes += s.bytes;
+  }
+  return total;
+}
+
+LustreTestbed::LustreTestbed(LustreTestbedConfig cfg)
+    : cfg_(std::move(cfg)), fabric_(loop_, cfg_.transport), rpc_(fabric_) {
+  const auto mds_node = fabric_.add_node("mds", kCoresPerNode).id();
+  mds_ = std::make_unique<lustre::MetadataServer>(rpc_, mds_node, cfg_.mds);
+
+  std::vector<lustre::DataServer*> ds_ptrs;
+  for (std::size_t i = 0; i < cfg_.n_ds; ++i) {
+    const auto n = fabric_.add_node("ost" + std::to_string(i), kCoresPerNode).id();
+    ds_.push_back(std::make_unique<lustre::DataServer>(rpc_, n, cfg_.ds));
+    ds_ptrs.push_back(ds_.back().get());
+  }
+
+  for (std::size_t c = 0; c < cfg_.n_clients; ++c) {
+    const auto n =
+        fabric_.add_node("lclient" + std::to_string(c), kCoresPerNode).id();
+    client_nodes_.push_back(n);
+    clients_.push_back(std::make_unique<lustre::LustreClient>(
+        rpc_, n, *mds_, ds_ptrs, cfg_.client));
+  }
+}
+
+NfsTestbed::NfsTestbed(NfsTestbedConfig cfg)
+    : cfg_(std::move(cfg)), fabric_(loop_, cfg_.transport), rpc_(fabric_) {
+  const auto server_node = fabric_.add_node("nfs-server", kCoresPerNode).id();
+  server_ = std::make_unique<nfs::NfsServer>(rpc_, server_node, cfg_.server);
+  for (std::size_t c = 0; c < cfg_.n_clients; ++c) {
+    const auto n =
+        fabric_.add_node("nclient" + std::to_string(c), kCoresPerNode).id();
+    clients_.push_back(std::make_unique<nfs::NfsClient>(rpc_, n, *server_));
+  }
+}
+
+}  // namespace imca::cluster

@@ -1,0 +1,123 @@
+#include "common/bytebuf.h"
+
+namespace imca {
+
+void ByteBuf::append(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  data_.insert(data_.end(), b, b + n);
+}
+
+Expected<void> ByteBuf::need(std::size_t n) const {
+  if (remaining() < n) return Errc::kProto;
+  return {};
+}
+
+void ByteBuf::put_u16(std::uint16_t v) {
+  std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                       static_cast<std::uint8_t>(v >> 8)};
+  append(b, sizeof b);
+}
+
+void ByteBuf::put_u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  append(b, sizeof b);
+}
+
+void ByteBuf::put_u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  append(b, sizeof b);
+}
+
+void ByteBuf::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  put_raw(s);
+}
+
+void ByteBuf::put_bytes(std::span<const std::byte> b) {
+  put_u32(static_cast<std::uint32_t>(b.size()));
+  put_raw(b);
+}
+
+void ByteBuf::put_raw(std::string_view s) { append(s.data(), s.size()); }
+
+void ByteBuf::put_raw(std::span<const std::byte> b) {
+  append(b.data(), b.size());
+}
+
+Expected<std::uint8_t> ByteBuf::get_u8() {
+  if (auto r = need(1); !r) return r.error();
+  return static_cast<std::uint8_t>(data_[cursor_++]);
+}
+
+Expected<std::uint16_t> ByteBuf::get_u16() {
+  if (auto r = need(2); !r) return r.error();
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(
+        v | (static_cast<std::uint16_t>(data_[cursor_ + static_cast<std::size_t>(i)]) << (8 * i)));
+  }
+  cursor_ += 2;
+  return v;
+}
+
+Expected<std::uint32_t> ByteBuf::get_u32() {
+  if (auto r = need(4); !r) return r.error();
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[cursor_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  cursor_ += 4;
+  return v;
+}
+
+Expected<std::uint64_t> ByteBuf::get_u64() {
+  if (auto r = need(8); !r) return r.error();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[cursor_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  cursor_ += 8;
+  return v;
+}
+
+Expected<std::int64_t> ByteBuf::get_i64() {
+  auto v = get_u64();
+  if (!v) return v.error();
+  return static_cast<std::int64_t>(*v);
+}
+
+Expected<std::string> ByteBuf::get_string() {
+  auto len = get_u32();
+  if (!len) return len.error();
+  if (auto r = need(*len); !r) return r.error();
+  std::string s(reinterpret_cast<const char*>(data_.data() + cursor_), *len);
+  cursor_ += *len;
+  return s;
+}
+
+Expected<std::vector<std::byte>> ByteBuf::get_bytes() {
+  auto len = get_u32();
+  if (!len) return len.error();
+  return get_raw(*len);
+}
+
+Expected<std::vector<std::byte>> ByteBuf::get_raw(std::size_t n) {
+  if (auto r = need(n); !r) return r.error();
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                             data_.begin() + static_cast<std::ptrdiff_t>(cursor_ + n));
+  cursor_ += n;
+  return out;
+}
+
+std::vector<std::byte> to_bytes(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+std::string to_string(std::span<const std::byte> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace imca

@@ -1,0 +1,72 @@
+// Byte buffer with separate write (append) and read (cursor) views.
+//
+// Used as the wire representation everywhere bytes cross the simulated
+// network: RPC argument marshalling and the memcached text protocol both
+// build and parse real byte sequences, so message sizes charged to the links
+// are the sizes of actual encodings, not estimates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/errc.h"
+#include "common/expected.h"
+
+namespace imca {
+
+class ByteBuf {
+ public:
+  ByteBuf() = default;
+  explicit ByteBuf(std::vector<std::byte> data) : data_(std::move(data)) {}
+
+  // --- writing (appends at the end) ---
+  void put_u8(std::uint8_t v) { append(&v, 1); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  // Length-prefixed string (u32 length + bytes).
+  void put_string(std::string_view s);
+  // Length-prefixed blob.
+  void put_bytes(std::span<const std::byte> b);
+  // Raw bytes, no length prefix (protocol text, payload bodies).
+  void put_raw(std::string_view s);
+  void put_raw(std::span<const std::byte> b);
+
+  // --- reading (advances the cursor) ---
+  Expected<std::uint8_t> get_u8();
+  Expected<std::uint16_t> get_u16();
+  Expected<std::uint32_t> get_u32();
+  Expected<std::uint64_t> get_u64();
+  Expected<std::int64_t> get_i64();
+  Expected<std::string> get_string();
+  Expected<std::vector<std::byte>> get_bytes();
+  // Raw bytes of an exact size (no prefix).
+  Expected<std::vector<std::byte>> get_raw(std::size_t n);
+
+  // --- inspection ---
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - cursor_; }
+  bool exhausted() const noexcept { return remaining() == 0; }
+  std::span<const std::byte> bytes() const noexcept { return data_; }
+  void rewind() noexcept { cursor_ = 0; }
+
+ private:
+  void append(const void* p, std::size_t n);
+  Expected<void> need(std::size_t n) const;
+
+  std::vector<std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+// Convenience conversions between strings and byte vectors (workload data and
+// memcached values are real bytes end to end).
+std::vector<std::byte> to_bytes(std::string_view s);
+std::string to_string(std::span<const std::byte> b);
+
+}  // namespace imca

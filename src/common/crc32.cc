@@ -1,0 +1,48 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace imca {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+std::uint32_t update(std::uint32_t crc, const unsigned char* p,
+                     std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  return ~update(0xFFFFFFFFu, p, data.size());
+}
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  return ~update(0xFFFFFFFFu, p, data.size());
+}
+
+std::uint32_t libmemcache_hash(std::string_view key) noexcept {
+  return (crc32(key) >> 16) & 0x7FFFu;
+}
+
+}  // namespace imca

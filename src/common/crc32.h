@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) plus the key->server
+// selector used by libmemcache.
+//
+// The paper (Section 4.2, 5.1) locates the MCD holding a key with "the
+// default CRC32 hashing function in libmemcache". libmemcache reduces the
+// 32-bit CRC to a 15-bit value before taking it modulo the server count:
+//
+//     hash = (crc32(key) >> 16) & 0x7fff;   server = hash % nservers;
+//
+// We reproduce that exactly so block placement matches the original system.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace imca {
+
+// Plain CRC-32 over a byte range. Matches zlib's crc32() for the same input.
+std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+std::uint32_t crc32(std::string_view data) noexcept;
+
+// libmemcache's reduction of the CRC to the value used for server selection.
+std::uint32_t libmemcache_hash(std::string_view key) noexcept;
+
+}  // namespace imca

@@ -1,0 +1,30 @@
+#include "common/errc.h"
+
+namespace imca {
+
+std::string_view errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::kOk: return "OK";
+    case Errc::kNoEnt: return "NOENT";
+    case Errc::kExist: return "EXIST";
+    case Errc::kIsDir: return "ISDIR";
+    case Errc::kNotDir: return "NOTDIR";
+    case Errc::kInval: return "INVAL";
+    case Errc::kIo: return "IO";
+    case Errc::kNoSpc: return "NOSPC";
+    case Errc::kTooBig: return "TOOBIG";
+    case Errc::kKeyTooLong: return "KEYTOOLONG";
+    case Errc::kNotStored: return "NOTSTORED";
+    case Errc::kTimedOut: return "TIMEDOUT";
+    case Errc::kConnRefused: return "CONNREFUSED";
+    case Errc::kConnReset: return "CONNRESET";
+    case Errc::kBadF: return "BADF";
+    case Errc::kStale: return "STALE";
+    case Errc::kProto: return "PROTO";
+    case Errc::kBusy: return "BUSY";
+    case Errc::kNotSupported: return "NOTSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace imca

@@ -1,0 +1,41 @@
+// POSIX-flavoured error codes shared by every layer of the stack.
+//
+// The simulated file systems, the memcached daemon and the RPC layer all
+// report failures through this single enum so that errors can cross module
+// boundaries (client xlator -> RPC -> server xlator -> store) without
+// translation tables.
+#pragma once
+
+#include <string_view>
+
+namespace imca {
+
+enum class Errc : int {
+  kOk = 0,
+  kNoEnt,          // no such file, directory or cache item
+  kExist,          // file already exists
+  kIsDir,          // operation on a directory where a file was required
+  kNotDir,         // path component is not a directory
+  kInval,          // invalid argument (bad offset, bad key, bad record)
+  kIo,             // underlying device error
+  kNoSpc,          // store or cache out of space
+  kTooBig,         // object exceeds a size ceiling (e.g. memcached 1MB item)
+  kKeyTooLong,     // memcached 250-byte key ceiling
+  kNotStored,      // memcached: storage condition not met (add/replace)
+  kTimedOut,       // RPC or cache operation deadline exceeded
+  kConnRefused,    // peer not listening (daemon down)
+  kConnReset,      // peer died mid-operation
+  kBadF,           // bad file descriptor
+  kStale,          // handle refers to a deleted object
+  kProto,          // malformed protocol message
+  kBusy,           // resource temporarily unavailable
+  kNotSupported,   // operation not implemented by this xlator/server
+};
+
+// Human-readable name, stable for logs and test assertions.
+std::string_view errc_name(Errc e) noexcept;
+
+// True when `e` signals success.
+constexpr bool ok(Errc e) noexcept { return e == Errc::kOk; }
+
+}  // namespace imca

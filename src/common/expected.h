@@ -1,0 +1,77 @@
+// Minimal std::expected replacement (the toolchain is C++20; std::expected is
+// C++23). Carries either a value or an `Errc`.
+//
+// Usage:
+//   Expected<Stat> r = client.stat(path);
+//   if (!r) return r.error();
+//   use(r.value());
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/errc.h"
+
+namespace imca {
+
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  // Intentionally implicit: lets `co_return value;` and `return Errc::kNoEnt;`
+  // both work at call sites, mirroring std::expected.
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Errc error) : state_(std::in_place_index<1>, error) {
+    assert(error != Errc::kOk && "an error Expected must carry a real error");
+  }
+
+  bool has_value() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(state_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(state_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Error accessor; kOk when a value is present so callers can always log it.
+  Errc error() const noexcept {
+    return has_value() ? Errc::kOk : std::get<1>(state_);
+  }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Errc> state_;
+};
+
+// void specialisation: success/failure with no payload.
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() : error_(Errc::kOk) {}
+  Expected(Errc error) : error_(error) {}
+
+  bool has_value() const noexcept { return error_ == Errc::kOk; }
+  explicit operator bool() const noexcept { return has_value(); }
+  Errc error() const noexcept { return error_; }
+
+ private:
+  Errc error_;
+};
+
+}  // namespace imca

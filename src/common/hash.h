@@ -1,0 +1,28 @@
+// Non-cryptographic hash functions used across the stack.
+//
+//  * fnv1a64   — hash-table bucketing inside the memcached item table.
+//  * splitmix64 — seed expansion for the deterministic RNG.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace imca {
+
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace imca

@@ -1,0 +1,29 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (benches must print clean tables); tests and
+// debugging sessions enable it with set_log_level. The simulated clock is not
+// accessible from here, so callers that care about simulated timestamps
+// include them in the message.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+namespace imca {
+
+enum class LogLevel : int { kNone = 0, kError, kWarn, kInfo, kDebug };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+#define IMCA_LOG_ERROR(...) ::imca::detail::vlog(::imca::LogLevel::kError, __VA_ARGS__)
+#define IMCA_LOG_WARN(...) ::imca::detail::vlog(::imca::LogLevel::kWarn, __VA_ARGS__)
+#define IMCA_LOG_INFO(...) ::imca::detail::vlog(::imca::LogLevel::kInfo, __VA_ARGS__)
+#define IMCA_LOG_DEBUG(...) ::imca::detail::vlog(::imca::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace imca

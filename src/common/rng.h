@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Every stochastic choice in the simulator — workload record contents, file
+// name shuffles, failure injection points — draws from an Rng seeded from the
+// experiment seed, so a run is reproducible bit-for-bit. std::mt19937_64
+// would also work but its state is bulky and its distributions are not
+// portable across standard libraries; xoshiro + explicit helpers are.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace imca {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 seed expansion, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  // Uniform over [0, 2^64).
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform over [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    // Rejection sampling to remove modulo bias; the retry loop is rarely
+    // taken (probability < bound / 2^64 per draw).
+    const std::uint64_t threshold = (0ull - bound) % bound;  // 2^64 mod bound
+    while (true) {
+      const std::uint64_t x = next();
+      if (x >= threshold) return x % bound;
+    }
+  }
+
+  // Uniform over [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  // Derive an independent stream (e.g. one per simulated client).
+  Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace imca

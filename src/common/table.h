@@ -1,0 +1,35 @@
+// Aligned-column table printer for the figure benches.
+//
+// Every bench prints its figure as a plain-text table ("the same rows/series
+// the paper reports"). Columns auto-size to their widest cell; a CSV mode is
+// provided so results can be re-plotted.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace imca {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Formatting helpers for common cell types.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::uint64_t v);
+
+  // Render with aligned columns to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+  // Render as CSV.
+  void print_csv(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace imca

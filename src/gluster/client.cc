@@ -1,0 +1,100 @@
+#include "gluster/client.h"
+
+#include <cassert>
+
+namespace imca::gluster {
+
+GlusterClient::GlusterClient(net::RpcSystem& rpc, net::NodeId self,
+                             net::NodeId server, GlusterClientParams params)
+    : rpc_(rpc), self_(self), params_(params) {
+  stack_.push_back(std::make_unique<ProtocolClient>(rpc, self, server));
+}
+
+void GlusterClient::push_translator(std::unique_ptr<Xlator> xlator) {
+  xlator->set_child(stack_.back().get());
+  stack_.push_back(std::move(xlator));
+}
+
+sim::Task<void> GlusterClient::fuse_charge() {
+  co_await rpc_.fabric().node(self_).cpu().use(2 * params_.fuse_crossing);
+}
+
+Expected<std::string> GlusterClient::path_of(fsapi::OpenFile file) const {
+  auto it = fd_table_.find(file.fd);
+  if (it == fd_table_.end()) return Errc::kBadF;
+  return it->second;
+}
+
+sim::Task<Expected<fsapi::OpenFile>> GlusterClient::create(std::string path) {
+  co_await fuse_charge();
+  auto attr = co_await top().create(path, 0644);
+  if (!attr) co_return attr.error();
+  const std::uint64_t fd = next_fd_++;
+  fd_table_.emplace(fd, std::move(path));
+  co_return fsapi::OpenFile{fd};
+}
+
+sim::Task<Expected<fsapi::OpenFile>> GlusterClient::open(std::string path) {
+  co_await fuse_charge();
+  auto attr = co_await top().open(path);
+  if (!attr) co_return attr.error();
+  const std::uint64_t fd = next_fd_++;
+  fd_table_.emplace(fd, std::move(path));
+  co_return fsapi::OpenFile{fd};
+}
+
+sim::Task<Expected<void>> GlusterClient::close(fsapi::OpenFile file) {
+  auto path = path_of(file);
+  if (!path) co_return path.error();
+  co_await fuse_charge();
+  fd_table_.erase(file.fd);
+  co_return co_await top().close(*path);
+}
+
+sim::Task<Expected<store::Attr>> GlusterClient::stat(std::string path) {
+  co_await fuse_charge();
+  co_return co_await top().stat(path);
+}
+
+sim::Task<Expected<std::vector<std::byte>>> GlusterClient::read(
+    fsapi::OpenFile file, std::uint64_t offset, std::uint64_t len) {
+  auto path = path_of(file);
+  if (!path) co_return path.error();
+  co_await fuse_charge();
+  co_return co_await top().read(*path, offset, len);
+}
+
+sim::Task<Expected<std::uint64_t>> GlusterClient::write(
+    fsapi::OpenFile file, std::uint64_t offset,
+    std::span<const std::byte> data) {
+  auto path = path_of(file);
+  if (!path) co_return path.error();
+  co_await fuse_charge();
+  co_return co_await top().write(*path, offset, data);
+}
+
+sim::Task<Expected<void>> GlusterClient::unlink(std::string path) {
+  co_await fuse_charge();
+  co_return co_await top().unlink(path);
+}
+
+sim::Task<Expected<void>> GlusterClient::truncate(std::string path,
+                                                  std::uint64_t size) {
+  co_await fuse_charge();
+  co_return co_await top().truncate(path, size);
+}
+
+sim::Task<Expected<void>> GlusterClient::rename(std::string from,
+                                                std::string to) {
+  co_await fuse_charge();
+  auto r = co_await top().rename(from, to);
+  if (r) {
+    // Open handles follow the file: remap their paths.
+    for (auto& [fd, p] : fd_table_) {
+      if (p == from) p = to;
+    }
+  }
+  co_return r;
+}
+
+}  // namespace imca::gluster

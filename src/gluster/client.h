@@ -1,0 +1,69 @@
+// The GlusterFS client mount: FUSE bridge + client translator stack +
+// protocol/client, exposing the common FileSystemClient API.
+//
+// GlusterFS keeps a small shim in the kernel and the rest in userspace;
+// every fop pays two kernel/user crossings through FUSE (paper §2.1). The
+// client keeps an fd -> absolute-path table, which is precisely the database
+// CMCache consults ("on the open ... the absolute path of the file and the
+// file descriptor is stored in a database", paper §4.3.2) — translators
+// below the bridge all operate on absolute paths.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fsapi/filesystem.h"
+#include "gluster/protocol_client.h"
+#include "gluster/xlator.h"
+#include "net/rpc.h"
+
+namespace imca::gluster {
+
+struct GlusterClientParams {
+  SimDuration fuse_crossing = 7 * kMicro;  // one kernel<->user switch + copy
+};
+
+class GlusterClient final : public fsapi::FileSystemClient {
+ public:
+  GlusterClient(net::RpcSystem& rpc, net::NodeId self, net::NodeId server,
+                GlusterClientParams params = {});
+
+  // Insert a translator above the current stack top (e.g. CMCache,
+  // read-ahead). Must precede the first fop.
+  void push_translator(std::unique_ptr<Xlator> xlator);
+
+  // --- FileSystemClient ---
+  sim::Task<Expected<fsapi::OpenFile>> create(std::string path) override;
+  sim::Task<Expected<fsapi::OpenFile>> open(std::string path) override;
+  sim::Task<Expected<void>> close(fsapi::OpenFile file) override;
+  sim::Task<Expected<store::Attr>> stat(std::string path) override;
+  sim::Task<Expected<std::vector<std::byte>>> read(fsapi::OpenFile file,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(
+      fsapi::OpenFile file, std::uint64_t offset,
+      std::span<const std::byte> data) override;
+  sim::Task<Expected<void>> unlink(std::string path) override;
+  sim::Task<Expected<void>> truncate(std::string path,
+                                     std::uint64_t size) override;
+  sim::Task<Expected<void>> rename(std::string from, std::string to) override;
+
+  net::NodeId node() const noexcept { return self_; }
+  Xlator& top() noexcept { return *stack_.back(); }
+
+ private:
+  // Two FUSE crossings (request down, reply up) on the client CPU.
+  sim::Task<void> fuse_charge();
+  Expected<std::string> path_of(fsapi::OpenFile file) const;
+
+  net::RpcSystem& rpc_;
+  net::NodeId self_;
+  GlusterClientParams params_;
+  std::vector<std::unique_ptr<Xlator>> stack_;  // [0]=protocol/client
+  std::unordered_map<std::uint64_t, std::string> fd_table_;
+  std::uint64_t next_fd_ = 3;  // 0/1/2 are taken, as ever
+};
+
+}  // namespace imca::gluster

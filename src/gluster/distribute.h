@@ -1,0 +1,93 @@
+// cluster/distribute: namespace distribution across bricks.
+//
+// "GlusterFS in its default configuration does not stripe the data, but
+// instead distributes the namespace across all the servers" (paper §2.1).
+// Each path hashes to exactly one brick; all fops for that path go there.
+// The paper's testbed ran a single brick, so the figure benches use one
+// child — this translator exists for multi-brick deployments and is covered
+// by its own tests and an example.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "gluster/protocol_client.h"
+#include "gluster/xlator.h"
+
+namespace imca::gluster {
+
+class DistributeXlator final : public Xlator {
+ public:
+  // Takes ownership of one protocol/client per brick.
+  explicit DistributeXlator(
+      std::vector<std::unique_ptr<ProtocolClient>> bricks)
+      : bricks_(std::move(bricks)) {}
+
+  sim::Task<Expected<store::Attr>> create(const std::string& path,
+                                          std::uint32_t mode) override {
+    co_return co_await brick(path).create(path, mode);
+  }
+  sim::Task<Expected<store::Attr>> open(const std::string& path) override {
+    co_return co_await brick(path).open(path);
+  }
+  sim::Task<Expected<void>> close(const std::string& path) override {
+    co_return co_await brick(path).close(path);
+  }
+  sim::Task<Expected<store::Attr>> stat(const std::string& path) override {
+    co_return co_await brick(path).stat(path);
+  }
+  sim::Task<Expected<std::vector<std::byte>>> read(
+      const std::string& path, std::uint64_t offset,
+      std::uint64_t len) override {
+    co_return co_await brick(path).read(path, offset, len);
+  }
+  sim::Task<Expected<std::uint64_t>> write(
+      const std::string& path, std::uint64_t offset,
+      std::span<const std::byte> data) override {
+    co_return co_await brick(path).write(path, offset, data);
+  }
+  sim::Task<Expected<void>> unlink(const std::string& path) override {
+    co_return co_await brick(path).unlink(path);
+  }
+  sim::Task<Expected<void>> truncate(const std::string& path,
+                                     std::uint64_t size) override {
+    co_return co_await brick(path).truncate(path, size);
+  }
+  sim::Task<Expected<void>> rename(const std::string& from,
+                                   const std::string& to) override {
+    if (brick_of(from) == brick_of(to)) {
+      co_return co_await brick(from).rename(from, to);
+    }
+    // Cross-brick rename: the new name hashes elsewhere, so the data must
+    // move (GlusterFS's DHT does a link-file dance; we migrate eagerly).
+    auto attr = co_await brick(from).stat(from);
+    if (!attr) co_return attr.error();
+    auto data = co_await brick(from).read(from, 0, attr->size);
+    if (!data) co_return data.error();
+    (void)co_await brick(to).unlink(to);  // replace any existing target
+    auto created = co_await brick(to).create(to, attr->mode);
+    if (!created) co_return created.error();
+    if (!data->empty()) {
+      auto w = co_await brick(to).write(to, 0, *data);
+      if (!w) co_return w.error();
+    }
+    co_return co_await brick(from).unlink(from);
+  }
+
+  std::string_view name() const override { return "distribute"; }
+
+  std::size_t brick_count() const noexcept { return bricks_.size(); }
+  std::size_t brick_of(const std::string& path) const {
+    return fnv1a64(path) % bricks_.size();
+  }
+
+ private:
+  ProtocolClient& brick(const std::string& path) {
+    return *bricks_[brick_of(path)];
+  }
+
+  std::vector<std::unique_ptr<ProtocolClient>> bricks_;
+};
+
+}  // namespace imca::gluster

@@ -1,0 +1,86 @@
+// performance/io-threads: bounds the number of fops concurrently inside the
+// storage stack, like GlusterFS's io-threads translator (a pool of worker
+// threads in the original; a counting semaphore on the simulated clock
+// here). With many clients this is the server-side queue the paper's
+// asynchronous request model drains.
+#pragma once
+
+#include "gluster/xlator.h"
+#include "sim/sync.h"
+
+namespace imca::gluster {
+
+class IoThreadsXlator final : public Xlator {
+ public:
+  IoThreadsXlator(sim::EventLoop& loop, std::size_t threads = 16)
+      : sem_(loop, threads) {}
+
+  sim::Task<Expected<store::Attr>> create(const std::string& path,
+                                          std::uint32_t mode) override {
+    co_await sem_.acquire();
+    auto r = co_await child_->create(path, mode);
+    sem_.release();
+    co_return r;
+  }
+  sim::Task<Expected<store::Attr>> open(const std::string& path) override {
+    co_await sem_.acquire();
+    auto r = co_await child_->open(path);
+    sem_.release();
+    co_return r;
+  }
+  sim::Task<Expected<void>> close(const std::string& path) override {
+    co_await sem_.acquire();
+    auto r = co_await child_->close(path);
+    sem_.release();
+    co_return r;
+  }
+  sim::Task<Expected<store::Attr>> stat(const std::string& path) override {
+    co_await sem_.acquire();
+    auto r = co_await child_->stat(path);
+    sem_.release();
+    co_return r;
+  }
+  sim::Task<Expected<std::vector<std::byte>>> read(
+      const std::string& path, std::uint64_t offset,
+      std::uint64_t len) override {
+    co_await sem_.acquire();
+    auto r = co_await child_->read(path, offset, len);
+    sem_.release();
+    co_return r;
+  }
+  sim::Task<Expected<std::uint64_t>> write(
+      const std::string& path, std::uint64_t offset,
+      std::span<const std::byte> data) override {
+    co_await sem_.acquire();
+    auto r = co_await child_->write(path, offset, data);
+    sem_.release();
+    co_return r;
+  }
+  sim::Task<Expected<void>> unlink(const std::string& path) override {
+    co_await sem_.acquire();
+    auto r = co_await child_->unlink(path);
+    sem_.release();
+    co_return r;
+  }
+  sim::Task<Expected<void>> truncate(const std::string& path,
+                                     std::uint64_t size) override {
+    co_await sem_.acquire();
+    auto r = co_await child_->truncate(path, size);
+    sem_.release();
+    co_return r;
+  }
+  sim::Task<Expected<void>> rename(const std::string& from,
+                                   const std::string& to) override {
+    co_await sem_.acquire();
+    auto r = co_await child_->rename(from, to);
+    sem_.release();
+    co_return r;
+  }
+
+  std::string_view name() const override { return "io-threads"; }
+
+ private:
+  sim::Semaphore sem_;
+};
+
+}  // namespace imca::gluster

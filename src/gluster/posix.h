@@ -1,0 +1,59 @@
+// storage/posix: the terminal server translator that talks to the local
+// file system.
+//
+// Real bytes go to the shared ObjectStore; time goes to the node's CPU
+// (VFS/syscall path) and to the BlockDevice (page cache + RAID array). The
+// cost constants model a 2008 Linux server: a syscall plus dentry/inode work
+// per op, a memcpy rate for data movement, and media time only on page-cache
+// misses.
+#pragma once
+
+#include <cstdint>
+
+#include "gluster/xlator.h"
+#include "net/node.h"
+#include "store/block_device.h"
+#include "store/object_store.h"
+
+namespace imca::gluster {
+
+struct PosixParams {
+  SimDuration meta_op_cpu = 120 * kMicro;  // create/stat/unlink dentry+inode
+  SimDuration data_op_cpu = 6 * kMicro;   // read/write fixed path cost
+  std::uint64_t copy_bps = 2 * kGiB;      // user<->page-cache memcpy rate
+};
+
+class PosixXlator final : public Xlator {
+ public:
+  PosixXlator(sim::EventLoop& loop, net::Node& node, store::ObjectStore& os,
+              store::BlockDevice& dev, PosixParams params = {})
+      : loop_(loop), node_(node), os_(os), dev_(dev), params_(params) {}
+
+  sim::Task<Expected<store::Attr>> create(const std::string& path,
+                                          std::uint32_t mode) override;
+  sim::Task<Expected<store::Attr>> open(const std::string& path) override;
+  sim::Task<Expected<void>> close(const std::string& path) override;
+  sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
+  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(
+      const std::string& path, std::uint64_t offset,
+      std::span<const std::byte> data) override;
+  sim::Task<Expected<void>> unlink(const std::string& path) override;
+  sim::Task<Expected<void>> truncate(const std::string& path,
+                                     std::uint64_t size) override;
+  sim::Task<Expected<void>> rename(const std::string& from,
+                                   const std::string& to) override;
+
+  std::string_view name() const override { return "posix"; }
+
+ private:
+  sim::EventLoop& loop_;
+  net::Node& node_;
+  store::ObjectStore& os_;
+  store::BlockDevice& dev_;
+  PosixParams params_;
+};
+
+}  // namespace imca::gluster

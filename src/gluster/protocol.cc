@@ -1,0 +1,70 @@
+#include "gluster/protocol.h"
+
+namespace imca::gluster {
+
+ByteBuf FopRequest::encode() const {
+  ByteBuf out;
+  out.put_u8(static_cast<std::uint8_t>(type));
+  out.put_string(path);
+  out.put_u64(offset);
+  out.put_u64(length);
+  out.put_u32(mode);
+  out.put_string(path2);
+  out.put_bytes(data);
+  return out;
+}
+
+Expected<FopRequest> FopRequest::decode(ByteBuf& in) {
+  FopRequest req;
+  auto type_raw = in.get_u8();
+  if (!type_raw) return type_raw.error();
+  if (*type_raw < 1 || *type_raw > 9) return Errc::kProto;
+  req.type = static_cast<FopType>(*type_raw);
+  auto path = in.get_string();
+  if (!path) return path.error();
+  req.path = std::move(*path);
+  auto offset = in.get_u64();
+  if (!offset) return offset.error();
+  req.offset = *offset;
+  auto length = in.get_u64();
+  if (!length) return length.error();
+  req.length = *length;
+  auto mode = in.get_u32();
+  if (!mode) return mode.error();
+  req.mode = *mode;
+  auto path2 = in.get_string();
+  if (!path2) return path2.error();
+  req.path2 = std::move(*path2);
+  auto data = in.get_bytes();
+  if (!data) return data.error();
+  req.data = std::move(*data);
+  return req;
+}
+
+ByteBuf FopReply::encode() const {
+  ByteBuf out;
+  out.put_u32(static_cast<std::uint32_t>(errc));
+  attr.encode(out);
+  out.put_bytes(data);
+  out.put_u64(count);
+  return out;
+}
+
+Expected<FopReply> FopReply::decode(ByteBuf& in) {
+  FopReply rep;
+  auto errc_raw = in.get_u32();
+  if (!errc_raw) return errc_raw.error();
+  rep.errc = static_cast<Errc>(*errc_raw);
+  auto attr = store::Attr::decode(in);
+  if (!attr) return attr.error();
+  rep.attr = *attr;
+  auto data = in.get_bytes();
+  if (!data) return data.error();
+  rep.data = std::move(*data);
+  auto count = in.get_u64();
+  if (!count) return count.error();
+  rep.count = *count;
+  return rep;
+}
+
+}  // namespace imca::gluster

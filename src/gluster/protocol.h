@@ -1,0 +1,57 @@
+// GlusterFS wire protocol: fop requests and replies as real byte encodings.
+//
+// GlusterFS 1.3 (the version contemporary with the paper) shipped path-based
+// fops between its protocol/client and protocol/server translators; we keep
+// that shape. Every request is (fop-type, path, args); every reply is
+// (errc, payload). Like the memcached protocol, these encodings are what
+// actually crosses the simulated wire, so message sizes are honest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytebuf.h"
+#include "common/errc.h"
+#include "common/expected.h"
+#include "store/object_store.h"
+
+namespace imca::gluster {
+
+enum class FopType : std::uint8_t {
+  kCreate = 1,
+  kOpen = 2,
+  kClose = 3,
+  kStat = 4,
+  kRead = 5,
+  kWrite = 6,
+  kUnlink = 7,
+  kTruncate = 8,
+  kRename = 9,
+};
+
+struct FopRequest {
+  FopType type = FopType::kStat;
+  std::string path;
+  std::uint64_t offset = 0;   // read/write/truncate
+  std::uint64_t length = 0;   // read
+  std::uint32_t mode = 0644;  // create
+  std::string path2;          // rename target
+  std::vector<std::byte> data;  // write payload
+
+  ByteBuf encode() const;
+  static Expected<FopRequest> decode(ByteBuf& in);
+};
+
+struct FopReply {
+  Errc errc = Errc::kOk;
+  store::Attr attr;             // create/open/stat
+  std::vector<std::byte> data;  // read payload
+  std::uint64_t count = 0;      // write bytes accepted
+
+  ByteBuf encode() const;
+  static Expected<FopReply> decode(ByteBuf& in);
+};
+
+}  // namespace imca::gluster

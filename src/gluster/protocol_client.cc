@@ -1,0 +1,115 @@
+#include "gluster/protocol_client.h"
+
+namespace imca::gluster {
+
+sim::Task<Expected<FopReply>> ProtocolClient::roundtrip(FopRequest req) {
+  auto wire = co_await rpc_.call(self_, server_, net::kPortGluster,
+                                 req.encode());
+  if (!wire) co_return wire.error();
+  auto reply = FopReply::decode(*wire);
+  if (!reply) co_return reply.error();
+  co_return *reply;
+}
+
+sim::Task<Expected<store::Attr>> ProtocolClient::create(
+    const std::string& path, std::uint32_t mode) {
+  FopRequest req;
+  req.type = FopType::kCreate;
+  req.path = path;
+  req.mode = mode;
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  if (!ok(rep->errc)) co_return rep->errc;
+  co_return rep->attr;
+}
+
+sim::Task<Expected<store::Attr>> ProtocolClient::open(
+    const std::string& path) {
+  FopRequest req;
+  req.type = FopType::kOpen;
+  req.path = path;
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  if (!ok(rep->errc)) co_return rep->errc;
+  co_return rep->attr;
+}
+
+sim::Task<Expected<void>> ProtocolClient::close(const std::string& path) {
+  FopRequest req;
+  req.type = FopType::kClose;
+  req.path = path;
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  co_return rep->errc == Errc::kOk ? Expected<void>{} : rep->errc;
+}
+
+sim::Task<Expected<store::Attr>> ProtocolClient::stat(
+    const std::string& path) {
+  FopRequest req;
+  req.type = FopType::kStat;
+  req.path = path;
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  if (!ok(rep->errc)) co_return rep->errc;
+  co_return rep->attr;
+}
+
+sim::Task<Expected<std::vector<std::byte>>> ProtocolClient::read(
+    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  FopRequest req;
+  req.type = FopType::kRead;
+  req.path = path;
+  req.offset = offset;
+  req.length = len;
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  if (!ok(rep->errc)) co_return rep->errc;
+  co_return std::move(rep->data);
+}
+
+sim::Task<Expected<std::uint64_t>> ProtocolClient::write(
+    const std::string& path, std::uint64_t offset,
+    std::span<const std::byte> data) {
+  FopRequest req;
+  req.type = FopType::kWrite;
+  req.path = path;
+  req.offset = offset;
+  req.data.assign(data.begin(), data.end());
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  if (!ok(rep->errc)) co_return rep->errc;
+  co_return rep->count;
+}
+
+sim::Task<Expected<void>> ProtocolClient::unlink(const std::string& path) {
+  FopRequest req;
+  req.type = FopType::kUnlink;
+  req.path = path;
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  co_return rep->errc == Errc::kOk ? Expected<void>{} : rep->errc;
+}
+
+sim::Task<Expected<void>> ProtocolClient::truncate(const std::string& path,
+                                                   std::uint64_t size) {
+  FopRequest req;
+  req.type = FopType::kTruncate;
+  req.path = path;
+  req.offset = size;
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  co_return rep->errc == Errc::kOk ? Expected<void>{} : rep->errc;
+}
+
+sim::Task<Expected<void>> ProtocolClient::rename(const std::string& from,
+                                                 const std::string& to) {
+  FopRequest req;
+  req.type = FopType::kRename;
+  req.path = from;
+  req.path2 = to;
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  co_return rep->errc == Errc::kOk ? Expected<void>{} : rep->errc;
+}
+
+}  // namespace imca::gluster

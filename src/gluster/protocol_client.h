@@ -1,0 +1,46 @@
+// protocol/client: the terminal client-side translator. Encodes each fop,
+// ships it to the brick over the fabric, and decodes the reply.
+#pragma once
+
+#include "gluster/protocol.h"
+#include "gluster/xlator.h"
+#include "net/rpc.h"
+
+namespace imca::gluster {
+
+class ProtocolClient final : public Xlator {
+ public:
+  ProtocolClient(net::RpcSystem& rpc, net::NodeId self, net::NodeId server)
+      : rpc_(rpc), self_(self), server_(server) {}
+
+  sim::Task<Expected<store::Attr>> create(const std::string& path,
+                                          std::uint32_t mode) override;
+  sim::Task<Expected<store::Attr>> open(const std::string& path) override;
+  sim::Task<Expected<void>> close(const std::string& path) override;
+  sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
+  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(
+      const std::string& path, std::uint64_t offset,
+      std::span<const std::byte> data) override;
+  sim::Task<Expected<void>> unlink(const std::string& path) override;
+  sim::Task<Expected<void>> truncate(const std::string& path,
+                                     std::uint64_t size) override;
+  sim::Task<Expected<void>> rename(const std::string& from,
+                                   const std::string& to) override;
+
+  std::string_view name() const override { return "protocol/client"; }
+
+  net::NodeId server() const noexcept { return server_; }
+
+ private:
+  // Ship `req`, return the decoded reply (or the transport error).
+  sim::Task<Expected<FopReply>> roundtrip(FopRequest req);
+
+  net::RpcSystem& rpc_;
+  net::NodeId self_;
+  net::NodeId server_;
+};
+
+}  // namespace imca::gluster

@@ -1,0 +1,74 @@
+#include "gluster/read_ahead.h"
+
+#include <algorithm>
+
+namespace imca::gluster {
+
+sim::Task<Expected<std::vector<std::byte>>> ReadAheadXlator::read(
+    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  // Serve from the prefetch buffer when it fully covers the request.
+  if (path == buf_path_ && offset >= buf_offset_ &&
+      offset + len <= buf_offset_ + buf_.size()) {
+    ++hits_;
+    const std::uint64_t start = offset - buf_offset_;
+    co_return std::vector<std::byte>(
+        buf_.begin() + static_cast<std::ptrdiff_t>(start),
+        buf_.begin() + static_cast<std::ptrdiff_t>(start + len));
+  }
+
+  // Sequential continuation of the buffered stream? Prefetch a full window.
+  const bool sequential =
+      path == buf_path_ && offset == buf_offset_ + buf_.size();
+  const std::uint64_t fetch_len = std::max(len, sequential ? window_ : len);
+  auto data = co_await child_->read(path, offset, fetch_len);
+  if (!data) co_return data;
+  if (fetch_len > len) ++prefetches_;
+
+  std::vector<std::byte> result(
+      data->begin(),
+      data->begin() + static_cast<std::ptrdiff_t>(
+                          std::min<std::uint64_t>(len, data->size())));
+  // Stash the whole fetched extent for the next sequential read.
+  buf_path_ = path;
+  buf_offset_ = offset;
+  buf_ = std::move(*data);
+  co_return result;
+}
+
+sim::Task<Expected<std::uint64_t>> ReadAheadXlator::write(
+    const std::string& path, std::uint64_t offset,
+    std::span<const std::byte> data) {
+  drop(path);  // never serve stale prefetched bytes
+  co_return co_await child_->write(path, offset, data);
+}
+
+sim::Task<Expected<store::Attr>> ReadAheadXlator::open(
+    const std::string& path) {
+  drop(path);
+  co_return co_await child_->open(path);
+}
+
+sim::Task<Expected<void>> ReadAheadXlator::unlink(const std::string& path) {
+  drop(path);
+  co_return co_await child_->unlink(path);
+}
+
+sim::Task<Expected<void>> ReadAheadXlator::close(const std::string& path) {
+  drop(path);
+  co_return co_await child_->close(path);
+}
+
+sim::Task<Expected<void>> ReadAheadXlator::truncate(const std::string& path,
+                                                    std::uint64_t size) {
+  drop(path);
+  co_return co_await child_->truncate(path, size);
+}
+
+sim::Task<Expected<void>> ReadAheadXlator::rename(const std::string& from,
+                                                  const std::string& to) {
+  drop(from);
+  drop(to);
+  co_return co_await child_->rename(from, to);
+}
+
+}  // namespace imca::gluster

@@ -1,0 +1,57 @@
+// performance/read-ahead: detects sequential reads and fetches a window
+// ahead, serving subsequent reads from the prefetched buffer (paper §2.1
+// lists Read Ahead among GlusterFS's stock translators).
+//
+// Note this is *not* a client cache: the buffer holds only the tail of the
+// current sequential run of one file and is dropped on any write, open or
+// non-sequential read — matching the translator's behaviour, and why the
+// paper still calls this configuration "no client side cache".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gluster/xlator.h"
+
+namespace imca::gluster {
+
+class ReadAheadXlator final : public Xlator {
+ public:
+  explicit ReadAheadXlator(std::uint64_t window = 128 * kKiB)
+      : window_(window) {}
+
+  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(
+      const std::string& path, std::uint64_t offset,
+      std::span<const std::byte> data) override;
+  sim::Task<Expected<store::Attr>> open(const std::string& path) override;
+  sim::Task<Expected<void>> unlink(const std::string& path) override;
+  sim::Task<Expected<void>> close(const std::string& path) override;
+  sim::Task<Expected<void>> truncate(const std::string& path,
+                                     std::uint64_t size) override;
+  sim::Task<Expected<void>> rename(const std::string& from,
+                                   const std::string& to) override;
+
+  std::string_view name() const override { return "read-ahead"; }
+
+  std::uint64_t prefetch_hits() const noexcept { return hits_; }
+  std::uint64_t prefetches() const noexcept { return prefetches_; }
+
+ private:
+  void drop(const std::string& path) {
+    if (path == buf_path_) buf_path_.clear();
+  }
+
+  std::uint64_t window_;
+  // Single prefetch buffer (one sequential stream at a time, like the
+  // translator's per-fd pages with default settings).
+  std::string buf_path_;
+  std::uint64_t buf_offset_ = 0;
+  std::vector<std::byte> buf_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t prefetches_ = 0;
+};
+
+}  // namespace imca::gluster

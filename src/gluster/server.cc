@@ -1,0 +1,106 @@
+#include "gluster/server.h"
+
+#include <cassert>
+
+namespace imca::gluster {
+
+GlusterServer::GlusterServer(net::RpcSystem& rpc, net::NodeId node,
+                             GlusterServerParams params)
+    : rpc_(rpc),
+      node_(node),
+      params_(params),
+      dev_(rpc.fabric().loop(), params.raid_members, params.disk,
+           params.page_cache_bytes, "brick" + std::to_string(node)) {
+  stack_.push_back(std::make_unique<PosixXlator>(
+      rpc_.fabric().loop(), rpc_.fabric().node(node_), os_, dev_,
+      params_.posix));
+  auto io = std::make_unique<IoThreadsXlator>(rpc_.fabric().loop(),
+                                              params_.io_threads);
+  io->set_child(stack_.back().get());
+  stack_.push_back(std::move(io));
+}
+
+void GlusterServer::push_translator(std::unique_ptr<Xlator> xlator) {
+  assert(!started_ && "translators must be pushed before start()");
+  xlator->set_child(stack_.back().get());
+  stack_.push_back(std::move(xlator));
+}
+
+void GlusterServer::start() {
+  started_ = true;
+  rpc_.listen(node_, net::kPortGluster,
+              [this](ByteBuf req, net::NodeId from) -> sim::Task<ByteBuf> {
+                return handle(std::move(req), from);
+              });
+}
+
+void GlusterServer::stop() { rpc_.shutdown(node_, net::kPortGluster); }
+
+sim::Task<ByteBuf> GlusterServer::handle(ByteBuf request, net::NodeId) {
+  ++fops_;
+  co_await rpc_.fabric().node(node_).cpu().use(params_.fop_dispatch_cpu);
+  auto req = FopRequest::decode(request);
+  FopReply reply;
+  if (!req) {
+    reply.errc = Errc::kProto;
+  } else {
+    reply = co_await dispatch(std::move(*req));
+  }
+  co_return reply.encode();
+}
+
+sim::Task<FopReply> GlusterServer::dispatch(FopRequest req) {
+  Xlator& x = top();
+  FopReply rep;
+  switch (req.type) {
+    case FopType::kCreate: {
+      auto r = co_await x.create(req.path, req.mode);
+      rep.errc = r.error();
+      if (r) rep.attr = *r;
+      break;
+    }
+    case FopType::kOpen: {
+      auto r = co_await x.open(req.path);
+      rep.errc = r.error();
+      if (r) rep.attr = *r;
+      break;
+    }
+    case FopType::kClose: {
+      rep.errc = (co_await x.close(req.path)).error();
+      break;
+    }
+    case FopType::kStat: {
+      auto r = co_await x.stat(req.path);
+      rep.errc = r.error();
+      if (r) rep.attr = *r;
+      break;
+    }
+    case FopType::kRead: {
+      auto r = co_await x.read(req.path, req.offset, req.length);
+      rep.errc = r.error();
+      if (r) rep.data = std::move(*r);
+      break;
+    }
+    case FopType::kWrite: {
+      auto r = co_await x.write(req.path, req.offset, req.data);
+      rep.errc = r.error();
+      if (r) rep.count = *r;
+      break;
+    }
+    case FopType::kUnlink: {
+      rep.errc = (co_await x.unlink(req.path)).error();
+      break;
+    }
+    case FopType::kTruncate: {
+      rep.errc = (co_await x.truncate(req.path, req.offset)).error();
+      break;
+    }
+    case FopType::kRename: {
+      rep.errc = (co_await x.rename(req.path, req.path2)).error();
+      break;
+    }
+  }
+  co_return rep;
+}
+
+}  // namespace imca::gluster

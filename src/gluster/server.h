@@ -1,0 +1,73 @@
+// The GlusterFS brick process: protocol/server dispatch on top of a
+// translator stack ending in storage/posix.
+//
+// Default stack (bottom to top):   posix -> io-threads -> [pushed xlators]
+// The paper's SMCache is pushed on top, where it sees client fops on entry
+// and their results on return — its "hooks in the callback handler".
+//
+// Each incoming request charges the brick's CPU a userspace-daemon dispatch
+// cost (GlusterFS runs in userspace; this is the overhead RDMA cannot
+// remove, paper §3 "Server load problems").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gluster/io_threads.h"
+#include "gluster/posix.h"
+#include "gluster/protocol.h"
+#include "gluster/xlator.h"
+#include "net/rpc.h"
+#include "store/block_device.h"
+#include "store/object_store.h"
+
+namespace imca::gluster {
+
+struct GlusterServerParams {
+  SimDuration fop_dispatch_cpu = 110 * kMicro; // userspace daemon per fop
+  std::size_t io_threads = 16;
+  std::size_t raid_members = 8;                // the paper's 8-disk array
+  store::DiskParams disk = {};
+  std::uint64_t page_cache_bytes = 6 * kGiB;   // of the server's 8 GB
+  PosixParams posix = {};
+};
+
+class GlusterServer {
+ public:
+  GlusterServer(net::RpcSystem& rpc, net::NodeId node,
+                GlusterServerParams params = {});
+
+  GlusterServer(const GlusterServer&) = delete;
+  GlusterServer& operator=(const GlusterServer&) = delete;
+
+  // Insert a translator above the current stack top (below dispatch).
+  // Must be called before start().
+  void push_translator(std::unique_ptr<Xlator> xlator);
+
+  // Register the brick on the fabric (port 24007).
+  void start();
+  void stop();
+
+  net::NodeId node() const noexcept { return node_; }
+  store::ObjectStore& object_store() noexcept { return os_; }
+  store::BlockDevice& device() noexcept { return dev_; }
+  // Stack top — tests drive fops through it directly.
+  Xlator& top() noexcept { return *stack_.back(); }
+
+  std::uint64_t fops_served() const noexcept { return fops_; }
+
+ private:
+  sim::Task<ByteBuf> handle(ByteBuf request, net::NodeId from);
+  sim::Task<FopReply> dispatch(FopRequest req);
+
+  net::RpcSystem& rpc_;
+  net::NodeId node_;
+  GlusterServerParams params_;
+  store::ObjectStore os_;
+  store::BlockDevice dev_;
+  std::vector<std::unique_ptr<Xlator>> stack_;  // [0]=posix .. back()=top
+  std::uint64_t fops_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace imca::gluster

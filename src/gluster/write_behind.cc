@@ -1,0 +1,86 @@
+#include "gluster/write_behind.h"
+
+namespace imca::gluster {
+
+sim::Task<Expected<void>> WriteBehindXlator::flush() {
+  if (buf_.empty()) co_return Expected<void>{};
+  ++flushes_;
+  auto r = co_await child_->write(buf_path_, buf_offset_, buf_);
+  buf_.clear();
+  buf_path_.clear();
+  if (!r) co_return r.error();
+  co_return Expected<void>{};
+}
+
+sim::Task<Expected<std::uint64_t>> WriteBehindXlator::write(
+    const std::string& path, std::uint64_t offset,
+    std::span<const std::byte> data) {
+  // Contiguous continuation of the current buffer? Absorb it.
+  if (buffering(path) && offset == buf_offset_ + buf_.size()) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    ++absorbed_;
+    if (buf_.size() >= threshold_) {
+      auto r = co_await flush();
+      if (!r) co_return r.error();
+    }
+    co_return data.size();
+  }
+
+  // Non-contiguous or different file: flush what we hold, start a new run.
+  if (auto r = co_await flush(); !r) co_return r.error();
+  buf_path_ = path;
+  buf_offset_ = offset;
+  buf_.assign(data.begin(), data.end());
+  if (buf_.size() >= threshold_) {
+    if (auto r = co_await flush(); !r) co_return r.error();
+  }
+  co_return data.size();
+}
+
+sim::Task<Expected<std::vector<std::byte>>> WriteBehindXlator::read(
+    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  if (buffering(path)) {
+    if (auto r = co_await flush(); !r) co_return r.error();
+  }
+  co_return co_await child_->read(path, offset, len);
+}
+
+sim::Task<Expected<store::Attr>> WriteBehindXlator::stat(
+    const std::string& path) {
+  if (buffering(path)) {
+    if (auto r = co_await flush(); !r) co_return r.error();
+  }
+  co_return co_await child_->stat(path);
+}
+
+sim::Task<Expected<void>> WriteBehindXlator::close(const std::string& path) {
+  if (buffering(path)) {
+    if (auto r = co_await flush(); !r) co_return r.error();
+  }
+  co_return co_await child_->close(path);
+}
+
+sim::Task<Expected<void>> WriteBehindXlator::unlink(const std::string& path) {
+  if (buffering(path)) {
+    if (auto r = co_await flush(); !r) co_return r.error();
+  }
+  co_return co_await child_->unlink(path);
+}
+
+sim::Task<Expected<void>> WriteBehindXlator::truncate(const std::string& path,
+                                                      std::uint64_t size) {
+  if (buffering(path)) {
+    if (auto r = co_await flush(); !r) co_return r.error();
+  }
+  co_return co_await child_->truncate(path, size);
+}
+
+sim::Task<Expected<void>> WriteBehindXlator::rename(const std::string& from,
+                                                    const std::string& to) {
+  if (buffering(from) || buffering(to)) {
+    if (auto r = co_await flush(); !r) co_return r.error();
+  }
+  co_return co_await child_->rename(from, to);
+}
+
+}  // namespace imca::gluster

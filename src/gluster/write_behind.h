@@ -1,0 +1,57 @@
+// performance/write-behind: aggregates consecutive small writes and flushes
+// them to the child as one larger write (paper §2.1 lists Write Behind among
+// GlusterFS's stock translators).
+//
+// Aggregation only: the buffered region is flushed before any operation that
+// could observe it (read, stat, close, unlink, non-contiguous write), so the
+// translator never changes what a reader sees — only how many wire ops the
+// writes cost. Off by default in our experiments (the paper measures
+// synchronous write latency); exercised by tests and the ablation bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gluster/xlator.h"
+
+namespace imca::gluster {
+
+class WriteBehindXlator final : public Xlator {
+ public:
+  explicit WriteBehindXlator(std::uint64_t flush_threshold = 128 * kKiB)
+      : threshold_(flush_threshold) {}
+
+  sim::Task<Expected<std::uint64_t>> write(
+      const std::string& path, std::uint64_t offset,
+      std::span<const std::byte> data) override;
+  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) override;
+  sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
+  sim::Task<Expected<void>> close(const std::string& path) override;
+  sim::Task<Expected<void>> unlink(const std::string& path) override;
+  sim::Task<Expected<void>> truncate(const std::string& path,
+                                     std::uint64_t size) override;
+  sim::Task<Expected<void>> rename(const std::string& from,
+                                   const std::string& to) override;
+
+  std::string_view name() const override { return "write-behind"; }
+
+  std::uint64_t flushes() const noexcept { return flushes_; }
+  std::uint64_t absorbed_writes() const noexcept { return absorbed_; }
+
+ private:
+  sim::Task<Expected<void>> flush();
+  bool buffering(const std::string& path) const {
+    return !buf_.empty() && path == buf_path_;
+  }
+
+  std::uint64_t threshold_;
+  std::string buf_path_;
+  std::uint64_t buf_offset_ = 0;
+  std::vector<std::byte> buf_;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t absorbed_ = 0;
+};
+
+}  // namespace imca::gluster

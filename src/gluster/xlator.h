@@ -1,0 +1,59 @@
+// The translator (xlator) abstraction GlusterFS is built from.
+//
+// GlusterFS composes file-system behaviour by stacking translators: each one
+// intercepts fops on the way down and results on the way back up
+// (STACK_WIND / STACK_UNWIND in the original). Our coroutine rendering is
+// direct: winding is `co_await child_->fop(...)`; unwinding is the code
+// after the await — which is exactly where the paper's SMCache installs its
+// "hooks in the callback handler" (§4.1).
+//
+// The default implementation of every fop forwards to the child, so a
+// translator overrides only what it cares about (CMCache overrides stat and
+// read; SMCache overrides open/read/write/close/unlink; read-ahead overrides
+// read; ...).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "sim/task.h"
+#include "store/object_store.h"
+
+namespace imca::gluster {
+
+class Xlator {
+ public:
+  virtual ~Xlator() = default;
+
+  // The translator below this one in the stack. Owned by the graph builder
+  // (GlusterClient/GlusterServer), not by the translator.
+  void set_child(Xlator* child) noexcept { child_ = child; }
+  Xlator* child() const noexcept { return child_; }
+
+  virtual sim::Task<Expected<store::Attr>> create(const std::string& path,
+                                                  std::uint32_t mode);
+  virtual sim::Task<Expected<store::Attr>> open(const std::string& path);
+  virtual sim::Task<Expected<void>> close(const std::string& path);
+  virtual sim::Task<Expected<store::Attr>> stat(const std::string& path);
+  virtual sim::Task<Expected<std::vector<std::byte>>> read(
+      const std::string& path, std::uint64_t offset, std::uint64_t len);
+  virtual sim::Task<Expected<std::uint64_t>> write(
+      const std::string& path, std::uint64_t offset,
+      std::span<const std::byte> data);
+  virtual sim::Task<Expected<void>> unlink(const std::string& path);
+  virtual sim::Task<Expected<void>> truncate(const std::string& path,
+                                             std::uint64_t size);
+  virtual sim::Task<Expected<void>> rename(const std::string& from,
+                                           const std::string& to);
+
+  // A short name for diagnostics ("posix", "cmcache", ...).
+  virtual std::string_view name() const = 0;
+
+ protected:
+  Xlator* child_ = nullptr;
+};
+
+}  // namespace imca::gluster

@@ -1,0 +1,68 @@
+// Fixed-block geometry for the cache tier (paper §4.3.1).
+//
+// IMCa stores file data in fixed-size blocks: a read of (offset, len) maps
+// to the aligned run of blocks covering it, which may be larger than the
+// request on both ends (Fig 3 — the "additional data transfers" trade-off).
+// Block size must stay below memcached's 1 MB item ceiling.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "memcache/slab.h"
+
+namespace imca::core {
+
+class BlockMapper {
+ public:
+  explicit BlockMapper(std::uint64_t block_size) : block_size_(block_size) {
+    assert(block_size > 0);
+    assert(block_size + memcache::kItemOverhead + 300 <=
+               memcache::kMaxItemTotal &&
+           "block + key + overhead must fit a memcached item");
+  }
+
+  std::uint64_t block_size() const noexcept { return block_size_; }
+
+  std::uint64_t index_of(std::uint64_t offset) const noexcept {
+    return offset / block_size_;
+  }
+  std::uint64_t start_of(std::uint64_t index) const noexcept {
+    return index * block_size_;
+  }
+  std::uint64_t align_down(std::uint64_t offset) const noexcept {
+    return offset - offset % block_size_;
+  }
+  std::uint64_t align_up(std::uint64_t offset) const noexcept {
+    const std::uint64_t rem = offset % block_size_;
+    return rem == 0 ? offset : offset + block_size_ - rem;
+  }
+
+  // Indices of the blocks covering [offset, offset+len). Empty for len==0.
+  std::vector<std::uint64_t> covering(std::uint64_t offset,
+                                      std::uint64_t len) const {
+    std::vector<std::uint64_t> out;
+    if (len == 0) return out;
+    const std::uint64_t first = index_of(offset);
+    const std::uint64_t last = index_of(offset + len - 1);
+    out.reserve(last - first + 1);
+    for (std::uint64_t i = first; i <= last; ++i) out.push_back(i);
+    return out;
+  }
+
+  // Size of the aligned region covering [offset, offset+len).
+  std::uint64_t aligned_length(std::uint64_t offset,
+                               std::uint64_t len) const noexcept {
+    if (len == 0) return 0;
+    return align_up(offset + len) - align_down(offset);
+  }
+
+  bool operator==(const BlockMapper&) const = default;
+
+ private:
+  std::uint64_t block_size_;
+};
+
+}  // namespace imca::core

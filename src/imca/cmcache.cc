@@ -1,0 +1,79 @@
+#include "imca/cmcache.h"
+
+#include <algorithm>
+
+namespace imca::core {
+
+sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
+  auto cached = co_await mcds_->get(stat_key(path));
+  if (cached) {
+    ByteBuf buf(std::move(cached->data));
+    auto attr = store::Attr::decode(buf);
+    if (attr) {
+      ++stats_.stat_hits;
+      co_return *attr;
+    }
+    // Undecodable item (shouldn't happen): fall through to the server.
+  }
+  ++stats_.stat_misses;
+  co_return co_await child_->stat(path);
+}
+
+sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read(
+    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  if (len == 0) co_return std::vector<std::byte>{};
+
+  const auto blocks = mapper_.covering(offset, len);
+  std::vector<std::string> keys;
+  std::vector<std::uint64_t> hints;
+  keys.reserve(blocks.size());
+  hints.reserve(blocks.size());
+  for (const auto b : blocks) {
+    keys.push_back(data_key(path, mapper_.start_of(b)));
+    hints.push_back(b);
+  }
+  stats_.blocks_requested += blocks.size();
+
+  auto got = co_await mcds_->multi_get(keys, hints);
+  stats_.blocks_hit += got.size();
+
+  // A block may legitimately be absent because it lies at/after EOF; those
+  // blocks only matter if an *earlier* block was full (data continues). We
+  // require: every block present up to the first short block; everything
+  // after a short block is EOF territory.
+  std::vector<std::byte> assembled;
+  assembled.reserve(mapper_.aligned_length(offset, len));
+  bool complete = true;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto it = got.find(keys[i]);
+    if (it == got.end()) {
+      // Missing block: only acceptable as EOF, i.e. the previous block was
+      // short. For the first block a miss is always a real miss.
+      if (i == 0 || assembled.size() == i * mapper_.block_size()) {
+        complete = false;  // data should exist here but the cache lacks it
+      }
+      break;
+    }
+    const auto& data = it->second.data;
+    assembled.insert(assembled.end(), data.begin(), data.end());
+    if (data.size() < mapper_.block_size()) break;  // short block = EOF
+  }
+
+  if (!complete) {
+    // At least one needed block missed: the whole read goes to the server
+    // (and SMCache will repopulate the daemons on the way back).
+    ++stats_.reads_forwarded;
+    co_return co_await child_->read(path, offset, len);
+  }
+
+  ++stats_.reads_from_cache;
+  const std::uint64_t skip = offset - mapper_.align_down(offset);
+  if (assembled.size() <= skip) co_return std::vector<std::byte>{};  // EOF
+  const std::uint64_t avail = assembled.size() - skip;
+  const std::uint64_t take = std::min(len, avail);
+  co_return std::vector<std::byte>(
+      assembled.begin() + static_cast<std::ptrdiff_t>(skip),
+      assembled.begin() + static_cast<std::ptrdiff_t>(skip + take));
+}
+
+}  // namespace imca::core

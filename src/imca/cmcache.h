@@ -1,0 +1,61 @@
+// CMCache — the Client Memory Cache translator (paper §4.1, §4.2, §4.3.2).
+//
+// Sits in the GlusterFS *client* stack and intercepts:
+//   * stat  — fetch "<path>:stat" from the MCD array; on a miss the stat
+//             propagates to the server unchanged.
+//   * read  — map the request to IMCa blocks, multi-get them from the MCDs
+//             (batched per daemon, hints carry the block index for the
+//             modulo selector). If EVERY needed block is present, assemble
+//             and return locally; if ANY misses, forward the whole read to
+//             the server — which is why cold misses cost more than in plain
+//             GlusterFS (§4.4).
+//   * write/create/delete/open/close — pass through untouched; the server
+//     side (SMCache) owns all cache updates and purges, keeping the client
+//     completely lockless.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "gluster/xlator.h"
+#include "imca/block_mapper.h"
+#include "imca/config.h"
+#include "imca/keys.h"
+#include "mcclient/client.h"
+
+namespace imca::core {
+
+struct CmCacheStats {
+  std::uint64_t stat_hits = 0;
+  std::uint64_t stat_misses = 0;
+  std::uint64_t reads_from_cache = 0;   // fully served by the MCD array
+  std::uint64_t reads_forwarded = 0;    // at least one block missed
+  std::uint64_t blocks_requested = 0;
+  std::uint64_t blocks_hit = 0;
+};
+
+class CmCacheXlator final : public gluster::Xlator {
+ public:
+  // `mcds` is the client's own connection set to the cache bank.
+  CmCacheXlator(std::unique_ptr<mcclient::McClient> mcds, ImcaConfig cfg)
+      : mcds_(std::move(mcds)), mapper_(cfg.block_size), cfg_(cfg) {}
+
+  sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
+  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) override;
+
+  std::string_view name() const override { return "cmcache"; }
+
+  const CmCacheStats& stats() const noexcept { return stats_; }
+  const mcclient::McClient& mcds() const noexcept { return *mcds_; }
+  const BlockMapper& mapper() const noexcept { return mapper_; }
+
+ private:
+  std::unique_ptr<mcclient::McClient> mcds_;
+  BlockMapper mapper_;
+  ImcaConfig cfg_;
+  CmCacheStats stats_;
+};
+
+}  // namespace imca::core

@@ -1,0 +1,69 @@
+// Deployment knobs for the IMCa layer — the ablation axes of DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.h"
+#include "mcclient/client.h"
+#include "mcclient/selector.h"
+#include "net/transport.h"
+
+namespace imca::core {
+
+enum class HashScheme {
+  kCrc32,       // libmemcache default (every experiment except Fig 9)
+  kModulo,      // static modulo / round-robin over block index (Fig 9)
+  kConsistent,  // the paper's future-work hashing direction
+};
+
+struct ImcaConfig {
+  // Fixed cache block size (paper evaluates 256 B, 2 KB, 8 KB; 2 KB is the
+  // default used for "the remaining experiments", §5.3).
+  std::uint64_t block_size = 2 * kKiB;
+
+  // Key -> MCD placement.
+  HashScheme hash = HashScheme::kCrc32;
+
+  // SMCache update mode: false = updates (and the write read-back) happen in
+  // the fop path; true = a worker offloads them ("Using an additional
+  // thread ... can reduce the cost", §4.3.2).
+  bool threaded_updates = false;
+
+  // Upper bound on MCD daemons a deployment may use (sizes the consistent
+  // hash ring).
+  std::size_t max_mcds = 16;
+
+  // Reach the cache bank over native IB verbs/RDMA instead of TCP over
+  // IPoIB — the paper's future work: "how network mechanisms like Remote
+  // Direct Memory Access (RDMA) in InfiniBand can help reduce the overhead
+  // of the cache bank" (§7). Only the client<->MCD and server<->MCD paths
+  // change; GlusterFS traffic stays on the fabric default.
+  bool rdma_cache_path = false;
+};
+
+inline mcclient::McClientParams make_mcclient_params(const ImcaConfig& cfg) {
+  mcclient::McClientParams params;
+  if (cfg.rdma_cache_path) {
+    params.transport = net::ib_rdma();
+    // Verbs bypass the socket layer: the per-key build/parse cost shrinks
+    // to descriptor handling.
+    params.per_key_cpu = 1 * kMicro;
+  }
+  return params;
+}
+
+inline std::unique_ptr<mcclient::ServerSelector> make_selector(
+    const ImcaConfig& cfg) {
+  switch (cfg.hash) {
+    case HashScheme::kCrc32:
+      return std::make_unique<mcclient::Crc32Selector>();
+    case HashScheme::kModulo:
+      return std::make_unique<mcclient::ModuloSelector>();
+    case HashScheme::kConsistent:
+      return std::make_unique<mcclient::ConsistentSelector>(cfg.max_mcds);
+  }
+  return std::make_unique<mcclient::Crc32Selector>();
+}
+
+}  // namespace imca::core

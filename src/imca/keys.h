@@ -1,0 +1,32 @@
+// Cache key scheme (paper §4.2, §4.3.2):
+//   data block : "<absolute path>:<block byte offset>"
+//   stat       : "<absolute path>:stat"
+//
+// The key used to locate an MCD is this string; with the CRC32 selector the
+// placement therefore follows libmemcache's hash of exactly these bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace imca::core {
+
+inline std::string data_key(std::string_view path, std::uint64_t block_offset) {
+  std::string key;
+  key.reserve(path.size() + 24);
+  key.append(path);
+  key.push_back(':');
+  key.append(std::to_string(block_offset));
+  return key;
+}
+
+inline std::string stat_key(std::string_view path) {
+  std::string key;
+  key.reserve(path.size() + 5);
+  key.append(path);
+  key.append(":stat");
+  return key;
+}
+
+}  // namespace imca::core

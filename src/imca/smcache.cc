@@ -1,0 +1,280 @@
+#include "imca/smcache.h"
+
+#include <algorithm>
+
+namespace imca::core {
+
+SmCacheXlator::SmCacheXlator(sim::EventLoop& loop,
+                             std::unique_ptr<mcclient::McClient> mcds,
+                             ImcaConfig cfg)
+    : loop_(loop),
+      mcds_(std::move(mcds)),
+      mapper_(cfg.block_size),
+      cfg_(cfg),
+      jobs_(loop) {
+  if (cfg_.threaded_updates) {
+    loop_.spawn(worker_loop());
+  }
+}
+
+SmCacheXlator::~SmCacheXlator() {
+  if (cfg_.threaded_updates) {
+    Job poison;
+    poison.poison = true;
+    jobs_.send(std::move(poison));  // unblocks the worker if the loop runs
+  }
+}
+
+sim::Task<void> SmCacheXlator::worker_loop() {
+  while (true) {
+    Job job = co_await jobs_.recv();
+    if (job.poison) co_return;
+    ++stats_.worker_jobs;
+    co_await readback_and_publish(std::move(job.path), job.offset, job.length);
+    if (--jobs_pending_ == 0 && drained_ != nullptr) {
+      drained_->set();
+      drained_ = nullptr;
+    }
+  }
+}
+
+sim::Task<void> SmCacheXlator::quiesce() {
+  if (!cfg_.threaded_updates || jobs_pending_ == 0) co_return;
+  sim::Event done(loop_);
+  drained_ = &done;
+  co_await done.wait();
+}
+
+sim::Task<void> SmCacheXlator::publish_stat(const std::string& path,
+                                            const store::Attr& attr) {
+  ByteBuf buf;
+  attr.encode(buf);
+  std::vector<std::byte> data(buf.bytes().begin(), buf.bytes().end());
+  (void)co_await mcds_->set(stat_key(path), data);
+  ++stats_.stats_published;
+}
+
+sim::Task<void> SmCacheXlator::publish_blocks(
+    const std::string& path, std::uint64_t region_start,
+    const std::vector<std::byte>& data) {
+  const std::uint64_t bs = mapper_.block_size();
+  std::uint64_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t block_offset = region_start + pos;
+    const std::uint64_t n = std::min<std::uint64_t>(bs, data.size() - pos);
+    std::vector<std::byte> block(
+        data.begin() + static_cast<std::ptrdiff_t>(pos),
+        data.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    (void)co_await mcds_->set(data_key(path, block_offset), block,
+                              mapper_.index_of(block_offset));
+    ++stats_.blocks_published;
+    pos += n;
+  }
+  if (!data.empty()) {
+    auto& extent = published_extent_[path];
+    extent = std::max(extent, region_start + data.size());
+  }
+}
+
+sim::Task<void> SmCacheXlator::purge_range(const std::string& path,
+                                           std::uint64_t from_byte,
+                                           std::uint64_t to_byte) {
+  const std::uint64_t bs = mapper_.block_size();
+  for (std::uint64_t off = mapper_.align_down(from_byte); off < to_byte;
+       off += bs) {
+    (void)co_await mcds_->del(data_key(path, off), mapper_.index_of(off));
+    ++stats_.blocks_purged;
+  }
+}
+
+sim::Task<void> SmCacheXlator::purge(const std::string& path,
+                                     std::uint64_t highest_byte) {
+  ++stats_.purges;
+  (void)co_await mcds_->del(stat_key(path));
+  co_await purge_range(path, 0, highest_byte);
+  published_extent_.erase(path);
+}
+
+sim::Task<void> SmCacheXlator::readback_and_publish(std::string path,
+                                                    std::uint64_t start,
+                                                    std::uint64_t length) {
+  ++stats_.readbacks;
+  auto data = co_await child_->read(path, start, length);
+  if (!data) co_return;  // file vanished meanwhile; nothing to publish
+  co_await publish_blocks(path, start, *data);
+  // The write changed size/mtime: refresh the cached stat so pollers see it.
+  auto attr = co_await child_->stat(path);
+  if (attr) co_await publish_stat(path, *attr);
+}
+
+sim::Task<Expected<store::Attr>> SmCacheXlator::open(const std::string& path) {
+  auto attr = co_await child_->open(path);
+  if (!attr) co_return attr;
+  known_size_[path] = attr->size;
+  // "the MCDs are purged of any data relating to the file when the Open
+  // operation is received", then the stat structure is published (§4.2).
+  const auto it = published_extent_.find(path);
+  if (it != published_extent_.end()) {
+    co_await purge(path, it->second);
+  }
+  co_await publish_stat(path, *attr);
+  co_return attr;
+}
+
+sim::Task<Expected<store::Attr>> SmCacheXlator::stat(const std::string& path) {
+  auto attr = co_await child_->stat(path);
+  if (attr) {
+    known_size_[path] = attr->size;
+    co_await publish_stat(path, *attr);
+  }
+  co_return attr;
+}
+
+sim::Task<Expected<std::vector<std::byte>>> SmCacheXlator::read(
+    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  if (len == 0) co_return co_await child_->read(path, offset, len);
+
+  // Widen to block alignment: the server may read more than requested
+  // (paper §4.3.2 and Fig 3).
+  const std::uint64_t start = mapper_.align_down(offset);
+  const std::uint64_t length = mapper_.aligned_length(offset, len);
+  auto data = co_await child_->read(path, start, length);
+  if (!data) co_return data;
+
+  if (cfg_.threaded_updates) {
+    ++jobs_pending_;
+    Job job;
+    job.path = path;
+    job.offset = start;
+    job.length = length;
+    jobs_.send(std::move(job));
+  } else {
+    co_await publish_blocks(path, start, *data);
+  }
+
+  // Slice the requested range back out.
+  const std::uint64_t skip = offset - start;
+  if (data->size() <= skip) co_return std::vector<std::byte>{};
+  const std::uint64_t take = std::min(len, data->size() - skip);
+  co_return std::vector<std::byte>(
+      data->begin() + static_cast<std::ptrdiff_t>(skip),
+      data->begin() + static_cast<std::ptrdiff_t>(skip + take));
+}
+
+sim::Task<Expected<std::uint64_t>> SmCacheXlator::write(
+    const std::string& path, std::uint64_t offset,
+    std::span<const std::byte> data) {
+  // Old size first: a write far beyond EOF leaves stale short blocks at the
+  // old boundary which must be purged for coherence. The size usually comes
+  // from our own bookkeeping; only a path we have never seen costs a stat.
+  std::uint64_t old_size = 0;
+  if (auto it = known_size_.find(path); it != known_size_.end()) {
+    old_size = it->second;
+  } else {
+    auto before = co_await child_->stat(path);
+    if (before) old_size = before->size;
+  }
+
+  // Persistence first: the write must be on the file system before any MCD
+  // sees a byte of it (§4.3.2, §4.4).
+  auto written = co_await child_->write(path, offset, data);
+  if (!written) co_return written;
+  known_size_[path] = std::max(old_size, offset + data.size());
+
+  const std::uint64_t start = mapper_.align_down(offset);
+  const std::uint64_t length = mapper_.aligned_length(offset, data.size());
+
+  if (old_size < start) {
+    // The write skipped past the old EOF: blocks in [old EOF, start) were
+    // never (re)published and the old boundary block may be cached short.
+    co_await purge_range(path, old_size, start);
+  }
+
+  if (cfg_.threaded_updates) {
+    ++jobs_pending_;
+    Job job;
+    job.path = path;
+    job.offset = start;
+    job.length = length;
+    jobs_.send(std::move(job));
+  } else {
+    co_await readback_and_publish(path, start, length);
+  }
+  co_return written;
+}
+
+sim::Task<Expected<void>> SmCacheXlator::close(const std::string& path) {
+  auto r = co_await child_->close(path);
+  // "it will attempt to discard the data for the file from the MCDs" (§4.3.2)
+  const auto it = published_extent_.find(path);
+  if (it != published_extent_.end()) {
+    co_await purge(path, it->second);
+  } else {
+    (void)co_await mcds_->del(stat_key(path));
+  }
+  co_return r;
+}
+
+sim::Task<Expected<void>> SmCacheXlator::truncate(const std::string& path,
+                                                  std::uint64_t size) {
+  // Old size first (usually from our own bookkeeping): the region whose
+  // bytes change is [min(old,new), max(old,new)) — a shrink removes data, a
+  // grow turns what a cached short block called EOF into zeros.
+  std::uint64_t old_size = 0;
+  if (auto it = known_size_.find(path); it != known_size_.end()) {
+    old_size = it->second;
+  } else if (auto before = co_await child_->stat(path); before) {
+    old_size = before->size;
+  }
+
+  auto r = co_await child_->truncate(path, size);
+  if (!r) co_return r;
+
+  const auto it = published_extent_.find(path);
+  if (it != published_extent_.end()) {
+    const std::uint64_t stale_from =
+        mapper_.align_down(std::min(old_size, size));
+    const std::uint64_t stale_to =
+        std::min(it->second, mapper_.align_up(std::max(old_size, size)));
+    if (stale_to > stale_from) {
+      co_await purge_range(path, stale_from, stale_to);
+    }
+    it->second = std::min(it->second, stale_from);
+  }
+  known_size_[path] = size;
+  auto attr = co_await child_->stat(path);
+  if (attr) co_await publish_stat(path, *attr);
+  co_return r;
+}
+
+sim::Task<Expected<void>> SmCacheXlator::rename(const std::string& from,
+                                                const std::string& to) {
+  auto r = co_await child_->rename(from, to);
+  if (!r) co_return r;
+  // Every cached item keys on the absolute path: both the old name's blocks
+  // and any blocks the replaced target had are now wrong. Purge both; reads
+  // of the new name repopulate lazily.
+  const auto from_it = published_extent_.find(from);
+  co_await purge(from, from_it == published_extent_.end() ? 0 : from_it->second);
+  const auto to_it = published_extent_.find(to);
+  co_await purge(to, to_it == published_extent_.end() ? 0 : to_it->second);
+  if (auto sz = known_size_.find(from); sz != known_size_.end()) {
+    known_size_[to] = sz->second;
+    known_size_.erase(sz);
+  }
+  auto attr = co_await child_->stat(to);
+  if (attr) co_await publish_stat(to, *attr);
+  co_return r;
+}
+
+sim::Task<Expected<void>> SmCacheXlator::unlink(const std::string& path) {
+  auto r = co_await child_->unlink(path);
+  if (!r) co_return r;
+  known_size_.erase(path);
+  const auto it = published_extent_.find(path);
+  const std::uint64_t extent = it == published_extent_.end() ? 0 : it->second;
+  co_await purge(path, extent);
+  co_return r;
+}
+
+}  // namespace imca::core

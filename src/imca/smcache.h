@@ -1,0 +1,122 @@
+// SMCache — the Server Memory Cache translator (paper §4.1, §4.3.2).
+//
+// Sits at the top of the GlusterFS *server* stack. On the way down it may
+// transform operations (reads are widened to IMCa block alignment); on the
+// way back up — the paper's "hooks in the callback handler" — it feeds
+// results to the MCD array:
+//
+//   open   : purge the file's blocks from the MCDs, then publish its stat.
+//   stat   : republish the stat structure.
+//   read   : read the aligned covering region from the file system, publish
+//            every full block, return the requested slice.
+//   write  : write to the file system FIRST (writes are always persistent),
+//            then read back the aligned covering region and publish it; in
+//            threaded mode the read-back + publish leave the fop path.
+//   close  : discard the file's data from the MCDs.
+//   unlink : remove, then purge (no false positives, §4.2).
+//
+// Because only this one server-side component ever writes the cache, and it
+// does so after the file system accepted the data, MCD failures can lose
+// cached copies but never truth — the property the failure-injection tests
+// verify.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gluster/xlator.h"
+#include "imca/block_mapper.h"
+#include "imca/config.h"
+#include "imca/keys.h"
+#include "mcclient/client.h"
+#include "sim/sync.h"
+
+namespace imca::core {
+
+struct SmCacheStats {
+  std::uint64_t blocks_published = 0;
+  std::uint64_t stats_published = 0;
+  std::uint64_t purges = 0;         // whole-file purges
+  std::uint64_t blocks_purged = 0;  // individual block deletes
+  std::uint64_t readbacks = 0;      // write-path read-backs
+  std::uint64_t worker_jobs = 0;    // jobs taken off the fop path
+};
+
+class SmCacheXlator final : public gluster::Xlator {
+ public:
+  SmCacheXlator(sim::EventLoop& loop,
+                std::unique_ptr<mcclient::McClient> mcds, ImcaConfig cfg);
+  ~SmCacheXlator() override;
+
+  sim::Task<Expected<store::Attr>> open(const std::string& path) override;
+  sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
+  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(
+      const std::string& path, std::uint64_t offset,
+      std::span<const std::byte> data) override;
+  sim::Task<Expected<void>> close(const std::string& path) override;
+  sim::Task<Expected<void>> unlink(const std::string& path) override;
+  sim::Task<Expected<void>> truncate(const std::string& path,
+                                     std::uint64_t size) override;
+  sim::Task<Expected<void>> rename(const std::string& from,
+                                   const std::string& to) override;
+
+  std::string_view name() const override { return "smcache"; }
+
+  const SmCacheStats& stats() const noexcept { return stats_; }
+  mcclient::McClient& mcds() noexcept { return *mcds_; }
+  const BlockMapper& mapper() const noexcept { return mapper_; }
+
+  // Wait until the update worker has drained (threaded mode); used by tests
+  // and benches that must observe a settled cache.
+  sim::Task<void> quiesce();
+
+ private:
+  struct Job {
+    bool poison = false;
+    std::string path;
+    std::uint64_t offset = 0;  // aligned region start
+    std::uint64_t length = 0;  // aligned region length
+  };
+
+  // Publish every block of `data` (which starts at aligned `region_start`).
+  // Blocks shorter than the block size mark EOF; empty blocks are skipped.
+  sim::Task<void> publish_blocks(const std::string& path,
+                                 std::uint64_t region_start,
+                                 const std::vector<std::byte>& data);
+  sim::Task<void> publish_stat(const std::string& path,
+                               const store::Attr& attr);
+  // Delete the stat item and every block up to `highest_byte`.
+  sim::Task<void> purge(const std::string& path, std::uint64_t highest_byte);
+  // Delete blocks covering [from_byte, to_byte) — stale-EOF cleanup.
+  sim::Task<void> purge_range(const std::string& path, std::uint64_t from_byte,
+                              std::uint64_t to_byte);
+  // Read the aligned region back from the file system and publish it.
+  sim::Task<void> readback_and_publish(std::string path, std::uint64_t start,
+                                       std::uint64_t length);
+  sim::Task<void> worker_loop();
+
+  sim::EventLoop& loop_;
+  std::unique_ptr<mcclient::McClient> mcds_;
+  BlockMapper mapper_;
+  ImcaConfig cfg_;
+  SmCacheStats stats_;
+
+  // Highest byte ever published per path — bounds purges.
+  std::unordered_map<std::string, std::uint64_t> published_extent_;
+  // File sizes as last observed from fop results. Lets the write hook detect
+  // hole-creating writes (stale short block at the old EOF) without paying a
+  // server stat on every write.
+  std::unordered_map<std::string, std::uint64_t> known_size_;
+
+  sim::Channel<Job> jobs_;
+  std::uint64_t jobs_pending_ = 0;
+  sim::Event* drained_ = nullptr;  // armed by quiesce()
+};
+
+}  // namespace imca::core

@@ -1,0 +1,93 @@
+// CachedLustreClient — the paper's future work #3, prototyped:
+//
+//   "We also plan on researching how the set of cache servers may be
+//    integrated into a file system such as Lustre, where it can potentially
+//    interact with the client and server caches." (§7)
+//
+// Design. The wrapper stacks the MCD bank *above* a coherent LustreClient
+// and reuses Lustre's own DLM as the coherence protocol for the bank:
+//
+//   * read  — take (or reuse) the PR lock through the inner client, then try
+//     the bank; a fully-cached block run is returned without touching the
+//     data servers. On a miss, the aligned covering region is fetched
+//     through the inner client and published to the bank from this client
+//     (there is no server-side hook in Lustre, unlike SMCache).
+//   * write — delegated to the inner client (PW lock, write-through,
+//     durable), then the covering blocks are republished. The PW lock's
+//     exclusivity makes the writer the only publisher for the file.
+//   * revocation — when the MDS revokes this client's lock, the hook purges
+//     every block this client published for that path, so a new writer
+//     starts from a bank with none of our (about-to-be-stale) copies.
+//
+// Coherence window. A publish in flight when a revocation lands could put a
+// stale block back after the purge. Each revocation therefore bumps a
+// per-path epoch; publishers re-check the epoch after their last set and,
+// if it moved, purge what they just published. This closes the race up to
+// one bounded re-purge — the same "delayed updates" residual the paper
+// accepts for SMCache's threaded mode (§4.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fsapi/filesystem.h"
+#include "imca/block_mapper.h"
+#include "imca/keys.h"
+#include "lustre/client.h"
+#include "mcclient/client.h"
+
+namespace imca::lustre {
+
+struct CachedLustreStats {
+  std::uint64_t reads_from_bank = 0;
+  std::uint64_t reads_from_lustre = 0;
+  std::uint64_t blocks_published = 0;
+  std::uint64_t revocation_purges = 0;
+  std::uint64_t epoch_republish_races = 0;  // post-publish purges
+};
+
+class CachedLustreClient final : public fsapi::FileSystemClient {
+ public:
+  CachedLustreClient(LustreClient& inner,
+                     std::unique_ptr<mcclient::McClient> bank,
+                     std::uint64_t block_size = 2 * kKiB);
+
+  sim::Task<Expected<fsapi::OpenFile>> create(std::string path) override;
+  sim::Task<Expected<fsapi::OpenFile>> open(std::string path) override;
+  sim::Task<Expected<void>> close(fsapi::OpenFile file) override;
+  sim::Task<Expected<store::Attr>> stat(std::string path) override;
+  sim::Task<Expected<std::vector<std::byte>>> read(fsapi::OpenFile file,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(
+      fsapi::OpenFile file, std::uint64_t offset,
+      std::span<const std::byte> data) override;
+  sim::Task<Expected<void>> unlink(std::string path) override;
+  sim::Task<Expected<void>> truncate(std::string path,
+                                     std::uint64_t size) override;
+  sim::Task<Expected<void>> rename(std::string from, std::string to) override;
+
+  const CachedLustreStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct PathState {
+    std::uint64_t epoch = 0;            // bumped by every revocation
+    std::uint64_t published_extent = 0; // highest byte we pushed to the bank
+  };
+
+  sim::Task<void> publish_region(const std::string& path, std::uint64_t start,
+                                 const std::vector<std::byte>& data);
+  sim::Task<void> purge_published(const std::string& path);
+  Expected<std::string> path_of(fsapi::OpenFile file) const;
+
+  LustreClient& inner_;
+  std::unique_ptr<mcclient::McClient> bank_;
+  core::BlockMapper mapper_;
+  std::map<std::string, PathState> state_;
+  std::map<std::uint64_t, std::string> fd_table_;
+  CachedLustreStats stats_;
+};
+
+}  // namespace imca::lustre

@@ -1,0 +1,71 @@
+#include "lustre/data_server.h"
+
+namespace imca::lustre {
+
+DataServer::DataServer(net::RpcSystem& rpc, net::NodeId node, DsParams params)
+    : rpc_(rpc),
+      node_(node),
+      params_(params),
+      dev_(rpc.fabric().loop(), params.raid_members, params.disk,
+           params.page_cache_bytes, "ost" + std::to_string(node)) {}
+
+sim::Task<Expected<std::vector<std::byte>>> DataServer::read(
+    const std::string& object, std::uint64_t offset, std::uint64_t len) {
+  co_await rpc_.fabric().node(node_).cpu().use(
+      params_.op_cpu + transfer_time(len, params_.copy_bps));
+  auto attr = objects_.stat(object);
+  if (!attr) co_return std::vector<std::byte>{};  // sparse object: zero bytes
+  co_await dev_.read(attr->inode, offset, len);
+  auto data = objects_.read(object, offset, len);
+  if (!data) co_return data.error();
+  co_return std::move(*data);
+}
+
+sim::Task<Expected<std::uint64_t>> DataServer::write(
+    const std::string& object, std::uint64_t offset,
+    std::span<const std::byte> data) {
+  co_await rpc_.fabric().node(node_).cpu().use(
+      params_.op_cpu + transfer_time(data.size(), params_.copy_bps));
+  if (!objects_.exists(object)) {
+    (void)objects_.create(object, rpc_.fabric().loop().now());
+  }
+  auto size = objects_.write(object, offset, data,
+                             rpc_.fabric().loop().now());
+  if (!size) co_return size.error();
+  const auto attr = objects_.stat(object);
+  co_await dev_.write(attr->inode, offset, data.size());
+  co_return data.size();
+}
+
+sim::Task<Expected<void>> DataServer::remove(const std::string& object) {
+  co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
+  if (objects_.exists(object)) {
+    const auto attr = objects_.stat(object);
+    dev_.invalidate(attr->inode);
+    (void)objects_.unlink(object);
+  }
+  co_return Expected<void>{};
+}
+
+sim::Task<Expected<void>> DataServer::truncate_object(
+    const std::string& object, std::uint64_t local_size) {
+  co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
+  if (!objects_.exists(object)) co_return Expected<void>{};  // sparse
+  const auto attr = objects_.stat(object);
+  if (local_size < attr->size) dev_.invalidate(attr->inode);
+  co_return objects_.truncate(object, local_size,
+                              rpc_.fabric().loop().now());
+}
+
+sim::Task<Expected<void>> DataServer::rename_object(const std::string& from,
+                                                    const std::string& to) {
+  co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
+  if (!objects_.exists(from)) {
+    // This DS held no stripes of the file; make sure no stale target stays.
+    (void)objects_.unlink(to);
+    co_return Expected<void>{};
+  }
+  co_return objects_.rename(from, to, rpc_.fabric().loop().now());
+}
+
+}  // namespace imca::lustre

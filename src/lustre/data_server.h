@@ -1,0 +1,57 @@
+// Lustre-like data server (OST/DS): stores stripe objects and serves
+// read/write extents.
+//
+// Each DS owns its local object store (the stripes mapped to it), a page
+// cache and a RAID-backed disk. The paper runs Lustre with 1 or 4 DSs
+// ("1DS"/"4DS"); aggregate bandwidth scales with DS count exactly because
+// each brings its own NIC and spindles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/rpc.h"
+#include "store/block_device.h"
+#include "store/object_store.h"
+
+namespace imca::lustre {
+
+struct DsParams {
+  SimDuration op_cpu = 8 * kMicro;  // kernel service path (no FUSE)
+  std::uint64_t copy_bps = 2 * kGiB;
+  std::size_t raid_members = 8;  // comparable storage to the GlusterFS brick
+  store::DiskParams disk = {};
+  std::uint64_t page_cache_bytes = 6 * kGiB;
+};
+
+class DataServer {
+ public:
+  DataServer(net::RpcSystem& rpc, net::NodeId node, DsParams params = {});
+
+  net::NodeId node() const noexcept { return node_; }
+  store::ObjectStore& objects() noexcept { return objects_; }
+  store::BlockDevice& device() noexcept { return dev_; }
+
+  // Serve a read/write of a local extent (object auto-created on first
+  // write, like OST objects).
+  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& object,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len);
+  sim::Task<Expected<std::uint64_t>> write(const std::string& object,
+                                           std::uint64_t offset,
+                                           std::span<const std::byte> data);
+  sim::Task<Expected<void>> remove(const std::string& object);
+  sim::Task<Expected<void>> truncate_object(const std::string& object,
+                                            std::uint64_t local_size);
+  sim::Task<Expected<void>> rename_object(const std::string& from,
+                                          const std::string& to);
+
+ private:
+  net::RpcSystem& rpc_;
+  net::NodeId node_;
+  DsParams params_;
+  store::ObjectStore objects_;
+  store::BlockDevice dev_;
+};
+
+}  // namespace imca::lustre

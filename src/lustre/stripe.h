@@ -1,0 +1,57 @@
+// Stripe geometry for the Lustre-like comparator.
+//
+// Files are striped RAID-0 style across data servers (OSTs) with a fixed
+// stripe size (Lustre's default is 1 MB). Global file offsets map to
+// (server, local offset) pairs; each data server stores its stripes
+// contiguously in its local object space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace imca::lustre {
+
+struct StripePiece {
+  std::size_t server;          // data-server index
+  std::uint64_t local_offset;  // offset inside the server's local object
+  std::uint64_t global_offset;
+  std::uint64_t length;
+};
+
+class StripeMapper {
+ public:
+  StripeMapper(std::size_t servers, std::uint64_t stripe_size = 1 * kMiB)
+      : servers_(servers), stripe_size_(stripe_size) {}
+
+  std::size_t servers() const noexcept { return servers_; }
+  std::uint64_t stripe_size() const noexcept { return stripe_size_; }
+
+  // Split [offset, offset+len) into per-server pieces, in global order.
+  std::vector<StripePiece> map(std::uint64_t offset, std::uint64_t len) const {
+    std::vector<StripePiece> out;
+    std::uint64_t pos = offset;
+    std::uint64_t left = len;
+    while (left > 0) {
+      const std::uint64_t stripe = pos / stripe_size_;
+      const std::uint64_t within = pos % stripe_size_;
+      const std::uint64_t chunk = std::min(left, stripe_size_ - within);
+      out.push_back(StripePiece{
+          .server = static_cast<std::size_t>(stripe % servers_),
+          .local_offset = (stripe / servers_) * stripe_size_ + within,
+          .global_offset = pos,
+          .length = chunk,
+      });
+      pos += chunk;
+      left -= chunk;
+    }
+    return out;
+  }
+
+ private:
+  std::size_t servers_;
+  std::uint64_t stripe_size_;
+};
+
+}  // namespace imca::lustre

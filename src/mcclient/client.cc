@@ -1,0 +1,211 @@
+#include "mcclient/client.h"
+
+#include <cassert>
+
+#include "sim/sync.h"
+
+namespace imca::mcclient {
+
+using memcache::GetResult;
+using memcache::StoreReply;
+using memcache::Value;
+
+McClient::McClient(net::RpcSystem& rpc, net::NodeId self,
+                   std::vector<net::NodeId> servers,
+                   std::unique_ptr<ServerSelector> selector,
+                   McClientParams params)
+    : rpc_(rpc),
+      self_(self),
+      servers_(std::move(servers)),
+      selector_(std::move(selector)),
+      params_(params),
+      dead_(servers_.size(), false) {
+  assert(!servers_.empty());
+  assert(selector_ != nullptr);
+}
+
+sim::Task<Expected<ByteBuf>> McClient::call(std::size_t server,
+                                            ByteBuf request) {
+  if (dead_[server]) {
+    ++stats_.dead_server_ops;
+    co_return Errc::kConnRefused;
+  }
+  auto resp = co_await rpc_.call(
+      self_, servers_[server], net::kPortMemcached, std::move(request),
+      params_.transport ? &*params_.transport : nullptr);
+  if (!resp && (resp.error() == Errc::kConnRefused ||
+                resp.error() == Errc::kConnReset)) {
+    dead_[server] = true;  // libmemcache marks the server down
+    ++stats_.dead_server_ops;
+  }
+  co_return resp;
+}
+
+sim::Task<Expected<Value>> McClient::get(std::string key,
+                                         std::optional<std::uint64_t> hint) {
+  ++stats_.gets;
+  co_await rpc_.fabric().node(self_).cpu().use(params_.per_key_cpu);
+  const std::size_t server = route(key, hint);
+  const std::string keys[] = {key};
+  auto resp = co_await call(server, memcache::encode_get(keys));
+  if (!resp) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;  // dead daemon reads as a miss
+  }
+  auto parsed = memcache::parse_get_response(*resp);
+  if (!parsed) co_return parsed.error();
+  auto it = parsed->find(key);
+  if (it == parsed->end()) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;
+  }
+  ++stats_.hits;
+  co_return std::move(it->second);
+}
+
+sim::Task<GetResult> McClient::multi_get(std::vector<std::string> keys,
+                                         std::span<const std::uint64_t> hints) {
+  assert(hints.empty() || hints.size() == keys.size());
+  // Group keys by daemon, preserving order within each group.
+  std::map<std::size_t, std::vector<std::string>> by_server;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto hint = hints.empty()
+                          ? std::optional<std::uint64_t>{}
+                          : std::optional<std::uint64_t>{hints[i]};
+    by_server[route(keys[i], hint)].push_back(keys[i]);
+  }
+  stats_.gets += keys.size();
+  co_await rpc_.fabric().node(self_).cpu().use(keys.size() *
+                                               params_.per_key_cpu);
+
+  // One batched get per daemon, issued concurrently (libmemcache writes all
+  // requests before draining any response).
+  GetResult merged;
+  std::vector<sim::Task<void>> calls;
+  for (auto& [server, group] : by_server) {
+    calls.push_back([](McClient& c, std::size_t srv,
+                       std::vector<std::string> keys_for_server,
+                       GetResult& out) -> sim::Task<void> {
+      auto resp =
+          co_await c.call(srv, memcache::encode_get(keys_for_server));
+      if (!resp) co_return;  // whole group misses
+      auto parsed = memcache::parse_get_response(*resp);
+      if (!parsed) co_return;
+      out.merge(*parsed);
+    }(*this, server, std::move(group), merged));
+  }
+  co_await sim::when_all(rpc_.fabric().loop(), std::move(calls));
+  stats_.hits += merged.size();
+  stats_.misses += keys.size() - merged.size();
+  co_return merged;
+}
+
+sim::Task<Expected<void>> McClient::set(std::string key,
+                                        std::span<const std::byte> data,
+                                        std::optional<std::uint64_t> hint,
+                                        std::uint32_t flags,
+                                        std::uint32_t exptime_s) {
+  ++stats_.sets;
+  const std::size_t server = route(key, hint);
+  auto resp = co_await call(
+      server, memcache::encode_store(memcache::StoreVerb::kSet, key, flags,
+                                     exptime_s, data));
+  if (!resp) co_return Errc::kNoEnt;  // dead daemon: value simply uncached
+  auto parsed = memcache::parse_store_response(*resp);
+  if (!parsed) co_return parsed.error();
+  switch (*parsed) {
+    case StoreReply::kStored:
+      co_return Expected<void>{};
+    case StoreReply::kNotStored:
+      co_return Errc::kNotStored;
+    case StoreReply::kServerError:
+      co_return Errc::kTooBig;
+  }
+  co_return Errc::kProto;
+}
+
+sim::Task<Expected<Value>> McClient::gets(std::string key,
+                                          std::optional<std::uint64_t> hint) {
+  ++stats_.gets;
+  co_await rpc_.fabric().node(self_).cpu().use(params_.per_key_cpu);
+  const std::size_t server = route(key, hint);
+  const std::string keys[] = {key};
+  auto resp = co_await call(server, memcache::encode_gets(keys));
+  if (!resp) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;
+  }
+  auto parsed = memcache::parse_get_response(*resp);
+  if (!parsed) co_return parsed.error();
+  auto it = parsed->find(key);
+  if (it == parsed->end()) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;
+  }
+  ++stats_.hits;
+  co_return std::move(it->second);
+}
+
+sim::Task<Expected<void>> McClient::cas(std::string key,
+                                        std::span<const std::byte> data,
+                                        std::uint64_t cas_id,
+                                        std::optional<std::uint64_t> hint) {
+  ++stats_.sets;
+  const std::size_t server = route(key, hint);
+  auto resp = co_await call(
+      server, memcache::encode_cas(key, 0, 0, data, cas_id));
+  if (!resp) co_return Errc::kNoEnt;
+  auto parsed = memcache::parse_cas_response(*resp);
+  if (!parsed) co_return parsed.error();
+  switch (*parsed) {
+    case memcache::CasReply::kStored:
+      co_return Expected<void>{};
+    case memcache::CasReply::kExists:
+      co_return Errc::kBusy;
+    case memcache::CasReply::kNotFound:
+      co_return Errc::kNoEnt;
+  }
+  co_return Errc::kProto;
+}
+
+sim::Task<Expected<std::uint64_t>> McClient::incr(
+    std::string key, std::uint64_t delta, std::optional<std::uint64_t> hint) {
+  const std::size_t server = route(key, hint);
+  auto resp = co_await call(server, memcache::encode_incr(key, delta));
+  if (!resp) co_return Errc::kNoEnt;
+  co_return memcache::parse_arith_response(*resp);
+}
+
+sim::Task<Expected<std::uint64_t>> McClient::decr(
+    std::string key, std::uint64_t delta, std::optional<std::uint64_t> hint) {
+  const std::size_t server = route(key, hint);
+  auto resp = co_await call(server, memcache::encode_decr(key, delta));
+  if (!resp) co_return Errc::kNoEnt;
+  co_return memcache::parse_arith_response(*resp);
+}
+
+sim::Task<Expected<void>> McClient::del(std::string key,
+                                        std::optional<std::uint64_t> hint) {
+  ++stats_.deletes;
+  const std::size_t server = route(key, hint);
+  auto resp = co_await call(server, memcache::encode_delete(key));
+  if (!resp) co_return Errc::kNoEnt;
+  auto parsed = memcache::parse_delete_response(*resp);
+  if (!parsed) co_return parsed.error();
+  co_return Expected<void>{};  // DELETED and NOT_FOUND both fine for purges
+}
+
+sim::Task<Expected<std::map<std::string, std::string>>>
+McClient::server_stats(std::size_t server_index) {
+  auto resp = co_await call(server_index, memcache::encode_stats());
+  if (!resp) co_return resp.error();
+  co_return memcache::parse_stats_response(*resp);
+}
+
+sim::Task<void> McClient::flush_all() {
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    (void)co_await call(s, memcache::encode_flush_all());
+  }
+}
+
+}  // namespace imca::mcclient

@@ -1,0 +1,129 @@
+// libmemcache-style client: talks the ASCII protocol to an array of MCDs
+// over the simulated fabric.
+//
+// One McClient instance lives at each CMCache/SMCache translator. It owns
+// the server list, routes each key through a ServerSelector, and implements
+// libmemcache's failure behaviour: a daemon that refuses connections is
+// marked dead and subsequent operations on it become misses/no-ops — IMCa
+// keeps working because writes are always durable at the file server first
+// (paper §4.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytebuf.h"
+#include "common/units.h"
+#include "common/expected.h"
+#include "mcclient/selector.h"
+#include "memcache/protocol.h"
+#include "net/rpc.h"
+
+namespace imca::mcclient {
+
+struct ClientStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t dead_server_ops = 0;  // ops swallowed by a dead daemon
+};
+
+struct McClientParams {
+  // Per-key cost at the client (key construction, request building, VALUE
+  // parsing) — libmemcache does this work for every key of a multi-get.
+  SimDuration per_key_cpu = 2 * kMicro;
+  // Optional dedicated transport to the daemons (the paper's future-work
+  // idea of reaching the cache bank over native IB verbs/RDMA instead of
+  // TCP over IPoIB). Null = the fabric's default transport.
+  std::optional<net::TransportParams> transport;
+};
+
+class McClient {
+ public:
+  // `self` is the node the client runs on; `servers` the MCD nodes.
+  McClient(net::RpcSystem& rpc, net::NodeId self,
+           std::vector<net::NodeId> servers,
+           std::unique_ptr<ServerSelector> selector,
+           McClientParams params = {});
+
+  McClient(const McClient&) = delete;
+  McClient& operator=(const McClient&) = delete;
+
+  // Fetch one value. kNoEnt on a miss; a dead daemon also reads as a miss.
+  sim::Task<Expected<memcache::Value>> get(
+      std::string key, std::optional<std::uint64_t> hint = std::nullopt);
+
+  // Fetch several keys, grouped into one multi-get per daemon (libmemcache
+  // batches this way). Keys absent from the result missed.
+  sim::Task<memcache::GetResult> multi_get(
+      std::vector<std::string> keys,
+      std::span<const std::uint64_t> hints = {});
+
+  // Store a value; kNoEnt if the daemon is dead (callers ignore: the data
+  // is merely uncached), kTooBig/kKeyTooLong surface protocol limits.
+  sim::Task<Expected<void>> set(std::string key,
+                                std::span<const std::byte> data,
+                                std::optional<std::uint64_t> hint = std::nullopt,
+                                std::uint32_t flags = 0,
+                                std::uint32_t exptime_s = 0);
+
+  // Fetch with the item's cas id (the protocol's gets).
+  sim::Task<Expected<memcache::Value>> gets(
+      std::string key, std::optional<std::uint64_t> hint = std::nullopt);
+
+  // Compare-and-swap against a cas id from gets(). kBusy if another writer
+  // got there first, kNoEnt if the item vanished.
+  sim::Task<Expected<void>> cas(std::string key,
+                                std::span<const std::byte> data,
+                                std::uint64_t cas_id,
+                                std::optional<std::uint64_t> hint = std::nullopt);
+
+  // Atomic counters (memcached incr/decr); returns the new value.
+  sim::Task<Expected<std::uint64_t>> incr(
+      std::string key, std::uint64_t delta,
+      std::optional<std::uint64_t> hint = std::nullopt);
+  sim::Task<Expected<std::uint64_t>> decr(
+      std::string key, std::uint64_t delta,
+      std::optional<std::uint64_t> hint = std::nullopt);
+
+  // Remove a key (used by SMCache purge hooks). Missing keys are fine.
+  sim::Task<Expected<void>> del(std::string key,
+                                std::optional<std::uint64_t> hint = std::nullopt);
+
+  // Per-daemon "stats" (the paper reads MCD miss/eviction counters).
+  sim::Task<Expected<std::map<std::string, std::string>>> server_stats(
+      std::size_t server_index);
+
+  // Drop every item on every live daemon.
+  sim::Task<void> flush_all();
+
+  std::size_t server_count() const noexcept { return servers_.size(); }
+  const ClientStats& stats() const noexcept { return stats_; }
+  const ServerSelector& selector() const noexcept { return *selector_; }
+  bool server_dead(std::size_t i) const { return dead_.at(i); }
+
+ private:
+  std::size_t route(std::string_view key,
+                    std::optional<std::uint64_t> hint) const {
+    return selector_->pick(key, hint, servers_.size());
+  }
+
+  sim::Task<Expected<ByteBuf>> call(std::size_t server, ByteBuf request);
+
+  net::RpcSystem& rpc_;
+  net::NodeId self_;
+  std::vector<net::NodeId> servers_;
+  std::unique_ptr<ServerSelector> selector_;
+  McClientParams params_;
+  std::vector<bool> dead_;
+  ClientStats stats_;
+};
+
+}  // namespace imca::mcclient

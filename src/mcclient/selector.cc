@@ -1,0 +1,36 @@
+#include "mcclient/selector.h"
+
+#include <cassert>
+
+namespace imca::mcclient {
+
+ConsistentSelector::ConsistentSelector(std::size_t max_servers,
+                                       std::size_t replicas)
+    : max_servers_(max_servers), replicas_(replicas) {
+  for (std::size_t s = 0; s < max_servers_; ++s) {
+    for (std::size_t r = 0; r < replicas_; ++r) {
+      const std::string point =
+          "server-" + std::to_string(s) + "#" + std::to_string(r);
+      // Ties (vanishingly rare) resolve to the smaller server index.
+      auto [it, inserted] = ring_.emplace(crc32(point), s);
+      if (!inserted && s < it->second) it->second = s;
+    }
+  }
+}
+
+std::size_t ConsistentSelector::pick(std::string_view key,
+                                     std::optional<std::uint64_t>,
+                                     std::size_t n) const {
+  assert(n > 0 && n <= max_servers_);
+  const std::uint32_t h = crc32(key);
+  // Walk clockwise from h to the first point owned by a live server (< n),
+  // wrapping at most twice around the ring.
+  auto it = ring_.lower_bound(h);
+  for (std::size_t hops = 0; hops < 2 * ring_.size() + 1; ++hops, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (it->second < n) return it->second;
+  }
+  return 0;  // unreachable with n >= 1
+}
+
+}  // namespace imca::mcclient

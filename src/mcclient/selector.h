@@ -1,0 +1,78 @@
+// Key -> cache-server selection strategies.
+//
+//  * Crc32Selector      — libmemcache's default: (crc32(key)>>16 & 0x7fff)
+//                         mod server count. Used by IMCa everywhere except
+//                         the throughput study (paper §5.1).
+//  * ModuloSelector     — the paper's Fig 9 replacement: a static modulo
+//                         (round-robin) over the *block index*, which spreads
+//                         consecutive blocks of one file across all daemons
+//                         and aggregates their NIC bandwidth.
+//  * ConsistentSelector — hash-ring placement (the paper's stated future
+//                         work on "different hashing algorithms"); adding or
+//                         removing a daemon remaps only ~1/N of the keys.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/crc32.h"
+
+namespace imca::mcclient {
+
+class ServerSelector {
+ public:
+  virtual ~ServerSelector() = default;
+
+  // Pick a server in [0, n). `numeric_hint` carries the block index for
+  // strategies that place by position rather than by key bytes.
+  virtual std::size_t pick(std::string_view key,
+                           std::optional<std::uint64_t> numeric_hint,
+                           std::size_t n) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+class Crc32Selector final : public ServerSelector {
+ public:
+  std::size_t pick(std::string_view key, std::optional<std::uint64_t>,
+                   std::size_t n) const override {
+    return libmemcache_hash(key) % n;
+  }
+  std::string_view name() const override { return "crc32"; }
+};
+
+class ModuloSelector final : public ServerSelector {
+ public:
+  std::size_t pick(std::string_view key,
+                   std::optional<std::uint64_t> numeric_hint,
+                   std::size_t n) const override {
+    if (numeric_hint) return *numeric_hint % n;
+    return libmemcache_hash(key) % n;  // keys with no position fall back
+  }
+  std::string_view name() const override { return "modulo"; }
+};
+
+class ConsistentSelector final : public ServerSelector {
+ public:
+  // `replicas` virtual points per server smooth the ring.
+  explicit ConsistentSelector(std::size_t max_servers,
+                              std::size_t replicas = 100);
+
+  std::size_t pick(std::string_view key, std::optional<std::uint64_t>,
+                   std::size_t n) const override;
+  std::string_view name() const override { return "consistent"; }
+
+ private:
+  std::size_t max_servers_;
+  std::size_t replicas_;
+  // ring position -> server index, for the full server set; pick() walks to
+  // the first point whose server index is < n (so shrinking the set keeps
+  // most keys in place — the consistent-hashing property).
+  std::map<std::uint32_t, std::size_t> ring_;
+};
+
+}  // namespace imca::mcclient

@@ -1,0 +1,197 @@
+#include "memcache/cache.h"
+
+#include <cassert>
+
+namespace imca::memcache {
+
+bool McCache::live(std::string_view key, SimTime now) {
+  auto it = items_.find(std::string(key));
+  if (it == items_.end()) return false;
+  Item& item = it->second;
+  if (item.expire_at != 0 && item.expire_at <= now) {
+    erase(it, /*evicted=*/false, /*expired=*/true);
+    return false;
+  }
+  return true;
+}
+
+void McCache::erase(std::unordered_map<std::string, Item>::iterator it,
+                    bool evicted, bool expired) {
+  Item& item = it->second;
+  lru_[item.slab_class].erase(item.lru_pos);
+  slabs_.free(item.slab_class);
+  stats_.bytes -= total_size(item.key, item.data.size());
+  --stats_.curr_items;
+  if (evicted) ++stats_.evictions;
+  if (expired) ++stats_.expired_unfetched;
+  items_.erase(it);
+}
+
+Expected<void> McCache::claim_chunk(std::uint32_t cls) {
+  if (lru_.size() <= cls) lru_.resize(cls + 1);
+  auto r = slabs_.alloc(cls);
+  if (r) return {};
+  if (r.error() != Errc::kNoSpc) return r.error();
+  // Memory limit reached: evict the least-recently-used item of this class.
+  auto& lru = lru_[cls];
+  if (lru.empty()) return Errc::kNoSpc;  // class has no pages and no victims
+  auto victim = items_.find(std::string(lru.back()));
+  assert(victim != items_.end());
+  erase(victim, /*evicted=*/true, /*expired=*/false);
+  return slabs_.alloc(cls);
+}
+
+Expected<void> McCache::store(std::string_view key, std::uint32_t flags,
+                              SimTime expire_at,
+                              std::span<const std::byte> data, SimTime now) {
+  if (key.size() > kMaxKeyLen) return Errc::kKeyTooLong;
+  auto cls = slabs_.class_for(total_size(key, data.size()));
+  if (!cls) return cls.error();
+
+  // Replace any existing item first (set overwrites).
+  if (auto it = items_.find(std::string(key)); it != items_.end()) {
+    erase(it, false, false);
+  }
+
+  if (auto c = claim_chunk(*cls); !c) return c.error();
+
+  auto [it, inserted] = items_.try_emplace(std::string(key));
+  assert(inserted);
+  Item& item = it->second;
+  item.key = it->first;
+  item.flags = flags;
+  item.expire_at = expire_at;
+  item.data.assign(data.begin(), data.end());
+  item.slab_class = *cls;
+  item.cas = next_cas_++;
+  lru_[*cls].push_front(std::string_view(it->first));
+  item.lru_pos = lru_[*cls].begin();
+
+  stats_.bytes += total_size(key, data.size());
+  ++stats_.curr_items;
+  (void)now;
+  return {};
+}
+
+Expected<void> McCache::set(std::string_view key, std::uint32_t flags,
+                            SimTime expire_at,
+                            std::span<const std::byte> data, SimTime now) {
+  ++stats_.cmd_set;
+  return store(key, flags, expire_at, data, now);
+}
+
+Expected<void> McCache::add(std::string_view key, std::uint32_t flags,
+                            SimTime expire_at,
+                            std::span<const std::byte> data, SimTime now) {
+  ++stats_.cmd_set;
+  if (live(key, now)) return Errc::kNotStored;
+  return store(key, flags, expire_at, data, now);
+}
+
+Expected<void> McCache::replace(std::string_view key, std::uint32_t flags,
+                                SimTime expire_at,
+                                std::span<const std::byte> data, SimTime now) {
+  ++stats_.cmd_set;
+  if (!live(key, now)) return Errc::kNotStored;
+  return store(key, flags, expire_at, data, now);
+}
+
+Expected<void> McCache::append(std::string_view key,
+                               std::span<const std::byte> data, SimTime now) {
+  ++stats_.cmd_set;
+  if (!live(key, now)) return Errc::kNotStored;
+  const Item& old = items_.find(std::string(key))->second;
+  std::vector<std::byte> merged = old.data;
+  merged.insert(merged.end(), data.begin(), data.end());
+  return store(key, old.flags, old.expire_at, merged, now);
+}
+
+Expected<void> McCache::prepend(std::string_view key,
+                                std::span<const std::byte> data, SimTime now) {
+  ++stats_.cmd_set;
+  if (!live(key, now)) return Errc::kNotStored;
+  const Item& old = items_.find(std::string(key))->second;
+  std::vector<std::byte> merged(data.begin(), data.end());
+  merged.insert(merged.end(), old.data.begin(), old.data.end());
+  return store(key, old.flags, old.expire_at, merged, now);
+}
+
+Expected<Value> McCache::get(std::string_view key, SimTime now) {
+  ++stats_.cmd_get;
+  if (!live(key, now)) {
+    ++stats_.get_misses;
+    return Errc::kNoEnt;
+  }
+  auto it = items_.find(std::string(key));
+  Item& item = it->second;
+  // Refresh LRU position.
+  auto& lru = lru_[item.slab_class];
+  lru.splice(lru.begin(), lru, item.lru_pos);
+  ++stats_.get_hits;
+  return Value{item.flags, item.data, item.cas};
+}
+
+Expected<void> McCache::cas(std::string_view key, std::uint32_t flags,
+                            SimTime expire_at,
+                            std::span<const std::byte> data,
+                            std::uint64_t expected_cas, SimTime now) {
+  ++stats_.cmd_set;
+  if (!live(key, now)) return Errc::kNoEnt;  // NOT_FOUND
+  const Item& item = items_.find(std::string(key))->second;
+  if (item.cas != expected_cas) return Errc::kBusy;  // EXISTS
+  return store(key, flags, expire_at, data, now);
+}
+
+Expected<std::uint64_t> McCache::arith(std::string_view key,
+                                       std::uint64_t delta, bool up,
+                                       SimTime now) {
+  ++stats_.cmd_set;
+  if (!live(key, now)) return Errc::kNoEnt;
+  Item& item = items_.find(std::string(key))->second;
+  // Parse the decimal-ASCII value in place, as memcached does.
+  std::uint64_t value = 0;
+  if (item.data.empty()) return Errc::kInval;
+  for (const auto b : item.data) {
+    const char c = static_cast<char>(b);
+    if (c < '0' || c > '9') return Errc::kInval;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (up) {
+    value += delta;  // wraps at 2^64, like memcached
+  } else {
+    value = delta > value ? 0 : value - delta;  // decr clamps at zero
+  }
+  const std::string text = std::to_string(value);
+  auto r = store(key, item.flags, item.expire_at,
+                 std::span<const std::byte>(
+                     reinterpret_cast<const std::byte*>(text.data()),
+                     text.size()),
+                 now);
+  if (!r) return r.error();
+  return value;
+}
+
+Expected<std::uint64_t> McCache::incr(std::string_view key,
+                                      std::uint64_t delta, SimTime now) {
+  return arith(key, delta, /*up=*/true, now);
+}
+
+Expected<std::uint64_t> McCache::decr(std::string_view key,
+                                      std::uint64_t delta, SimTime now) {
+  return arith(key, delta, /*up=*/false, now);
+}
+
+Expected<void> McCache::del(std::string_view key) {
+  auto it = items_.find(std::string(key));
+  if (it == items_.end()) return Errc::kNoEnt;
+  erase(it, false, false);
+  return {};
+}
+
+void McCache::flush_all() {
+  while (!items_.empty()) {
+    erase(items_.begin(), false, false);
+  }
+}
+
+}  // namespace imca::memcache

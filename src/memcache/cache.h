@@ -1,0 +1,139 @@
+// The memcached storage engine: hash table + per-slab-class LRU + lazy
+// expiration, with real bytes stored per item.
+//
+// Semantics follow memcached 1.2 (the daemon the paper deploys):
+//   * keys are at most 250 bytes, items at most 1 MB including overhead;
+//   * set always stores; add only if absent; replace only if present;
+//   * append/prepend splice bytes onto an existing item;
+//   * expired items are removed lazily, on the access that finds them;
+//   * when the memory limit is hit, the least-recently-used item *of the
+//     same slab class* is evicted to make room ("MCDs are self-managing",
+//     paper §4.4).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/errc.h"
+#include "common/expected.h"
+#include "common/units.h"
+#include "memcache/slab.h"
+
+namespace imca::memcache {
+
+inline constexpr std::uint64_t kMaxKeyLen = 250;
+
+struct Value {
+  std::uint32_t flags = 0;
+  std::vector<std::byte> data;
+  // Unique per stored version; returned by gets and checked by cas.
+  std::uint64_t cas = 0;
+};
+
+struct CacheStats {
+  std::uint64_t cmd_get = 0;
+  std::uint64_t cmd_set = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t get_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expired_unfetched = 0;
+  std::uint64_t curr_items = 0;
+  std::uint64_t bytes = 0;  // key+value+overhead of live items
+};
+
+class McCache {
+ public:
+  explicit McCache(std::uint64_t memory_limit)
+      : slabs_(memory_limit) {}
+
+  McCache(const McCache&) = delete;
+  McCache& operator=(const McCache&) = delete;
+
+  // Store unconditionally. `expire_at` of 0 means "never" (IMCa's usage).
+  Expected<void> set(std::string_view key, std::uint32_t flags,
+                     SimTime expire_at, std::span<const std::byte> data,
+                     SimTime now);
+
+  // Store only if the key is absent / present.
+  Expected<void> add(std::string_view key, std::uint32_t flags,
+                     SimTime expire_at, std::span<const std::byte> data,
+                     SimTime now);
+  Expected<void> replace(std::string_view key, std::uint32_t flags,
+                         SimTime expire_at, std::span<const std::byte> data,
+                         SimTime now);
+
+  // Splice bytes after / before an existing item's data.
+  Expected<void> append(std::string_view key, std::span<const std::byte> data,
+                        SimTime now);
+  Expected<void> prepend(std::string_view key, std::span<const std::byte> data,
+                         SimTime now);
+
+  // Fetch; refreshes LRU position. kNoEnt on miss or lazy expiry.
+  Expected<Value> get(std::string_view key, SimTime now);
+
+  // Compare-and-swap: store only if the item's current cas id equals
+  // `expected_cas`. kNoEnt if absent, kBusy ("EXISTS") on a cas mismatch.
+  Expected<void> cas(std::string_view key, std::uint32_t flags,
+                     SimTime expire_at, std::span<const std::byte> data,
+                     std::uint64_t expected_cas, SimTime now);
+
+  // Arithmetic on a decimal-ASCII value (memcached's incr/decr). Returns the
+  // new value. kNoEnt if absent; kInval if the stored data is not a number.
+  // decr clamps at zero; incr wraps at 2^64, as memcached does.
+  Expected<std::uint64_t> incr(std::string_view key, std::uint64_t delta,
+                               SimTime now);
+  Expected<std::uint64_t> decr(std::string_view key, std::uint64_t delta,
+                               SimTime now);
+
+  Expected<void> del(std::string_view key);
+
+  // Drop everything (memcached's flush_all).
+  void flush_all();
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  const SlabAllocator& slabs() const noexcept { return slabs_; }
+  std::size_t item_count() const noexcept { return items_.size(); }
+
+ private:
+  struct Item {
+    std::string key;
+    std::uint32_t flags = 0;
+    SimTime expire_at = 0;
+    std::vector<std::byte> data;
+    std::uint32_t slab_class = 0;
+    std::uint64_t cas = 0;
+    std::list<std::string_view>::iterator lru_pos;
+  };
+
+  static std::uint64_t total_size(std::string_view key, std::uint64_t value_len) {
+    return key.size() + value_len + kItemOverhead;
+  }
+
+  Expected<void> store(std::string_view key, std::uint32_t flags,
+                       SimTime expire_at, std::span<const std::byte> data,
+                       SimTime now);
+  Expected<std::uint64_t> arith(std::string_view key, std::uint64_t delta,
+                                bool up, SimTime now);
+  // True if the item exists and is not expired; expired items are reaped.
+  bool live(std::string_view key, SimTime now);
+  void erase(std::unordered_map<std::string, Item>::iterator it, bool evicted,
+             bool expired);
+  // Make a chunk of `cls` available, evicting that class's LRU if needed.
+  Expected<void> claim_chunk(std::uint32_t cls);
+
+  SlabAllocator slabs_;
+  std::uint64_t next_cas_ = 1;
+  std::unordered_map<std::string, Item> items_;
+  // One LRU list per slab class; front = most recently used. string_views
+  // point at the map keys (stable under rehash).
+  std::vector<std::list<std::string_view>> lru_;
+  CacheStats stats_;
+};
+
+}  // namespace imca::memcache

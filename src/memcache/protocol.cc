@@ -1,0 +1,443 @@
+#include "memcache/protocol.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+namespace imca::memcache {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+const char* verb_name(StoreVerb v) {
+  switch (v) {
+    case StoreVerb::kSet: return "set";
+    case StoreVerb::kAdd: return "add";
+    case StoreVerb::kReplace: return "replace";
+    case StoreVerb::kAppend: return "append";
+    case StoreVerb::kPrepend: return "prepend";
+  }
+  return "?";
+}
+
+// Cursor over the raw bytes of a message; reads CRLF-terminated lines and
+// exact-size binary blocks.
+class Scanner {
+ public:
+  explicit Scanner(std::span<const std::byte> bytes)
+      : text_(reinterpret_cast<const char*>(bytes.data()), bytes.size()) {}
+
+  // Next line without its CRLF; kProto if no terminator remains.
+  Expected<std::string_view> line() {
+    const auto pos = text_.find(kCrlf, cursor_);
+    if (pos == std::string_view::npos) return Errc::kProto;
+    std::string_view out = text_.substr(cursor_, pos - cursor_);
+    cursor_ = pos + kCrlf.size();
+    return out;
+  }
+
+  // Exactly `n` bytes followed by CRLF (a data block).
+  Expected<std::span<const std::byte>> block(std::size_t n) {
+    if (text_.size() - cursor_ < n + kCrlf.size()) return Errc::kProto;
+    if (text_.substr(cursor_ + n, kCrlf.size()) != kCrlf) return Errc::kProto;
+    auto out = std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(text_.data()) + cursor_, n);
+    cursor_ += n + kCrlf.size();
+    return out;
+  }
+
+  bool exhausted() const noexcept { return cursor_ == text_.size(); }
+
+ private:
+  std::string_view text_;
+  std::size_t cursor_ = 0;
+};
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && s[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+template <typename T>
+Expected<T> parse_num(std::string_view s) {
+  T v{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return Errc::kProto;
+  return v;
+}
+
+void put_line(ByteBuf& out, std::string_view s) {
+  out.put_raw(s);
+  out.put_raw(kCrlf);
+}
+
+}  // namespace
+
+namespace {
+ByteBuf encode_multikey(const char* verb, std::span<const std::string> keys) {
+  ByteBuf out;
+  std::string line = verb;
+  for (const auto& k : keys) {
+    line += ' ';
+    line += k;
+  }
+  put_line(out, line);
+  return out;
+}
+}  // namespace
+
+ByteBuf encode_get(std::span<const std::string> keys) {
+  return encode_multikey("get", keys);
+}
+
+ByteBuf encode_gets(std::span<const std::string> keys) {
+  return encode_multikey("gets", keys);
+}
+
+ByteBuf encode_store(StoreVerb verb, std::string_view key, std::uint32_t flags,
+                     std::uint32_t exptime_s,
+                     std::span<const std::byte> data) {
+  ByteBuf out;
+  char head[320];
+  std::snprintf(head, sizeof head, "%s %.*s %u %u %zu", verb_name(verb),
+                static_cast<int>(key.size()), key.data(), flags, exptime_s,
+                data.size());
+  put_line(out, head);
+  out.put_raw(data);
+  out.put_raw(kCrlf);
+  return out;
+}
+
+ByteBuf encode_cas(std::string_view key, std::uint32_t flags,
+                   std::uint32_t exptime_s, std::span<const std::byte> data,
+                   std::uint64_t cas_id) {
+  ByteBuf out;
+  char head[360];
+  std::snprintf(head, sizeof head, "cas %.*s %u %u %zu %llu",
+                static_cast<int>(key.size()), key.data(), flags, exptime_s,
+                data.size(), static_cast<unsigned long long>(cas_id));
+  put_line(out, head);
+  out.put_raw(data);
+  out.put_raw(kCrlf);
+  return out;
+}
+
+ByteBuf encode_incr(std::string_view key, std::uint64_t delta) {
+  ByteBuf out;
+  put_line(out, "incr " + std::string(key) + " " + std::to_string(delta));
+  return out;
+}
+
+ByteBuf encode_decr(std::string_view key, std::uint64_t delta) {
+  ByteBuf out;
+  put_line(out, "decr " + std::string(key) + " " + std::to_string(delta));
+  return out;
+}
+
+ByteBuf encode_delete(std::string_view key) {
+  ByteBuf out;
+  put_line(out, std::string("delete ") + std::string(key));
+  return out;
+}
+
+ByteBuf encode_flush_all() {
+  ByteBuf out;
+  put_line(out, "flush_all");
+  return out;
+}
+
+ByteBuf encode_stats() {
+  ByteBuf out;
+  put_line(out, "stats");
+  return out;
+}
+
+Expected<GetResult> parse_get_response(ByteBuf& in) {
+  Scanner sc(in.bytes());
+  GetResult result;
+  while (true) {
+    auto line = sc.line();
+    if (!line) return line.error();
+    if (*line == "END") return result;
+    auto tok = split_ws(*line);
+    if ((tok.size() != 4 && tok.size() != 5) || tok[0] != "VALUE") {
+      return Errc::kProto;
+    }
+    auto flags = parse_num<std::uint32_t>(tok[2]);
+    auto nbytes = parse_num<std::size_t>(tok[3]);
+    if (!flags || !nbytes) return Errc::kProto;
+    Value v;
+    if (tok.size() == 5) {  // gets carries the cas id
+      auto cas_id = parse_num<std::uint64_t>(tok[4]);
+      if (!cas_id) return Errc::kProto;
+      v.cas = *cas_id;
+    }
+    auto data = sc.block(*nbytes);
+    if (!data) return data.error();
+    v.flags = *flags;
+    v.data.assign(data->begin(), data->end());
+    result.emplace(std::string(tok[1]), std::move(v));
+  }
+}
+
+Expected<StoreReply> parse_store_response(ByteBuf& in) {
+  Scanner sc(in.bytes());
+  auto line = sc.line();
+  if (!line) return line.error();
+  if (*line == "STORED") return StoreReply::kStored;
+  if (*line == "NOT_STORED") return StoreReply::kNotStored;
+  if (line->starts_with("SERVER_ERROR")) return StoreReply::kServerError;
+  return Errc::kProto;
+}
+
+Expected<CasReply> parse_cas_response(ByteBuf& in) {
+  Scanner sc(in.bytes());
+  auto line = sc.line();
+  if (!line) return line.error();
+  if (*line == "STORED") return CasReply::kStored;
+  if (*line == "EXISTS") return CasReply::kExists;
+  if (*line == "NOT_FOUND") return CasReply::kNotFound;
+  return Errc::kProto;
+}
+
+Expected<std::uint64_t> parse_arith_response(ByteBuf& in) {
+  Scanner sc(in.bytes());
+  auto line = sc.line();
+  if (!line) return line.error();
+  if (*line == "NOT_FOUND") return Errc::kNoEnt;
+  if (line->starts_with("CLIENT_ERROR")) return Errc::kInval;
+  return parse_num<std::uint64_t>(*line);
+}
+
+Expected<DeleteReply> parse_delete_response(ByteBuf& in) {
+  Scanner sc(in.bytes());
+  auto line = sc.line();
+  if (!line) return line.error();
+  if (*line == "DELETED") return DeleteReply::kDeleted;
+  if (*line == "NOT_FOUND") return DeleteReply::kNotFound;
+  return Errc::kProto;
+}
+
+Expected<std::map<std::string, std::string>> parse_stats_response(
+    ByteBuf& in) {
+  Scanner sc(in.bytes());
+  std::map<std::string, std::string> out;
+  while (true) {
+    auto line = sc.line();
+    if (!line) return line.error();
+    if (*line == "END") return out;
+    auto tok = split_ws(*line);
+    if (tok.size() != 3 || tok[0] != "STAT") return Errc::kProto;
+    out.emplace(std::string(tok[1]), std::string(tok[2]));
+  }
+}
+
+namespace {
+
+ByteBuf error_reply() {
+  ByteBuf out;
+  put_line(out, "ERROR");
+  return out;
+}
+
+ByteBuf do_get(McCache& cache, const std::vector<std::string_view>& tok,
+               SimTime now, bool with_cas) {
+  ByteBuf out;
+  for (std::size_t i = 1; i < tok.size(); ++i) {
+    auto v = cache.get(tok[i], now);
+    if (!v) continue;  // miss: the key simply isn't echoed back
+    char head[360];
+    if (with_cas) {
+      std::snprintf(head, sizeof head, "VALUE %.*s %u %zu %llu",
+                    static_cast<int>(tok[i].size()), tok[i].data(), v->flags,
+                    v->data.size(),
+                    static_cast<unsigned long long>(v->cas));
+    } else {
+      std::snprintf(head, sizeof head, "VALUE %.*s %u %zu",
+                    static_cast<int>(tok[i].size()), tok[i].data(), v->flags,
+                    v->data.size());
+    }
+    put_line(out, head);
+    out.put_raw(v->data);
+    out.put_raw(kCrlf);
+  }
+  put_line(out, "END");
+  return out;
+}
+
+ByteBuf do_cas(McCache& cache, const std::vector<std::string_view>& tok,
+               Scanner& sc, SimTime now) {
+  if (tok.size() != 6) return error_reply();
+  auto flags = parse_num<std::uint32_t>(tok[2]);
+  auto exptime = parse_num<std::uint32_t>(tok[3]);
+  auto nbytes = parse_num<std::size_t>(tok[4]);
+  auto cas_id = parse_num<std::uint64_t>(tok[5]);
+  if (!flags || !exptime || !nbytes || !cas_id) return error_reply();
+  auto data = sc.block(*nbytes);
+  if (!data) return error_reply();
+  const SimTime expire_at =
+      *exptime == 0 ? 0 : now + static_cast<SimTime>(*exptime) * kSecond;
+  auto r = cache.cas(tok[1], *flags, expire_at, *data, *cas_id, now);
+  ByteBuf out;
+  if (r) {
+    put_line(out, "STORED");
+  } else if (r.error() == Errc::kBusy) {
+    put_line(out, "EXISTS");
+  } else if (r.error() == Errc::kNoEnt) {
+    put_line(out, "NOT_FOUND");
+  } else {
+    put_line(out, "SERVER_ERROR out of memory storing object");
+  }
+  return out;
+}
+
+ByteBuf do_arith(McCache& cache, const std::vector<std::string_view>& tok,
+                 bool up, SimTime now) {
+  if (tok.size() != 3) return error_reply();
+  auto delta = parse_num<std::uint64_t>(tok[2]);
+  if (!delta) return error_reply();
+  auto r = up ? cache.incr(tok[1], *delta, now)
+              : cache.decr(tok[1], *delta, now);
+  ByteBuf out;
+  if (r) {
+    put_line(out, std::to_string(*r));
+  } else if (r.error() == Errc::kNoEnt) {
+    put_line(out, "NOT_FOUND");
+  } else {
+    put_line(out,
+             "CLIENT_ERROR cannot increment or decrement non-numeric value");
+  }
+  return out;
+}
+
+ByteBuf do_store(McCache& cache, StoreVerb verb,
+                 const std::vector<std::string_view>& tok, Scanner& sc,
+                 SimTime now) {
+  if (tok.size() != 5) return error_reply();
+  auto flags = parse_num<std::uint32_t>(tok[2]);
+  auto exptime = parse_num<std::uint32_t>(tok[3]);
+  auto nbytes = parse_num<std::size_t>(tok[4]);
+  if (!flags || !exptime || !nbytes) return error_reply();
+  auto data = sc.block(*nbytes);
+  if (!data) return error_reply();
+  const SimTime expire_at =
+      *exptime == 0 ? 0 : now + static_cast<SimTime>(*exptime) * kSecond;
+
+  Expected<void> r = Errc::kInval;
+  switch (verb) {
+    case StoreVerb::kSet:
+      r = cache.set(tok[1], *flags, expire_at, *data, now);
+      break;
+    case StoreVerb::kAdd:
+      r = cache.add(tok[1], *flags, expire_at, *data, now);
+      break;
+    case StoreVerb::kReplace:
+      r = cache.replace(tok[1], *flags, expire_at, *data, now);
+      break;
+    case StoreVerb::kAppend:
+      r = cache.append(tok[1], *data, now);
+      break;
+    case StoreVerb::kPrepend:
+      r = cache.prepend(tok[1], *data, now);
+      break;
+  }
+
+  ByteBuf out;
+  if (r) {
+    put_line(out, "STORED");
+  } else if (r.error() == Errc::kNotStored) {
+    put_line(out, "NOT_STORED");
+  } else if (r.error() == Errc::kTooBig) {
+    put_line(out, "SERVER_ERROR object too large for cache");
+  } else if (r.error() == Errc::kKeyTooLong) {
+    put_line(out, "CLIENT_ERROR bad command line format");
+  } else {
+    put_line(out, "SERVER_ERROR out of memory storing object");
+  }
+  return out;
+}
+
+ByteBuf do_delete(McCache& cache, const std::vector<std::string_view>& tok) {
+  if (tok.size() != 2) return error_reply();
+  ByteBuf out;
+  put_line(out, cache.del(tok[1]) ? "DELETED" : "NOT_FOUND");
+  return out;
+}
+
+ByteBuf do_stats(const McCache& cache) {
+  const CacheStats& s = cache.stats();
+  ByteBuf out;
+  char line[96];
+  const auto stat = [&](const char* name, std::uint64_t v) {
+    std::snprintf(line, sizeof line, "STAT %s %" PRIu64, name, v);
+    put_line(out, line);
+  };
+  stat("cmd_get", s.cmd_get);
+  stat("cmd_set", s.cmd_set);
+  stat("get_hits", s.get_hits);
+  stat("get_misses", s.get_misses);
+  stat("evictions", s.evictions);
+  stat("expired_unfetched", s.expired_unfetched);
+  stat("curr_items", s.curr_items);
+  stat("bytes", s.bytes);
+  stat("limit_maxbytes", cache.slabs().memory_limit());
+  put_line(out, "END");
+  return out;
+}
+
+}  // namespace
+
+std::size_t count_request_keys(const ByteBuf& request) {
+  Scanner sc(request.bytes());
+  auto first = sc.line();
+  if (!first) return 1;
+  const auto tok = split_ws(*first);
+  if (tok.size() >= 2 && (tok[0] == "get" || tok[0] == "gets")) {
+    return tok.size() - 1;
+  }
+  return 1;
+}
+
+ByteBuf handle_request(McCache& cache, ByteBuf request, SimTime now) {
+  Scanner sc(request.bytes());
+  auto first = sc.line();
+  if (!first) return error_reply();
+  const auto tok = split_ws(*first);
+  if (tok.empty()) return error_reply();
+
+  const std::string_view cmd = tok[0];
+  if (cmd == "get" || cmd == "gets") {
+    if (tok.size() < 2) return error_reply();
+    return do_get(cache, tok, now, /*with_cas=*/cmd == "gets");
+  }
+  if (cmd == "cas") return do_cas(cache, tok, sc, now);
+  if (cmd == "incr") return do_arith(cache, tok, /*up=*/true, now);
+  if (cmd == "decr") return do_arith(cache, tok, /*up=*/false, now);
+  if (cmd == "set") return do_store(cache, StoreVerb::kSet, tok, sc, now);
+  if (cmd == "add") return do_store(cache, StoreVerb::kAdd, tok, sc, now);
+  if (cmd == "replace")
+    return do_store(cache, StoreVerb::kReplace, tok, sc, now);
+  if (cmd == "append")
+    return do_store(cache, StoreVerb::kAppend, tok, sc, now);
+  if (cmd == "prepend")
+    return do_store(cache, StoreVerb::kPrepend, tok, sc, now);
+  if (cmd == "delete") return do_delete(cache, tok);
+  if (cmd == "stats") return do_stats(cache);
+  if (cmd == "flush_all") {
+    cache.flush_all();
+    ByteBuf out;
+    put_line(out, "OK");
+    return out;
+  }
+  return error_reply();
+}
+
+}  // namespace imca::memcache

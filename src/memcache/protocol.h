@@ -1,0 +1,78 @@
+// The memcached ASCII protocol — real encode/parse of the wire text.
+//
+// What the simulated NICs carry between libmemcache clients and daemons is
+// the actual protocol byte stream ("set <key> <flags> <exptime> <bytes>\r\n"
+// followed by a binary-safe data block, "VALUE ..." responses, "END\r\n"),
+// so message sizes, parsing behaviour and malformed-input handling are the
+// real thing, not placeholders.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytebuf.h"
+#include "common/errc.h"
+#include "common/expected.h"
+#include "memcache/cache.h"
+
+namespace imca::memcache {
+
+enum class StoreVerb { kSet, kAdd, kReplace, kAppend, kPrepend };
+
+// --- client-side request encoding ---
+
+ByteBuf encode_get(std::span<const std::string> keys);
+// gets: like get but the VALUE lines carry each item's cas id.
+ByteBuf encode_gets(std::span<const std::string> keys);
+ByteBuf encode_store(StoreVerb verb, std::string_view key, std::uint32_t flags,
+                     std::uint32_t exptime_s, std::span<const std::byte> data);
+// cas: store only if the item's cas id still equals `cas_id`.
+ByteBuf encode_cas(std::string_view key, std::uint32_t flags,
+                   std::uint32_t exptime_s, std::span<const std::byte> data,
+                   std::uint64_t cas_id);
+ByteBuf encode_incr(std::string_view key, std::uint64_t delta);
+ByteBuf encode_decr(std::string_view key, std::uint64_t delta);
+ByteBuf encode_delete(std::string_view key);
+ByteBuf encode_flush_all();
+ByteBuf encode_stats();
+
+// --- client-side response parsing ---
+
+// Values returned by a get, keyed by item key. Missing keys simply do not
+// appear (the protocol's way of signalling a miss).
+using GetResult = std::map<std::string, Value>;
+Expected<GetResult> parse_get_response(ByteBuf& in);
+
+enum class StoreReply { kStored, kNotStored, kServerError };
+Expected<StoreReply> parse_store_response(ByteBuf& in);
+
+// cas outcomes: stored, lost the race (EXISTS), or the key vanished.
+enum class CasReply { kStored, kExists, kNotFound };
+Expected<CasReply> parse_cas_response(ByteBuf& in);
+
+// incr/decr: the new value, kNoEnt for NOT_FOUND, kInval for non-numeric.
+Expected<std::uint64_t> parse_arith_response(ByteBuf& in);
+
+enum class DeleteReply { kDeleted, kNotFound };
+Expected<DeleteReply> parse_delete_response(ByteBuf& in);
+
+// STAT name value pairs.
+Expected<std::map<std::string, std::string>> parse_stats_response(ByteBuf& in);
+
+// --- server side ---
+
+// Parse one request off `request`, execute it against `cache` and encode the
+// response. `now` drives lazy expiration. Malformed input yields the
+// protocol's "ERROR\r\n", never an exception.
+ByteBuf handle_request(McCache& cache, ByteBuf request, SimTime now);
+
+// Number of keys a request makes the daemon touch (every key of a multi-get
+// is hashed and LRU-bumped; storage/delete ops touch one). Used by the
+// daemon's service-time model.
+std::size_t count_request_keys(const ByteBuf& request);
+
+}  // namespace imca::memcache

@@ -1,0 +1,42 @@
+#include "memcache/server.h"
+
+namespace imca::memcache {
+
+McServer::McServer(net::RpcSystem& rpc, net::NodeId node,
+                   std::uint64_t memory_limit, McServerParams params)
+    : rpc_(rpc),
+      node_(node),
+      cache_(memory_limit),
+      params_(params),
+      worker_(rpc.fabric().loop(), 1,
+              "mcd" + std::to_string(node) + ".worker") {}
+
+McServer::~McServer() {
+  if (running()) rpc_.shutdown(node_, net::kPortMemcached);
+}
+
+void McServer::start() {
+  rpc_.listen(node_, net::kPortMemcached,
+              [this](ByteBuf req, net::NodeId from) -> sim::Task<ByteBuf> {
+                return handle(std::move(req), from);
+              });
+}
+
+void McServer::stop() {
+  rpc_.shutdown(node_, net::kPortMemcached);
+  cache_.flush_all();  // a restarted daemon starts cold
+}
+
+sim::Task<ByteBuf> McServer::handle(ByteBuf request, net::NodeId) {
+  sim::EventLoop& loop = rpc_.fabric().loop();
+  const std::uint64_t in_bytes = request.size();
+  const std::size_t keys = count_request_keys(request);
+  ByteBuf response = handle_request(cache_, std::move(request), loop.now());
+  const SimDuration service =
+      params_.base_service + keys * params_.per_key_service +
+      transfer_time(in_bytes + response.size(), params_.copy_bps);
+  co_await worker_.use(service);
+  co_return response;
+}
+
+}  // namespace imca::memcache

@@ -1,0 +1,55 @@
+#include "memcache/slab.h"
+
+#include <cmath>
+
+namespace imca::memcache {
+
+SlabAllocator::SlabAllocator(std::uint64_t memory_limit,
+                             std::uint64_t base_chunk, double growth_factor,
+                             std::uint64_t page_size)
+    : memory_limit_(memory_limit), page_size_(page_size) {
+  std::uint64_t chunk = base_chunk;
+  while (chunk < page_size_) {
+    classes_.push_back(Class{chunk, page_size_ / chunk});
+    const auto next = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(chunk) * growth_factor));
+    // Align like memcached (8-byte chunks) and guarantee progress.
+    chunk = ((next + 7) / 8) * 8;
+    if (chunk <= classes_.back().chunk_size) chunk = classes_.back().chunk_size + 8;
+  }
+  // Final class: one chunk occupies the whole page (1 MB items).
+  classes_.push_back(Class{page_size_, 1});
+}
+
+Expected<std::uint32_t> SlabAllocator::class_for(
+    std::uint64_t total_size) const {
+  if (total_size > kMaxItemTotal || total_size > page_size_) {
+    return Errc::kTooBig;
+  }
+  for (std::uint32_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].chunk_size >= total_size) return i;
+  }
+  return Errc::kTooBig;
+}
+
+Expected<void> SlabAllocator::alloc(std::uint32_t cls) {
+  Class& c = classes_.at(cls);
+  if (c.free == 0) {
+    if ((pages_assigned_ + 1) * page_size_ > memory_limit_) {
+      return Errc::kNoSpc;  // caller evicts from this class's LRU
+    }
+    ++pages_assigned_;
+    c.free += c.chunks_per_page;
+  }
+  --c.free;
+  ++c.used;
+  return {};
+}
+
+void SlabAllocator::free(std::uint32_t cls) {
+  Class& c = classes_.at(cls);
+  --c.used;
+  ++c.free;
+}
+
+}  // namespace imca::memcache

@@ -1,0 +1,81 @@
+// Slab allocator accounting, after memcached 1.2.
+//
+// Memory is carved into 1 MB pages; each page is assigned to a size class
+// and split into fixed-size chunks (classes grow geometrically from a base
+// chunk by a factor of 1.25). An item occupies one chunk of the smallest
+// class that fits key + value + item overhead. When every page is assigned
+// and a class has no free chunk, the *caller* must evict from that class's
+// LRU — exactly the behaviour that produces memcached's per-class capacity
+// misses in Figs 7/8.
+//
+// This is an accounting model: chunk bookkeeping is real, but item payloads
+// live in std::vector (we track where bytes WOULD live, while storing the
+// actual bytes for correctness checks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/errc.h"
+#include "common/expected.h"
+#include "common/units.h"
+
+namespace imca::memcache {
+
+// Header + suffix + pointer overhead memcached adds to every item.
+inline constexpr std::uint64_t kItemOverhead = 48;
+// Hard ceiling on one item (key + overhead + value), like memcached's 1 MB.
+inline constexpr std::uint64_t kMaxItemTotal = 1 * kMiB;
+
+class SlabAllocator {
+ public:
+  // `memory_limit` is the daemon's "-m" cache size (6 GB in the paper).
+  SlabAllocator(std::uint64_t memory_limit, std::uint64_t base_chunk = 88,
+                double growth_factor = 1.25,
+                std::uint64_t page_size = 1 * kMiB);
+
+  // Class index whose chunk fits `total_size` bytes, or kTooBig.
+  Expected<std::uint32_t> class_for(std::uint64_t total_size) const;
+
+  // Take one chunk in `cls`. Fails with kNoSpc when the class has no free
+  // chunk and no page can be assigned (memory limit reached) — the caller
+  // should evict an item of this class and retry.
+  Expected<void> alloc(std::uint32_t cls);
+
+  // Return one chunk of `cls` to its free list.
+  void free(std::uint32_t cls);
+
+  std::uint32_t num_classes() const {
+    return static_cast<std::uint32_t>(classes_.size());
+  }
+  std::uint64_t chunk_size(std::uint32_t cls) const {
+    return classes_.at(cls).chunk_size;
+  }
+  std::uint64_t used_chunks(std::uint32_t cls) const {
+    return classes_.at(cls).used;
+  }
+  std::uint64_t free_chunks(std::uint32_t cls) const {
+    return classes_.at(cls).free;
+  }
+  std::uint64_t pages_assigned() const noexcept { return pages_assigned_; }
+  std::uint64_t memory_limit() const noexcept { return memory_limit_; }
+  // Bytes of cache memory committed to pages.
+  std::uint64_t committed() const noexcept {
+    return pages_assigned_ * page_size_;
+  }
+
+ private:
+  struct Class {
+    std::uint64_t chunk_size;
+    std::uint64_t chunks_per_page;
+    std::uint64_t used = 0;
+    std::uint64_t free = 0;
+  };
+
+  std::uint64_t memory_limit_;
+  std::uint64_t page_size_;
+  std::uint64_t pages_assigned_ = 0;
+  std::vector<Class> classes_;
+};
+
+}  // namespace imca::memcache

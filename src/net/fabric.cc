@@ -1,0 +1,42 @@
+#include "net/fabric.h"
+
+namespace imca::net {
+
+Node& Fabric::add_node(std::string name, std::size_t cores) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(loop_, id, std::move(name), cores));
+  return *nodes_.back();
+}
+
+sim::Task<void> Fabric::transfer(NodeId src, NodeId dst,
+                                 std::uint64_t payload) {
+  co_await transfer_via(transport_, src, dst, payload);
+}
+
+sim::Task<void> Fabric::transfer_via(const TransportParams& transport,
+                                     NodeId src, NodeId dst,
+                                     std::uint64_t payload) {
+  ++messages_;
+  bytes_ += payload;
+
+  if (src == dst) {
+    // Local loopback: no NIC, just a memcpy-scale CPU charge.
+    co_await node(src).cpu().use(1 * kMicro);
+    co_return;
+  }
+
+  const std::uint64_t wire_bytes = payload + transport.header_bytes;
+  const SimDuration serialize =
+      transfer_time(wire_bytes, transport.bandwidth_bps);
+
+  Node& s = node(src);
+  Node& d = node(dst);
+
+  co_await s.cpu().use(transport.send_cpu_per_msg);
+  co_await s.nic_tx().use(serialize);
+  co_await loop_.sleep(transport.wire_latency);
+  co_await d.nic_rx().use(serialize);
+  co_await d.cpu().use(transport.recv_cpu_per_msg);
+}
+
+}  // namespace imca::net

@@ -1,0 +1,69 @@
+// The simulated interconnect: a set of nodes joined by a non-blocking switch
+// (star topology, which matches a single-switch InfiniBand cluster).
+//
+// A message transfer charges, in order:
+//   sender CPU (per-message stack cost)     — sender's core pool
+//   sender NIC serialization (size / bw)    — sender's tx queue
+//   wire latency                            — pure delay, no contention
+//   receiver NIC serialization              — receiver's rx queue
+//   receiver CPU (per-message stack cost)   — receiver's core pool
+//
+// The switch itself is non-blocking (full bisection bandwidth), so the only
+// shared queues are the per-node NICs and CPUs — the right model for a
+// single-stage fat switch and the source of the paper's single-server
+// bottleneck.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/node.h"
+#include "net/transport.h"
+#include "sim/event_loop.h"
+#include "sim/task.h"
+
+namespace imca::net {
+
+class Fabric {
+ public:
+  Fabric(sim::EventLoop& loop, TransportParams transport)
+      : loop_(loop), transport_(std::move(transport)) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Create a node attached to the fabric. `cores` is the CPU core count
+  // (the paper's nodes are 8-core Clovertowns).
+  Node& add_node(std::string name, std::size_t cores = 8);
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  sim::EventLoop& loop() noexcept { return loop_; }
+  const TransportParams& transport() const noexcept { return transport_; }
+
+  // Move one message of `payload` bytes from `src` to `dst`. Completes when
+  // the last byte has landed and been processed by the receiving stack.
+  // Loopback (src == dst) charges only a small in-memory copy cost.
+  sim::Task<void> transfer(NodeId src, NodeId dst, std::uint64_t payload);
+
+  // Same, but under explicit transport parameters — e.g. a verbs/RDMA
+  // channel between specific endpoints while the rest of the cluster speaks
+  // IPoIB (the paper's future-work direction of RDMA-ing the cache bank).
+  sim::Task<void> transfer_via(const TransportParams& transport, NodeId src,
+                               NodeId dst, std::uint64_t payload);
+
+  // --- instrumentation ---
+  std::uint64_t messages_sent() const noexcept { return messages_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_; }
+
+ private:
+  sim::EventLoop& loop_;
+  TransportParams transport_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace imca::net

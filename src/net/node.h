@@ -1,0 +1,46 @@
+// A simulated cluster node: CPU cores plus a full-duplex NIC.
+//
+// Contention at a node is what shapes every scaling curve in the paper:
+// 64 clients hammering one GlusterFS server queue at that server's rx NIC
+// and CPU; adding MCD nodes adds independent NICs, which is exactly why the
+// cache bank scales (paper §5.2, §5.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_loop.h"
+#include "sim/resource.h"
+
+namespace imca::net {
+
+using NodeId = std::uint32_t;
+
+class Node {
+ public:
+  Node(sim::EventLoop& loop, NodeId id, std::string name, std::size_t cores)
+      : id_(id),
+        name_(std::move(name)),
+        cpu_(loop, cores, name_ + ".cpu"),
+        nic_tx_(loop, 1, name_ + ".tx"),
+        nic_rx_(loop, 1, name_ + ".rx") {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+
+  sim::FifoResource& cpu() noexcept { return cpu_; }
+  sim::FifoResource& nic_tx() noexcept { return nic_tx_; }
+  sim::FifoResource& nic_rx() noexcept { return nic_rx_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  sim::FifoResource cpu_;
+  sim::FifoResource nic_tx_;
+  sim::FifoResource nic_rx_;
+};
+
+}  // namespace imca::net

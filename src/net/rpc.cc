@@ -1,0 +1,43 @@
+#include "net/rpc.h"
+
+namespace imca::net {
+
+void RpcSystem::listen(NodeId node, Port port, Handler handler) {
+  handlers_[{node, port}] = std::move(handler);
+}
+
+void RpcSystem::shutdown(NodeId node, Port port) {
+  handlers_.erase({node, port});
+}
+
+sim::Task<Expected<ByteBuf>> RpcSystem::call(NodeId src, NodeId dst, Port port,
+                                             ByteBuf request,
+                                             const TransportParams* transport) {
+  ++calls_;
+  const TransportParams& t =
+      transport != nullptr ? *transport : fabric_.transport();
+  const auto it = handlers_.find({dst, port});
+  if (it == handlers_.end()) {
+    // Connection refused: the SYN still crosses the wire and the RST comes
+    // back, so the caller pays one round trip before learning the peer died.
+    co_await fabric_.loop().sleep(2 * t.wire_latency);
+    co_return Errc::kConnRefused;
+  }
+
+  co_await fabric_.transfer_via(t, src, dst, request.size());
+
+  // The handler may unregister itself while running (daemon killed mid-
+  // request); take a copy of the callable so the call completes first.
+  Handler handler = it->second;
+  ByteBuf response = co_await handler(std::move(request), src);
+
+  if (!listening(dst, port)) {
+    // Daemon died before the response hit the wire.
+    co_return Errc::kConnReset;
+  }
+
+  co_await fabric_.transfer_via(t, dst, src, response.size());
+  co_return response;
+}
+
+}  // namespace imca::net

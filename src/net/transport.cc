@@ -1,0 +1,38 @@
+#include "net/transport.h"
+
+namespace imca::net {
+
+TransportParams ib_rdma() {
+  return TransportParams{
+      .name = "IB-RDMA",
+      .wire_latency = 3 * kMicro,
+      .bandwidth_bps = 1400 * kMiB,
+      .send_cpu_per_msg = 2 * kMicro,
+      .recv_cpu_per_msg = 2 * kMicro,
+      .header_bytes = 32,
+  };
+}
+
+TransportParams ipoib_rc() {
+  return TransportParams{
+      .name = "IPoIB-RC",
+      .wire_latency = 8 * kMicro,
+      .bandwidth_bps = 950 * kMiB,
+      .send_cpu_per_msg = 8 * kMicro,
+      .recv_cpu_per_msg = 8 * kMicro,
+      .header_bytes = 78,
+  };
+}
+
+TransportParams gige() {
+  return TransportParams{
+      .name = "GigE",
+      .wire_latency = 25 * kMicro,
+      .bandwidth_bps = 117 * kMiB,
+      .send_cpu_per_msg = 15 * kMicro,
+      .recv_cpu_per_msg = 15 * kMicro,
+      .header_bytes = 78,
+  };
+}
+
+}  // namespace imca::net

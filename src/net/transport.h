@@ -1,0 +1,55 @@
+// Transport parameter sets for the simulated fabric.
+//
+// The paper's testbed talks over IP-over-InfiniBand (Reliable Connection) on
+// DDR HCAs; the motivation experiment (Fig 1) also compares NFS over native
+// IB RDMA and over gigabit ethernet. In the model a transport is fully
+// described by four constants:
+//
+//   * one-way wire latency,
+//   * link bandwidth (serialization rate at each NIC),
+//   * per-message CPU time at the sender, and
+//   * per-message CPU time at the receiver.
+//
+// RDMA's advantage appears as tiny per-message CPU cost (the HCA does the
+// work); IPoIB pays the TCP/IP stack on both ends but keeps IB bandwidth;
+// GigE pays the stack *and* has two orders of magnitude less bandwidth.
+// Values are representative of 2008-era measurements on comparable hardware
+// and are recorded in DESIGN.md §7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace imca::net {
+
+struct TransportParams {
+  std::string name;
+  SimDuration wire_latency;        // one-way propagation + switching
+  std::uint64_t bandwidth_bps;     // bytes per second on each link
+  SimDuration send_cpu_per_msg;    // host CPU to push one message
+  SimDuration recv_cpu_per_msg;    // host CPU to land one message
+  std::uint64_t header_bytes;      // framing added to every message
+
+  // End-to-end time for one message of `payload` bytes on an uncontended
+  // path (CPU + serialization + wire + deserialization + CPU).
+  SimDuration uncontended_time(std::uint64_t payload) const {
+    const std::uint64_t wire = payload + header_bytes;
+    return send_cpu_per_msg + transfer_time(wire, bandwidth_bps) +
+           wire_latency + transfer_time(wire, bandwidth_bps) +
+           recv_cpu_per_msg;
+  }
+};
+
+// InfiniBand DDR, native verbs/RDMA path (NFS/RDMA in Fig 1).
+TransportParams ib_rdma();
+
+// IP-over-InfiniBand with Reliable Connection — the transport used between
+// all IMCa components and between GlusterFS client and server (paper §5.1).
+TransportParams ipoib_rc();
+
+// Gigabit ethernet with TCP (Fig 1 baseline).
+TransportParams gige();
+
+}  // namespace imca::net

@@ -1,0 +1,219 @@
+#include "nfs/nfs.h"
+
+#include <algorithm>
+
+namespace imca::nfs {
+
+NfsServer::NfsServer(net::RpcSystem& rpc, net::NodeId node,
+                     NfsServerParams params)
+    : rpc_(rpc),
+      node_(node),
+      params_(params),
+      dev_(rpc.fabric().loop(), params.raid_members, params.disk,
+           params.page_cache_bytes, "nfsd" + std::to_string(node)) {}
+
+sim::Task<Expected<store::Attr>> NfsServer::create(const std::string& path) {
+  co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
+  auto attr = files_.create(path, rpc_.fabric().loop().now());
+  if (!attr) co_return attr.error();
+  co_await dev_.meta(attr->inode);
+  co_return *attr;
+}
+
+sim::Task<Expected<store::Attr>> NfsServer::getattr(const std::string& path) {
+  co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
+  auto attr = files_.stat(path);
+  if (!attr) co_return attr.error();
+  co_await dev_.meta(attr->inode);
+  co_return *attr;
+}
+
+sim::Task<Expected<std::vector<std::byte>>> NfsServer::read(
+    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  auto attr = files_.stat(path);
+  if (!attr) co_return attr.error();
+  co_await rpc_.fabric().node(node_).cpu().use(
+      params_.op_cpu + transfer_time(len, params_.copy_bps));
+  co_await dev_.read(attr->inode, offset, len);
+  auto data = files_.read(path, offset, len);
+  if (!data) co_return data.error();
+  co_return std::move(*data);
+}
+
+sim::Task<Expected<std::uint64_t>> NfsServer::write(
+    const std::string& path, std::uint64_t offset,
+    std::span<const std::byte> data) {
+  auto attr = files_.stat(path);
+  if (!attr) co_return attr.error();
+  co_await rpc_.fabric().node(node_).cpu().use(
+      params_.op_cpu + transfer_time(data.size(), params_.copy_bps));
+  auto size = files_.write(path, offset, data, rpc_.fabric().loop().now());
+  if (!size) co_return size.error();
+  co_await dev_.write(attr->inode, offset, data.size());
+  co_return data.size();
+}
+
+sim::Task<Expected<void>> NfsServer::remove(const std::string& path) {
+  co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
+  auto attr = files_.stat(path);
+  if (!attr) co_return attr.error();
+  dev_.invalidate(attr->inode);
+  co_return files_.unlink(path);
+}
+
+sim::Task<Expected<void>> NfsServer::setattr_size(const std::string& path,
+                                                  std::uint64_t size) {
+  co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
+  auto attr = files_.stat(path);
+  if (!attr) co_return attr.error();
+  if (size < attr->size) dev_.invalidate(attr->inode);
+  co_return files_.truncate(path, size, rpc_.fabric().loop().now());
+}
+
+sim::Task<Expected<void>> NfsServer::rename_file(const std::string& from,
+                                                 const std::string& to) {
+  co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
+  co_return files_.rename(from, to, rpc_.fabric().loop().now());
+}
+
+// --- client ---
+
+NfsClient::NfsClient(net::RpcSystem& rpc, net::NodeId self, NfsServer& server,
+                     NfsClientParams params)
+    : rpc_(rpc), self_(self), server_(server), params_(params) {}
+
+Expected<std::string> NfsClient::path_of(fsapi::OpenFile file) const {
+  auto it = fd_table_.find(file.fd);
+  if (it == fd_table_.end()) return Errc::kBadF;
+  return it->second;
+}
+
+sim::Task<Expected<fsapi::OpenFile>> NfsClient::create(std::string path) {
+  co_await rpc_.fabric().node(self_).cpu().use(params_.op_cpu);
+  co_await rpc_.fabric().transfer(self_, server_.node(),
+                                  params_.rpc_header_bytes + path.size());
+  auto attr = co_await server_.create(path);
+  co_await rpc_.fabric().transfer(server_.node(), self_,
+                                  params_.rpc_header_bytes);
+  if (!attr) co_return attr.error();
+  const std::uint64_t fd = next_fd_++;
+  fd_table_.emplace(fd, std::move(path));
+  co_return fsapi::OpenFile{fd};
+}
+
+sim::Task<Expected<fsapi::OpenFile>> NfsClient::open(std::string path) {
+  co_await rpc_.fabric().node(self_).cpu().use(params_.op_cpu);
+  co_await rpc_.fabric().transfer(self_, server_.node(),
+                                  params_.rpc_header_bytes + path.size());
+  auto attr = co_await server_.getattr(path);
+  co_await rpc_.fabric().transfer(server_.node(), self_,
+                                  params_.rpc_header_bytes);
+  if (!attr) co_return attr.error();
+  const std::uint64_t fd = next_fd_++;
+  fd_table_.emplace(fd, std::move(path));
+  co_return fsapi::OpenFile{fd};
+}
+
+sim::Task<Expected<void>> NfsClient::close(fsapi::OpenFile file) {
+  auto path = path_of(file);
+  if (!path) co_return path.error();
+  co_await rpc_.fabric().node(self_).cpu().use(params_.op_cpu);
+  fd_table_.erase(file.fd);
+  co_return Expected<void>{};  // NFS close is local
+}
+
+sim::Task<Expected<store::Attr>> NfsClient::stat(std::string path) {
+  co_await rpc_.fabric().node(self_).cpu().use(params_.op_cpu);
+  co_await rpc_.fabric().transfer(self_, server_.node(),
+                                  params_.rpc_header_bytes + path.size());
+  auto attr = co_await server_.getattr(path);
+  co_await rpc_.fabric().transfer(server_.node(), self_,
+                                  params_.rpc_header_bytes);
+  co_return attr;
+}
+
+sim::Task<Expected<std::vector<std::byte>>> NfsClient::read(
+    fsapi::OpenFile file, std::uint64_t offset, std::uint64_t len) {
+  auto path = path_of(file);
+  if (!path) co_return path.error();
+  std::vector<std::byte> out;
+  std::uint64_t pos = offset;
+  std::uint64_t left = len;
+  while (left > 0) {
+    const std::uint64_t chunk = std::min(left, params_.rsize);
+    co_await rpc_.fabric().node(self_).cpu().use(params_.op_cpu);
+    co_await rpc_.fabric().transfer(self_, server_.node(),
+                                    params_.rpc_header_bytes);
+    auto data = co_await server_.read(*path, pos, chunk);
+    if (!data) co_return data.error();
+    co_await rpc_.fabric().transfer(server_.node(), self_,
+                                    params_.rpc_header_bytes + data->size());
+    out.insert(out.end(), data->begin(), data->end());
+    if (data->size() < chunk) break;  // EOF
+    pos += chunk;
+    left -= chunk;
+  }
+  co_return out;
+}
+
+sim::Task<Expected<std::uint64_t>> NfsClient::write(
+    fsapi::OpenFile file, std::uint64_t offset,
+    std::span<const std::byte> data) {
+  auto path = path_of(file);
+  if (!path) co_return path.error();
+  std::uint64_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(data.size() - pos, params_.wsize);
+    co_await rpc_.fabric().node(self_).cpu().use(params_.op_cpu);
+    co_await rpc_.fabric().transfer(self_, server_.node(),
+                                    params_.rpc_header_bytes + chunk);
+    auto w = co_await server_.write(*path, offset + pos,
+                                    data.subspan(pos, chunk));
+    if (!w) co_return w.error();
+    co_await rpc_.fabric().transfer(server_.node(), self_,
+                                    params_.rpc_header_bytes);
+    pos += chunk;
+  }
+  co_return data.size();
+}
+
+sim::Task<void> NfsClient::charge_small_op(std::uint64_t path_bytes) {
+  co_await rpc_.fabric().node(self_).cpu().use(params_.op_cpu);
+  co_await rpc_.fabric().transfer(self_, server_.node(),
+                                  params_.rpc_header_bytes + path_bytes);
+}
+
+sim::Task<Expected<void>> NfsClient::truncate(std::string path,
+                                              std::uint64_t size) {
+  co_await charge_small_op(path.size());
+  auto r = co_await server_.setattr_size(path, size);
+  co_await rpc_.fabric().transfer(server_.node(), self_,
+                                  params_.rpc_header_bytes);
+  co_return r;
+}
+
+sim::Task<Expected<void>> NfsClient::rename(std::string from, std::string to) {
+  co_await charge_small_op(from.size() + to.size());
+  auto r = co_await server_.rename_file(from, to);
+  co_await rpc_.fabric().transfer(server_.node(), self_,
+                                  params_.rpc_header_bytes);
+  if (r) {
+    for (auto& [fd, p] : fd_table_) {
+      if (p == from) p = to;
+    }
+  }
+  co_return r;
+}
+
+sim::Task<Expected<void>> NfsClient::unlink(std::string path) {
+  co_await rpc_.fabric().node(self_).cpu().use(params_.op_cpu);
+  co_await rpc_.fabric().transfer(self_, server_.node(),
+                                  params_.rpc_header_bytes + path.size());
+  auto r = co_await server_.remove(path);
+  co_await rpc_.fabric().transfer(server_.node(), self_,
+                                  params_.rpc_header_bytes);
+  co_return r;
+}
+
+}  // namespace imca::nfs

@@ -1,0 +1,73 @@
+#include "sim/event_loop.h"
+
+#include <cassert>
+
+namespace imca::sim {
+
+namespace {
+
+// Wrapper coroutine that owns a spawned task for its whole lifetime. The
+// frame (and the Task parameter captured inside it) self-destroys at
+// completion because final_suspend() never suspends.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept {
+      return Detached{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    std::suspend_never final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+Detached detach_and_count(Task<void> task, std::size_t& live) {
+  struct Decrement {
+    std::size_t& live;
+    ~Decrement() { --live; }
+  } dec{live};
+  co_await std::move(task);
+}
+}  // namespace
+
+void EventLoop::schedule_at(SimTime at, std::coroutine_handle<> h) {
+  assert(at >= now_ && "cannot schedule into the simulated past");
+  queue_.push(Entry{at, seq_++, h});
+}
+
+void EventLoop::spawn(Task<void> task) {
+  ++live_tasks_;
+  Detached d = detach_and_count(std::move(task), live_tasks_);
+  schedule_now(d.handle);
+}
+
+std::uint64_t EventLoop::run() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    ++n;
+    ++processed_;
+    e.handle.resume();
+  }
+  return n;
+}
+
+std::uint64_t EventLoop::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    ++n;
+    ++processed_;
+    e.handle.resume();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace imca::sim

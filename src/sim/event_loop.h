@@ -1,0 +1,87 @@
+// Discrete-event simulation kernel.
+//
+// The EventLoop owns the simulated clock and a time-ordered queue of ready
+// coroutine handles. `run()` repeatedly pops the earliest event, advances the
+// clock to its timestamp and resumes the coroutine. Events with equal
+// timestamps resume in FIFO order (a monotone sequence number breaks ties),
+// which makes every experiment bit-for-bit reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace imca::sim {
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Current simulated time (nanoseconds since simulation start).
+  SimTime now() const noexcept { return now_; }
+
+  // Resume `h` once the clock reaches `at`. `at` must not be in the past.
+  void schedule_at(SimTime at, std::coroutine_handle<> h);
+
+  // Resume `h` at the current simulated time, after already-queued events
+  // with the same timestamp.
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  // Launch `task` as an independent simulated process. The loop owns the
+  // coroutine; its frame is freed when it completes. An exception escaping a
+  // spawned task terminates the simulation (they model top-level processes
+  // and must handle their own errors).
+  void spawn(Task<void> task);
+
+  // Awaitable: suspend the current coroutine for `d` simulated time.
+  // `co_await loop.sleep(0)` yields to other ready coroutines.
+  auto sleep(SimDuration d) noexcept { return SleepAwaiter{*this, now_ + d}; }
+  auto sleep_until(SimTime at) noexcept {
+    return SleepAwaiter{*this, at < now_ ? now_ : at};
+  }
+
+  // Run until the event queue drains. Returns the number of events processed.
+  std::uint64_t run();
+
+  // Run until the queue drains or the clock would pass `deadline`; events at
+  // exactly `deadline` are processed. Returns events processed.
+  std::uint64_t run_until(SimTime deadline);
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+  std::size_t live_tasks() const noexcept { return live_tasks_; }
+
+ private:
+  struct SleepAwaiter {
+    EventLoop& loop;
+    SimTime at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      loop.schedule_at(at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Entry& other) const noexcept {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t live_tasks_ = 0;
+};
+
+}  // namespace imca::sim

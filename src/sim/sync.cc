@@ -1,0 +1,27 @@
+#include "sim/sync.h"
+
+namespace imca::sim {
+
+namespace {
+
+Task<void> run_child(Task<void> task, std::size_t& remaining, Event& done) {
+  co_await std::move(task);
+  if (--remaining == 0) done.set();
+}
+
+}  // namespace
+
+Task<void> when_all(EventLoop& loop, std::vector<Task<void>> tasks) {
+  if (tasks.empty()) co_return;
+  // remaining/done live in this coroutine's frame, which outlives all
+  // children because we do not return until done fires.
+  std::size_t remaining = tasks.size();
+  Event done(loop);
+  for (auto& t : tasks) {
+    loop.spawn(run_child(std::move(t), remaining, done));
+  }
+  tasks.clear();
+  co_await done.wait();
+}
+
+}  // namespace imca::sim

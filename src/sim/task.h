@@ -1,0 +1,171 @@
+// Lazy coroutine task type for simulated processes.
+//
+// Every activity in the simulator — a client issuing a read, the GlusterFS
+// server translator stack, a memcached daemon servicing a request — is a
+// `Task<T>` coroutine. Tasks are *lazy*: creating one does nothing until it
+// is either `co_await`ed (which chains it to the awaiting coroutine via
+// symmetric transfer) or handed to `EventLoop::spawn` (which runs it as an
+// independent simulated process).
+//
+// The kernel is strictly single-threaded: "parallelism" between simulated
+// nodes is interleaving on the simulated clock, so no atomics or locks are
+// needed and every run is deterministic.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+namespace imca::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+class TaskPromise;
+
+// Final awaiter: when a task finishes, control transfers directly to the
+// coroutine that awaited it (or parks if it was spawned detached).
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto continuation = h.promise().continuation();
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+class TaskPromiseBase {
+ public:
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter<TaskPromise<T>> final_suspend() const noexcept { return {}; }
+
+  void set_continuation(std::coroutine_handle<> c) noexcept {
+    continuation_ = c;
+  }
+  std::coroutine_handle<> continuation() const noexcept {
+    return continuation_;
+  }
+
+ private:
+  std::coroutine_handle<> continuation_;
+};
+
+template <typename T>
+class TaskPromise final : public TaskPromiseBase<T> {
+ public:
+  Task<T> get_return_object() noexcept;
+
+  template <typename U>
+  void return_value(U&& value) {
+    result_.template emplace<1>(std::forward<U>(value));
+  }
+  void unhandled_exception() noexcept {
+    result_.template emplace<2>(std::current_exception());
+  }
+
+  T take_result() {
+    if (result_.index() == 2) {
+      std::rethrow_exception(std::get<2>(std::move(result_)));
+    }
+    assert(result_.index() == 1 && "task awaited before completion");
+    return std::get<1>(std::move(result_));
+  }
+
+ private:
+  std::variant<std::monostate, T, std::exception_ptr> result_;
+};
+
+template <>
+class TaskPromise<void> final : public TaskPromiseBase<void> {
+ public:
+  Task<void> get_return_object() noexcept;
+
+  void return_void() const noexcept {}
+  void unhandled_exception() noexcept { error_ = std::current_exception(); }
+
+  void take_result() {
+    if (error_) std::rethrow_exception(std::move(error_));
+  }
+
+ private:
+  std::exception_ptr error_;
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  // Awaiting a task starts it; the awaiting coroutine resumes when the task
+  // completes, receiving its result (or rethrowing its exception).
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().set_continuation(awaiting);
+        return handle;  // symmetric transfer: run the task body now
+      }
+      T await_resume() { return handle.promise().take_result(); }
+    };
+    return Awaiter{handle_};
+  }
+
+  // Used by EventLoop::spawn, which takes over lifetime management.
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace imca::sim

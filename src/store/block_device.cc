@@ -1,0 +1,35 @@
+#include "store/block_device.h"
+
+namespace imca::store {
+
+sim::Task<void> BlockDevice::read(std::uint64_t inode, std::uint64_t offset,
+                                  std::uint64_t len) {
+  const std::uint64_t missed = cache_.access(inode, offset, len);
+  if (missed > 0) {
+    co_await raid_.access(inode, offset, missed);
+  }
+}
+
+sim::Task<void> BlockDevice::write(std::uint64_t inode, std::uint64_t offset,
+                                   std::uint64_t len) {
+  cache_.populate(inode, offset, len);
+  // Write-back: the flush is booked on the member disks but not awaited, so
+  // the caller sees buffer-cache write latency while the array stays busy in
+  // the background.
+  if (len > 0) {
+    (void)raid_.reserve(inode, offset, len);
+  }
+  co_return;
+}
+
+sim::Task<void> BlockDevice::meta(std::uint64_t inode) {
+  // One inode record = one synthetic page at a per-inode offset.
+  const std::uint64_t off = inode * PageCache::kPageSize;
+  const std::uint64_t missed =
+      cache_.access(kMetaFile, off, PageCache::kPageSize);
+  if (missed > 0) {
+    co_await raid_.access(kMetaFile, off, missed);
+  }
+}
+
+}  // namespace imca::store

@@ -1,0 +1,144 @@
+#include "store/object_store.h"
+
+#include <algorithm>
+
+namespace imca::store {
+
+void Attr::encode(ByteBuf& out) const {
+  out.put_u64(inode);
+  out.put_u64(size);
+  out.put_u32(mode);
+  out.put_u32(nlink);
+  out.put_u64(atime);
+  out.put_u64(mtime);
+  out.put_u64(ctime);
+}
+
+Expected<Attr> Attr::decode(ByteBuf& in) {
+  Attr a;
+  auto inode = in.get_u64();
+  if (!inode) return inode.error();
+  a.inode = *inode;
+  auto size = in.get_u64();
+  if (!size) return size.error();
+  a.size = *size;
+  auto mode = in.get_u32();
+  if (!mode) return mode.error();
+  a.mode = *mode;
+  auto nlink = in.get_u32();
+  if (!nlink) return nlink.error();
+  a.nlink = *nlink;
+  auto atime = in.get_u64();
+  if (!atime) return atime.error();
+  a.atime = *atime;
+  auto mtime = in.get_u64();
+  if (!mtime) return mtime.error();
+  a.mtime = *mtime;
+  auto ctime = in.get_u64();
+  if (!ctime) return ctime.error();
+  a.ctime = *ctime;
+  return a;
+}
+
+Expected<Attr> ObjectStore::create(std::string_view path, SimTime now,
+                                   std::uint32_t mode) {
+  auto [it, inserted] = files_.try_emplace(std::string(path));
+  if (!inserted) return Errc::kExist;
+  File& f = it->second;
+  f.attr.inode = next_inode_++;
+  f.attr.mode = mode;
+  f.attr.atime = f.attr.mtime = f.attr.ctime = now;
+  return f.attr;
+}
+
+Expected<void> ObjectStore::unlink(std::string_view path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Errc::kNoEnt;
+  total_bytes_ -= it->second.data.size();
+  files_.erase(it);
+  return {};
+}
+
+bool ObjectStore::exists(std::string_view path) const {
+  return files_.contains(path);
+}
+
+Expected<Attr> ObjectStore::stat(std::string_view path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Errc::kNoEnt;
+  return it->second.attr;
+}
+
+Expected<std::uint64_t> ObjectStore::write(std::string_view path,
+                                           std::uint64_t offset,
+                                           std::span<const std::byte> data,
+                                           SimTime now) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Errc::kNoEnt;
+  File& f = it->second;
+  const std::uint64_t end = offset + data.size();
+  if (end > f.data.size()) {
+    total_bytes_ += end - f.data.size();
+    f.data.resize(end);  // zero-fills holes
+  }
+  std::copy(data.begin(), data.end(),
+            f.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  f.attr.size = f.data.size();
+  f.attr.mtime = f.attr.ctime = now;
+  return f.attr.size;
+}
+
+Expected<std::vector<std::byte>> ObjectStore::read(std::string_view path,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Errc::kNoEnt;
+  const File& f = it->second;
+  if (offset >= f.data.size()) return std::vector<std::byte>{};
+  const std::uint64_t n = std::min(len, f.data.size() - offset);
+  return std::vector<std::byte>(
+      f.data.begin() + static_cast<std::ptrdiff_t>(offset),
+      f.data.begin() + static_cast<std::ptrdiff_t>(offset + n));
+}
+
+Expected<void> ObjectStore::truncate(std::string_view path, std::uint64_t size,
+                                     SimTime now) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Errc::kNoEnt;
+  File& f = it->second;
+  if (size >= f.data.size()) {
+    total_bytes_ += size - f.data.size();
+  } else {
+    total_bytes_ -= f.data.size() - size;
+  }
+  f.data.resize(size);
+  f.attr.size = size;
+  f.attr.mtime = f.attr.ctime = now;
+  return {};
+}
+
+Expected<void> ObjectStore::rename(std::string_view from, std::string_view to,
+                                   SimTime now) {
+  auto src = files_.find(from);
+  if (src == files_.end()) return Errc::kNoEnt;
+  if (from == to) return {};
+  // Replace any existing target (POSIX semantics).
+  if (auto dst = files_.find(to); dst != files_.end()) {
+    total_bytes_ -= dst->second.data.size();
+    files_.erase(dst);
+  }
+  File moved = std::move(src->second);
+  files_.erase(src);
+  moved.attr.ctime = now;
+  files_.emplace(std::string(to), std::move(moved));
+  return {};
+}
+
+std::vector<std::string> ObjectStore::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, file] : files_) out.push_back(path);
+  return out;
+}
+
+}  // namespace imca::store

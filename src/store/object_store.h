@@ -1,0 +1,97 @@
+// In-memory backing store holding the *real bytes* of every file.
+//
+// This is the ground truth the whole reproduction is checked against: data
+// written through any path (GlusterFS, IMCa, Lustre, NFS) lands here, data
+// read through any path is copied out of here, and the integrity tests
+// compare end-to-end reads against direct ObjectStore contents. Time is
+// never charged here — the disk/page-cache models own all timing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytebuf.h"
+#include "common/errc.h"
+#include "common/expected.h"
+#include "common/units.h"
+
+namespace imca::store {
+
+// POSIX-stat-like attribute block. This struct is what SMCache serialises
+// into memcached under "<path>:stat" (paper §4.2), so it has a stable wire
+// encoding.
+struct Attr {
+  std::uint64_t inode = 0;
+  std::uint64_t size = 0;
+  std::uint32_t mode = 0644;
+  std::uint32_t nlink = 1;
+  SimTime atime = 0;
+  SimTime mtime = 0;
+  SimTime ctime = 0;
+
+  void encode(ByteBuf& out) const;
+  static Expected<Attr> decode(ByteBuf& in);
+  // Size of the wire encoding in bytes (what a cached stat item costs):
+  // inode + size (u64), mode + nlink (u32), three u64 timestamps.
+  static constexpr std::uint64_t kWireSize = 8 * 2 + 4 * 2 + 8 * 3;
+
+  bool operator==(const Attr&) const = default;
+};
+
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  // Create an empty file. Fails with kExist if the path is taken.
+  Expected<Attr> create(std::string_view path, SimTime now,
+                        std::uint32_t mode = 0644);
+
+  // Remove a file. Fails with kNoEnt.
+  Expected<void> unlink(std::string_view path);
+
+  bool exists(std::string_view path) const;
+
+  Expected<Attr> stat(std::string_view path) const;
+
+  // Write bytes at `offset`, extending the file (holes are zero-filled).
+  // Returns the file's new size. Updates mtime/ctime.
+  Expected<std::uint64_t> write(std::string_view path, std::uint64_t offset,
+                                std::span<const std::byte> data, SimTime now);
+
+  // Read up to `len` bytes from `offset`; short reads at EOF like POSIX.
+  Expected<std::vector<std::byte>> read(std::string_view path,
+                                        std::uint64_t offset,
+                                        std::uint64_t len) const;
+
+  Expected<void> truncate(std::string_view path, std::uint64_t size,
+                          SimTime now);
+
+  // POSIX rename: atomically moves `from` to `to`, replacing any existing
+  // `to`. The inode is preserved.
+  Expected<void> rename(std::string_view from, std::string_view to,
+                        SimTime now);
+
+  std::size_t file_count() const noexcept { return files_.size(); }
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  // Paths in lexicographic order (deterministic iteration for tests).
+  std::vector<std::string> list() const;
+
+ private:
+  struct File {
+    Attr attr;
+    std::vector<std::byte> data;
+  };
+
+  std::map<std::string, File, std::less<>> files_;
+  std::uint64_t next_inode_ = 1;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace imca::store

@@ -1,0 +1,83 @@
+#include "store/page_cache.h"
+
+namespace imca::store {
+
+bool PageCache::touch(Key k, bool count) {
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (count) ++hits_;
+    return true;
+  }
+  if (count) ++misses_;
+  return false;
+}
+
+void PageCache::insert(Key k) {
+  if (capacity_pages_ == 0) return;
+  if (map_.contains(k)) return;
+  while (map_.size() >= capacity_pages_) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(k);
+  map_[k] = lru_.begin();
+}
+
+std::uint64_t PageCache::access(std::uint64_t file, std::uint64_t offset,
+                                std::uint64_t len) {
+  if (len == 0) return 0;
+  const std::uint64_t first = offset / kPageSize;
+  const std::uint64_t last = (offset + len - 1) / kPageSize;
+  std::uint64_t missed_pages = 0;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    const Key k{file, p};
+    if (!touch(k, /*count=*/true)) {
+      ++missed_pages;
+      insert(k);
+    }
+  }
+  return missed_pages * kPageSize;
+}
+
+bool PageCache::covered(std::uint64_t file, std::uint64_t offset,
+                        std::uint64_t len) const {
+  if (len == 0) return true;
+  const std::uint64_t first = offset / kPageSize;
+  const std::uint64_t last = (offset + len - 1) / kPageSize;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    if (!map_.contains(Key{file, p})) return false;
+  }
+  return true;
+}
+
+void PageCache::populate(std::uint64_t file, std::uint64_t offset,
+                         std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t first = offset / kPageSize;
+  const std::uint64_t last = (offset + len - 1) / kPageSize;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    Key k{file, p};
+    if (!touch(k, /*count=*/false)) insert(k);
+  }
+}
+
+void PageCache::invalidate(std::uint64_t file) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->file == file) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace imca::store

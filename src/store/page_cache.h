@@ -1,0 +1,75 @@
+// LRU page cache (presence model of the server's buffer cache).
+//
+// Real bytes live in the ObjectStore; this structure only tracks which
+// 4 KiB pages of which file are resident in server memory, so higher layers
+// can decide whether an access costs DRAM or disk. This is the component
+// behind Fig 1's bandwidth cliff (working set larger than server memory) and
+// behind the difference between warm and cold runs everywhere else.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/units.h"
+
+namespace imca::store {
+
+class PageCache {
+ public:
+  static constexpr std::uint64_t kPageSize = 4 * kKiB;
+
+  explicit PageCache(std::uint64_t capacity_bytes)
+      : capacity_pages_(capacity_bytes / kPageSize) {}
+
+  // Touch the pages covering [offset, offset+len) of `file`. Returns the
+  // number of bytes that were NOT resident (to be charged to the disk).
+  // All touched pages become resident (read promotes into cache).
+  std::uint64_t access(std::uint64_t file, std::uint64_t offset,
+                       std::uint64_t len);
+
+  // Are all pages covering the range resident? (No promotion.)
+  bool covered(std::uint64_t file, std::uint64_t offset,
+               std::uint64_t len) const;
+
+  // Insert pages without a miss count (write path populates the cache).
+  void populate(std::uint64_t file, std::uint64_t offset, std::uint64_t len);
+
+  // Drop every page of `file` (unmount / O_DIRECT / cache purge).
+  void invalidate(std::uint64_t file);
+
+  // Drop everything (client unmount in the Lustre cold-cache runs).
+  void clear();
+
+  std::uint64_t resident_pages() const noexcept { return map_.size(); }
+  std::uint64_t capacity_pages() const noexcept { return capacity_pages_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Key {
+    std::uint64_t file;
+    std::uint64_t page;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // Mix so that page 0 of many files doesn't collide into one bucket.
+      return static_cast<std::size_t>(k.file * 0x9E3779B97F4A7C15ull ^ k.page);
+    }
+  };
+
+  // Touch one page; returns true on hit.
+  bool touch(Key k, bool count);
+  void insert(Key k);
+
+  std::uint64_t capacity_pages_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace imca::store

@@ -1,0 +1,88 @@
+#include "workload/iozone.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/sync.h"
+
+namespace imca::workload {
+namespace {
+
+struct Shared {
+  SimTime write_start = 0;
+  SimTime write_end = 0;
+  SimTime read_start = 0;
+  SimTime read_end = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+sim::Task<void> iozone_client(sim::EventLoop& loop,
+                              fsapi::FileSystemClient& fs, std::size_t index,
+                              const IozoneOptions& opt, sim::Barrier& barrier,
+                              Shared& sh) {
+  const std::string path = opt.file_prefix + std::to_string(index);
+  auto f = co_await fs.create(path);
+  assert(f.has_value());
+
+  std::vector<std::byte> buffer(opt.request_size);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<std::byte>((index * 101 + i) & 0xFF);
+  }
+
+  co_await barrier.arrive_and_wait();
+  sh.write_start = loop.now();
+  for (std::uint64_t off = 0; off < opt.file_bytes; off += opt.request_size) {
+    auto w = co_await fs.write(*f, off, buffer);
+    assert(w.has_value());
+    (void)w;
+  }
+  co_await barrier.arrive_and_wait();
+  sh.write_end = std::max(sh.write_end, loop.now());
+  if (opt.before_read_phase) opt.before_read_phase(index);
+
+  co_await barrier.arrive_and_wait();
+  sh.read_start = loop.now();
+  for (std::size_t pass = 0; pass < opt.read_passes; ++pass) {
+    for (std::uint64_t off = 0; off < opt.file_bytes;
+         off += opt.request_size) {
+      auto data = co_await fs.read(*f, off, opt.request_size);
+      assert(data.has_value());
+      assert(data->size() == opt.request_size);
+      sh.bytes_read += data->size();
+    }
+  }
+  sh.read_end = std::max(sh.read_end, loop.now());
+  co_await barrier.arrive_and_wait();
+}
+
+}  // namespace
+
+IozoneResult run_iozone(sim::EventLoop& loop,
+                        const std::vector<fsapi::FileSystemClient*>& clients,
+                        const IozoneOptions& options) {
+  assert(!clients.empty());
+  Shared sh;
+  sim::Barrier barrier(loop, clients.size());
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    loop.spawn(iozone_client(loop, *clients[c], c, options, barrier, sh));
+  }
+  loop.run();
+
+  IozoneResult result;
+  result.bytes_read = sh.bytes_read;
+  const double write_bytes = static_cast<double>(options.file_bytes) *
+                             static_cast<double>(clients.size());
+  if (sh.write_end > sh.write_start) {
+    result.aggregate_write_mbps =
+        write_bytes / static_cast<double>(kMiB) /
+        to_seconds(sh.write_end - sh.write_start);
+  }
+  if (sh.read_end > sh.read_start) {
+    result.aggregate_read_mbps =
+        static_cast<double>(sh.bytes_read) / static_cast<double>(kMiB) /
+        to_seconds(sh.read_end - sh.read_start);
+  }
+  return result;
+}
+
+}  // namespace imca::workload

@@ -1,0 +1,191 @@
+// Tests for the memcached 1.2 extended command set: cas/gets version
+// control, incr/decr counters — engine semantics, wire protocol, and the
+// client library end to end.
+#include <gtest/gtest.h>
+
+#include "mcclient/client.h"
+#include "memcache/cache.h"
+#include "memcache/protocol.h"
+#include "memcache/server.h"
+#include "net/transport.h"
+
+namespace imca::memcache {
+namespace {
+
+std::vector<std::byte> bytes(std::string_view s) { return to_bytes(s); }
+
+// --- engine: cas ---
+
+TEST(Cas, IdsAreUniqueAndChangeOnStore) {
+  McCache c(16 * kMiB);
+  ASSERT_TRUE(c.set("a", 0, 0, bytes("1"), 0));
+  ASSERT_TRUE(c.set("b", 0, 0, bytes("1"), 0));
+  const auto ca = c.get("a", 1)->cas;
+  const auto cb = c.get("b", 1)->cas;
+  EXPECT_NE(ca, 0u);
+  EXPECT_NE(ca, cb);
+  ASSERT_TRUE(c.set("a", 0, 0, bytes("2"), 2));
+  EXPECT_NE(c.get("a", 3)->cas, ca);  // new version, new id
+}
+
+TEST(Cas, SucceedsOnMatchingId) {
+  McCache c(16 * kMiB);
+  ASSERT_TRUE(c.set("k", 0, 0, bytes("old"), 0));
+  const auto id = c.get("k", 1)->cas;
+  ASSERT_TRUE(c.cas("k", 0, 0, bytes("new"), id, 2));
+  EXPECT_EQ(to_string(c.get("k", 3)->data), "new");
+}
+
+TEST(Cas, FailsAfterInterveningWrite) {
+  McCache c(16 * kMiB);
+  ASSERT_TRUE(c.set("k", 0, 0, bytes("v1"), 0));
+  const auto id = c.get("k", 1)->cas;
+  ASSERT_TRUE(c.set("k", 0, 0, bytes("v2"), 2));  // someone else wrote
+  EXPECT_EQ(c.cas("k", 0, 0, bytes("v3"), id, 3).error(), Errc::kBusy);
+  EXPECT_EQ(to_string(c.get("k", 4)->data), "v2");  // loser changed nothing
+}
+
+TEST(Cas, NotFoundWhenAbsent) {
+  McCache c(16 * kMiB);
+  EXPECT_EQ(c.cas("ghost", 0, 0, bytes("x"), 1, 0).error(), Errc::kNoEnt);
+}
+
+// --- engine: incr/decr ---
+
+TEST(Arith, IncrementsDecimalAscii) {
+  McCache c(16 * kMiB);
+  ASSERT_TRUE(c.set("n", 0, 0, bytes("41"), 0));
+  EXPECT_EQ(c.incr("n", 1, 1).value(), 42u);
+  EXPECT_EQ(to_string(c.get("n", 2)->data), "42");
+  EXPECT_EQ(c.incr("n", 958, 3).value(), 1000u);
+}
+
+TEST(Arith, DecrClampsAtZero) {
+  McCache c(16 * kMiB);
+  ASSERT_TRUE(c.set("n", 0, 0, bytes("5"), 0));
+  EXPECT_EQ(c.decr("n", 3, 1).value(), 2u);
+  EXPECT_EQ(c.decr("n", 100, 2).value(), 0u);  // memcached clamps
+}
+
+TEST(Arith, IncrWrapsAt64Bits) {
+  McCache c(16 * kMiB);
+  ASSERT_TRUE(c.set("n", 0, 0, bytes("18446744073709551615"), 0));  // 2^64-1
+  EXPECT_EQ(c.incr("n", 1, 1).value(), 0u);  // wraps like memcached
+}
+
+TEST(Arith, NonNumericRejected) {
+  McCache c(16 * kMiB);
+  ASSERT_TRUE(c.set("s", 0, 0, bytes("hello"), 0));
+  EXPECT_EQ(c.incr("s", 1, 1).error(), Errc::kInval);
+  EXPECT_EQ(c.decr("s", 1, 1).error(), Errc::kInval);
+  EXPECT_EQ(c.incr("absent", 1, 1).error(), Errc::kNoEnt);
+}
+
+// --- wire protocol ---
+
+TEST(ProtocolExt, GetsCarriesCasId) {
+  McCache c(16 * kMiB);
+  (void)handle_request(c, encode_store(StoreVerb::kSet, "k", 7, 0, bytes("v")), 0);
+  const std::string keys[] = {"k"};
+  auto resp = handle_request(c, encode_gets(keys), 1);
+  auto got = parse_get_response(resp).value();
+  ASSERT_TRUE(got.contains("k"));
+  EXPECT_NE(got.at("k").cas, 0u);
+  EXPECT_EQ(got.at("k").cas, c.get("k", 2)->cas);
+  // Plain get omits the cas id.
+  auto resp2 = handle_request(c, encode_get(keys), 3);
+  EXPECT_EQ(parse_get_response(resp2).value().at("k").cas, 0u);
+}
+
+TEST(ProtocolExt, CasRoundTrip) {
+  McCache c(16 * kMiB);
+  (void)handle_request(c, encode_store(StoreVerb::kSet, "k", 0, 0, bytes("a")), 0);
+  const std::string keys[] = {"k"};
+  auto got = parse_get_response(
+                 *std::make_unique<ByteBuf>(handle_request(c, encode_gets(keys), 1)))
+                 .value();
+  const auto id = got.at("k").cas;
+
+  auto r1 = handle_request(c, encode_cas("k", 0, 0, bytes("b"), id), 2);
+  EXPECT_EQ(parse_cas_response(r1).value(), CasReply::kStored);
+  // The same id again is now stale.
+  auto r2 = handle_request(c, encode_cas("k", 0, 0, bytes("c"), id), 3);
+  EXPECT_EQ(parse_cas_response(r2).value(), CasReply::kExists);
+  auto r3 = handle_request(c, encode_cas("nope", 0, 0, bytes("x"), 1), 4);
+  EXPECT_EQ(parse_cas_response(r3).value(), CasReply::kNotFound);
+}
+
+TEST(ProtocolExt, IncrDecrRoundTrip) {
+  McCache c(16 * kMiB);
+  (void)handle_request(c, encode_store(StoreVerb::kSet, "ctr", 0, 0, bytes("10")), 0);
+  auto r1 = handle_request(c, encode_incr("ctr", 5), 1);
+  EXPECT_EQ(parse_arith_response(r1).value(), 15u);
+  auto r2 = handle_request(c, encode_decr("ctr", 20), 2);
+  EXPECT_EQ(parse_arith_response(r2).value(), 0u);
+  auto r3 = handle_request(c, encode_incr("ghost", 1), 3);
+  EXPECT_EQ(parse_arith_response(r3).error(), Errc::kNoEnt);
+  (void)handle_request(c, encode_store(StoreVerb::kSet, "s", 0, 0, bytes("x")), 4);
+  auto r4 = handle_request(c, encode_incr("s", 1), 5);
+  EXPECT_EQ(parse_arith_response(r4).error(), Errc::kInval);
+}
+
+TEST(ProtocolExt, MalformedExtCommandsError) {
+  McCache c(16 * kMiB);
+  const auto expect_error = [&](std::string_view raw) {
+    ByteBuf req;
+    req.put_raw(raw);
+    auto resp = handle_request(c, std::move(req), 0);
+    EXPECT_TRUE(to_string(resp.bytes()).starts_with("ERROR")) << raw;
+  };
+  expect_error("cas k 0 0 1\r\nx\r\n");      // missing cas id
+  expect_error("cas k 0 0 1 abc\r\nx\r\n");  // non-numeric cas id
+  expect_error("incr k\r\n");                // missing delta
+  expect_error("decr k 1 2\r\n");            // extra token
+  expect_error("incr k x\r\n");              // non-numeric delta
+}
+
+// --- client library over the fabric ---
+
+TEST(ClientExt, CasLoopImplementsAtomicUpdate) {
+  sim::EventLoop loop;
+  net::Fabric fabric(loop, net::ipoib_rc());
+  net::RpcSystem rpc(fabric);
+  fabric.add_node("mcd");
+  const auto cnode = fabric.add_node("client").id();
+  McServer server(rpc, 0, 64 * kMiB);
+  server.start();
+  mcclient::McClient client(rpc, cnode, {0},
+                            std::make_unique<mcclient::Crc32Selector>());
+
+  loop.spawn([](mcclient::McClient& c) -> sim::Task<void> {
+    (void)co_await c.set("doc", to_bytes("v0"));
+    // Optimistic update: gets -> modify -> cas.
+    auto v = co_await c.gets("doc");
+    EXPECT_TRUE(v.has_value());
+    if (v) {
+      auto r = co_await c.cas("doc", to_bytes("v1"), v->cas);
+      EXPECT_TRUE(r.has_value());
+    }
+    // A second cas with the stale id must lose.
+    if (v) {
+      auto r = co_await c.cas("doc", to_bytes("v2"), v->cas);
+      EXPECT_EQ(r.error(), Errc::kBusy);
+    }
+    auto final_v = co_await c.get("doc");
+    EXPECT_TRUE(final_v.has_value());
+    if (final_v) { EXPECT_EQ(to_string(final_v->data), "v1"); }
+
+    // Counters.
+    (void)co_await c.set("hits", to_bytes("0"));
+    for (int i = 0; i < 5; ++i) {
+      (void)co_await c.incr("hits", 2);
+    }
+    auto n = co_await c.decr("hits", 3);
+    EXPECT_TRUE(n.has_value());
+    if (n) { EXPECT_EQ(*n, 7u); }
+  }(client));
+  loop.run();
+}
+
+}  // namespace
+}  // namespace imca::memcache

@@ -1,0 +1,218 @@
+// Edge-case tests for the DES kernel and primitives that the main sim suite
+// does not cover: exception propagation through tasks, deadline semantics,
+// waiter ordering under mixed primitives, resource stat resets, and deep
+// spawn fan-out.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/event_loop.h"
+#include "sim/resource.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace imca::sim {
+namespace {
+
+Task<int> thrower() {
+  throw std::runtime_error("boom");
+  co_return 0;  // unreachable; establishes the coroutine body
+}
+
+TEST(TaskEdge, ExceptionPropagatesThroughAwait) {
+  EventLoop loop;
+  bool caught = false;
+  loop.spawn([](bool& c) -> Task<void> {
+    try {
+      (void)co_await thrower();
+    } catch (const std::runtime_error& e) {
+      c = std::string(e.what()) == "boom";
+    }
+  }(caught));
+  loop.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskEdge, ExceptionCrossesTwoAwaitLevels) {
+  EventLoop loop;
+  bool caught = false;
+  auto middle = []() -> Task<int> { co_return co_await thrower() + 1; };
+  loop.spawn([](bool& c, decltype(middle)& mid) -> Task<void> {
+    try {
+      (void)co_await mid();
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(caught, middle));
+  loop.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskEdge, UnawaitedTaskNeverRuns) {
+  // Tasks are lazy: constructing one without awaiting it must not execute
+  // the body (and must not leak — ASAN-clean by frame destruction).
+  bool ran = false;
+  {
+    auto t = [](bool& r) -> Task<void> {
+      r = true;
+      co_return;
+    }(ran);
+    EXPECT_TRUE(t.valid());
+  }  // destroyed unstarted
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoopEdge, RunUntilProcessesEventsAtExactDeadline) {
+  EventLoop loop;
+  bool at_deadline = false, after = false;
+  loop.spawn([](EventLoop& l, bool& a) -> Task<void> {
+    co_await l.sleep(100);
+    a = true;
+  }(loop, at_deadline));
+  loop.spawn([](EventLoop& l, bool& b) -> Task<void> {
+    co_await l.sleep(101);
+    b = true;
+  }(loop, after));
+  loop.run_until(100);
+  EXPECT_TRUE(at_deadline);   // inclusive
+  EXPECT_FALSE(after);        // exclusive beyond
+  loop.run();
+  EXPECT_TRUE(after);
+}
+
+TEST(EventLoopEdge, SleepUntilPastTimeFiresNow) {
+  EventLoop loop;
+  SimTime woke = 1234;
+  loop.spawn([](EventLoop& l, SimTime& t) -> Task<void> {
+    co_await l.sleep(500);
+    co_await l.sleep_until(100);  // already in the past: no travel back
+    t = l.now();
+  }(loop, woke));
+  loop.run();
+  EXPECT_EQ(woke, 500u);
+}
+
+TEST(EventLoopEdge, MassiveSpawnFanOut) {
+  EventLoop loop;
+  int done = 0;
+  for (int i = 0; i < 20000; ++i) {
+    loop.spawn([](EventLoop& l, int& d, int id) -> Task<void> {
+      co_await l.sleep(static_cast<SimDuration>(id % 97));
+      ++d;
+    }(loop, done, i));
+  }
+  loop.run();
+  EXPECT_EQ(done, 20000);
+  EXPECT_EQ(loop.live_tasks(), 0u);
+}
+
+TEST(SyncEdge, MutexUnderChurn) {
+  // Heavy lock/unlock interleaving with varied hold times keeps exclusivity.
+  EventLoop loop;
+  SimMutex mu(loop);
+  int inside = 0;
+  bool violated = false;
+  for (int i = 0; i < 200; ++i) {
+    loop.spawn([](EventLoop& l, SimMutex& m, int& in, bool& bad,
+                  int id) -> Task<void> {
+      co_await l.sleep(static_cast<SimDuration>((id * 7) % 50));
+      auto g = co_await ScopedLock::acquire(m);
+      if (++in != 1) bad = true;
+      co_await l.sleep(static_cast<SimDuration>(id % 5));
+      --in;
+    }(loop, mu, inside, violated, i));
+  }
+  loop.run();
+  EXPECT_FALSE(violated);
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(SyncEdge, SemaphoreZeroInitialBlocksUntilRelease) {
+  EventLoop loop;
+  Semaphore sem(loop, 0);
+  SimTime acquired_at = 0;
+  loop.spawn([](EventLoop& l, Semaphore& s, SimTime& t) -> Task<void> {
+    co_await s.acquire();
+    t = l.now();
+  }(loop, sem, acquired_at));
+  loop.spawn([](EventLoop& l, Semaphore& s) -> Task<void> {
+    co_await l.sleep(777);
+    s.release();
+  }(loop, sem));
+  loop.run();
+  EXPECT_EQ(acquired_at, 777u);
+}
+
+TEST(SyncEdge, ChannelMoveOnlyPayload) {
+  EventLoop loop;
+  Channel<std::unique_ptr<int>> ch(loop);
+  int got = 0;
+  loop.spawn([](Channel<std::unique_ptr<int>>& c, int& out) -> Task<void> {
+    auto p = co_await c.recv();
+    out = *p;
+  }(ch, got));
+  ch.send(std::make_unique<int>(41));
+  loop.run();
+  EXPECT_EQ(got, 41);
+}
+
+TEST(SyncEdge, BarrierSingleParty) {
+  // A one-party barrier never suspends — phases tick through instantly.
+  EventLoop loop;
+  Barrier bar(loop, 1);
+  int phases = 0;
+  loop.spawn([](Barrier& b, int& p) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await b.arrive_and_wait();
+      ++p;
+    }
+  }(bar, phases));
+  loop.run();
+  EXPECT_EQ(phases, 5);
+}
+
+TEST(ResourceEdge, StatsResetClearsCounters) {
+  EventLoop loop;
+  FifoResource r(loop, 1, "r");
+  loop.spawn([](FifoResource& res) -> Task<void> {
+    co_await res.use(100);
+    co_await res.use(100);
+  }(r));
+  loop.run();
+  EXPECT_EQ(r.requests(), 2u);
+  r.reset_stats();
+  EXPECT_EQ(r.requests(), 0u);
+  EXPECT_EQ(r.total_busy(), 0u);
+  EXPECT_EQ(r.mean_queue_wait_ns(), 0.0);
+}
+
+TEST(ResourceEdge, NextFreeReflectsBookings) {
+  EventLoop loop;
+  FifoResource r(loop, 1);
+  loop.spawn([](EventLoop& l, FifoResource& res) -> Task<void> {
+    EXPECT_EQ(res.next_free(), 0u);
+    (void)res.reserve(250);
+    EXPECT_EQ(res.next_free(), 250u);
+    co_await l.sleep(300);
+    EXPECT_EQ(res.next_free(), 300u);  // idle again; clamped to now
+  }(loop, r));
+  loop.run();
+}
+
+TEST(ResourceEdge, ZeroServiceTimeStillFifo) {
+  EventLoop loop;
+  FifoResource r(loop, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    loop.spawn([](FifoResource& res, std::vector<int>& ord,
+                  int id) -> Task<void> {
+      co_await res.use(0);
+      ord.push_back(id);
+    }(r, order, i));
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace imca::sim

@@ -1,0 +1,164 @@
+// Property tests for the storage substrate:
+//  * PageCache behaves exactly like a reference LRU over (file,page) keys
+//    under random op sequences;
+//  * SlabAllocator accounting invariants hold under random alloc/free churn.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "memcache/slab.h"
+#include "store/page_cache.h"
+
+namespace imca {
+namespace {
+
+// Minimal, obviously-correct LRU used as the oracle.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(std::size_t capacity) : capacity_(capacity) {}
+
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+
+  void touch(std::uint64_t key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (capacity_ == 0) return;
+    while (map_.size() >= capacity_) {
+      map_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(key);
+    map_[key] = order_.begin();
+  }
+
+  void erase_if(const std::function<bool(std::uint64_t)>& pred) {
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(*it)) {
+        map_.erase(*it);
+        it = order_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+};
+
+std::uint64_t key_of(std::uint64_t file, std::uint64_t page) {
+  return file * 1000003 + page;
+}
+
+class PageCacheVsLru : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PageCacheVsLru, RandomOpsMatchReferenceModel) {
+  const std::size_t cap_pages = GetParam();
+  store::PageCache cache(cap_pages * store::PageCache::kPageSize);
+  ReferenceLru oracle(cap_pages);
+  Rng rng(0xCAFE + cap_pages);
+
+  constexpr std::uint64_t kFiles = 4;
+  constexpr std::uint64_t kPages = 24;
+  constexpr std::uint64_t kPage = store::PageCache::kPageSize;
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t file = rng.below(kFiles);
+    const std::uint64_t page = rng.below(kPages);
+    switch (rng.below(4)) {
+      case 0: {  // access one page: promotes into both
+        const bool oracle_hit = oracle.contains(key_of(file, page));
+        const auto missed = cache.access(file, page * kPage, kPage);
+        ASSERT_EQ(missed == 0, oracle_hit)
+            << "step " << step << " f" << file << " p" << page;
+        oracle.touch(key_of(file, page));
+        break;
+      }
+      case 1: {  // access a multi-page run
+        const std::uint64_t n = 1 + rng.below(4);
+        std::uint64_t expect_missing = 0;
+        for (std::uint64_t p = page; p < page + n; ++p) {
+          if (!oracle.contains(key_of(file, p))) ++expect_missing;
+          oracle.touch(key_of(file, p));
+        }
+        const auto missed = cache.access(file, page * kPage, n * kPage);
+        ASSERT_EQ(missed, expect_missing * kPage) << "step " << step;
+        break;
+      }
+      case 2: {  // covered() must agree and not perturb LRU order
+        const bool covered = cache.covered(file, page * kPage, kPage);
+        ASSERT_EQ(covered, oracle.contains(key_of(file, page)))
+            << "step " << step;
+        break;
+      }
+      case 3: {  // invalidate a whole file
+        if (rng.below(8) != 0) break;  // rare, like real unlinks
+        cache.invalidate(file);
+        oracle.erase_if([&](std::uint64_t k) {
+          return k / 1000003 == file;
+        });
+        break;
+      }
+    }
+    ASSERT_EQ(cache.resident_pages(), oracle.size()) << "step " << step;
+    ASSERT_LE(cache.resident_pages(), cap_pages);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, PageCacheVsLru,
+                         ::testing::Values(1, 4, 16, 64));
+
+TEST(SlabProperty, AccountingInvariantsUnderChurn) {
+  memcache::SlabAllocator slabs(8 * kMiB);
+  Rng rng(77);
+  // used chunks we hold per class
+  std::unordered_map<std::uint32_t, std::uint64_t> held;
+  std::uint64_t total_held = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.chance(0.6) || total_held == 0) {
+      const std::uint64_t size = 64 + rng.below(200 * 1024);
+      auto cls = slabs.class_for(size);
+      ASSERT_TRUE(cls.has_value());
+      ASSERT_GE(slabs.chunk_size(*cls), size);
+      if (slabs.alloc(*cls)) {
+        ++held[*cls];
+        ++total_held;
+      } else {
+        // Full: committed memory must actually be at the limit.
+        ASSERT_GT(slabs.committed() + kMiB, slabs.memory_limit());
+      }
+    } else {
+      // Free a random held chunk.
+      auto it = held.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.below(held.size())));
+      slabs.free(it->first);
+      --total_held;
+      if (--it->second == 0) held.erase(it);
+    }
+
+    // Invariants: per-class used matches what we hold; committed pages never
+    // exceed the memory limit; used+free chunks fit in committed pages.
+    ASSERT_LE(slabs.committed(), slabs.memory_limit());
+    std::uint64_t used_total = 0;
+    for (std::uint32_t c = 0; c < slabs.num_classes(); ++c) {
+      used_total += slabs.used_chunks(c);
+      const auto chunk = slabs.chunk_size(c);
+      ASSERT_LE((slabs.used_chunks(c) + slabs.free_chunks(c)) * chunk,
+                slabs.committed());
+    }
+    ASSERT_EQ(used_total, total_held);
+  }
+}
+
+}  // namespace
+}  // namespace imca

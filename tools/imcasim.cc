@@ -1,0 +1,317 @@
+// imcasim — command-line driver for ad-hoc experiments on the simulated
+// testbeds, without writing C++.
+//
+//   imcasim --system=imca --mcds=4 --clients=32 --workload=latency
+//   imcasim --system=gluster --clients=8 --workload=iozone --file-mb=64
+//   imcasim --system=lustre --ds=4 --cold --workload=latency --shared
+//   imcasim --system=nfs --transport=gige --workload=iozone --clients=4
+//   imcasim --system=imca --mcds=2 --workload=stat --files=20000 --csv
+//
+// Run `imcasim --help` for every knob. All runs are deterministic.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cluster/testbed.h"
+#include "common/table.h"
+#include "workload/iozone.h"
+#include "workload/latency_bench.h"
+#include "workload/stat_bench.h"
+
+namespace {
+
+using namespace imca;
+
+struct Options {
+  std::string system = "imca";     // imca | gluster | lustre | nfs
+  std::string workload = "latency";  // latency | stat | iozone | shared
+  std::string transport = "ipoib";   // ipoib | rdma | gige (fabric-wide)
+  std::size_t clients = 4;
+  std::size_t mcds = 2;           // imca only
+  std::size_t ds = 1;             // lustre only
+  std::uint64_t block = 2 * kKiB; // IMCa block size
+  std::string hash = "crc32";     // crc32 | modulo | consistent
+  bool threaded = false;          // SMCache worker thread
+  bool rdma_cache = false;        // verbs path to the MCDs
+  bool cold = false;              // lustre: unmount before reads
+  std::uint64_t max_record = 64 * kKiB;
+  std::size_t records = 128;
+  std::size_t files = 4096;       // stat workload
+  std::uint64_t file_mb = 32;     // iozone
+  std::uint64_t mcd_mb = 0;       // 0 = default 6 GB
+  std::uint64_t server_cache_mb = 0;  // 0 = default
+  bool csv = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code ? stderr : stdout,
+      "imcasim — drive the IMCa reproduction testbeds from the shell\n"
+      "\n"
+      "  --system=imca|gluster|lustre|nfs   file system under test\n"
+      "  --workload=latency|stat|iozone|shared\n"
+      "  --transport=ipoib|rdma|gige        fabric transport (default ipoib)\n"
+      "  --clients=N                        client nodes (default 4)\n"
+      "  --mcds=N          cache daemons (imca; default 2)\n"
+      "  --ds=N            data servers (lustre; default 1)\n"
+      "  --block=BYTES     IMCa block size (default 2048)\n"
+      "  --hash=crc32|modulo|consistent     key->MCD placement\n"
+      "  --threaded        SMCache worker-thread updates\n"
+      "  --rdma-cache      reach the MCDs over native verbs\n"
+      "  --cold            lustre: drop client caches before reads\n"
+      "  --max-record=BYTES  latency sweep ceiling (default 65536)\n"
+      "  --records=N         records per size (default 128)\n"
+      "  --files=N           stat workload file count (default 4096)\n"
+      "  --file-mb=N         iozone per-client file size (default 32)\n"
+      "  --mcd-mb=N          per-daemon memory (default 6144)\n"
+      "  --server-cache-mb=N server page cache\n"
+      "  --csv               machine-readable tables\n");
+  std::exit(code);
+}
+
+std::optional<std::string> flag_value(const char* arg, const char* name) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    return std::string(arg + n + 1);
+  }
+  return std::nullopt;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) usage(0);
+    if (!std::strcmp(a, "--threaded")) { o.threaded = true; continue; }
+    if (!std::strcmp(a, "--rdma-cache")) { o.rdma_cache = true; continue; }
+    if (!std::strcmp(a, "--cold")) { o.cold = true; continue; }
+    if (!std::strcmp(a, "--csv")) { o.csv = true; continue; }
+    bool matched = false;
+    const auto str = [&](const char* name, std::string& out) {
+      if (auto v = flag_value(a, name)) { out = *v; matched = true; }
+    };
+    const auto num = [&](const char* name, auto& out) {
+      if (auto v = flag_value(a, name)) {
+        out = static_cast<std::decay_t<decltype(out)>>(
+            std::strtoull(v->c_str(), nullptr, 10));
+        matched = true;
+      }
+    };
+    str("--system", o.system);
+    str("--workload", o.workload);
+    str("--transport", o.transport);
+    str("--hash", o.hash);
+    num("--clients", o.clients);
+    num("--mcds", o.mcds);
+    num("--ds", o.ds);
+    num("--block", o.block);
+    num("--max-record", o.max_record);
+    num("--records", o.records);
+    num("--files", o.files);
+    num("--file-mb", o.file_mb);
+    num("--mcd-mb", o.mcd_mb);
+    num("--server-cache-mb", o.server_cache_mb);
+    if (!matched) {
+      std::fprintf(stderr, "unknown flag: %s\n\n", a);
+      usage(2);
+    }
+  }
+  if (o.clients == 0) usage(2);
+  return o;
+}
+
+net::TransportParams transport_of(const Options& o) {
+  if (o.transport == "rdma") return net::ib_rdma();
+  if (o.transport == "gige") return net::gige();
+  if (o.transport == "ipoib") return net::ipoib_rc();
+  std::fprintf(stderr, "unknown transport: %s\n", o.transport.c_str());
+  usage(2);
+}
+
+core::HashScheme hash_of(const Options& o) {
+  if (o.hash == "crc32") return core::HashScheme::kCrc32;
+  if (o.hash == "modulo") return core::HashScheme::kModulo;
+  if (o.hash == "consistent") return core::HashScheme::kConsistent;
+  std::fprintf(stderr, "unknown hash: %s\n", o.hash.c_str());
+  usage(2);
+}
+
+// Any of the four systems behind one set of FileSystemClient pointers.
+struct Rig {
+  std::unique_ptr<cluster::GlusterTestbed> gluster;
+  std::unique_ptr<cluster::LustreTestbed> lustre;
+  std::unique_ptr<cluster::NfsTestbed> nfs;
+
+  sim::EventLoop& loop() {
+    if (gluster) return gluster->loop();
+    if (lustre) return lustre->loop();
+    return nfs->loop();
+  }
+  std::vector<fsapi::FileSystemClient*> clients() {
+    std::vector<fsapi::FileSystemClient*> out;
+    const auto grab = [&out](auto& tb) {
+      for (std::size_t i = 0; i < tb.n_clients(); ++i) {
+        out.push_back(&tb.client(i));
+      }
+    };
+    if (gluster) grab(*gluster);
+    if (lustre) grab(*lustre);
+    if (nfs) grab(*nfs);
+    return out;
+  }
+};
+
+Rig build(const Options& o) {
+  Rig rig;
+  if (o.system == "imca" || o.system == "gluster") {
+    cluster::GlusterTestbedConfig cfg;
+    cfg.n_clients = o.clients;
+    cfg.n_mcds = o.system == "imca" ? o.mcds : 0;
+    cfg.transport = transport_of(o);
+    cfg.imca.block_size = o.block;
+    cfg.imca.hash = hash_of(o);
+    cfg.imca.threaded_updates = o.threaded;
+    cfg.imca.rdma_cache_path = o.rdma_cache;
+    if (o.mcd_mb) cfg.mcd_memory = o.mcd_mb * kMiB;
+    if (o.server_cache_mb) {
+      cfg.server.page_cache_bytes = o.server_cache_mb * kMiB;
+    }
+    rig.gluster = std::make_unique<cluster::GlusterTestbed>(cfg);
+  } else if (o.system == "lustre") {
+    cluster::LustreTestbedConfig cfg;
+    cfg.n_clients = o.clients;
+    cfg.n_ds = o.ds;
+    cfg.transport = transport_of(o);
+    if (o.server_cache_mb) cfg.ds.page_cache_bytes = o.server_cache_mb * kMiB;
+    rig.lustre = std::make_unique<cluster::LustreTestbed>(cfg);
+  } else if (o.system == "nfs") {
+    cluster::NfsTestbedConfig cfg;
+    cfg.n_clients = o.clients;
+    cfg.transport = transport_of(o);
+    if (o.server_cache_mb) {
+      cfg.server.page_cache_bytes = o.server_cache_mb * kMiB;
+    }
+    rig.nfs = std::make_unique<cluster::NfsTestbed>(cfg);
+  } else {
+    std::fprintf(stderr, "unknown system: %s\n", o.system.c_str());
+    usage(2);
+  }
+  return rig;
+}
+
+void print_table(const Table& t, const Options& o) {
+  if (o.csv) {
+    t.print_csv();
+  } else {
+    t.print();
+  }
+}
+
+int run_latency(Rig& rig, const Options& o, bool shared) {
+  workload::LatencyOptions opt;
+  opt.max_record = o.max_record;
+  opt.records_per_size = o.records;
+  opt.shared_file = shared;
+  if (o.cold && rig.lustre) {
+    opt.before_read_phase = [&rig](std::size_t) { rig.lustre->cold_all(); };
+  }
+  const auto series =
+      workload::run_latency_benchmark(rig.loop(), rig.clients(), opt);
+  Table t({"record_bytes", "read_us", "write_us"});
+  for (const auto& [r, read_ns] : series.read_ns) {
+    const auto w = series.write_ns.find(r);
+    t.add_row({Table::cell(r), Table::cell(read_ns / 1e3),
+               w == series.write_ns.end() ? "-" : Table::cell(w->second / 1e3)});
+  }
+  print_table(t, o);
+  return 0;
+}
+
+int run_stat(Rig& rig, const Options& o) {
+  workload::StatOptions opt;
+  opt.n_files = o.files;
+  const auto r = workload::run_stat_benchmark(rig.loop(), rig.clients(), opt);
+  Table t({"metric", "value"});
+  t.add_row({"files", Table::cell(static_cast<std::uint64_t>(o.files))});
+  t.add_row({"clients", Table::cell(static_cast<std::uint64_t>(o.clients))});
+  t.add_row({"total_stats", Table::cell(r.total_stats)});
+  t.add_row({"max_node_seconds", Table::cell(r.max_node_seconds, 4)});
+  t.add_row({"stats_per_second",
+             Table::cell(static_cast<double>(r.total_stats) /
+                             r.max_node_seconds,
+                         0)});
+  print_table(t, o);
+  return 0;
+}
+
+int run_iozone(Rig& rig, const Options& o) {
+  workload::IozoneOptions opt;
+  opt.file_bytes = o.file_mb * kMiB;
+  if (o.cold && rig.lustre) {
+    opt.before_read_phase = [&rig](std::size_t) { rig.lustre->cold_all(); };
+  }
+  const auto r = workload::run_iozone(rig.loop(), rig.clients(), opt);
+  Table t({"metric", "value"});
+  t.add_row({"threads", Table::cell(static_cast<std::uint64_t>(o.clients))});
+  t.add_row({"file_mb_per_thread",
+             Table::cell(static_cast<std::uint64_t>(o.file_mb))});
+  t.add_row({"write_MBps", Table::cell(r.aggregate_write_mbps, 1)});
+  t.add_row({"read_MBps", Table::cell(r.aggregate_read_mbps, 1)});
+  print_table(t, o);
+  return 0;
+}
+
+void print_cache_report(Rig& rig) {
+  if (!rig.gluster || !rig.gluster->imca_enabled()) return;
+  const auto totals = rig.gluster->mcd_totals();
+  std::printf("# MCD bank: gets=%llu hits=%llu misses=%llu evictions=%llu"
+              " items=%llu bytes=%llu\n",
+              static_cast<unsigned long long>(totals.cmd_get),
+              static_cast<unsigned long long>(totals.get_hits),
+              static_cast<unsigned long long>(totals.get_misses),
+              static_cast<unsigned long long>(totals.evictions),
+              static_cast<unsigned long long>(totals.curr_items),
+              static_cast<unsigned long long>(totals.bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  Rig rig = build(o);
+
+  std::printf("# system=%s workload=%s transport=%s clients=%zu",
+              o.system.c_str(), o.workload.c_str(), o.transport.c_str(),
+              o.clients);
+  if (o.system == "imca") {
+    std::printf(" mcds=%zu block=%llu hash=%s%s%s", o.mcds,
+                static_cast<unsigned long long>(o.block), o.hash.c_str(),
+                o.threaded ? " threaded" : "",
+                o.rdma_cache ? " rdma-cache" : "");
+  }
+  if (o.system == "lustre") {
+    std::printf(" ds=%zu%s", o.ds, o.cold ? " cold" : "");
+  }
+  std::printf("\n");
+
+  int rc = 2;
+  if (o.workload == "latency") {
+    rc = run_latency(rig, o, /*shared=*/false);
+  } else if (o.workload == "shared") {
+    rc = run_latency(rig, o, /*shared=*/true);
+  } else if (o.workload == "stat") {
+    rc = run_stat(rig, o);
+  } else if (o.workload == "iozone") {
+    rc = run_iozone(rig, o);
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", o.workload.c_str());
+    usage(2);
+  }
+  print_cache_report(rig);
+  std::printf("# simulated_time=%s\n",
+              format_duration(static_cast<double>(rig.loop().now())).c_str());
+  return rc;
+}
