@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_net.dir/fabric.cc.o"
+  "CMakeFiles/imca_net.dir/fabric.cc.o.d"
+  "CMakeFiles/imca_net.dir/rpc.cc.o"
+  "CMakeFiles/imca_net.dir/rpc.cc.o.d"
+  "CMakeFiles/imca_net.dir/transport.cc.o"
+  "CMakeFiles/imca_net.dir/transport.cc.o.d"
+  "libimca_net.a"
+  "libimca_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

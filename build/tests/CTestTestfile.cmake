@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/memcache_test[1]_include.cmake")
+include("/root/repo/build/tests/mcclient_test[1]_include.cmake")
+include("/root/repo/build/tests/gluster_test[1]_include.cmake")
+include("/root/repo/build/tests/imca_test[1]_include.cmake")
+include("/root/repo/build/tests/lustre_test[1]_include.cmake")
+include("/root/repo/build/tests/nfs_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/memcache_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/cached_lustre_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/store_property_test[1]_include.cmake")
+add_test(imcasim_smoke_imca "/root/repo/build/tools/imcasim" "--system=imca" "--mcds=2" "--clients=4" "--workload=stat" "--files=300")
+set_tests_properties(imcasim_smoke_imca PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;55;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(imcasim_smoke_lustre "/root/repo/build/tools/imcasim" "--system=lustre" "--ds=2" "--cold" "--clients=2" "--workload=latency" "--max-record=4096" "--records=32")
+set_tests_properties(imcasim_smoke_lustre PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;58;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(imcasim_smoke_nfs "/root/repo/build/tools/imcasim" "--system=nfs" "--transport=gige" "--clients=2" "--workload=iozone" "--file-mb=4")
+set_tests_properties(imcasim_smoke_nfs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(imcasim_smoke_rdma_modulo "/root/repo/build/tools/imcasim" "--system=imca" "--mcds=3" "--rdma-cache" "--hash=modulo" "--threaded" "--clients=2" "--workload=iozone" "--file-mb=4")
+set_tests_properties(imcasim_smoke_rdma_modulo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;64;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(failure_drill_example "/root/repo/build/examples/failure_drill")
+set_tests_properties(failure_drill_example PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")
