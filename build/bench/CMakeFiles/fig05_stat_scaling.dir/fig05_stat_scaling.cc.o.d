@@ -248,5 +248,6 @@ bench/CMakeFiles/fig05_stat_scaling.dir/fig05_stat_scaling.cc.o: \
  /root/repo/src/imca/cmcache.h /root/repo/src/imca/block_mapper.h \
  /root/repo/src/imca/config.h /root/repo/src/mcclient/client.h \
  /root/repo/src/mcclient/selector.h /root/repo/src/common/crc32.h \
- /root/repo/src/imca/keys.h /root/repo/src/imca/smcache.h \
- /root/repo/src/common/table.h /root/repo/src/workload/stat_bench.h
+ /root/repo/src/imca/keys.h /root/repo/src/imca/singleflight.h \
+ /root/repo/src/imca/smcache.h /root/repo/src/common/table.h \
+ /root/repo/src/workload/stat_bench.h

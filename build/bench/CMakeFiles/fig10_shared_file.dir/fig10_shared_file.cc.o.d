@@ -247,6 +247,7 @@ bench/CMakeFiles/fig10_shared_file.dir/fig10_shared_file.cc.o: \
  /root/repo/src/imca/cmcache.h /root/repo/src/imca/block_mapper.h \
  /root/repo/src/imca/config.h /root/repo/src/mcclient/client.h \
  /root/repo/src/mcclient/selector.h /root/repo/src/common/crc32.h \
- /root/repo/src/imca/keys.h /root/repo/src/imca/smcache.h \
- /root/repo/src/common/table.h /root/repo/src/workload/latency_bench.h \
- /root/repo/src/common/stats.h /usr/include/c++/12/limits
+ /root/repo/src/imca/keys.h /root/repo/src/imca/singleflight.h \
+ /root/repo/src/imca/smcache.h /root/repo/src/common/table.h \
+ /root/repo/src/workload/latency_bench.h /root/repo/src/common/stats.h \
+ /usr/include/c++/12/limits

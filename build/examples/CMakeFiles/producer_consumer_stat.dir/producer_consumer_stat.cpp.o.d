@@ -248,4 +248,5 @@ examples/CMakeFiles/producer_consumer_stat.dir/producer_consumer_stat.cpp.o: \
  /root/repo/src/imca/cmcache.h /root/repo/src/imca/block_mapper.h \
  /root/repo/src/imca/config.h /root/repo/src/mcclient/client.h \
  /root/repo/src/mcclient/selector.h /root/repo/src/common/crc32.h \
- /root/repo/src/imca/keys.h /root/repo/src/imca/smcache.h
+ /root/repo/src/imca/keys.h /root/repo/src/imca/singleflight.h \
+ /root/repo/src/imca/smcache.h

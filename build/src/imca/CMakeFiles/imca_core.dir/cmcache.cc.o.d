@@ -194,12 +194,12 @@ src/imca/CMakeFiles/imca_core.dir/cmcache.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/gluster/xlator.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/expected.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/gluster/xlator.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /root/repo/src/common/expected.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant \
@@ -235,4 +235,5 @@ src/imca/CMakeFiles/imca_core.dir/cmcache.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/net/transport.h /root/repo/src/imca/keys.h
+ /root/repo/src/net/transport.h /root/repo/src/imca/keys.h \
+ /root/repo/src/imca/singleflight.h /root/repo/src/sim/sync.h

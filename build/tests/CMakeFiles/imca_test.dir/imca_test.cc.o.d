@@ -319,5 +319,5 @@ tests/CMakeFiles/imca_test.dir/imca_test.cc.o: \
  /root/repo/src/imca/config.h /root/repo/src/mcclient/client.h \
  /root/repo/src/mcclient/selector.h /root/repo/src/common/crc32.h \
  /root/repo/src/memcache/protocol.h /root/repo/src/memcache/cache.h \
- /root/repo/src/imca/keys.h /root/repo/src/imca/smcache.h \
- /root/repo/src/memcache/server.h
+ /root/repo/src/imca/keys.h /root/repo/src/imca/singleflight.h \
+ /root/repo/src/imca/smcache.h /root/repo/src/memcache/server.h

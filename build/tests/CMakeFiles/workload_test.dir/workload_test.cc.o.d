@@ -322,6 +322,7 @@ tests/CMakeFiles/workload_test.dir/workload_test.cc.o: \
  /root/repo/src/imca/cmcache.h /root/repo/src/imca/block_mapper.h \
  /root/repo/src/imca/config.h /root/repo/src/mcclient/client.h \
  /root/repo/src/mcclient/selector.h /root/repo/src/common/crc32.h \
- /root/repo/src/imca/keys.h /root/repo/src/imca/smcache.h \
- /root/repo/src/workload/iozone.h /root/repo/src/workload/latency_bench.h \
- /root/repo/src/common/stats.h /root/repo/src/workload/stat_bench.h
+ /root/repo/src/imca/keys.h /root/repo/src/imca/singleflight.h \
+ /root/repo/src/imca/smcache.h /root/repo/src/workload/iozone.h \
+ /root/repo/src/workload/latency_bench.h /root/repo/src/common/stats.h \
+ /root/repo/src/workload/stat_bench.h

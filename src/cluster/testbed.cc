@@ -18,7 +18,7 @@ GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
 
   server_ = std::make_unique<gluster::GlusterServer>(rpc_, server_node,
                                                      cfg_.server);
-  if (!mcds_.empty()) {
+  if (!mcds_.empty() && cfg_.smcache) {
     auto sm = std::make_unique<core::SmCacheXlator>(
         loop_,
         std::make_unique<mcclient::McClient>(

@@ -33,6 +33,10 @@ namespace imca::cluster {
 struct GlusterTestbedConfig {
   std::size_t n_clients = 1;
   std::size_t n_mcds = 0;  // 0 = plain GlusterFS ("NoCache")
+  // Wire SMCache into the server stack. false isolates the client-side
+  // machinery (partial hits, read-repair): nothing repopulates the MCDs
+  // except the clients themselves.
+  bool smcache = true;
   core::ImcaConfig imca;
   std::uint64_t mcd_memory = kMcdMemoryBytes;
   net::TransportParams transport = net::ipoib_rc();

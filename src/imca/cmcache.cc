@@ -1,8 +1,17 @@
 #include "imca/cmcache.h"
 
 #include <algorithm>
+#include <cassert>
+
+#include "sim/sync.h"
 
 namespace imca::core {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+}  // namespace
 
 sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
   auto cached = co_await mcds_->get(stat_key(path));
@@ -22,7 +31,14 @@ sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
 sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read(
     const std::string& path, std::uint64_t offset, std::uint64_t len) {
   if (len == 0) co_return std::vector<std::byte>{};
+  if (!cfg_.partial_hit_reads) {
+    co_return co_await read_forward_on_miss(path, offset, len);
+  }
+  co_return co_await read_partial_hit(path, offset, len);
+}
 
+sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_forward_on_miss(
+    const std::string& path, std::uint64_t offset, std::uint64_t len) {
   const auto blocks = mapper_.covering(offset, len);
   std::vector<std::string> keys;
   std::vector<std::uint64_t> hints;
@@ -74,6 +90,227 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read(
   co_return std::vector<std::byte>(
       assembled.begin() + static_cast<std::ptrdiff_t>(skip),
       assembled.begin() + static_cast<std::ptrdiff_t>(skip + take));
+}
+
+sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
+    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+  const std::uint64_t bs = mapper_.block_size();
+  const auto blocks = mapper_.covering(offset, len);
+  stats_.blocks_requested += blocks.size();
+
+  // One slot per covering block, in ascending block order. Every slot ends
+  // the pipeline below holding `bytes` (possibly short or empty = EOF) or
+  // `failed`.
+  struct Slot {
+    std::uint64_t block = 0;
+    std::string key;
+    BlockBytes bytes;          // null until resolved
+    bool from_server = false;  // resolved by this read's own range fetch
+    bool failed = false;
+    SingleFlight<BlockResult>::FlightPtr waiting;  // someone else is fetching
+    SingleFlight<BlockResult>::FlightPtr leading;  // we must complete this
+  };
+  std::vector<Slot> slots(blocks.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i].block = blocks[i];
+    slots[i].key = data_key(path, mapper_.start_of(blocks[i]));
+  }
+
+  // 1. Join the per-block single-flights. Blocks another read is already
+  //    resolving are awaited (step 5), not re-fetched; all other blocks are
+  //    owned by this read, which must publish their results.
+  if (cfg_.coalesce_reads) {
+    for (auto& s : slots) {
+      auto [flight, leader] = inflight_.join(s.key);
+      if (leader) {
+        s.leading = std::move(flight);
+      } else {
+        s.waiting = std::move(flight);
+        ++stats_.coalesced_waiters;
+      }
+    }
+  }
+
+  // 2. One batched multi-get for the owned blocks.
+  std::vector<std::string> get_keys;
+  std::vector<std::uint64_t> get_hints;
+  std::vector<std::size_t> get_slots;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].waiting) continue;
+    get_keys.push_back(slots[i].key);
+    get_hints.push_back(slots[i].block);
+    get_slots.push_back(i);
+  }
+  std::size_t cached_hits = 0;
+  if (!get_keys.empty()) {
+    auto got = co_await mcds_->multi_get_ordered(std::move(get_keys), get_hints);
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      if (!got[j]) continue;
+      auto& s = slots[get_slots[j]];
+      s.bytes = std::make_shared<const std::vector<std::byte>>(
+          std::move(got[j]->data));
+      ++cached_hits;
+      if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{s.bytes});
+    }
+  }
+  stats_.blocks_hit += cached_hits;
+
+  // 3. A short cached block marks EOF: owned blocks after it cannot hold
+  //    data, so resolve them to empty instead of asking the server.
+  std::size_t eof_slot = kNone;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].bytes && slots[i].bytes->size() < bs) {
+      eof_slot = i;
+      break;
+    }
+  }
+  if (eof_slot != kNone) {
+    for (std::size_t i = eof_slot + 1; i < slots.size(); ++i) {
+      auto& s = slots[i];
+      if (s.bytes || s.waiting) continue;
+      s.bytes = std::make_shared<const std::vector<std::byte>>();
+      if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{s.bytes});
+    }
+  }
+
+  // 4. Fetch each contiguous run of still-unresolved owned blocks as one
+  //    server range-read, all runs issued concurrently.
+  struct Run {
+    std::size_t first = 0;  // slot index
+    std::size_t count = 0;
+    std::vector<std::byte> data;
+    Errc error = Errc::kOk;
+  };
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < slots.size();) {
+    if (slots[i].bytes || slots[i].waiting) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < slots.size() && !slots[j].bytes && !slots[j].waiting) ++j;
+    runs.push_back(Run{i, j - i, {}, Errc::kOk});
+    i = j;
+  }
+  if (!runs.empty()) {
+    stats_.range_fetches += runs.size();
+    std::vector<sim::Task<void>> fetches;
+    fetches.reserve(runs.size());
+    for (auto& run : runs) {
+      const std::uint64_t start = mapper_.start_of(slots[run.first].block);
+      const std::uint64_t length = static_cast<std::uint64_t>(run.count) * bs;
+      fetches.push_back([](gluster::Xlator& child, const std::string& p,
+                           std::uint64_t s, std::uint64_t l,
+                           Run& out) -> sim::Task<void> {
+        auto data = co_await child.read(p, s, l);
+        if (data) {
+          out.data = std::move(*data);
+        } else {
+          out.error = data.error();
+        }
+      }(*child_, path, start, length, run));
+    }
+    co_await sim::when_all(mcds_->loop(), std::move(fetches));
+  }
+
+  // 5. Distribute each run's bytes back to its slots (a slice past the end
+  //    of the returned data is an empty block = at/after EOF). A failed run
+  //    fails its slots; either way every led flight is completed so waiters
+  //    never hang.
+  for (const auto& run : runs) {
+    for (std::size_t k = 0; k < run.count; ++k) {
+      auto& s = slots[run.first + k];
+      if (run.error != Errc::kOk) {
+        s.failed = true;
+        if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{run.error});
+        continue;
+      }
+      const std::size_t lo =
+          std::min(run.data.size(), static_cast<std::size_t>(k * bs));
+      const std::size_t hi =
+          std::min(run.data.size(), static_cast<std::size_t>((k + 1) * bs));
+      s.bytes = std::make_shared<const std::vector<std::byte>>(
+          run.data.begin() + static_cast<std::ptrdiff_t>(lo),
+          run.data.begin() + static_cast<std::ptrdiff_t>(hi));
+      s.from_server = true;
+      if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{s.bytes});
+    }
+  }
+
+  // 6. Read-repair: push the server-fetched blocks into the MCD array,
+  //    fire-and-forget, so the next reader hits. Empty blocks are skipped —
+  //    mirroring SMCache's publish rule — so a block at/after EOF never
+  //    becomes a cached false EOF marker.
+  if (cfg_.client_read_repair) {
+    std::vector<Repair> repairs;
+    for (const auto& s : slots) {
+      if (s.from_server && s.bytes && !s.bytes->empty()) {
+        repairs.push_back(Repair{s.key, s.block, s.bytes});
+      }
+    }
+    if (!repairs.empty()) {
+      mcds_->loop().spawn(repair_blocks(std::move(repairs)));
+    }
+  }
+
+  // 7. Collect blocks other reads were already fetching.
+  bool any_waited = false;
+  for (auto& s : slots) {
+    if (!s.waiting) continue;
+    any_waited = true;
+    co_await s.waiting->done.wait();
+    const BlockResult& r = *s.waiting->value;
+    if (r) {
+      s.bytes = *r;  // share the leader's buffer
+    } else {
+      s.failed = true;
+    }
+  }
+
+  // 8. Any failed slot (server range-read error, here or in the flight we
+  //    joined): fall back to forwarding the whole original read, which
+  //    yields the server's own answer/error for exactly the bytes asked.
+  //    All led flights were completed above, so nobody is left hanging.
+  if (std::any_of(slots.begin(), slots.end(),
+                  [](const Slot& s) { return s.failed; })) {
+    ++stats_.reads_forwarded;
+    co_return co_await child_->read(path, offset, len);
+  }
+
+  // 9. Assemble in block order; a short block ends the file.
+  std::vector<std::byte> assembled;
+  assembled.reserve(mapper_.aligned_length(offset, len));
+  bool hit_server = false;
+  for (const auto& s : slots) {
+    assembled.insert(assembled.end(), s.bytes->begin(), s.bytes->end());
+    hit_server = hit_server || s.from_server;
+    if (s.bytes->size() < bs) break;  // short block = EOF
+  }
+
+  if (!hit_server) {
+    // Every block came from the MCD array or from a flight another read was
+    // already resolving — either way this read issued no server I/O.
+    ++stats_.reads_from_cache;
+  } else if (cached_hits > 0 || any_waited) {
+    ++stats_.reads_partial;
+  } else {
+    ++stats_.reads_forwarded;  // nothing cached helped; all bytes from server
+  }
+
+  const std::uint64_t skip = offset - mapper_.align_down(offset);
+  if (assembled.size() <= skip) co_return std::vector<std::byte>{};  // EOF
+  const std::uint64_t avail = assembled.size() - skip;
+  const std::uint64_t take = std::min(len, avail);
+  co_return std::vector<std::byte>(
+      assembled.begin() + static_cast<std::ptrdiff_t>(skip),
+      assembled.begin() + static_cast<std::ptrdiff_t>(skip + take));
+}
+
+sim::Task<void> CmCacheXlator::repair_blocks(std::vector<Repair> repairs) {
+  for (auto& r : repairs) {
+    auto stored = co_await mcds_->set(r.key, *r.bytes, r.block);
+    if (stored) ++stats_.blocks_repaired;
+  }
 }
 
 }  // namespace imca::core

@@ -5,22 +5,36 @@
 //             propagates to the server unchanged.
 //   * read  — map the request to IMCa blocks, multi-get them from the MCDs
 //             (batched per daemon, hints carry the block index for the
-//             modulo selector). If EVERY needed block is present, assemble
-//             and return locally; if ANY misses, forward the whole read to
-//             the server — which is why cold misses cost more than in plain
-//             GlusterFS (§4.4).
+//             modulo selector) and assemble locally.
 //   * write/create/delete/open/close — pass through untouched; the server
-//     side (SMCache) owns all cache updates and purges, keeping the client
-//     completely lockless.
+//     side (SMCache) owns authoritative cache updates and purges.
+//
+// Miss-path handling (see DESIGN.md "Miss-path handling"): the paper's
+// CMCache discards every hit as soon as one covering block misses and
+// forwards the whole read, which is why a cold read costs *more* than plain
+// GlusterFS (§4.4). This implementation instead:
+//   1. assembles partial hits — only the missing byte ranges are fetched
+//      from the server (one coalesced range-read per contiguous run of
+//      missing blocks, issued concurrently) and spliced with cached blocks;
+//   2. read-repairs — server-fetched blocks are pushed back into the MCD
+//      array fire-and-forget, so one miss warms the cache without waiting
+//      for SMCache's server-side publish (cfg.client_read_repair);
+//   3. single-flights — concurrent fetches of the same <path>:<block>
+//      collapse into one MCD fetch + one server range-read
+//      (cfg.coalesce_reads).
+// cfg.partial_hit_reads = false restores the paper's forward-on-any-miss
+// behaviour (the ablation baseline).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "gluster/xlator.h"
 #include "imca/block_mapper.h"
 #include "imca/config.h"
 #include "imca/keys.h"
+#include "imca/singleflight.h"
 #include "mcclient/client.h"
 
 namespace imca::core {
@@ -29,16 +43,23 @@ struct CmCacheStats {
   std::uint64_t stat_hits = 0;
   std::uint64_t stat_misses = 0;
   std::uint64_t reads_from_cache = 0;   // fully served by the MCD array
-  std::uint64_t reads_forwarded = 0;    // at least one block missed
+  std::uint64_t reads_partial = 0;      // cached blocks spliced with server ranges
+  std::uint64_t reads_forwarded = 0;    // no cached block helped; all from server
   std::uint64_t blocks_requested = 0;
   std::uint64_t blocks_hit = 0;
+  std::uint64_t range_fetches = 0;      // coalesced server range-reads issued
+  std::uint64_t blocks_repaired = 0;    // read-repair sets that landed on an MCD
+  std::uint64_t coalesced_waiters = 0;  // block fetches piggybacked on a flight
 };
 
 class CmCacheXlator final : public gluster::Xlator {
  public:
   // `mcds` is the client's own connection set to the cache bank.
   CmCacheXlator(std::unique_ptr<mcclient::McClient> mcds, ImcaConfig cfg)
-      : mcds_(std::move(mcds)), mapper_(cfg.block_size), cfg_(cfg) {}
+      : mcds_(std::move(mcds)),
+        mapper_(cfg.block_size),
+        cfg_(cfg),
+        inflight_(mcds_->loop()) {}
 
   sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
   sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
@@ -52,10 +73,32 @@ class CmCacheXlator final : public gluster::Xlator {
   const BlockMapper& mapper() const noexcept { return mapper_; }
 
  private:
+  // A resolved block's bytes: full block, short (EOF inside the block) or
+  // empty (at/after EOF). Shared so single-flight waiters splice the same
+  // buffer the leader produced, without copies.
+  using BlockBytes = std::shared_ptr<const std::vector<std::byte>>;
+  using BlockResult = Expected<BlockBytes>;
+
+  struct Repair {
+    std::string key;
+    std::uint64_t block = 0;  // routing hint for the modulo selector
+    BlockBytes bytes;
+  };
+
+  // The paper's path: any miss discards the hits and forwards the whole read.
+  sim::Task<Expected<std::vector<std::byte>>> read_forward_on_miss(
+      const std::string& path, std::uint64_t offset, std::uint64_t len);
+  // The rebuilt path: partial-hit assembly + read-repair + single-flight.
+  sim::Task<Expected<std::vector<std::byte>>> read_partial_hit(
+      const std::string& path, std::uint64_t offset, std::uint64_t len);
+  // Fire-and-forget: push server-fetched blocks into the MCD array.
+  sim::Task<void> repair_blocks(std::vector<Repair> repairs);
+
   std::unique_ptr<mcclient::McClient> mcds_;
   BlockMapper mapper_;
   ImcaConfig cfg_;
   CmCacheStats stats_;
+  SingleFlight<BlockResult> inflight_;
 };
 
 }  // namespace imca::core

@@ -34,6 +34,25 @@ struct ImcaConfig {
   // hash ring).
   std::size_t max_mcds = 16;
 
+  // --- miss-path handling (DESIGN.md "Miss-path handling") ---
+
+  // Assemble partial hits: when some covering blocks hit and some miss,
+  // fetch only the missing byte ranges from the server and splice them with
+  // the cached blocks. false = the paper's behaviour, where any miss
+  // discards the hits and forwards the whole read — the §4.4 penalty that
+  // makes a cold read cost more than plain GlusterFS.
+  bool partial_hit_reads = true;
+
+  // Client-side read-repair: push server-fetched blocks back into the MCD
+  // array from the client (fire-and-forget sets), so a single miss warms the
+  // cache without waiting for SMCache's server-side publish.
+  bool client_read_repair = true;
+
+  // Single-flight coalescing: concurrent fetches of the same <path>:<block>
+  // collapse into one MCD fetch + one server range-read; late arrivals wait
+  // for the in-flight result instead of repeating the work.
+  bool coalesce_reads = true;
+
   // Reach the cache bank over native IB verbs/RDMA instead of TCP over
   // IPoIB — the paper's future work: "how network mechanisms like Remote
   // Direct Memory Access (RDMA) in InfiniBand can help reduce the overhead

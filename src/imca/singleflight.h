@@ -1,0 +1,68 @@
+// Single-flight request coalescing (thundering-herd protection).
+//
+// When N readers race for the same cold cache block — the shared-file
+// workload of Fig 10 — each would otherwise issue its own MCD fetch and its
+// own server range-read. A SingleFlight table keyed on "<path>:<block>"
+// collapses them: the first arrival becomes the *leader* and performs the
+// fetch; everyone who joins while it is in flight parks on the flight's
+// event and receives the leader's result. The key leaves the table before
+// waiters wake, so a request arriving after completion starts a fresh flight
+// (coalescing never serves stale results — it only deduplicates work that is
+// literally concurrent).
+//
+// MIDAS-style proxy deduplication, applied at the client: one MCD fetch and
+// one server range-read per cold hot-block, no matter how many readers pile
+// on.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/sync.h"
+
+namespace imca::core {
+
+template <typename V>
+class SingleFlight {
+ public:
+  struct Flight {
+    explicit Flight(sim::EventLoop& loop) : done(loop) {}
+    sim::Event done;
+    std::optional<V> value;  // set by the leader before done fires
+  };
+  using FlightPtr = std::shared_ptr<Flight>;
+
+  explicit SingleFlight(sim::EventLoop& loop) noexcept : loop_(loop) {}
+
+  // Join the flight for `key`. Returns (flight, true) when this caller is
+  // the leader — it MUST eventually call complete() on every path, or
+  // waiters hang. Returns (flight, false) when an earlier caller is already
+  // fetching: `co_await flight->done.wait()`, then read `flight->value`.
+  std::pair<FlightPtr, bool> join(const std::string& key) {
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      return {it->second, false};
+    }
+    auto flight = std::make_shared<Flight>(loop_);
+    inflight_.emplace(key, flight);
+    return {flight, true};
+  }
+
+  // Leader: publish the result and wake every waiter. The key is removed
+  // first so requests arriving after completion start a fresh flight.
+  void complete(const std::string& key, const FlightPtr& flight, V value) {
+    inflight_.erase(key);
+    flight->value.emplace(std::move(value));
+    flight->done.set();
+  }
+
+  std::size_t in_flight() const noexcept { return inflight_.size(); }
+
+ private:
+  sim::EventLoop& loop_;
+  std::unordered_map<std::string, FlightPtr> inflight_;
+};
+
+}  // namespace imca::core

@@ -63,28 +63,51 @@ sim::Task<Expected<Value>> McClient::get(std::string key,
   co_return std::move(it->second);
 }
 
-sim::Task<GetResult> McClient::multi_get(std::vector<std::string> keys,
-                                         std::span<const std::uint64_t> hints) {
-  assert(hints.empty() || hints.size() == keys.size());
-  // Group keys by daemon, preserving order within each group.
-  std::map<std::size_t, std::vector<std::string>> by_server;
-  for (std::size_t i = 0; i < keys.size(); ++i) {
+McClient::KeyGroups McClient::group_by_server(
+    std::vector<std::string> keys,
+    std::span<const std::uint64_t> hints) const {
+  const std::size_t n = keys.size();
+  KeyGroups g;
+  g.server_of.resize(n);
+  g.pos_of.resize(n);
+  // Route everything first so each group can reserve its exact size; then
+  // move (never copy) each key into its group, preserving input order within
+  // the group.
+  std::map<std::size_t, std::size_t> group_size;
+  for (std::size_t i = 0; i < n; ++i) {
     const auto hint = hints.empty()
                           ? std::optional<std::uint64_t>{}
                           : std::optional<std::uint64_t>{hints[i]};
-    by_server[route(keys[i], hint)].push_back(keys[i]);
+    g.server_of[i] = route(keys[i], hint);
+    ++group_size[g.server_of[i]];
   }
-  stats_.gets += keys.size();
-  co_await rpc_.fabric().node(self_).cpu().use(keys.size() *
-                                               params_.per_key_cpu);
+  for (const auto& [server, count] : group_size) {
+    g.by_server[server].reserve(count);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& group = g.by_server[g.server_of[i]];
+    g.pos_of[i] = group.size();
+    group.push_back(std::move(keys[i]));
+  }
+  return g;
+}
+
+sim::Task<GetResult> McClient::multi_get(std::vector<std::string> keys,
+                                         std::span<const std::uint64_t> hints) {
+  assert(hints.empty() || hints.size() == keys.size());
+  const std::size_t n = keys.size();
+  auto groups = group_by_server(std::move(keys), hints);
+  stats_.gets += n;
+  co_await rpc_.fabric().node(self_).cpu().use(n * params_.per_key_cpu);
 
   // One batched get per daemon, issued concurrently (libmemcache writes all
   // requests before draining any response).
   GetResult merged;
   std::vector<sim::Task<void>> calls;
-  for (auto& [server, group] : by_server) {
+  calls.reserve(groups.by_server.size());
+  for (auto& [server, group] : groups.by_server) {
     calls.push_back([](McClient& c, std::size_t srv,
-                       std::vector<std::string> keys_for_server,
+                       const std::vector<std::string>& keys_for_server,
                        GetResult& out) -> sim::Task<void> {
       auto resp =
           co_await c.call(srv, memcache::encode_get(keys_for_server));
@@ -92,12 +115,55 @@ sim::Task<GetResult> McClient::multi_get(std::vector<std::string> keys,
       auto parsed = memcache::parse_get_response(*resp);
       if (!parsed) co_return;
       out.merge(*parsed);
-    }(*this, server, std::move(group), merged));
+    }(*this, server, group, merged));
   }
   co_await sim::when_all(rpc_.fabric().loop(), std::move(calls));
   stats_.hits += merged.size();
-  stats_.misses += keys.size() - merged.size();
+  stats_.misses += n - merged.size();
   co_return merged;
+}
+
+sim::Task<std::vector<std::optional<Value>>> McClient::multi_get_ordered(
+    std::vector<std::string> keys, std::span<const std::uint64_t> hints) {
+  assert(hints.empty() || hints.size() == keys.size());
+  const std::size_t n = keys.size();
+  std::vector<std::optional<Value>> out(n);
+  if (n == 0) co_return out;
+  auto groups = group_by_server(std::move(keys), hints);
+  stats_.gets += n;
+  co_await rpc_.fabric().node(self_).cpu().use(n * params_.per_key_cpu);
+
+  // One batched get per daemon, parsed into a per-daemon result map.
+  std::map<std::size_t, GetResult> parsed;
+  std::vector<sim::Task<void>> calls;
+  calls.reserve(groups.by_server.size());
+  for (auto& [server, group] : groups.by_server) {
+    calls.push_back([](McClient& c, std::size_t srv,
+                       const std::vector<std::string>& keys_for_server,
+                       GetResult& out_map) -> sim::Task<void> {
+      auto resp =
+          co_await c.call(srv, memcache::encode_get(keys_for_server));
+      if (!resp) co_return;  // whole group misses
+      auto p = memcache::parse_get_response(*resp);
+      if (!p) co_return;
+      out_map = std::move(*p);
+    }(*this, server, group, parsed[server]));
+  }
+  co_await sim::when_all(rpc_.fabric().loop(), std::move(calls));
+
+  // Reassemble in input order, moving each hit out of its response map.
+  std::size_t hit_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& key = groups.by_server[groups.server_of[i]][groups.pos_of[i]];
+    auto node = parsed[groups.server_of[i]].extract(key);
+    if (!node.empty()) {
+      out[i].emplace(std::move(node.mapped()));
+      ++hit_count;
+    }
+  }
+  stats_.hits += hit_count;
+  stats_.misses += n - hit_count;
+  co_return out;
 }
 
 sim::Task<Expected<void>> McClient::set(std::string key,
@@ -203,9 +269,16 @@ McClient::server_stats(std::size_t server_index) {
 }
 
 sim::Task<void> McClient::flush_all() {
+  // One flush per daemon, issued concurrently: the wall-clock cost is one
+  // round trip to the slowest daemon, not a serial sweep of the whole bank.
+  std::vector<sim::Task<void>> calls;
+  calls.reserve(servers_.size());
   for (std::size_t s = 0; s < servers_.size(); ++s) {
-    (void)co_await call(s, memcache::encode_flush_all());
+    calls.push_back([](McClient& c, std::size_t srv) -> sim::Task<void> {
+      (void)co_await c.call(srv, memcache::encode_flush_all());
+    }(*this, s));
   }
+  co_await sim::when_all(rpc_.fabric().loop(), std::move(calls));
 }
 
 }  // namespace imca::mcclient

@@ -66,6 +66,15 @@ class McClient {
       std::vector<std::string> keys,
       std::span<const std::uint64_t> hints = {});
 
+  // Like multi_get, but the result is aligned with the input: slot i holds
+  // keys[i]'s value, or nullopt on a miss. Callers that need to know which
+  // keys missed (CMCache's partial-hit read path) get that for free, with no
+  // per-key map lookups of their own and the values moved, not copied.
+  // Duplicate input keys are not supported (only one slot is filled).
+  sim::Task<std::vector<std::optional<memcache::Value>>> multi_get_ordered(
+      std::vector<std::string> keys,
+      std::span<const std::uint64_t> hints = {});
+
   // Store a value; kNoEnt if the daemon is dead (callers ignore: the data
   // is merely uncached), kTooBig/kKeyTooLong surface protocol limits.
   sim::Task<Expected<void>> set(std::string key,
@@ -101,8 +110,13 @@ class McClient {
   sim::Task<Expected<std::map<std::string, std::string>>> server_stats(
       std::size_t server_index);
 
-  // Drop every item on every live daemon.
+  // Drop every item on every live daemon (one concurrent RPC per daemon).
   sim::Task<void> flush_all();
+
+  // The event loop this client's fabric runs on; translators built over the
+  // client use it to spawn fire-and-forget work (read-repair sets) and to
+  // construct synchronization primitives.
+  sim::EventLoop& loop() const noexcept { return rpc_.fabric().loop(); }
 
   std::size_t server_count() const noexcept { return servers_.size(); }
   const ClientStats& stats() const noexcept { return stats_; }
@@ -114,6 +128,17 @@ class McClient {
                     std::optional<std::uint64_t> hint) const {
     return selector_->pick(key, hint, servers_.size());
   }
+
+  // Keys partitioned per daemon (moved, not copied), plus the inverse map so
+  // ordered results can be reassembled: input slot i went to daemon
+  // server_of[i] at position pos_of[i] within that daemon's group.
+  struct KeyGroups {
+    std::map<std::size_t, std::vector<std::string>> by_server;
+    std::vector<std::size_t> server_of;
+    std::vector<std::size_t> pos_of;
+  };
+  KeyGroups group_by_server(std::vector<std::string> keys,
+                            std::span<const std::uint64_t> hints) const;
 
   sim::Task<Expected<ByteBuf>> call(std::size_t server, ByteBuf request);
 

@@ -320,12 +320,14 @@ TEST(Distribute, CrossBrickRenameMigratesData) {
   auto* dht_ptr = dht.get();
   client.push_translator(std::move(dht));
 
-  loop.spawn([dht_ptr](GlusterClient& fs) -> Task<void> {
+  // Captureless lambda: a capturing lambda temporary dies at the end of the
+  // full expression while the lazy coroutine frame still references it.
+  loop.spawn([](DistributeXlator* dx, GlusterClient& fs) -> Task<void> {
     // Find a pair of names hashing to different bricks.
     std::string from = "/mv/src0", to;
     for (int i = 0;; ++i) {
       to = "/mv/dst" + std::to_string(i);
-      if (dht_ptr->brick_of(to) != dht_ptr->brick_of(from)) break;
+      if (dx->brick_of(to) != dx->brick_of(from)) break;
     }
     auto f = co_await fs.create(from);
     (void)co_await fs.write(*f, 0, to_bytes("migrates across bricks"));
@@ -335,7 +337,7 @@ TEST(Distribute, CrossBrickRenameMigratesData) {
     auto back = co_await fs.read(*g, 0, 100);
     EXPECT_TRUE(back.has_value());
     if (back) { EXPECT_EQ(to_string(*back), "migrates across bricks"); }
-  }(client));
+  }(dht_ptr, client));
   loop.run();
 }
 

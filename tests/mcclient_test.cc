@@ -226,6 +226,46 @@ TEST_F(McClientTest, FlushAllEmptiesEveryDaemon) {
   }
 }
 
+TEST_F(McClientTest, FlushAllIsConcurrent) {
+  // A client restricted to one daemon measures the single-flush round trip;
+  // flushing all three daemons concurrently must cost well under three of
+  // them (the wall-clock is one round trip to the slowest daemon).
+  McClient one(rpc_, client_node_, {server_ids_[0]},
+               std::make_unique<Crc32Selector>());
+  SimDuration one_rt = 0;
+  SimDuration three_rt = 0;
+  run([this, &one_rt, &three_rt](McClient& single) -> sim::Task<void> {
+    const SimTime t0 = loop_.now();
+    co_await single.flush_all();
+    one_rt = loop_.now() - t0;
+    const SimTime t1 = loop_.now();
+    co_await client_->flush_all();
+    three_rt = loop_.now() - t1;
+  }(one));
+  EXPECT_GT(one_rt, 0);
+  EXPECT_LT(three_rt, 2 * one_rt);
+}
+
+TEST_F(McClientTest, MultiGetOrderedExposesMisses) {
+  run([](McClient& c, net::RpcSystem& rpc) -> sim::Task<void> {
+    (void)co_await c.set("ka", to_bytes("A"));
+    (void)co_await c.set("kc", to_bytes("C"));
+    const auto calls_before = rpc.calls_made();
+    std::vector<std::string> keys{"ka", "missing1", "kc", "missing2"};
+    auto got = co_await c.multi_get_ordered(std::move(keys));
+    // Still one batched call per daemon, like multi_get.
+    EXPECT_LE(rpc.calls_made() - calls_before, 3u);
+    EXPECT_EQ(got.size(), 4u);
+    EXPECT_TRUE(got[0].has_value());
+    if (got[0]) { EXPECT_EQ(to_string(got[0]->data), "A"); }
+    EXPECT_FALSE(got[1].has_value());
+    EXPECT_TRUE(got[2].has_value());
+    if (got[2]) { EXPECT_EQ(to_string(got[2]->data), "C"); }
+    EXPECT_FALSE(got[3].has_value());
+  }(*client_, rpc_));
+  EXPECT_EQ(client_->stats().misses, 2u);
+}
+
 TEST_F(McClientTest, ValueTooBigSurfaces) {
   run([](McClient& c) -> sim::Task<void> {
     auto r = co_await c.set("big", std::vector<std::byte>(2 * kMiB));

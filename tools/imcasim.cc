@@ -36,6 +36,9 @@ struct Options {
   std::string hash = "crc32";     // crc32 | modulo | consistent
   bool threaded = false;          // SMCache worker thread
   bool rdma_cache = false;        // verbs path to the MCDs
+  bool no_partial_hit = false;    // paper baseline: forward on any miss
+  bool no_read_repair = false;    // don't push fetched blocks to the MCDs
+  bool no_coalesce = false;       // don't single-flight concurrent fetches
   bool cold = false;              // lustre: unmount before reads
   std::uint64_t max_record = 64 * kKiB;
   std::size_t records = 128;
@@ -61,6 +64,9 @@ struct Options {
       "  --hash=crc32|modulo|consistent     key->MCD placement\n"
       "  --threaded        SMCache worker-thread updates\n"
       "  --rdma-cache      reach the MCDs over native verbs\n"
+      "  --no-partial-hit  forward whole reads on any block miss (paper)\n"
+      "  --no-read-repair  disable client-side read-repair of missed blocks\n"
+      "  --no-coalesce     disable single-flight read coalescing\n"
       "  --cold            lustre: drop client caches before reads\n"
       "  --max-record=BYTES  latency sweep ceiling (default 65536)\n"
       "  --records=N         records per size (default 128)\n"
@@ -87,6 +93,9 @@ Options parse(int argc, char** argv) {
     if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) usage(0);
     if (!std::strcmp(a, "--threaded")) { o.threaded = true; continue; }
     if (!std::strcmp(a, "--rdma-cache")) { o.rdma_cache = true; continue; }
+    if (!std::strcmp(a, "--no-partial-hit")) { o.no_partial_hit = true; continue; }
+    if (!std::strcmp(a, "--no-read-repair")) { o.no_read_repair = true; continue; }
+    if (!std::strcmp(a, "--no-coalesce")) { o.no_coalesce = true; continue; }
     if (!std::strcmp(a, "--cold")) { o.cold = true; continue; }
     if (!std::strcmp(a, "--csv")) { o.csv = true; continue; }
     bool matched = false;
@@ -175,6 +184,9 @@ Rig build(const Options& o) {
     cfg.imca.hash = hash_of(o);
     cfg.imca.threaded_updates = o.threaded;
     cfg.imca.rdma_cache_path = o.rdma_cache;
+    cfg.imca.partial_hit_reads = !o.no_partial_hit;
+    cfg.imca.client_read_repair = !o.no_read_repair;
+    cfg.imca.coalesce_reads = !o.no_coalesce;
     if (o.mcd_mb) cfg.mcd_memory = o.mcd_mb * kMiB;
     if (o.server_cache_mb) {
       cfg.server.page_cache_bytes = o.server_cache_mb * kMiB;
@@ -275,6 +287,29 @@ void print_cache_report(Rig& rig) {
               static_cast<unsigned long long>(totals.evictions),
               static_cast<unsigned long long>(totals.curr_items),
               static_cast<unsigned long long>(totals.bytes));
+  core::CmCacheStats cm;
+  for (std::size_t i = 0; i < rig.gluster->n_clients(); ++i) {
+    const auto& s = rig.gluster->cmcache(i).stats();
+    cm.stat_hits += s.stat_hits;
+    cm.stat_misses += s.stat_misses;
+    cm.reads_from_cache += s.reads_from_cache;
+    cm.reads_partial += s.reads_partial;
+    cm.reads_forwarded += s.reads_forwarded;
+    cm.range_fetches += s.range_fetches;
+    cm.blocks_repaired += s.blocks_repaired;
+    cm.coalesced_waiters += s.coalesced_waiters;
+  }
+  std::printf("# CMCache: from_cache=%llu partial=%llu forwarded=%llu"
+              " range_fetches=%llu repaired=%llu coalesced=%llu"
+              " stat_hits=%llu stat_misses=%llu\n",
+              static_cast<unsigned long long>(cm.reads_from_cache),
+              static_cast<unsigned long long>(cm.reads_partial),
+              static_cast<unsigned long long>(cm.reads_forwarded),
+              static_cast<unsigned long long>(cm.range_fetches),
+              static_cast<unsigned long long>(cm.blocks_repaired),
+              static_cast<unsigned long long>(cm.coalesced_waiters),
+              static_cast<unsigned long long>(cm.stat_hits),
+              static_cast<unsigned long long>(cm.stat_misses));
 }
 
 }  // namespace
