@@ -16,6 +16,19 @@ GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
     mcds_.back()->start();
   }
 
+  if (cfg_.faults.active() && !mcds_.empty()) {
+    injector_ = std::make_unique<net::FaultInjector>(cfg_.faults.seed);
+    if (cfg_.faults.spec.any()) {
+      for (const auto n : mcd_nodes_) {
+        injector_->set_spec(n, net::kPortMemcached, cfg_.faults.spec);
+      }
+    }
+    rpc_.set_fault_injector(injector_.get());
+    for (const auto& crash : cfg_.faults.crashes) {
+      mcds_.at(crash.mcd)->schedule_crash(crash.at, crash.restart_at);
+    }
+  }
+
   server_ = std::make_unique<gluster::GlusterServer>(rpc_, server_node,
                                                      cfg_.server);
   if (!mcds_.empty() && cfg_.smcache) {
@@ -23,7 +36,7 @@ GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
         loop_,
         std::make_unique<mcclient::McClient>(
             rpc_, server_node, mcd_nodes_, core::make_selector(cfg_.imca),
-            core::make_mcclient_params(cfg_.imca)),
+            core::make_mcclient_params(cfg_.imca, core::McRole::kWriter)),
         cfg_.imca);
     smcache_ = sm.get();
     server_->push_translator(std::move(sm));
@@ -39,7 +52,7 @@ GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
       auto cm = std::make_unique<core::CmCacheXlator>(
           std::make_unique<mcclient::McClient>(
               rpc_, n, mcd_nodes_, core::make_selector(cfg_.imca),
-              core::make_mcclient_params(cfg_.imca)),
+              core::make_mcclient_params(cfg_.imca, core::McRole::kReader)),
           cfg_.imca);
       cmcaches_.push_back(cm.get());
       clients_.back()->push_translator(std::move(cm));

@@ -41,6 +41,10 @@ struct GlusterTestbedConfig {
   std::uint64_t mcd_memory = kMcdMemoryBytes;
   net::TransportParams transport = net::ipoib_rc();
   gluster::GlusterServerParams server;
+  // Deterministic fault plan for the MCD array: probabilistic wire faults on
+  // every MCD's memcached port plus scheduled crash/restart windows. Inert
+  // when inactive (the default).
+  net::FaultPlan faults;
 };
 
 class GlusterTestbed {
@@ -57,6 +61,11 @@ class GlusterTestbed {
   core::CmCacheXlator& cmcache(std::size_t i) { return *cmcaches_.at(i); }
   memcache::McServer& mcd(std::size_t i) { return *mcds_.at(i); }
   std::size_t n_mcds() const noexcept { return mcds_.size(); }
+  net::RpcSystem& rpc() noexcept { return rpc_; }
+  // Null unless the config carried an active fault plan.
+  const net::FaultInjector* fault_injector() const noexcept {
+    return injector_.get();
+  }
 
   // Aggregate MCD counters (the paper reads these for miss-rate claims).
   memcache::CacheStats mcd_totals() const;
@@ -72,6 +81,7 @@ class GlusterTestbed {
   sim::EventLoop loop_;
   net::Fabric fabric_;
   net::RpcSystem rpc_;
+  std::unique_ptr<net::FaultInjector> injector_;
   std::vector<net::NodeId> mcd_nodes_;
   std::vector<std::unique_ptr<memcache::McServer>> mcds_;
   std::unique_ptr<gluster::GlusterServer> server_;

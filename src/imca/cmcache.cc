@@ -14,6 +14,7 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 }  // namespace
 
 sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
+  const std::uint64_t signals = mcds_->stats().fault_signals();
   auto cached = co_await mcds_->get(stat_key(path));
   if (cached) {
     ByteBuf buf(std::move(cached->data));
@@ -25,16 +26,58 @@ sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
     // Undecodable item (shouldn't happen): fall through to the server.
   }
   ++stats_.stat_misses;
+  if (faulted_since(signals)) ++fault_stats_.degraded_stats;
   co_return co_await child_->stat(path);
 }
 
 sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read(
     const std::string& path, std::uint64_t offset, std::uint64_t len) {
   if (len == 0) co_return std::vector<std::byte>{};
+
+  // Degraded-read detection: if the MCD client reported any fault signal
+  // during this read *and* the read leaned on the server (forwarded or
+  // partial), a fault cost it cached bytes. Detached repairs can also move
+  // the signal counter, so this is aggregate-accurate, not per-op-exact.
+  const std::uint64_t signals = mcds_->stats().fault_signals();
+  const std::uint64_t server_reads =
+      stats_.reads_forwarded + stats_.reads_partial;
+
+  std::optional<Expected<std::vector<std::byte>>> result;
   if (!cfg_.partial_hit_reads) {
-    co_return co_await read_forward_on_miss(path, offset, len);
+    result.emplace(co_await read_forward_on_miss(path, offset, len));
+  } else {
+    result.emplace(co_await read_partial_hit(path, offset, len));
   }
-  co_return co_await read_partial_hit(path, offset, len);
+  if (faulted_since(signals) &&
+      stats_.reads_forwarded + stats_.reads_partial != server_reads) {
+    ++fault_stats_.degraded_reads;
+  }
+  co_return std::move(*result);
+}
+
+sim::Task<Expected<std::uint64_t>> CmCacheXlator::write(
+    const std::string& path, std::uint64_t offset,
+    std::span<const std::byte> data) {
+  bump_epoch(path);  // before forwarding: no repair captured earlier may land
+  co_return co_await child_->write(path, offset, data);
+}
+
+sim::Task<Expected<void>> CmCacheXlator::unlink(const std::string& path) {
+  bump_epoch(path);
+  co_return co_await child_->unlink(path);
+}
+
+sim::Task<Expected<void>> CmCacheXlator::truncate(const std::string& path,
+                                                  std::uint64_t size) {
+  bump_epoch(path);
+  co_return co_await child_->truncate(path, size);
+}
+
+sim::Task<Expected<void>> CmCacheXlator::rename(const std::string& from,
+                                                const std::string& to) {
+  bump_epoch(from);
+  bump_epoch(to);
+  co_return co_await child_->rename(from, to);
 }
 
 sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_forward_on_miss(
@@ -97,6 +140,9 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
   const std::uint64_t bs = mapper_.block_size();
   const auto blocks = mapper_.covering(offset, len);
   stats_.blocks_requested += blocks.size();
+  // Captured before any fetch: bytes read under this epoch may only be
+  // repaired into the MCDs while the path is still at this epoch.
+  const std::uint64_t read_epoch = epoch_of(path);
 
   // One slot per covering block, in ascending block order. Every slot ends
   // the pipeline below holding `bytes` (possibly short or empty = EOF) or
@@ -240,7 +286,9 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
   // 6. Read-repair: push the server-fetched blocks into the MCD array,
   //    fire-and-forget, so the next reader hits. Empty blocks are skipped —
   //    mirroring SMCache's publish rule — so a block at/after EOF never
-  //    becomes a cached false EOF marker.
+  //    becomes a cached false EOF marker. The repair carries the path's
+  //    write epoch from before the server fetch: if the file is mutated
+  //    while the repair is parked, the stale bytes are withheld.
   if (cfg_.client_read_repair) {
     std::vector<Repair> repairs;
     for (const auto& s : slots) {
@@ -249,7 +297,7 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
       }
     }
     if (!repairs.empty()) {
-      mcds_->loop().spawn(repair_blocks(std::move(repairs)));
+      mcds_->loop().spawn(repair_blocks(path, read_epoch, std::move(repairs)));
     }
   }
 
@@ -306,10 +354,28 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
       assembled.begin() + static_cast<std::ptrdiff_t>(skip + take));
 }
 
-sim::Task<void> CmCacheXlator::repair_blocks(std::vector<Repair> repairs) {
-  for (auto& r : repairs) {
-    auto stored = co_await mcds_->set(r.key, *r.bytes, r.block);
-    if (stored) ++stats_.blocks_repaired;
+sim::Task<void> CmCacheXlator::repair_blocks(std::string path,
+                                             std::uint64_t epoch,
+                                             std::vector<Repair> repairs) {
+  for (std::size_t i = 0; i < repairs.size(); ++i) {
+    if (epoch_of(path) != epoch) {
+      // The path was written/truncated/renamed/unlinked since these bytes
+      // left the server: they may describe a file that no longer exists.
+      // Withhold the rest — SMCache's purge bookkeeping can't reach blocks
+      // it never knew were cached.
+      fault_stats_.repairs_skipped_stale += repairs.size() - i;
+      co_return;
+    }
+    auto& r = repairs[i];
+    // `add`, not `set`: a repair must never clobber a fresher publish or
+    // another reader's repair. NOT_STORED means the cache already holds the
+    // block — the warm-cache outcome the repair wanted.
+    auto stored = co_await mcds_->add(r.key, *r.bytes, r.block);
+    if (stored || stored.error() == Errc::kNotStored) {
+      ++stats_.blocks_repaired;
+    } else {
+      ++fault_stats_.repairs_dropped;  // daemon dead or exchange faulted
+    }
   }
 }
 

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "gluster/xlator.h"
@@ -48,8 +49,21 @@ struct CmCacheStats {
   std::uint64_t blocks_requested = 0;
   std::uint64_t blocks_hit = 0;
   std::uint64_t range_fetches = 0;      // coalesced server range-reads issued
-  std::uint64_t blocks_repaired = 0;    // read-repair sets that landed on an MCD
+  std::uint64_t blocks_repaired = 0;    // read-repair adds that left the block cached
   std::uint64_t coalesced_waiters = 0;  // block fetches piggybacked on a flight
+};
+
+// How MCD faults bent this client's traffic (DESIGN.md §5d). A "degraded"
+// op is one whose MCD exchange was disturbed by a fault (timeout, torn
+// reply, dead daemon) and that therefore leaned on the server for bytes it
+// might otherwise have had cached — the op still *succeeds*, it just pays
+// the uncached price. The invariant harness checks these counters account
+// for every op a fault plan touched.
+struct FaultStats {
+  std::uint64_t degraded_reads = 0;          // reads that hit a faulted MCD path
+  std::uint64_t degraded_stats = 0;          // stat lookups likewise
+  std::uint64_t repairs_dropped = 0;         // read-repair adds lost to faults
+  std::uint64_t repairs_skipped_stale = 0;   // repairs withheld: path changed
 };
 
 class CmCacheXlator final : public gluster::Xlator {
@@ -66,9 +80,22 @@ class CmCacheXlator final : public gluster::Xlator {
                                                    std::uint64_t offset,
                                                    std::uint64_t len) override;
 
+  // Mutations pass through to the server, but each bumps the path's write
+  // epoch *before* forwarding so an in-flight read-repair captured under the
+  // old contents can never land after the change (see repair_blocks).
+  sim::Task<Expected<std::uint64_t>> write(
+      const std::string& path, std::uint64_t offset,
+      std::span<const std::byte> data) override;
+  sim::Task<Expected<void>> unlink(const std::string& path) override;
+  sim::Task<Expected<void>> truncate(const std::string& path,
+                                     std::uint64_t size) override;
+  sim::Task<Expected<void>> rename(const std::string& from,
+                                   const std::string& to) override;
+
   std::string_view name() const override { return "cmcache"; }
 
   const CmCacheStats& stats() const noexcept { return stats_; }
+  const FaultStats& fault_stats() const noexcept { return fault_stats_; }
   const mcclient::McClient& mcds() const noexcept { return *mcds_; }
   const BlockMapper& mapper() const noexcept { return mapper_; }
 
@@ -91,14 +118,32 @@ class CmCacheXlator final : public gluster::Xlator {
   // The rebuilt path: partial-hit assembly + read-repair + single-flight.
   sim::Task<Expected<std::vector<std::byte>>> read_partial_hit(
       const std::string& path, std::uint64_t offset, std::uint64_t len);
-  // Fire-and-forget: push server-fetched blocks into the MCD array.
-  sim::Task<void> repair_blocks(std::vector<Repair> repairs);
+  // Fire-and-forget: push server-fetched blocks into the MCD array. `epoch`
+  // is the path's write epoch captured when the read began; a repair is
+  // withheld if the path has been mutated since.
+  sim::Task<void> repair_blocks(std::string path, std::uint64_t epoch,
+                                std::vector<Repair> repairs);
+
+  std::uint64_t epoch_of(const std::string& path) const {
+    const auto it = write_epoch_.find(path);
+    return it == write_epoch_.end() ? 0 : it->second;
+  }
+  void bump_epoch(const std::string& path) { ++write_epoch_[path]; }
+
+  // True when the MCD client reported any fault signal since `before` — the
+  // exchange the caller just made was disturbed.
+  bool faulted_since(std::uint64_t before) const {
+    return mcds_->stats().fault_signals() != before;
+  }
 
   std::unique_ptr<mcclient::McClient> mcds_;
   BlockMapper mapper_;
   ImcaConfig cfg_;
   CmCacheStats stats_;
+  FaultStats fault_stats_;
   SingleFlight<BlockResult> inflight_;
+  // Per-path mutation counter; monotone over the client's lifetime.
+  std::unordered_map<std::string, std::uint64_t> write_epoch_;
 };
 
 }  // namespace imca::core

@@ -59,15 +59,59 @@ struct ImcaConfig {
   // of the cache bank" (§7). Only the client<->MCD and server<->MCD paths
   // change; GlusterFS traffic stays on the fabric default.
   bool rdma_cache_path = false;
+
+  // --- MCD failover (DESIGN.md §5d "Failure model") ---
+
+  // Per-attempt MCD deadline. 0 disables the whole failover machinery (no
+  // deadline race, no retries, no rejoin probes) — the seed behaviour, where
+  // only clean refusals mark a daemon dead.
+  SimDuration mcd_op_timeout = 0;
+  // Attempts per cache read before the key degrades to a miss.
+  std::size_t mcd_get_attempts = 2;
+  // Attempts per SMCache publish/purge before the writer gives up. 64 with
+  // 50%-lossy faults leaves ~2^-64 odds of an unclean give-up.
+  std::size_t mcd_mutation_attempts = 64;
+  SimDuration mcd_backoff_base = 200 * kMicro;
+  SimDuration mcd_backoff_cap = 5 * kMilli;
+  // Eject an MCD after this many consecutive unclean failures.
+  std::size_t mcd_eject_after = 3;
+  // Probe ejected MCDs for rejoin (flush-first) this often.
+  SimDuration mcd_retry_dead_interval = 50 * kMilli;
 };
 
-inline mcclient::McClientParams make_mcclient_params(const ImcaConfig& cfg) {
+// Which side of the IMCa protocol a client serves. The reader (CMCache)
+// degrades to the server on any MCD trouble; the writer (SMCache) must make
+// every publish/purge reach a clean outcome, or stale blocks could survive
+// an invalidation (DESIGN.md §5d).
+enum class McRole { kReader, kWriter };
+
+inline mcclient::McClientParams make_mcclient_params(
+    const ImcaConfig& cfg, McRole role = McRole::kReader) {
   mcclient::McClientParams params;
   if (cfg.rdma_cache_path) {
     params.transport = net::ib_rdma();
     // Verbs bypass the socket layer: the per-key build/parse cost shrinks
     // to descriptor handling.
     params.per_key_cpu = 1 * kMicro;
+  }
+  params.op_timeout = cfg.mcd_op_timeout;
+  if (cfg.mcd_op_timeout > 0) {
+    params.get_attempts = cfg.mcd_get_attempts;
+    params.mutation_attempts = cfg.mcd_mutation_attempts;
+    params.backoff_base = cfg.mcd_backoff_base;
+    params.backoff_cap = cfg.mcd_backoff_cap;
+    params.eject_after = cfg.mcd_eject_after;
+    params.retry_dead_interval = cfg.mcd_retry_dead_interval;
+    if (role == McRole::kWriter) {
+      params.reliable_mutations = true;
+      params.delete_bypasses_ejection = true;
+    }
+  } else {
+    // Seed behaviour: single attempt, no ejection-by-streak, dead stays dead.
+    params.get_attempts = 1;
+    params.mutation_attempts = 1;
+    params.eject_after = 0;
+    params.retry_dead_interval = 0;
   }
   return params;
 }

@@ -50,8 +50,12 @@ sim::Task<void> SmCacheXlator::publish_stat(const std::string& path,
   ByteBuf buf;
   attr.encode(buf);
   std::vector<std::byte> data(buf.bytes().begin(), buf.bytes().end());
-  (void)co_await mcds_->set(stat_key(path), data);
-  ++stats_.stats_published;
+  auto stored = co_await mcds_->set(stat_key(path), data);
+  if (stored) {
+    ++stats_.stats_published;
+  } else {
+    ++stats_.publish_drops;  // daemon down: readers will miss and stat the server
+  }
 }
 
 sim::Task<void> SmCacheXlator::publish_blocks(
@@ -65,12 +69,19 @@ sim::Task<void> SmCacheXlator::publish_blocks(
     std::vector<std::byte> block(
         data.begin() + static_cast<std::ptrdiff_t>(pos),
         data.begin() + static_cast<std::ptrdiff_t>(pos + n));
-    (void)co_await mcds_->set(data_key(path, block_offset), block,
-                              mapper_.index_of(block_offset));
-    ++stats_.blocks_published;
+    auto stored = co_await mcds_->set(data_key(path, block_offset), block,
+                                      mapper_.index_of(block_offset));
+    if (stored) {
+      ++stats_.blocks_published;
+    } else {
+      ++stats_.publish_drops;  // lost copy, not lost truth: the server has it
+    }
     pos += n;
   }
   if (!data.empty()) {
+    // Extent bookkeeping grows even for dropped publishes: an over-wide
+    // purge later issues harmless extra deletes, an under-wide one could
+    // leave a stale block behind.
     auto& extent = published_extent_[path];
     extent = std::max(extent, region_start + data.size());
   }
@@ -82,8 +93,14 @@ sim::Task<void> SmCacheXlator::purge_range(const std::string& path,
   const std::uint64_t bs = mapper_.block_size();
   for (std::uint64_t off = mapper_.align_down(from_byte); off < to_byte;
        off += bs) {
-    (void)co_await mcds_->del(data_key(path, off), mapper_.index_of(off));
-    ++stats_.blocks_purged;
+    auto purged = co_await mcds_->del(data_key(path, off), mapper_.index_of(off));
+    if (purged || purged.error() == Errc::kNoEnt) {
+      // Clean outcome: deleted, absent, or the daemon is down and therefore
+      // empty — either way no stale copy survives.
+      ++stats_.blocks_purged;
+    } else {
+      ++stats_.purge_drops;  // unclean give-up: outside the failure model
+    }
   }
 }
 

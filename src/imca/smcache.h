@@ -37,12 +37,19 @@
 namespace imca::core {
 
 struct SmCacheStats {
-  std::uint64_t blocks_published = 0;
-  std::uint64_t stats_published = 0;
-  std::uint64_t purges = 0;         // whole-file purges
-  std::uint64_t blocks_purged = 0;  // individual block deletes
-  std::uint64_t readbacks = 0;      // write-path read-backs
-  std::uint64_t worker_jobs = 0;    // jobs taken off the fop path
+  std::uint64_t blocks_published = 0;  // block sets that reached a daemon
+  std::uint64_t stats_published = 0;   // stat sets that reached a daemon
+  std::uint64_t purges = 0;            // whole-file purges
+  std::uint64_t blocks_purged = 0;     // block deletes with a clean outcome
+  std::uint64_t readbacks = 0;         // write-path read-backs
+  std::uint64_t worker_jobs = 0;       // jobs taken off the fop path
+  // Publishes lost to a dead/faulted daemon: the bytes stay server-only
+  // (safe — readers miss and degrade).
+  std::uint64_t publish_drops = 0;
+  // Purges the writer gave up on uncleanly after exhausting its retry
+  // budget. Nonzero only under sustained blackhole faults, which exceed the
+  // failure model (DESIGN.md §5d) — tests assert this stays zero.
+  std::uint64_t purge_drops = 0;
 };
 
 class SmCacheXlator final : public gluster::Xlator {

@@ -1,6 +1,8 @@
 #include "mcclient/client.h"
 
+#include <algorithm>
 #include <cassert>
+#include <string_view>
 
 #include "sim/sync.h"
 
@@ -8,6 +10,7 @@ namespace imca::mcclient {
 
 using memcache::GetResult;
 using memcache::StoreReply;
+using memcache::StoreVerb;
 using memcache::Value;
 
 McClient::McClient(net::RpcSystem& rpc, net::NodeId self,
@@ -19,26 +22,168 @@ McClient::McClient(net::RpcSystem& rpc, net::NodeId self,
       servers_(std::move(servers)),
       selector_(std::move(selector)),
       params_(params),
-      dead_(servers_.size(), false) {
+      dead_(servers_.size(), false),
+      unclean_streak_(servers_.size(), 0),
+      next_probe_(servers_.size(), 0) {
   assert(!servers_.empty());
   assert(selector_ != nullptr);
 }
 
+bool McClient::reply_intact(const ByteBuf& resp, ReplyShape shape) {
+  const auto b = resp.bytes();
+  const std::string_view sv(reinterpret_cast<const char*>(b.data()), b.size());
+  const std::string_view tail =
+      shape == ReplyShape::kTerminated ? std::string_view("END\r\n")
+                                       : std::string_view("\r\n");
+  return sv.size() >= tail.size() &&
+         sv.substr(sv.size() - tail.size()) == tail;
+}
+
+SimDuration McClient::backoff_delay(std::size_t retry_index) const {
+  const SimDuration raw =
+      params_.backoff_base << std::min<std::size_t>(retry_index, 16);
+  return std::min(raw, params_.backoff_cap);
+}
+
+void McClient::mark_dead(std::size_t server) {
+  dead_[server] = true;
+  unclean_streak_[server] = 0;
+  if (params_.retry_dead_interval > 0) {
+    next_probe_[server] = loop().now() + params_.retry_dead_interval;
+  }
+}
+
+sim::Task<Expected<ByteBuf>> McClient::call_once(std::size_t server,
+                                                 ByteBuf request) {
+  const net::TransportParams* t =
+      params_.transport ? &*params_.transport : nullptr;
+  if (params_.op_timeout == 0) {
+    co_return co_await rpc_.call(self_, servers_[server], net::kPortMemcached,
+                                 std::move(request), t);
+  }
+
+  // Race the RPC against the deadline. The RPC wrapper is detached: if the
+  // deadline wins, the wrapper keeps running in the background (every fault
+  // resolves in bounded sim time, so its frame always completes before the
+  // loop drains) and its late result is discarded.
+  struct Race {
+    explicit Race(sim::EventLoop& l) : done(l) {}
+    sim::Event done;
+    std::optional<Expected<ByteBuf>> result;
+  };
+  auto race = std::make_shared<Race>(loop());
+  loop().spawn([](McClient* c, std::size_t srv, ByteBuf req,
+                  const net::TransportParams* tp,
+                  std::shared_ptr<Race> r) -> sim::Task<void> {
+    auto resp = co_await c->rpc_.call(c->self_, c->servers_[srv],
+                                      net::kPortMemcached, std::move(req), tp);
+    if (!r->done.is_set()) r->result.emplace(std::move(resp));
+    r->done.set();
+  }(this, server, std::move(request), t, race));
+  sim::arm_timeout(loop(), std::shared_ptr<sim::Event>(race, &race->done),
+                   params_.op_timeout);
+
+  co_await race->done.wait();
+  if (race->result) co_return std::move(*race->result);
+  co_return Errc::kTimedOut;
+}
+
+sim::Task<bool> McClient::try_rejoin(std::size_t server) {
+  // Mandatory purge-on-rejoin: flush the daemon *before* taking it back, so
+  // a revived daemon can never serve an item from before its crash window or
+  // a repair that raced the restart (DESIGN.md §5d).
+  auto resp = co_await call_once(server, memcache::encode_flush_all());
+  if (resp && reply_intact(*resp, ReplyShape::kLine)) {
+    dead_[server] = false;
+    unclean_streak_[server] = 0;
+    ++stats_.rejoins;
+    ++stats_.rejoin_purges;
+    co_return true;
+  }
+  if (params_.retry_dead_interval > 0) {
+    next_probe_[server] = loop().now() + params_.retry_dead_interval;
+  }
+  co_return false;
+}
+
 sim::Task<Expected<ByteBuf>> McClient::call(std::size_t server,
-                                            ByteBuf request) {
+                                            ByteBuf request, OpKind op,
+                                            ReplyShape shape) {
   if (dead_[server]) {
-    ++stats_.dead_server_ops;
-    co_return Errc::kConnRefused;
+    const bool bypass =
+        op == OpKind::kDelete && params_.delete_bypasses_ejection;
+    if (bypass) {
+      ++stats_.bypass_deletes;
+    } else if (params_.retry_dead_interval > 0 &&
+               loop().now() >= next_probe_[server]) {
+      // Push the next probe out first so concurrent ops don't stampede the
+      // daemon with flushes while this one is in flight.
+      next_probe_[server] = loop().now() + params_.retry_dead_interval;
+      if (!co_await try_rejoin(server)) {
+        ++stats_.dead_server_ops;
+        co_return Errc::kConnRefused;
+      }
+      // Revived: fall through and run the op against the (now empty) daemon.
+    } else {
+      ++stats_.dead_server_ops;
+      co_return Errc::kConnRefused;
+    }
   }
-  auto resp = co_await rpc_.call(
-      self_, servers_[server], net::kPortMemcached, std::move(request),
-      params_.transport ? &*params_.transport : nullptr);
-  if (!resp && (resp.error() == Errc::kConnRefused ||
-                resp.error() == Errc::kConnReset)) {
-    dead_[server] = true;  // libmemcache marks the server down
-    ++stats_.dead_server_ops;
+
+  const bool reliable =
+      params_.reliable_mutations &&
+      (op == OpKind::kMutation || op == OpKind::kDelete);
+  const std::size_t attempts = std::max<std::size_t>(
+      1, reliable ? params_.mutation_attempts : params_.get_attempts);
+
+  Errc last = Errc::kTimedOut;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      co_await loop().sleep(backoff_delay(attempt - 1));
+    }
+    ByteBuf wire = request;  // the RPC consumes its argument; retries re-copy
+    auto resp = co_await call_once(server, std::move(wire));
+
+    if (resp && !reply_intact(*resp, shape)) {
+      // Short read: the daemon processed the request but the reply is torn.
+      // Same ambiguity as a lost reply, so classify it as unclean/retryable
+      // rather than letting the protocol parser surface a hard kProto.
+      ++stats_.truncated_replies;
+      resp = Errc::kProto;
+    }
+
+    if (resp) {
+      unclean_streak_[server] = 0;
+      if (dead_[server]) {
+        // A bypass delete reached a daemon that restarted behind our back.
+        // Its cache may hold repairs from other clients made since; purge
+        // and take it back (the delete itself already landed).
+        co_await try_rejoin(server);
+      }
+      co_return resp;
+    }
+
+    last = resp.error();
+    if (last == Errc::kConnRefused || last == Errc::kConnReset) {
+      // Clean outcome: the daemon is down, and by the crash semantics its
+      // contents died with it — skipping this op is safe, so never retry.
+      mark_dead(server);
+      ++stats_.dead_server_ops;
+      co_return last;
+    }
+
+    // Unclean outcome (deadline fired or torn reply): the daemon may or may
+    // not have applied the request and may still hold its items.
+    if (last == Errc::kTimedOut) ++stats_.timeouts;
+    if (!reliable && params_.eject_after > 0 &&
+        ++unclean_streak_[server] >= params_.eject_after) {
+      mark_dead(server);
+      ++stats_.ejections;
+      co_return last;
+    }
   }
-  co_return resp;
+  co_return last;
 }
 
 sim::Task<Expected<Value>> McClient::get(std::string key,
@@ -47,13 +192,17 @@ sim::Task<Expected<Value>> McClient::get(std::string key,
   co_await rpc_.fabric().node(self_).cpu().use(params_.per_key_cpu);
   const std::size_t server = route(key, hint);
   const std::string keys[] = {key};
-  auto resp = co_await call(server, memcache::encode_get(keys));
+  auto resp = co_await call(server, memcache::encode_get(keys), OpKind::kGet,
+                            ReplyShape::kTerminated);
   if (!resp) {
     ++stats_.misses;
-    co_return Errc::kNoEnt;  // dead daemon reads as a miss
+    co_return Errc::kNoEnt;  // dead or unreachable daemon reads as a miss
   }
   auto parsed = memcache::parse_get_response(*resp);
-  if (!parsed) co_return parsed.error();
+  if (!parsed) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;  // torn reply that still framed: degrade to miss
+  }
   auto it = parsed->find(key);
   if (it == parsed->end()) {
     ++stats_.misses;
@@ -101,7 +250,9 @@ sim::Task<GetResult> McClient::multi_get(std::vector<std::string> keys,
   co_await rpc_.fabric().node(self_).cpu().use(n * params_.per_key_cpu);
 
   // One batched get per daemon, issued concurrently (libmemcache writes all
-  // requests before draining any response).
+  // requests before draining any response). Each batch runs through the full
+  // failover path, so a daemon dying mid-batch costs at most the per-op
+  // deadline schedule instead of stalling the whole read.
   GetResult merged;
   std::vector<sim::Task<void>> calls;
   calls.reserve(groups.by_server.size());
@@ -109,8 +260,8 @@ sim::Task<GetResult> McClient::multi_get(std::vector<std::string> keys,
     calls.push_back([](McClient& c, std::size_t srv,
                        const std::vector<std::string>& keys_for_server,
                        GetResult& out) -> sim::Task<void> {
-      auto resp =
-          co_await c.call(srv, memcache::encode_get(keys_for_server));
+      auto resp = co_await c.call(srv, memcache::encode_get(keys_for_server),
+                                  OpKind::kGet, ReplyShape::kTerminated);
       if (!resp) co_return;  // whole group misses
       auto parsed = memcache::parse_get_response(*resp);
       if (!parsed) co_return;
@@ -141,8 +292,8 @@ sim::Task<std::vector<std::optional<Value>>> McClient::multi_get_ordered(
     calls.push_back([](McClient& c, std::size_t srv,
                        const std::vector<std::string>& keys_for_server,
                        GetResult& out_map) -> sim::Task<void> {
-      auto resp =
-          co_await c.call(srv, memcache::encode_get(keys_for_server));
+      auto resp = co_await c.call(srv, memcache::encode_get(keys_for_server),
+                                  OpKind::kGet, ReplyShape::kTerminated);
       if (!resp) co_return;  // whole group misses
       auto p = memcache::parse_get_response(*resp);
       if (!p) co_return;
@@ -166,17 +317,23 @@ sim::Task<std::vector<std::optional<Value>>> McClient::multi_get_ordered(
   co_return out;
 }
 
-sim::Task<Expected<void>> McClient::set(std::string key,
-                                        std::span<const std::byte> data,
-                                        std::optional<std::uint64_t> hint,
-                                        std::uint32_t flags,
-                                        std::uint32_t exptime_s) {
+sim::Task<Expected<void>> McClient::store(StoreVerb verb, std::string key,
+                                          std::span<const std::byte> data,
+                                          std::optional<std::uint64_t> hint,
+                                          std::uint32_t flags,
+                                          std::uint32_t exptime_s) {
   ++stats_.sets;
   const std::size_t server = route(key, hint);
-  auto resp = co_await call(
-      server, memcache::encode_store(memcache::StoreVerb::kSet, key, flags,
-                                     exptime_s, data));
-  if (!resp) co_return Errc::kNoEnt;  // dead daemon: value simply uncached
+  auto resp =
+      co_await call(server,
+                    memcache::encode_store(verb, key, flags, exptime_s, data),
+                    OpKind::kMutation, ReplyShape::kLine);
+  if (!resp) {
+    // Dead daemon: the value is merely uncached.
+    if (resp.error() == Errc::kConnRefused || resp.error() == Errc::kConnReset)
+      co_return Errc::kNoEnt;
+    co_return resp.error();
+  }
   auto parsed = memcache::parse_store_response(*resp);
   if (!parsed) co_return parsed.error();
   switch (*parsed) {
@@ -190,19 +347,41 @@ sim::Task<Expected<void>> McClient::set(std::string key,
   co_return Errc::kProto;
 }
 
+sim::Task<Expected<void>> McClient::set(std::string key,
+                                        std::span<const std::byte> data,
+                                        std::optional<std::uint64_t> hint,
+                                        std::uint32_t flags,
+                                        std::uint32_t exptime_s) {
+  co_return co_await store(StoreVerb::kSet, std::move(key), data, hint, flags,
+                           exptime_s);
+}
+
+sim::Task<Expected<void>> McClient::add(std::string key,
+                                        std::span<const std::byte> data,
+                                        std::optional<std::uint64_t> hint,
+                                        std::uint32_t flags,
+                                        std::uint32_t exptime_s) {
+  co_return co_await store(StoreVerb::kAdd, std::move(key), data, hint, flags,
+                           exptime_s);
+}
+
 sim::Task<Expected<Value>> McClient::gets(std::string key,
                                           std::optional<std::uint64_t> hint) {
   ++stats_.gets;
   co_await rpc_.fabric().node(self_).cpu().use(params_.per_key_cpu);
   const std::size_t server = route(key, hint);
   const std::string keys[] = {key};
-  auto resp = co_await call(server, memcache::encode_gets(keys));
+  auto resp = co_await call(server, memcache::encode_gets(keys), OpKind::kGet,
+                            ReplyShape::kTerminated);
   if (!resp) {
     ++stats_.misses;
     co_return Errc::kNoEnt;
   }
   auto parsed = memcache::parse_get_response(*resp);
-  if (!parsed) co_return parsed.error();
+  if (!parsed) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;
+  }
   auto it = parsed->find(key);
   if (it == parsed->end()) {
     ++stats_.misses;
@@ -218,8 +397,8 @@ sim::Task<Expected<void>> McClient::cas(std::string key,
                                         std::optional<std::uint64_t> hint) {
   ++stats_.sets;
   const std::size_t server = route(key, hint);
-  auto resp = co_await call(
-      server, memcache::encode_cas(key, 0, 0, data, cas_id));
+  auto resp = co_await call(server, memcache::encode_cas(key, 0, 0, data, cas_id),
+                            OpKind::kMutation, ReplyShape::kLine);
   if (!resp) co_return Errc::kNoEnt;
   auto parsed = memcache::parse_cas_response(*resp);
   if (!parsed) co_return parsed.error();
@@ -237,7 +416,8 @@ sim::Task<Expected<void>> McClient::cas(std::string key,
 sim::Task<Expected<std::uint64_t>> McClient::incr(
     std::string key, std::uint64_t delta, std::optional<std::uint64_t> hint) {
   const std::size_t server = route(key, hint);
-  auto resp = co_await call(server, memcache::encode_incr(key, delta));
+  auto resp = co_await call(server, memcache::encode_incr(key, delta),
+                            OpKind::kMutation, ReplyShape::kLine);
   if (!resp) co_return Errc::kNoEnt;
   co_return memcache::parse_arith_response(*resp);
 }
@@ -245,7 +425,8 @@ sim::Task<Expected<std::uint64_t>> McClient::incr(
 sim::Task<Expected<std::uint64_t>> McClient::decr(
     std::string key, std::uint64_t delta, std::optional<std::uint64_t> hint) {
   const std::size_t server = route(key, hint);
-  auto resp = co_await call(server, memcache::encode_decr(key, delta));
+  auto resp = co_await call(server, memcache::encode_decr(key, delta),
+                            OpKind::kMutation, ReplyShape::kLine);
   if (!resp) co_return Errc::kNoEnt;
   co_return memcache::parse_arith_response(*resp);
 }
@@ -254,8 +435,13 @@ sim::Task<Expected<void>> McClient::del(std::string key,
                                         std::optional<std::uint64_t> hint) {
   ++stats_.deletes;
   const std::size_t server = route(key, hint);
-  auto resp = co_await call(server, memcache::encode_delete(key));
-  if (!resp) co_return Errc::kNoEnt;
+  auto resp = co_await call(server, memcache::encode_delete(key),
+                            OpKind::kDelete, ReplyShape::kLine);
+  if (!resp) {
+    if (resp.error() == Errc::kConnRefused || resp.error() == Errc::kConnReset)
+      co_return Errc::kNoEnt;  // dead daemon: nothing cached to purge
+    co_return resp.error();
+  }
   auto parsed = memcache::parse_delete_response(*resp);
   if (!parsed) co_return parsed.error();
   co_return Expected<void>{};  // DELETED and NOT_FOUND both fine for purges
@@ -263,7 +449,8 @@ sim::Task<Expected<void>> McClient::del(std::string key,
 
 sim::Task<Expected<std::map<std::string, std::string>>>
 McClient::server_stats(std::size_t server_index) {
-  auto resp = co_await call(server_index, memcache::encode_stats());
+  auto resp = co_await call(server_index, memcache::encode_stats(),
+                            OpKind::kGet, ReplyShape::kTerminated);
   if (!resp) co_return resp.error();
   co_return memcache::parse_stats_response(*resp);
 }
@@ -275,7 +462,8 @@ sim::Task<void> McClient::flush_all() {
   calls.reserve(servers_.size());
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     calls.push_back([](McClient& c, std::size_t srv) -> sim::Task<void> {
-      (void)co_await c.call(srv, memcache::encode_flush_all());
+      (void)co_await c.call(srv, memcache::encode_flush_all(), OpKind::kFlush,
+                            ReplyShape::kLine);
     }(*this, s));
   }
   co_await sim::when_all(rpc_.fabric().loop(), std::move(calls));

@@ -7,6 +7,24 @@
 // marked dead and subsequent operations on it become misses/no-ops — IMCa
 // keeps working because writes are always durable at the file server first
 // (paper §4.4).
+//
+// On top of that base (and off by default, so a client with default params
+// behaves exactly like the original), the client implements the failover
+// machinery of DESIGN.md §5d:
+//
+//   * per-op deadlines (`op_timeout`) racing each RPC against the sim clock;
+//   * bounded retry with exponential backoff for unclean outcomes (timeout,
+//     torn reply) — never for clean refusals, which mean the daemon is down
+//     and, by the crash semantics, empty;
+//   * ejection after `eject_after` consecutive unclean failures: a dead or
+//     flaky daemon takes zero traffic and its keys degrade to misses;
+//   * reintegration probes every `retry_dead_interval`, with a mandatory
+//     purge-on-rejoin (flush the daemon, then mark it alive) so a revived
+//     daemon can never serve blocks from before its crash window;
+//   * writer mode (`reliable_mutations`): sets/deletes retry until a clean
+//     outcome so a purge is never silently lost, and deletes bypass the
+//     ejection list (`delete_bypasses_ejection`) to kill stale copies on a
+//     daemon that restarted behind the writer's back.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +51,20 @@ struct ClientStats {
   std::uint64_t sets = 0;
   std::uint64_t deletes = 0;
   std::uint64_t dead_server_ops = 0;  // ops swallowed by a dead daemon
+  // --- failover machinery (all zero when faults are off) ---
+  std::uint64_t timeouts = 0;           // per-op deadlines that fired
+  std::uint64_t truncated_replies = 0;  // torn replies caught by framing check
+  std::uint64_t retries = 0;            // re-sent attempts (excludes the first)
+  std::uint64_t ejections = 0;          // servers ejected for unclean streaks
+  std::uint64_t rejoins = 0;            // dead->alive transitions
+  std::uint64_t rejoin_purges = 0;      // flushes issued by rejoins (== rejoins)
+  std::uint64_t bypass_deletes = 0;     // deletes sent despite a dead mark
+
+  // Monotone counter CMCache snapshots around an MCD exchange to detect that
+  // the exchange was degraded by a fault (any kind).
+  std::uint64_t fault_signals() const noexcept {
+    return timeouts + truncated_replies + dead_server_ops;
+  }
 };
 
 struct McClientParams {
@@ -43,6 +75,33 @@ struct McClientParams {
   // idea of reaching the cache bank over native IB verbs/RDMA instead of
   // TCP over IPoIB). Null = the fabric's default transport.
   std::optional<net::TransportParams> transport;
+
+  // --- failover knobs (defaults = original libmemcache behaviour) ---
+  // Per-attempt deadline; 0 = no deadline (wait for the transport).
+  SimDuration op_timeout = 0;
+  // Attempts per get/stat-shaped op (1 = no retry).
+  std::size_t get_attempts = 1;
+  // Attempts per mutation when `reliable_mutations` is set.
+  std::size_t mutation_attempts = 1;
+  // Backoff before retry k (0-based) is min(backoff_base << k, backoff_cap).
+  SimDuration backoff_base = 200 * kMicro;
+  SimDuration backoff_cap = 5 * kMilli;
+  // Eject a server after this many *consecutive* unclean failures; 0 = never.
+  std::size_t eject_after = 3;
+  // Probe an ejected server for rejoin after this long; 0 = never (a dead
+  // server stays dead, as in the original client).
+  SimDuration retry_dead_interval = 0;
+  // Writer mode: retry mutations until a clean outcome (success or refusal)
+  // instead of ejecting on unclean ones. A refusal means the daemon lost its
+  // contents with the crash, so skipping the publish/purge is safe; an
+  // unclean outcome means it may still hold the item, so give up only after
+  // `mutation_attempts` tries.
+  bool reliable_mutations = false;
+  // Writer mode: send deletes even to servers marked dead. A daemon that
+  // restarted behind this client's back may hold a freshly repaired copy of
+  // a block the writer is invalidating; the bypass delete kills it (and a
+  // successful one doubles as a rejoin probe).
+  bool delete_bypasses_ejection = false;
 };
 
 class McClient {
@@ -83,6 +142,15 @@ class McClient {
                                 std::uint32_t flags = 0,
                                 std::uint32_t exptime_s = 0);
 
+  // Store only if the key is absent (memcached add). kNotStored when a value
+  // is already cached — the verb read-repair wants: a repair can never
+  // clobber a fresher publish.
+  sim::Task<Expected<void>> add(std::string key,
+                                std::span<const std::byte> data,
+                                std::optional<std::uint64_t> hint = std::nullopt,
+                                std::uint32_t flags = 0,
+                                std::uint32_t exptime_s = 0);
+
   // Fetch with the item's cas id (the protocol's gets).
   sim::Task<Expected<memcache::Value>> gets(
       std::string key, std::optional<std::uint64_t> hint = std::nullopt);
@@ -111,6 +179,7 @@ class McClient {
       std::size_t server_index);
 
   // Drop every item on every live daemon (one concurrent RPC per daemon).
+  // Dead daemons are skipped, so a crashed MCD can't stall the sweep.
   sim::Task<void> flush_all();
 
   // The event loop this client's fabric runs on; translators built over the
@@ -124,6 +193,20 @@ class McClient {
   bool server_dead(std::size_t i) const { return dead_.at(i); }
 
  private:
+  // How an op's outcome maps onto the failover machinery.
+  enum class OpKind : std::uint8_t {
+    kGet,       // degrade to a miss; ejection applies
+    kMutation,  // retried-until-clean in writer mode
+    kDelete,    // like kMutation, plus the ejection bypass
+    kFlush,     // best-effort sweep; never retried
+  };
+  // Wire framing of an intact reply, so torn (short-read) replies can be
+  // classified as retryable before the protocol parser sees them.
+  enum class ReplyShape : std::uint8_t {
+    kTerminated,  // ends with "END\r\n" (get / gets / stats)
+    kLine,        // ends with "\r\n"    (store / delete / arith / flush)
+  };
+
   std::size_t route(std::string_view key,
                     std::optional<std::uint64_t> hint) const {
     return selector_->pick(key, hint, servers_.size());
@@ -140,7 +223,22 @@ class McClient {
   KeyGroups group_by_server(std::vector<std::string> keys,
                             std::span<const std::uint64_t> hints) const;
 
-  sim::Task<Expected<ByteBuf>> call(std::size_t server, ByteBuf request);
+  // Full failover path: dead gate (with delete bypass and rejoin probes),
+  // per-attempt deadline, framing check, retry/backoff, ejection.
+  sim::Task<Expected<ByteBuf>> call(std::size_t server, ByteBuf request,
+                                    OpKind op, ReplyShape shape);
+  // One attempt: the raw RPC, raced against `op_timeout` when it is set.
+  sim::Task<Expected<ByteBuf>> call_once(std::size_t server, ByteBuf request);
+  // Purge-then-mark-alive. Every dead->alive transition funnels through here.
+  sim::Task<bool> try_rejoin(std::size_t server);
+  sim::Task<Expected<void>> store(memcache::StoreVerb verb, std::string key,
+                                  std::span<const std::byte> data,
+                                  std::optional<std::uint64_t> hint,
+                                  std::uint32_t flags, std::uint32_t exptime_s);
+
+  void mark_dead(std::size_t server);
+  SimDuration backoff_delay(std::size_t retry_index) const;
+  static bool reply_intact(const ByteBuf& resp, ReplyShape shape);
 
   net::RpcSystem& rpc_;
   net::NodeId self_;
@@ -148,6 +246,8 @@ class McClient {
   std::unique_ptr<ServerSelector> selector_;
   McClientParams params_;
   std::vector<bool> dead_;
+  std::vector<std::size_t> unclean_streak_;
+  std::vector<SimTime> next_probe_;
   ClientStats stats_;
 };
 

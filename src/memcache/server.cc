@@ -27,6 +27,19 @@ void McServer::stop() {
   cache_.flush_all();  // a restarted daemon starts cold
 }
 
+void McServer::schedule_crash(SimTime at, std::optional<SimTime> restart_at) {
+  sim::EventLoop& loop = rpc_.fabric().loop();
+  loop.spawn([](McServer* self, sim::EventLoop* lp, SimTime when,
+                std::optional<SimTime> revive) -> sim::Task<void> {
+    co_await lp->sleep_until(when);
+    self->stop();
+    if (revive) {
+      co_await lp->sleep_until(*revive);
+      self->start();
+    }
+  }(this, &loop, at, restart_at));
+}
+
 sim::Task<ByteBuf> McServer::handle(ByteBuf request, net::NodeId) {
   sim::EventLoop& loop = rpc_.fabric().loop();
   const std::uint64_t in_bytes = request.size();

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "memcache/cache.h"
 #include "memcache/protocol.h"
@@ -47,6 +48,10 @@ class McServer {
   // restart comes back empty, as a real memcached would).
   void stop();
   bool running() const { return rpc_.listening(node_, net::kPortMemcached); }
+
+  // Deterministic crash window for fault plans: stop() at `at`, and if
+  // `restart_at` is given, start() again then (cold, per stop()'s flush).
+  void schedule_crash(SimTime at, std::optional<SimTime> restart_at = std::nullopt);
 
   McCache& cache() noexcept { return cache_; }
   const McCache& cache() const noexcept { return cache_; }

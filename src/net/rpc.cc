@@ -14,8 +14,14 @@ sim::Task<Expected<ByteBuf>> RpcSystem::call(NodeId src, NodeId dst, Port port,
                                              ByteBuf request,
                                              const TransportParams* transport) {
   ++calls_;
+  ++calls_by_target_[{dst, port}];
   const TransportParams& t =
       transport != nullptr ? *transport : fabric_.transport();
+
+  const FaultDecision fault = injector_ != nullptr
+                                  ? injector_->decide(dst, port)
+                                  : FaultDecision{};
+
   const auto it = handlers_.find({dst, port});
   if (it == handlers_.end()) {
     // Connection refused: the SYN still crosses the wire and the RST comes
@@ -26,6 +32,13 @@ sim::Task<Expected<ByteBuf>> RpcSystem::call(NodeId src, NodeId dst, Port port,
 
   co_await fabric_.transfer_via(t, src, dst, request.size());
 
+  if (fault.kind == FaultKind::kDropRequest) {
+    // The request vanished before the daemon parsed it: no side effect on
+    // the peer, and the caller only gives up after the transport deadline.
+    co_await fabric_.loop().sleep(fault.give_up);
+    co_return Errc::kTimedOut;
+  }
+
   // The handler may unregister itself while running (daemon killed mid-
   // request); take a copy of the callable so the call completes first.
   Handler handler = it->second;
@@ -34,6 +47,25 @@ sim::Task<Expected<ByteBuf>> RpcSystem::call(NodeId src, NodeId dst, Port port,
   if (!listening(dst, port)) {
     // Daemon died before the response hit the wire.
     co_return Errc::kConnReset;
+  }
+
+  if (fault.kind == FaultKind::kDropReply) {
+    // Side effects applied on the daemon, reply lost on the way back.
+    co_await fabric_.loop().sleep(fault.give_up);
+    co_return Errc::kTimedOut;
+  }
+
+  if (fault.kind == FaultKind::kSlowReply) {
+    co_await fabric_.loop().sleep(fault.slow_delay);
+  }
+
+  if (fault.kind == FaultKind::kShortRead && response.size() > 0) {
+    // Truncate to a strict prefix; the protocol parser reports kProto.
+    const std::size_t cut =
+        static_cast<std::size_t>(fault.cut_draw % response.size());
+    response = ByteBuf(std::vector<std::byte>(response.bytes().begin(),
+                                              response.bytes().begin() +
+                                                  static_cast<std::ptrdiff_t>(cut)));
   }
 
   co_await fabric_.transfer_via(t, dst, src, response.size());

@@ -24,4 +24,19 @@ Task<void> when_all(EventLoop& loop, std::vector<Task<void>> tasks) {
   co_await done.wait();
 }
 
+namespace {
+
+Task<void> timeout_body(EventLoop& loop, std::shared_ptr<Event> event,
+                        SimDuration delay) {
+  co_await loop.sleep(delay);
+  event->set();  // idempotent: harmless if the race already resolved
+}
+
+}  // namespace
+
+void arm_timeout(EventLoop& loop, std::shared_ptr<Event> event,
+                 SimDuration delay) {
+  loop.spawn(timeout_body(loop, std::move(event), delay));
+}
+
 }  // namespace imca::sim

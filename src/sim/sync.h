@@ -17,6 +17,7 @@
 #include <cassert>
 #include <coroutine>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -255,5 +256,11 @@ class Barrier {
 // child has completed. Children run as spawned processes, so they interleave
 // on the simulated clock like independent nodes.
 Task<void> when_all(EventLoop& loop, std::vector<Task<void>> tasks);
+
+// Set `event` after `delay`, from a detached process. The shared_ptr keeps
+// the event alive even if every waiter has long since raced past it — the
+// building block for deadline-vs-completion races (McClient per-op timeouts).
+void arm_timeout(EventLoop& loop, std::shared_ptr<Event> event,
+                 SimDuration delay);
 
 }  // namespace imca::sim

@@ -1,0 +1,19 @@
+# Patch a gtest_discover_tests-generated test file so every discovered test
+# carries LABELS "tier1;tier1-faults". gtest_discover_tests flattens
+# list-valued PROPERTIES when it serializes them into the generated script
+# (the `;` becomes a space and the second label is lost), so this runs as a
+# POST_BUILD step after discovery and rewrites the property in place.
+#
+# Usage: cmake -D TEST_FILE=<path> -P add_fault_label.cmake
+if(NOT TEST_FILE OR NOT EXISTS "${TEST_FILE}")
+  message(FATAL_ERROR "add_fault_label.cmake: TEST_FILE not found: ${TEST_FILE}")
+endif()
+file(READ "${TEST_FILE}" _content)
+# Normalise whichever quoting the generator used for the flattened value.
+string(REPLACE "LABELS [==[tier1 tier1-faults]==]" "LABELS tier1 tier1-faults"
+       _content "${_content}")
+string(REPLACE "LABELS \"tier1 tier1-faults\"" "LABELS tier1 tier1-faults"
+       _content "${_content}")
+string(REPLACE "LABELS tier1 tier1-faults" "LABELS \"tier1;tier1-faults\""
+       _patched "${_content}")
+file(WRITE "${TEST_FILE}" "${_patched}")

@@ -1,0 +1,51 @@
+// Seeded-shrink support for the randomized harnesses: given a failing op
+// trace and a predicate that replays a candidate trace, find a (locally)
+// minimal failing subsequence.
+//
+// This is ddmin-lite: repeatedly try deleting chunks of the trace, halving
+// the chunk size whenever a full pass removes nothing. It requires only that
+// the predicate accept *any* subsequence of the original trace — which the
+// workload harness guarantees by interpreting every op against the state the
+// previous ops actually produced (an op that no longer applies becomes a
+// no-op instead of an error).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace imca::harness {
+
+// Returns a subsequence of `trace` on which `still_fails` returns true, no
+// longer than the input (and usually far shorter). `still_fails(trace)` is
+// assumed true on entry. `max_rounds` bounds the halving passes; the caller
+// typically also bounds total replays inside the predicate.
+template <typename T, typename Pred>
+std::vector<T> shrink_trace(std::vector<T> trace, Pred&& still_fails,
+                            std::size_t max_rounds = 8) {
+  std::size_t chunk = trace.size() / 2;
+  for (std::size_t round = 0; round < max_rounds && chunk > 0; ++round) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < trace.size()) {
+      const std::size_t end = std::min(trace.size(), start + chunk);
+      std::vector<T> candidate;
+      candidate.reserve(trace.size() - (end - start));
+      candidate.insert(candidate.end(), trace.begin(),
+                       trace.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       trace.begin() + static_cast<std::ptrdiff_t>(end),
+                       trace.end());
+      if (!candidate.empty() && still_fails(candidate)) {
+        trace = std::move(candidate);
+        removed_any = true;
+        // Same `start` now points at the next chunk of the shrunk trace.
+      } else {
+        start = end;
+      }
+    }
+    if (!removed_any) chunk /= 2;
+  }
+  return trace;
+}
+
+}  // namespace imca::harness

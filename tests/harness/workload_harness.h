@@ -1,0 +1,95 @@
+// Invariant-checking workload harness (the executable form of the paper's
+// §4.4 claim: MCD failures never affect correctness).
+//
+// A harness run generates a randomized open/read/write/truncate/unlink/
+// rename workload from a seed, replays it against a fresh GlusterTestbed
+// (IMCa translators + MCD array) under a FaultPlan, mirrors every mutation
+// into an in-memory oracle, and checks after every op that reads served
+// through CMCache byte-match the oracle. Any divergence is a correctness
+// bug, not a performance artifact: caches may *lose* data under faults, but
+// must never serve wrong bytes.
+//
+// Every op is interpreted against the state the previous ops produced (a
+// write to a missing file creates it; a read of a missing file is a no-op),
+// so ANY subsequence of a trace is itself a valid trace — the property the
+// ddmin shrinker in shrink.h relies on. On failure, run_seeded() prints the
+// seed and a minimized trace as a reproducible one-liner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/testbed.h"
+#include "imca/cmcache.h"
+#include "imca/config.h"
+#include "imca/smcache.h"
+#include "mcclient/client.h"
+#include "net/fault.h"
+
+namespace imca::harness {
+
+struct Op {
+  enum class Kind : std::uint8_t {
+    kWrite,     // write `length` seeded bytes at `offset` (creates the file)
+    kRead,      // read [offset, offset+length) and byte-check vs the oracle
+    kStat,      // stat and check the size vs the oracle
+    kTruncate,  // truncate to `length`
+    kUnlink,    // remove the file
+    kRename,    // rename file -> target (replacing target)
+    kClose,     // close the kept-open handle
+    kReopen,    // reopen a file whose handle was closed
+  };
+  Kind kind = Kind::kWrite;
+  std::uint32_t file = 0;    // index into the harness's fixed path set
+  std::uint32_t target = 0;  // rename destination index
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t payload_seed = 0;  // deterministic write contents
+};
+
+struct ReplayConfig {
+  std::size_t n_mcds = 3;
+  bool smcache = true;
+  core::ImcaConfig imca;
+  net::FaultPlan faults;
+  // Byte-check every live file after every op (the invariant proper). Off =
+  // only the read ops and the final sweep check.
+  bool verify_every_op = true;
+};
+
+struct ReplayResult {
+  bool ok = true;
+  std::size_t failed_op = 0;  // index into the trace (== trace size for the
+                              // final sweep)
+  std::string detail;         // human-readable mismatch description
+  std::uint64_t reads_checked = 0;
+  std::uint64_t bytes_checked = 0;
+  // Post-run counter snapshots for accounting assertions.
+  core::CmCacheStats cm;
+  core::FaultStats cm_faults;
+  mcclient::ClientStats cm_client;
+  core::SmCacheStats sm;
+  mcclient::ClientStats sm_client;
+};
+
+// Deterministic payload for a write op: `n` bytes drawn from `payload_seed`.
+std::vector<std::byte> payload_bytes(std::uint64_t payload_seed,
+                                     std::uint64_t n);
+
+// Draw `n_ops` ops from `seed`.
+std::vector<Op> generate_ops(std::uint64_t seed, std::size_t n_ops);
+
+// Replay `trace` on a fresh testbed under `cfg`. Deterministic: same trace +
+// same config => same result, bit for bit.
+ReplayResult replay(const std::vector<Op>& trace, const ReplayConfig& cfg);
+
+// generate + replay; on failure, shrink the trace (bounded replay budget)
+// and print `seed`, the failing op and the minimized trace to stderr.
+ReplayResult run_seeded(std::uint64_t seed, std::size_t n_ops,
+                        const ReplayConfig& cfg);
+
+std::string format_op(const Op& op);
+std::string format_trace(const std::vector<Op>& trace);
+
+}  // namespace imca::harness

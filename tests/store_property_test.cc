@@ -1,13 +1,19 @@
 // Property tests for the storage substrate:
 //  * PageCache behaves exactly like a reference LRU over (file,page) keys
-//    under random op sequences;
+//    under random op sequences — trace-based, so a failure is shrunk to a
+//    minimal op sequence (tests/harness/shrink.h) and printed with its seed;
 //  * SlabAllocator accounting invariants hold under random alloc/free churn.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <list>
+#include <optional>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
+#include "harness/shrink.h"
 #include "memcache/slab.h"
 #include "store/page_cache.h"
 
@@ -59,59 +65,174 @@ std::uint64_t key_of(std::uint64_t file, std::uint64_t page) {
   return file * 1000003 + page;
 }
 
+// --- trace-based PageCache-vs-LRU property ---
+//
+// Ops are plain data so a failing sequence can be shrunk: any subsequence of
+// a trace is itself a valid trace (every op is self-contained).
+
+struct LruOp {
+  enum class Kind : std::uint8_t {
+    kAccess,      // access one page: promotes into both cache and oracle
+    kAccessRun,   // access an `n`-page run
+    kCovered,     // covered() must agree and not perturb LRU order
+    kInvalidate,  // drop a whole file
+  };
+  Kind kind = Kind::kAccess;
+  std::uint64_t file = 0;
+  std::uint64_t page = 0;
+  std::uint64_t n = 1;
+};
+
+std::string format_lru_op(const LruOp& op) {
+  switch (op.kind) {
+    case LruOp::Kind::kAccess:
+      return "A f" + std::to_string(op.file) + " p" + std::to_string(op.page);
+    case LruOp::Kind::kAccessRun:
+      return "R f" + std::to_string(op.file) + " p" +
+             std::to_string(op.page) + " n" + std::to_string(op.n);
+    case LruOp::Kind::kCovered:
+      return "C f" + std::to_string(op.file) + " p" + std::to_string(op.page);
+    case LruOp::Kind::kInvalidate:
+      return "I f" + std::to_string(op.file);
+  }
+  return "?";
+}
+
+// Same op mix the pre-trace version of this test used.
+std::vector<LruOp> generate_lru_ops(std::uint64_t seed, std::size_t n_ops) {
+  Rng rng(seed);
+  constexpr std::uint64_t kFiles = 4;
+  constexpr std::uint64_t kPages = 24;
+  std::vector<LruOp> ops;
+  ops.reserve(n_ops);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    LruOp op;
+    op.file = rng.below(kFiles);
+    op.page = rng.below(kPages);
+    switch (rng.below(4)) {
+      case 0:
+        op.kind = LruOp::Kind::kAccess;
+        break;
+      case 1:
+        op.kind = LruOp::Kind::kAccessRun;
+        op.n = 1 + rng.below(4);
+        break;
+      case 2:
+        op.kind = LruOp::Kind::kCovered;
+        break;
+      case 3:
+        if (rng.below(8) != 0) {  // rare, like real unlinks
+          op.kind = LruOp::Kind::kAccess;
+        } else {
+          op.kind = LruOp::Kind::kInvalidate;
+        }
+        break;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// Replay `trace` against a fresh cache + oracle pair; nullopt = all
+// invariants held, otherwise the index and a description of the first
+// divergence.
+struct LruFailure {
+  std::size_t op_index = 0;
+  std::string detail;
+};
+
+std::optional<LruFailure> replay_lru(const std::vector<LruOp>& trace,
+                                     std::size_t cap_pages) {
+  constexpr std::uint64_t kPage = store::PageCache::kPageSize;
+  store::PageCache cache(cap_pages * kPage);
+  ReferenceLru oracle(cap_pages);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const LruOp& op = trace[i];
+    switch (op.kind) {
+      case LruOp::Kind::kAccess: {
+        const bool oracle_hit = oracle.contains(key_of(op.file, op.page));
+        const auto missed = cache.access(op.file, op.page * kPage, kPage);
+        if ((missed == 0) != oracle_hit) {
+          return LruFailure{i, "access hit/miss disagrees with oracle"};
+        }
+        oracle.touch(key_of(op.file, op.page));
+        break;
+      }
+      case LruOp::Kind::kAccessRun: {
+        std::uint64_t expect_missing = 0;
+        for (std::uint64_t p = op.page; p < op.page + op.n; ++p) {
+          if (!oracle.contains(key_of(op.file, p))) ++expect_missing;
+          oracle.touch(key_of(op.file, p));
+        }
+        const auto missed = cache.access(op.file, op.page * kPage,
+                                         op.n * kPage);
+        if (missed != expect_missing * kPage) {
+          return LruFailure{i, "run missed " + std::to_string(missed) +
+                                   " bytes, oracle expected " +
+                                   std::to_string(expect_missing * kPage)};
+        }
+        break;
+      }
+      case LruOp::Kind::kCovered: {
+        const bool covered = cache.covered(op.file, op.page * kPage, kPage);
+        if (covered != oracle.contains(key_of(op.file, op.page))) {
+          return LruFailure{i, "covered() disagrees with oracle"};
+        }
+        break;
+      }
+      case LruOp::Kind::kInvalidate: {
+        cache.invalidate(op.file);
+        oracle.erase_if(
+            [&](std::uint64_t k) { return k / 1000003 == op.file; });
+        break;
+      }
+    }
+    if (cache.resident_pages() != oracle.size()) {
+      return LruFailure{i, "resident_pages " +
+                               std::to_string(cache.resident_pages()) +
+                               " != oracle size " +
+                               std::to_string(oracle.size())};
+    }
+    if (cache.resident_pages() > cap_pages) {
+      return LruFailure{i, "capacity exceeded"};
+    }
+  }
+  return std::nullopt;
+}
+
 class PageCacheVsLru : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(PageCacheVsLru, RandomOpsMatchReferenceModel) {
   const std::size_t cap_pages = GetParam();
-  store::PageCache cache(cap_pages * store::PageCache::kPageSize);
-  ReferenceLru oracle(cap_pages);
-  Rng rng(0xCAFE + cap_pages);
+  const std::uint64_t seed = 0xCAFE + cap_pages;
+  const auto trace = generate_lru_ops(seed, 4000);
 
-  constexpr std::uint64_t kFiles = 4;
-  constexpr std::uint64_t kPages = 24;
-  constexpr std::uint64_t kPage = store::PageCache::kPageSize;
+  const auto failure = replay_lru(trace, cap_pages);
+  if (!failure) return;
 
-  for (int step = 0; step < 4000; ++step) {
-    const std::uint64_t file = rng.below(kFiles);
-    const std::uint64_t page = rng.below(kPages);
-    switch (rng.below(4)) {
-      case 0: {  // access one page: promotes into both
-        const bool oracle_hit = oracle.contains(key_of(file, page));
-        const auto missed = cache.access(file, page * kPage, kPage);
-        ASSERT_EQ(missed == 0, oracle_hit)
-            << "step " << step << " f" << file << " p" << page;
-        oracle.touch(key_of(file, page));
-        break;
-      }
-      case 1: {  // access a multi-page run
-        const std::uint64_t n = 1 + rng.below(4);
-        std::uint64_t expect_missing = 0;
-        for (std::uint64_t p = page; p < page + n; ++p) {
-          if (!oracle.contains(key_of(file, p))) ++expect_missing;
-          oracle.touch(key_of(file, p));
-        }
-        const auto missed = cache.access(file, page * kPage, n * kPage);
-        ASSERT_EQ(missed, expect_missing * kPage) << "step " << step;
-        break;
-      }
-      case 2: {  // covered() must agree and not perturb LRU order
-        const bool covered = cache.covered(file, page * kPage, kPage);
-        ASSERT_EQ(covered, oracle.contains(key_of(file, page)))
-            << "step " << step;
-        break;
-      }
-      case 3: {  // invalidate a whole file
-        if (rng.below(8) != 0) break;  // rare, like real unlinks
-        cache.invalidate(file);
-        oracle.erase_if([&](std::uint64_t k) {
-          return k / 1000003 == file;
-        });
-        break;
-      }
-    }
-    ASSERT_EQ(cache.resident_pages(), oracle.size()) << "step " << step;
-    ASSERT_LE(cache.resident_pages(), cap_pages);
+  // Shrink to a minimal failing subsequence and print a reproducible trace.
+  const auto minimized =
+      harness::shrink_trace(trace, [&](const std::vector<LruOp>& candidate) {
+        return replay_lru(candidate, cap_pages).has_value();
+      });
+  std::string dump;
+  for (std::size_t i = 0; i < minimized.size(); ++i) {
+    dump += "  [" + std::to_string(i) + "] " + format_lru_op(minimized[i]) +
+            "\n";
   }
+  std::fprintf(stderr,
+               "PageCacheVsLru FAILED: seed=%llu cap=%llu op %llu: %s\n"
+               "minimized trace (%llu ops):\n%s",
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(cap_pages),
+               static_cast<unsigned long long>(failure->op_index),
+               failure->detail.c_str(),
+               static_cast<unsigned long long>(minimized.size()),
+               dump.c_str());
+  FAIL() << "op " << failure->op_index << ": " << failure->detail
+         << " (seed " << seed << ", minimized to " << minimized.size()
+         << " ops above)";
 }
 
 INSTANTIATE_TEST_SUITE_P(Capacities, PageCacheVsLru,

@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cluster/testbed.h"
 #include "common/table.h"
@@ -47,6 +48,22 @@ struct Options {
   std::uint64_t mcd_mb = 0;       // 0 = default 6 GB
   std::uint64_t server_cache_mb = 0;  // 0 = default
   bool csv = false;
+
+  // --- MCD fault plan (imca only; DESIGN.md §5d) ---
+  std::uint64_t fault_seed = 1;
+  double fault_drop = 0;     // P(request lost before the daemon sees it)
+  double fault_timeout = 0;  // P(reply lost after the daemon executed)
+  double fault_slow = 0;     // P(reply delayed by --fault-slow-ms)
+  double fault_short = 0;    // P(reply truncated to a strict prefix)
+  std::uint64_t fault_slow_ms = 2;
+  std::vector<net::CrashEvent> crashes;  // --crash-mcd=i@ms[:ms]
+  // ~0 = auto: 2 ms whenever any fault flag is present, otherwise off.
+  std::uint64_t mcd_timeout_ms = ~0ull;
+
+  bool any_fault() const {
+    return fault_drop > 0 || fault_timeout > 0 || fault_slow > 0 ||
+           fault_short > 0 || !crashes.empty();
+  }
 };
 
 [[noreturn]] void usage(int code) {
@@ -74,7 +91,18 @@ struct Options {
       "  --file-mb=N         iozone per-client file size (default 32)\n"
       "  --mcd-mb=N          per-daemon memory (default 6144)\n"
       "  --server-cache-mb=N server page cache\n"
-      "  --csv               machine-readable tables\n");
+      "  --csv               machine-readable tables\n"
+      "\n"
+      "MCD fault injection (imca only; all runs stay deterministic):\n"
+      "  --fault-seed=N      PRNG seed for the per-call fault draws\n"
+      "  --fault-drop=P      drop requests (no daemon side effect)\n"
+      "  --fault-timeout=P   drop replies (side effect applied, reply lost)\n"
+      "  --fault-slow=P      delay replies by --fault-slow-ms (default 2)\n"
+      "  --fault-short=P     truncate replies (torn protocol frames)\n"
+      "  --crash-mcd=i@ms[:ms]  kill daemon i at `ms`, optionally restart\n"
+      "                      at the second `ms` (repeatable)\n"
+      "  --mcd-timeout-ms=N  per-op MCD deadline; defaults to 2 when any\n"
+      "                      fault flag is given, 0 (off) otherwise\n");
   std::exit(code);
 }
 
@@ -109,6 +137,36 @@ Options parse(int argc, char** argv) {
         matched = true;
       }
     };
+    const auto prob = [&](const char* name, double& out) {
+      if (auto v = flag_value(a, name)) {
+        out = std::strtod(v->c_str(), nullptr);
+        if (out < 0.0 || out > 1.0) {
+          std::fprintf(stderr, "%s wants a probability in [0,1]\n", name);
+          usage(2);
+        }
+        matched = true;
+      }
+    };
+    if (auto v = flag_value(a, "--crash-mcd")) {
+      // i@ms or i@ms:ms
+      char* end = nullptr;
+      net::CrashEvent ev;
+      ev.mcd = std::strtoull(v->c_str(), &end, 10);
+      if (*end != '@') {
+        std::fprintf(stderr, "--crash-mcd wants i@ms[:ms]\n");
+        usage(2);
+      }
+      ev.at = std::strtoull(end + 1, &end, 10) * kMilli;
+      if (*end == ':') {
+        ev.restart_at = std::strtoull(end + 1, &end, 10) * kMilli;
+      }
+      if (*end != '\0') {
+        std::fprintf(stderr, "--crash-mcd wants i@ms[:ms]\n");
+        usage(2);
+      }
+      o.crashes.push_back(ev);
+      continue;
+    }
     str("--system", o.system);
     str("--workload", o.workload);
     str("--transport", o.transport);
@@ -123,6 +181,13 @@ Options parse(int argc, char** argv) {
     num("--file-mb", o.file_mb);
     num("--mcd-mb", o.mcd_mb);
     num("--server-cache-mb", o.server_cache_mb);
+    num("--fault-seed", o.fault_seed);
+    num("--fault-slow-ms", o.fault_slow_ms);
+    num("--mcd-timeout-ms", o.mcd_timeout_ms);
+    prob("--fault-drop", o.fault_drop);
+    prob("--fault-timeout", o.fault_timeout);
+    prob("--fault-slow", o.fault_slow);
+    prob("--fault-short", o.fault_short);
     if (!matched) {
       std::fprintf(stderr, "unknown flag: %s\n\n", a);
       usage(2);
@@ -191,8 +256,33 @@ Rig build(const Options& o) {
     if (o.server_cache_mb) {
       cfg.server.page_cache_bytes = o.server_cache_mb * kMiB;
     }
+    for (const auto& c : o.crashes) {
+      if (c.mcd >= cfg.n_mcds) {
+        std::fprintf(stderr, "--crash-mcd: daemon %zu out of range (%zu MCDs)\n",
+                     c.mcd, cfg.n_mcds);
+        usage(2);
+      }
+    }
+    cfg.faults.seed = o.fault_seed;
+    cfg.faults.spec.drop_request = o.fault_drop;
+    cfg.faults.spec.drop_reply = o.fault_timeout;
+    cfg.faults.spec.slow_reply = o.fault_slow;
+    cfg.faults.spec.short_read = o.fault_short;
+    cfg.faults.spec.slow_delay = o.fault_slow_ms * kMilli;
+    cfg.faults.crashes = o.crashes;
+    if (o.mcd_timeout_ms != ~0ull) {
+      cfg.imca.mcd_op_timeout = o.mcd_timeout_ms * kMilli;
+    } else if (cfg.faults.active()) {
+      // Faults without a deadline would ride the transport's 200 ms give-up;
+      // arm the failover machinery with a sane default instead.
+      cfg.imca.mcd_op_timeout = 2 * kMilli;
+    }
     rig.gluster = std::make_unique<cluster::GlusterTestbed>(cfg);
   } else if (o.system == "lustre") {
+    if (o.any_fault()) {
+      std::fprintf(stderr, "MCD fault flags only apply to --system=imca\n");
+      usage(2);
+    }
     cluster::LustreTestbedConfig cfg;
     cfg.n_clients = o.clients;
     cfg.n_ds = o.ds;
@@ -200,6 +290,10 @@ Rig build(const Options& o) {
     if (o.server_cache_mb) cfg.ds.page_cache_bytes = o.server_cache_mb * kMiB;
     rig.lustre = std::make_unique<cluster::LustreTestbed>(cfg);
   } else if (o.system == "nfs") {
+    if (o.any_fault()) {
+      std::fprintf(stderr, "MCD fault flags only apply to --system=imca\n");
+      usage(2);
+    }
     cluster::NfsTestbedConfig cfg;
     cfg.n_clients = o.clients;
     cfg.transport = transport_of(o);
@@ -310,6 +404,46 @@ void print_cache_report(Rig& rig) {
               static_cast<unsigned long long>(cm.coalesced_waiters),
               static_cast<unsigned long long>(cm.stat_hits),
               static_cast<unsigned long long>(cm.stat_misses));
+
+  if (const auto* inj = rig.gluster->fault_injector()) {
+    const auto& fs = inj->stats();
+    std::printf("# faults injected: drop_req=%llu drop_reply=%llu"
+                " slow=%llu short=%llu clean_calls=%llu\n",
+                static_cast<unsigned long long>(fs.drops_request),
+                static_cast<unsigned long long>(fs.drops_reply),
+                static_cast<unsigned long long>(fs.slow_replies),
+                static_cast<unsigned long long>(fs.short_reads),
+                static_cast<unsigned long long>(fs.clean_calls));
+    core::FaultStats deg;
+    mcclient::ClientStats cl;
+    for (std::size_t i = 0; i < rig.gluster->n_clients(); ++i) {
+      const auto& f = rig.gluster->cmcache(i).fault_stats();
+      deg.degraded_reads += f.degraded_reads;
+      deg.degraded_stats += f.degraded_stats;
+      deg.repairs_dropped += f.repairs_dropped;
+      deg.repairs_skipped_stale += f.repairs_skipped_stale;
+      const auto& s = rig.gluster->cmcache(i).mcds().stats();
+      cl.timeouts += s.timeouts;
+      cl.truncated_replies += s.truncated_replies;
+      cl.retries += s.retries;
+      cl.ejections += s.ejections;
+      cl.rejoins += s.rejoins;
+      cl.dead_server_ops += s.dead_server_ops;
+    }
+    std::printf("# degraded: reads=%llu stats=%llu repairs_dropped=%llu"
+                " repairs_stale=%llu timeouts=%llu torn=%llu retries=%llu"
+                " ejections=%llu rejoins=%llu dead_ops=%llu\n",
+                static_cast<unsigned long long>(deg.degraded_reads),
+                static_cast<unsigned long long>(deg.degraded_stats),
+                static_cast<unsigned long long>(deg.repairs_dropped),
+                static_cast<unsigned long long>(deg.repairs_skipped_stale),
+                static_cast<unsigned long long>(cl.timeouts),
+                static_cast<unsigned long long>(cl.truncated_replies),
+                static_cast<unsigned long long>(cl.retries),
+                static_cast<unsigned long long>(cl.ejections),
+                static_cast<unsigned long long>(cl.rejoins),
+                static_cast<unsigned long long>(cl.dead_server_ops));
+  }
 }
 
 }  // namespace
