@@ -231,14 +231,15 @@ bench/CMakeFiles/ablation_miss_penalty.dir/ablation_miss_penalty.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/net/transport.h /root/repo/src/gluster/server.h \
+ /root/repo/src/net/transport.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/optional /root/repo/src/common/rng.h \
+ /root/repo/src/common/hash.h /root/repo/src/gluster/server.h \
  /root/repo/src/gluster/io_threads.h /root/repo/src/sim/sync.h \
- /usr/include/c++/12/optional /root/repo/src/gluster/posix.h \
- /root/repo/src/store/block_device.h /root/repo/src/store/disk.h \
- /root/repo/src/store/page_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/lustre/client.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/gluster/posix.h /root/repo/src/store/block_device.h \
+ /root/repo/src/store/disk.h /root/repo/src/store/page_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/lustre/client.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/lustre/data_server.h /root/repo/src/lustre/mds.h \
  /root/repo/src/lustre/stripe.h /root/repo/src/memcache/server.h \

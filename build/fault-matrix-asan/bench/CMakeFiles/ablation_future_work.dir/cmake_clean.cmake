@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_future_work.dir/ablation_future_work.cc.o"
+  "CMakeFiles/ablation_future_work.dir/ablation_future_work.cc.o.d"
+  "ablation_future_work"
+  "ablation_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_miss_penalty.dir/ablation_miss_penalty.cc.o"
+  "CMakeFiles/ablation_miss_penalty.dir/ablation_miss_penalty.cc.o.d"
+  "ablation_miss_penalty"
+  "ablation_miss_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_miss_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

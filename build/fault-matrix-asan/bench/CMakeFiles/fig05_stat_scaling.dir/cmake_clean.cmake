@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_stat_scaling.dir/fig05_stat_scaling.cc.o"
+  "CMakeFiles/fig05_stat_scaling.dir/fig05_stat_scaling.cc.o.d"
+  "fig05_stat_scaling"
+  "fig05_stat_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_stat_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_single_client_latency.dir/fig06_single_client_latency.cc.o"
+  "CMakeFiles/fig06_single_client_latency.dir/fig06_single_client_latency.cc.o.d"
+  "fig06_single_client_latency"
+  "fig06_single_client_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_single_client_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_latency_32clients.dir/fig07_latency_32clients.cc.o"
+  "CMakeFiles/fig07_latency_32clients.dir/fig07_latency_32clients.cc.o.d"
+  "fig07_latency_32clients"
+  "fig07_latency_32clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_latency_32clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_latency_vary_clients.dir/fig08_latency_vary_clients.cc.o"
+  "CMakeFiles/fig08_latency_vary_clients.dir/fig08_latency_vary_clients.cc.o.d"
+  "fig08_latency_vary_clients"
+  "fig08_latency_vary_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_latency_vary_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_latency_vary_clients.
+# This may be replaced when dependencies are built.

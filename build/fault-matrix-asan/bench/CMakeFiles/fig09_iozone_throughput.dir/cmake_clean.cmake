@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_iozone_throughput.dir/fig09_iozone_throughput.cc.o"
+  "CMakeFiles/fig09_iozone_throughput.dir/fig09_iozone_throughput.cc.o.d"
+  "fig09_iozone_throughput"
+  "fig09_iozone_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_iozone_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

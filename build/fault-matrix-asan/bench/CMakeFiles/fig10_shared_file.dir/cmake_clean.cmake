@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_shared_file.dir/fig10_shared_file.cc.o"
+  "CMakeFiles/fig10_shared_file.dir/fig10_shared_file.cc.o.d"
+  "fig10_shared_file"
+  "fig10_shared_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_shared_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/producer_consumer_stat.dir/producer_consumer_stat.cpp.o"
+  "CMakeFiles/producer_consumer_stat.dir/producer_consumer_stat.cpp.o.d"
+  "producer_consumer_stat"
+  "producer_consumer_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/producer_consumer_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

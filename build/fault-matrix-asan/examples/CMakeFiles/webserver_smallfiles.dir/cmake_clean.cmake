@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_smallfiles.dir/webserver_smallfiles.cpp.o"
+  "CMakeFiles/webserver_smallfiles.dir/webserver_smallfiles.cpp.o.d"
+  "webserver_smallfiles"
+  "webserver_smallfiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_smallfiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

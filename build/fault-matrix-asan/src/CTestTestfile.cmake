@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/fault-matrix-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("store")
+subdirs("memcache")
+subdirs("mcclient")
+subdirs("fsapi")
+subdirs("gluster")
+subdirs("imca")
+subdirs("lustre")
+subdirs("nfs")
+subdirs("cluster")
+subdirs("workload")

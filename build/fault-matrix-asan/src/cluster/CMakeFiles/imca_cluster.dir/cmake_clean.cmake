@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_cluster.dir/testbed.cc.o"
+  "CMakeFiles/imca_cluster.dir/testbed.cc.o.d"
+  "libimca_cluster.a"
+  "libimca_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_common.dir/bytebuf.cc.o"
+  "CMakeFiles/imca_common.dir/bytebuf.cc.o.d"
+  "CMakeFiles/imca_common.dir/crc32.cc.o"
+  "CMakeFiles/imca_common.dir/crc32.cc.o.d"
+  "CMakeFiles/imca_common.dir/errc.cc.o"
+  "CMakeFiles/imca_common.dir/errc.cc.o.d"
+  "CMakeFiles/imca_common.dir/log.cc.o"
+  "CMakeFiles/imca_common.dir/log.cc.o.d"
+  "CMakeFiles/imca_common.dir/stats.cc.o"
+  "CMakeFiles/imca_common.dir/stats.cc.o.d"
+  "CMakeFiles/imca_common.dir/table.cc.o"
+  "CMakeFiles/imca_common.dir/table.cc.o.d"
+  "libimca_common.a"
+  "libimca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gluster/client.cc" "src/gluster/CMakeFiles/imca_gluster.dir/client.cc.o" "gcc" "src/gluster/CMakeFiles/imca_gluster.dir/client.cc.o.d"
+  "/root/repo/src/gluster/posix.cc" "src/gluster/CMakeFiles/imca_gluster.dir/posix.cc.o" "gcc" "src/gluster/CMakeFiles/imca_gluster.dir/posix.cc.o.d"
+  "/root/repo/src/gluster/protocol.cc" "src/gluster/CMakeFiles/imca_gluster.dir/protocol.cc.o" "gcc" "src/gluster/CMakeFiles/imca_gluster.dir/protocol.cc.o.d"
+  "/root/repo/src/gluster/protocol_client.cc" "src/gluster/CMakeFiles/imca_gluster.dir/protocol_client.cc.o" "gcc" "src/gluster/CMakeFiles/imca_gluster.dir/protocol_client.cc.o.d"
+  "/root/repo/src/gluster/read_ahead.cc" "src/gluster/CMakeFiles/imca_gluster.dir/read_ahead.cc.o" "gcc" "src/gluster/CMakeFiles/imca_gluster.dir/read_ahead.cc.o.d"
+  "/root/repo/src/gluster/server.cc" "src/gluster/CMakeFiles/imca_gluster.dir/server.cc.o" "gcc" "src/gluster/CMakeFiles/imca_gluster.dir/server.cc.o.d"
+  "/root/repo/src/gluster/write_behind.cc" "src/gluster/CMakeFiles/imca_gluster.dir/write_behind.cc.o" "gcc" "src/gluster/CMakeFiles/imca_gluster.dir/write_behind.cc.o.d"
+  "/root/repo/src/gluster/xlator.cc" "src/gluster/CMakeFiles/imca_gluster.dir/xlator.cc.o" "gcc" "src/gluster/CMakeFiles/imca_gluster.dir/xlator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/fault-matrix-asan/src/common/CMakeFiles/imca_common.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/sim/CMakeFiles/imca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/net/CMakeFiles/imca_net.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/store/CMakeFiles/imca_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_gluster.dir/client.cc.o"
+  "CMakeFiles/imca_gluster.dir/client.cc.o.d"
+  "CMakeFiles/imca_gluster.dir/posix.cc.o"
+  "CMakeFiles/imca_gluster.dir/posix.cc.o.d"
+  "CMakeFiles/imca_gluster.dir/protocol.cc.o"
+  "CMakeFiles/imca_gluster.dir/protocol.cc.o.d"
+  "CMakeFiles/imca_gluster.dir/protocol_client.cc.o"
+  "CMakeFiles/imca_gluster.dir/protocol_client.cc.o.d"
+  "CMakeFiles/imca_gluster.dir/read_ahead.cc.o"
+  "CMakeFiles/imca_gluster.dir/read_ahead.cc.o.d"
+  "CMakeFiles/imca_gluster.dir/server.cc.o"
+  "CMakeFiles/imca_gluster.dir/server.cc.o.d"
+  "CMakeFiles/imca_gluster.dir/write_behind.cc.o"
+  "CMakeFiles/imca_gluster.dir/write_behind.cc.o.d"
+  "CMakeFiles/imca_gluster.dir/xlator.cc.o"
+  "CMakeFiles/imca_gluster.dir/xlator.cc.o.d"
+  "libimca_gluster.a"
+  "libimca_gluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_gluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

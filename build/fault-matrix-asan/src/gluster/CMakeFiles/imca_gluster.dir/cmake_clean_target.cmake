@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimca_gluster.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_core.dir/cmcache.cc.o"
+  "CMakeFiles/imca_core.dir/cmcache.cc.o.d"
+  "CMakeFiles/imca_core.dir/smcache.cc.o"
+  "CMakeFiles/imca_core.dir/smcache.cc.o.d"
+  "libimca_core.a"
+  "libimca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

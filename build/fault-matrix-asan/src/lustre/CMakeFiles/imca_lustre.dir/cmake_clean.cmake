@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_lustre.dir/cached_client.cc.o"
+  "CMakeFiles/imca_lustre.dir/cached_client.cc.o.d"
+  "CMakeFiles/imca_lustre.dir/client.cc.o"
+  "CMakeFiles/imca_lustre.dir/client.cc.o.d"
+  "CMakeFiles/imca_lustre.dir/data_server.cc.o"
+  "CMakeFiles/imca_lustre.dir/data_server.cc.o.d"
+  "CMakeFiles/imca_lustre.dir/mds.cc.o"
+  "CMakeFiles/imca_lustre.dir/mds.cc.o.d"
+  "libimca_lustre.a"
+  "libimca_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_mcclient.dir/client.cc.o"
+  "CMakeFiles/imca_mcclient.dir/client.cc.o.d"
+  "CMakeFiles/imca_mcclient.dir/selector.cc.o"
+  "CMakeFiles/imca_mcclient.dir/selector.cc.o.d"
+  "libimca_mcclient.a"
+  "libimca_mcclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_mcclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

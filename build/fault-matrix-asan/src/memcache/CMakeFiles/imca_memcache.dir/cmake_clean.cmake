@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_memcache.dir/cache.cc.o"
+  "CMakeFiles/imca_memcache.dir/cache.cc.o.d"
+  "CMakeFiles/imca_memcache.dir/protocol.cc.o"
+  "CMakeFiles/imca_memcache.dir/protocol.cc.o.d"
+  "CMakeFiles/imca_memcache.dir/server.cc.o"
+  "CMakeFiles/imca_memcache.dir/server.cc.o.d"
+  "CMakeFiles/imca_memcache.dir/slab.cc.o"
+  "CMakeFiles/imca_memcache.dir/slab.cc.o.d"
+  "libimca_memcache.a"
+  "libimca_memcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_memcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

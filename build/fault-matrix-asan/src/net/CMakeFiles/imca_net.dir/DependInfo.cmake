@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fabric.cc" "src/net/CMakeFiles/imca_net.dir/fabric.cc.o" "gcc" "src/net/CMakeFiles/imca_net.dir/fabric.cc.o.d"
+  "/root/repo/src/net/fault.cc" "src/net/CMakeFiles/imca_net.dir/fault.cc.o" "gcc" "src/net/CMakeFiles/imca_net.dir/fault.cc.o.d"
+  "/root/repo/src/net/rpc.cc" "src/net/CMakeFiles/imca_net.dir/rpc.cc.o" "gcc" "src/net/CMakeFiles/imca_net.dir/rpc.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/imca_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/imca_net.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/fault-matrix-asan/src/common/CMakeFiles/imca_common.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/sim/CMakeFiles/imca_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/nfs.cc" "src/nfs/CMakeFiles/imca_nfs.dir/nfs.cc.o" "gcc" "src/nfs/CMakeFiles/imca_nfs.dir/nfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/fault-matrix-asan/src/common/CMakeFiles/imca_common.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/sim/CMakeFiles/imca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/net/CMakeFiles/imca_net.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/store/CMakeFiles/imca_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_nfs.dir/nfs.cc.o"
+  "CMakeFiles/imca_nfs.dir/nfs.cc.o.d"
+  "libimca_nfs.a"
+  "libimca_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

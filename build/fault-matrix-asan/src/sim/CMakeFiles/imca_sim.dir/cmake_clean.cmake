@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_sim.dir/event_loop.cc.o"
+  "CMakeFiles/imca_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/imca_sim.dir/sync.cc.o"
+  "CMakeFiles/imca_sim.dir/sync.cc.o.d"
+  "libimca_sim.a"
+  "libimca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

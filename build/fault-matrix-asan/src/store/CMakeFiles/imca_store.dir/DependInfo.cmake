@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/block_device.cc" "src/store/CMakeFiles/imca_store.dir/block_device.cc.o" "gcc" "src/store/CMakeFiles/imca_store.dir/block_device.cc.o.d"
+  "/root/repo/src/store/disk.cc" "src/store/CMakeFiles/imca_store.dir/disk.cc.o" "gcc" "src/store/CMakeFiles/imca_store.dir/disk.cc.o.d"
+  "/root/repo/src/store/object_store.cc" "src/store/CMakeFiles/imca_store.dir/object_store.cc.o" "gcc" "src/store/CMakeFiles/imca_store.dir/object_store.cc.o.d"
+  "/root/repo/src/store/page_cache.cc" "src/store/CMakeFiles/imca_store.dir/page_cache.cc.o" "gcc" "src/store/CMakeFiles/imca_store.dir/page_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/fault-matrix-asan/src/common/CMakeFiles/imca_common.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/sim/CMakeFiles/imca_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_store.dir/block_device.cc.o"
+  "CMakeFiles/imca_store.dir/block_device.cc.o.d"
+  "CMakeFiles/imca_store.dir/disk.cc.o"
+  "CMakeFiles/imca_store.dir/disk.cc.o.d"
+  "CMakeFiles/imca_store.dir/object_store.cc.o"
+  "CMakeFiles/imca_store.dir/object_store.cc.o.d"
+  "CMakeFiles/imca_store.dir/page_cache.cc.o"
+  "CMakeFiles/imca_store.dir/page_cache.cc.o.d"
+  "libimca_store.a"
+  "libimca_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

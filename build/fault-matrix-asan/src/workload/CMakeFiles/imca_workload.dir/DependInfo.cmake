@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/iozone.cc" "src/workload/CMakeFiles/imca_workload.dir/iozone.cc.o" "gcc" "src/workload/CMakeFiles/imca_workload.dir/iozone.cc.o.d"
+  "/root/repo/src/workload/latency_bench.cc" "src/workload/CMakeFiles/imca_workload.dir/latency_bench.cc.o" "gcc" "src/workload/CMakeFiles/imca_workload.dir/latency_bench.cc.o.d"
+  "/root/repo/src/workload/stat_bench.cc" "src/workload/CMakeFiles/imca_workload.dir/stat_bench.cc.o" "gcc" "src/workload/CMakeFiles/imca_workload.dir/stat_bench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/fault-matrix-asan/src/common/CMakeFiles/imca_common.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/sim/CMakeFiles/imca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/store/CMakeFiles/imca_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

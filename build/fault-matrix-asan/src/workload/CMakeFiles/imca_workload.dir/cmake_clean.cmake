@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_workload.dir/iozone.cc.o"
+  "CMakeFiles/imca_workload.dir/iozone.cc.o.d"
+  "CMakeFiles/imca_workload.dir/latency_bench.cc.o"
+  "CMakeFiles/imca_workload.dir/latency_bench.cc.o.d"
+  "CMakeFiles/imca_workload.dir/stat_bench.cc.o"
+  "CMakeFiles/imca_workload.dir/stat_bench.cc.o.d"
+  "libimca_workload.a"
+  "libimca_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_lustre_test.dir/cached_lustre_test.cc.o"
+  "CMakeFiles/cached_lustre_test.dir/cached_lustre_test.cc.o.d"
+  "cached_lustre_test"
+  "cached_lustre_test.pdb"
+  "cached_lustre_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_lustre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

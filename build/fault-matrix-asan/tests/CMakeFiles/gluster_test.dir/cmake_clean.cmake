@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gluster_test.dir/gluster_test.cc.o"
+  "CMakeFiles/gluster_test.dir/gluster_test.cc.o.d"
+  "gluster_test"
+  "gluster_test.pdb"
+  "gluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

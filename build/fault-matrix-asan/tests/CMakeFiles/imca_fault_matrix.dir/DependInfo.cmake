@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness/fault_matrix_main.cc" "tests/CMakeFiles/imca_fault_matrix.dir/harness/fault_matrix_main.cc.o" "gcc" "tests/CMakeFiles/imca_fault_matrix.dir/harness/fault_matrix_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/fault-matrix-asan/tests/CMakeFiles/imca_test_harness.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/cluster/CMakeFiles/imca_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/lustre/CMakeFiles/imca_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/imca/CMakeFiles/imca_core.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/mcclient/CMakeFiles/imca_mcclient.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/memcache/CMakeFiles/imca_memcache.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/gluster/CMakeFiles/imca_gluster.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/nfs/CMakeFiles/imca_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/net/CMakeFiles/imca_net.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/store/CMakeFiles/imca_store.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/sim/CMakeFiles/imca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/common/CMakeFiles/imca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

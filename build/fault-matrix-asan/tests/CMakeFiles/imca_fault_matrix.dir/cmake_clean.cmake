@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_fault_matrix.dir/harness/fault_matrix_main.cc.o"
+  "CMakeFiles/imca_fault_matrix.dir/harness/fault_matrix_main.cc.o.d"
+  "imca_fault_matrix"
+  "imca_fault_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_fault_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_fault_matrix_asan"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/imca_fault_matrix_asan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

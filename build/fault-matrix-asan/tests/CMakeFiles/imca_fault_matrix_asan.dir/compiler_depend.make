@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for imca_fault_matrix_asan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_fault_test.dir/imca_fault_test.cc.o"
+  "CMakeFiles/imca_fault_test.dir/imca_fault_test.cc.o.d"
+  "imca_fault_test"
+  "imca_fault_test.pdb"
+  "imca_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

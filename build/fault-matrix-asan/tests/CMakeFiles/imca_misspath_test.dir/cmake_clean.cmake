@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_misspath_test.dir/imca_misspath_test.cc.o"
+  "CMakeFiles/imca_misspath_test.dir/imca_misspath_test.cc.o.d"
+  "imca_misspath_test"
+  "imca_misspath_test.pdb"
+  "imca_misspath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_misspath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

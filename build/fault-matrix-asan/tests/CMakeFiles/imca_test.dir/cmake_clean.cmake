@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_test.dir/imca_test.cc.o"
+  "CMakeFiles/imca_test.dir/imca_test.cc.o.d"
+  "imca_test"
+  "imca_test.pdb"
+  "imca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imca_test_harness.dir/harness/workload_harness.cc.o"
+  "CMakeFiles/imca_test_harness.dir/harness/workload_harness.cc.o.d"
+  "libimca_test_harness.a"
+  "libimca_test_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imca_test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimca_test_harness.a"
+)

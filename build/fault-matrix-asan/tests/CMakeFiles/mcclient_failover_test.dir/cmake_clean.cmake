@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcclient_failover_test.dir/mcclient_failover_test.cc.o"
+  "CMakeFiles/mcclient_failover_test.dir/mcclient_failover_test.cc.o.d"
+  "mcclient_failover_test"
+  "mcclient_failover_test.pdb"
+  "mcclient_failover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcclient_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mcclient_test.cc" "tests/CMakeFiles/mcclient_test.dir/mcclient_test.cc.o" "gcc" "tests/CMakeFiles/mcclient_test.dir/mcclient_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/fault-matrix-asan/src/mcclient/CMakeFiles/imca_mcclient.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/memcache/CMakeFiles/imca_memcache.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/net/CMakeFiles/imca_net.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/sim/CMakeFiles/imca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/fault-matrix-asan/src/common/CMakeFiles/imca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

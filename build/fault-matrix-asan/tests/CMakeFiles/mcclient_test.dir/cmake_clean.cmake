@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcclient_test.dir/mcclient_test.cc.o"
+  "CMakeFiles/mcclient_test.dir/mcclient_test.cc.o.d"
+  "mcclient_test"
+  "mcclient_test.pdb"
+  "mcclient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcclient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

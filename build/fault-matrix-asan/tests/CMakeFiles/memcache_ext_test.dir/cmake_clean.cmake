@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcache_ext_test.dir/memcache_ext_test.cc.o"
+  "CMakeFiles/memcache_ext_test.dir/memcache_ext_test.cc.o.d"
+  "memcache_ext_test"
+  "memcache_ext_test.pdb"
+  "memcache_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcache_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcache_test.dir/memcache_test.cc.o"
+  "CMakeFiles/memcache_test.dir/memcache_test.cc.o.d"
+  "memcache_test"
+  "memcache_test.pdb"
+  "memcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

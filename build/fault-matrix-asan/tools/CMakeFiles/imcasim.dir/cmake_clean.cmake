@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcasim.dir/imcasim.cc.o"
+  "CMakeFiles/imcasim.dir/imcasim.cc.o.d"
+  "imcasim"
+  "imcasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

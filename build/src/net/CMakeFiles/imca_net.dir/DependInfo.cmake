@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/fabric.cc" "src/net/CMakeFiles/imca_net.dir/fabric.cc.o" "gcc" "src/net/CMakeFiles/imca_net.dir/fabric.cc.o.d"
+  "/root/repo/src/net/fault.cc" "src/net/CMakeFiles/imca_net.dir/fault.cc.o" "gcc" "src/net/CMakeFiles/imca_net.dir/fault.cc.o.d"
   "/root/repo/src/net/rpc.cc" "src/net/CMakeFiles/imca_net.dir/rpc.cc.o" "gcc" "src/net/CMakeFiles/imca_net.dir/rpc.cc.o.d"
   "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/imca_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/imca_net.dir/transport.cc.o.d"
   )

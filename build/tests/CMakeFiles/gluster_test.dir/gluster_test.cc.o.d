@@ -308,8 +308,9 @@ tests/CMakeFiles/gluster_test.dir/gluster_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/net/transport.h /root/repo/src/gluster/distribute.h \
- /root/repo/src/common/hash.h /root/repo/src/gluster/read_ahead.h \
+ /root/repo/src/net/transport.h /root/repo/src/net/fault.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/hash.h \
+ /root/repo/src/gluster/distribute.h /root/repo/src/gluster/read_ahead.h \
  /root/repo/src/gluster/server.h /root/repo/src/gluster/io_threads.h \
  /root/repo/src/sim/sync.h /root/repo/src/gluster/posix.h \
  /root/repo/src/store/block_device.h /root/repo/src/store/disk.h \

@@ -310,4 +310,6 @@ tests/CMakeFiles/memcache_ext_test.dir/memcache_ext_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/net/transport.h /root/repo/src/memcache/server.h
+ /root/repo/src/net/transport.h /root/repo/src/net/fault.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/hash.h \
+ /root/repo/src/memcache/server.h

@@ -305,4 +305,6 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /root/repo/src/net/transport.h /root/repo/src/net/rpc.h \
  /root/repo/src/common/bytebuf.h /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/common/errc.h \
- /root/repo/src/common/expected.h /root/repo/src/sim/sync.h
+ /root/repo/src/common/expected.h /root/repo/src/net/fault.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/hash.h \
+ /root/repo/src/sim/sync.h

@@ -307,6 +307,8 @@ tests/CMakeFiles/nfs_test.dir/nfs_test.cc.o: /root/repo/tests/nfs_test.cc \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/store/block_device.h /root/repo/src/store/disk.h \
- /root/repo/src/store/page_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc
+ /root/repo/src/net/fault.h /root/repo/src/common/rng.h \
+ /root/repo/src/common/hash.h /root/repo/src/store/block_device.h \
+ /root/repo/src/store/disk.h /root/repo/src/store/page_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc

@@ -295,6 +295,6 @@ tests/CMakeFiles/store_property_test.dir/store_property_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/common/rng.h /root/repo/src/common/hash.h \
- /root/repo/src/memcache/slab.h /root/repo/src/common/errc.h \
- /root/repo/src/common/expected.h /root/repo/src/common/units.h \
- /root/repo/src/store/page_cache.h
+ /root/repo/tests/harness/shrink.h /root/repo/src/memcache/slab.h \
+ /root/repo/src/common/errc.h /root/repo/src/common/expected.h \
+ /root/repo/src/common/units.h /root/repo/src/store/page_cache.h

@@ -309,20 +309,21 @@ tests/CMakeFiles/workload_test.dir/workload_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/net/transport.h /root/repo/src/gluster/server.h \
- /root/repo/src/gluster/io_threads.h /root/repo/src/sim/sync.h \
- /root/repo/src/gluster/posix.h /root/repo/src/store/block_device.h \
- /root/repo/src/store/disk.h /root/repo/src/store/page_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/lustre/client.h \
- /root/repo/src/lustre/data_server.h /root/repo/src/lustre/mds.h \
- /root/repo/src/lustre/stripe.h /root/repo/src/memcache/server.h \
- /root/repo/src/memcache/cache.h /root/repo/src/memcache/slab.h \
- /root/repo/src/memcache/protocol.h /root/repo/src/nfs/nfs.h \
- /root/repo/src/imca/cmcache.h /root/repo/src/imca/block_mapper.h \
- /root/repo/src/imca/config.h /root/repo/src/mcclient/client.h \
- /root/repo/src/mcclient/selector.h /root/repo/src/common/crc32.h \
- /root/repo/src/imca/keys.h /root/repo/src/imca/singleflight.h \
- /root/repo/src/imca/smcache.h /root/repo/src/workload/iozone.h \
- /root/repo/src/workload/latency_bench.h /root/repo/src/common/stats.h \
- /root/repo/src/workload/stat_bench.h
+ /root/repo/src/net/transport.h /root/repo/src/net/fault.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/hash.h \
+ /root/repo/src/gluster/server.h /root/repo/src/gluster/io_threads.h \
+ /root/repo/src/sim/sync.h /root/repo/src/gluster/posix.h \
+ /root/repo/src/store/block_device.h /root/repo/src/store/disk.h \
+ /root/repo/src/store/page_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/lustre/client.h /root/repo/src/lustre/data_server.h \
+ /root/repo/src/lustre/mds.h /root/repo/src/lustre/stripe.h \
+ /root/repo/src/memcache/server.h /root/repo/src/memcache/cache.h \
+ /root/repo/src/memcache/slab.h /root/repo/src/memcache/protocol.h \
+ /root/repo/src/nfs/nfs.h /root/repo/src/imca/cmcache.h \
+ /root/repo/src/imca/block_mapper.h /root/repo/src/imca/config.h \
+ /root/repo/src/mcclient/client.h /root/repo/src/mcclient/selector.h \
+ /root/repo/src/common/crc32.h /root/repo/src/imca/keys.h \
+ /root/repo/src/imca/singleflight.h /root/repo/src/imca/smcache.h \
+ /root/repo/src/workload/iozone.h /root/repo/src/workload/latency_bench.h \
+ /root/repo/src/common/stats.h /root/repo/src/workload/stat_bench.h

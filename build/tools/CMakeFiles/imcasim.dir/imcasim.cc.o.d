@@ -129,10 +129,12 @@ tools/CMakeFiles/imcasim.dir/imcasim.cc.o: /root/repo/tools/imcasim.cc \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/cluster/testbed.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/cluster/testbed.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -201,12 +203,9 @@ tools/CMakeFiles/imcasim.dir/imcasim.cc.o: /root/repo/tools/imcasim.cc \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/cluster/calibration.h \
- /root/repo/src/gluster/client.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/cluster/calibration.h /root/repo/src/gluster/client.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/fsapi/filesystem.h /usr/include/c++/12/span \
@@ -232,13 +231,15 @@ tools/CMakeFiles/imcasim.dir/imcasim.cc.o: /root/repo/tools/imcasim.cc \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/net/transport.h /root/repo/src/gluster/server.h \
- /root/repo/src/gluster/io_threads.h /root/repo/src/sim/sync.h \
- /root/repo/src/gluster/posix.h /root/repo/src/store/block_device.h \
- /root/repo/src/store/disk.h /root/repo/src/store/page_cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/lustre/client.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/net/transport.h /root/repo/src/net/fault.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/hash.h \
+ /root/repo/src/gluster/server.h /root/repo/src/gluster/io_threads.h \
+ /root/repo/src/sim/sync.h /root/repo/src/gluster/posix.h \
+ /root/repo/src/store/block_device.h /root/repo/src/store/disk.h \
+ /root/repo/src/store/page_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/lustre/client.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/lustre/data_server.h /root/repo/src/lustre/mds.h \
  /root/repo/src/lustre/stripe.h /root/repo/src/memcache/server.h \
