@@ -71,7 +71,7 @@ void rdma_ablation(const BenchArgs& args) {
     SimDuration lat = 0;
     tb.run([&lat](GlusterTestbed& t) -> sim::Task<void> {
       auto f = co_await t.client(0).create("/probe");
-      (void)co_await t.client(0).write(*f, 0, to_bytes("xy"));
+      (void)co_await t.client(0).write(*f, 0, to_buffer("xy"));
       const SimTime t0 = t.loop().now();
       (void)co_await t.client(0).read(*f, 0, 1);
       lat = t.loop().now() - t0;
@@ -157,7 +157,7 @@ double sharing_latency(sim::EventLoop& loop,
     auto f0 = co_await cs[0]->create("/abl/shared");
     std::vector<fsapi::OpenFile> fds(cs.size());
     fds[0] = *f0;
-    (void)co_await cs[0]->write(fds[0], 0, std::vector<std::byte>(4 * kKiB));
+    (void)co_await cs[0]->write(fds[0], 0, Buffer::zeros(4 * kKiB));
     for (std::size_t c = 1; c < cs.size(); ++c) {
       fds[c] = *(co_await cs[c]->open("/abl/shared"));
     }
@@ -165,8 +165,8 @@ double sharing_latency(sim::EventLoop& loop,
       const std::size_t writer = round % cs.size();
       (void)co_await cs[writer]->write(
           fds[writer], 0,
-          std::vector<std::byte>(4 * kKiB,
-                                 static_cast<std::byte>(round & 0xFF)));
+          Buffer::take(std::vector<std::byte>(
+              4 * kKiB, static_cast<std::byte>(round & 0xFF))));
       for (std::size_t c = 0; c < cs.size(); ++c) {
         const SimTime t0 = l.now();
         auto r = co_await cs[c]->read(fds[c], 0, 4 * kKiB);
@@ -260,7 +260,7 @@ void lustre_bank_ablation(const BenchArgs& args) {
                        std::vector<fsapi::FileSystemClient*> cs,
                        MeanAccum& acc) -> sim::Task<void> {
       auto f0 = co_await cs[0]->create("/bank/data");
-      (void)co_await cs[0]->write(*f0, 0, std::vector<std::byte>(64 * kKiB));
+      (void)co_await cs[0]->write(*f0, 0, Buffer::zeros(64 * kKiB));
       lt.ds(0).device().drop_caches();
       std::vector<sim::Task<void>> readers;
       for (std::size_t c = 1; c < cs.size(); ++c) {

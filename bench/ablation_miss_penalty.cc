@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/buffer.h"
 #include "imca/keys.h"
 
 namespace {
@@ -54,24 +55,44 @@ void evict_tail(GlusterTestbed& tb, std::size_t first) {
   }
 }
 
+struct ReadMeasure {
+  double ns = 0;
+  std::uint64_t bytes_copied = 0;  // buffer-layer memcpy during the read
+  std::uint64_t gather_calls = 0;
+};
+
 // Seed the file (the write path publishes every block via SMCache), evict
 // the tail so exactly k blocks stay cached, and time one whole-file read.
-double timed_read_ns(bool partial_hit, std::size_t k) {
+// The copy ledger is snapshotted around the read (including the window in
+// which fire-and-forget read-repairs land), so `bytes_copied` is the full
+// data-path cost of serving it. `legacy` flips the pre-refactor
+// copy-per-hop buffer behaviour for the ablation.
+ReadMeasure timed_read(bool partial_hit, std::size_t k, bool legacy = false) {
   auto cfg = base_config();
   cfg.imca.partial_hit_reads = partial_hit;
   GlusterTestbed tb(cfg);
-  SimDuration lat = 0;
+  ReadMeasure m;
+  set_legacy_copy_path(legacy);
   tb.run([](GlusterTestbed& t, std::size_t cached,
-            SimDuration& out) -> sim::Task<void> {
+            ReadMeasure& out) -> sim::Task<void> {
     auto f = co_await t.client(0).create(kPath);
     (void)co_await t.client(0).write(
-        *f, 0, std::vector<std::byte>(kBlocks * kBlock));
+        *f, 0, Buffer::zeros(kBlocks * kBlock));
     evict_tail(t, cached);
+    const auto before = buffer_stats();
     const SimTime t0 = t.loop().now();
     (void)co_await t.client(0).read(*f, 0, kBlocks * kBlock);
-    out = t.loop().now() - t0;
-  }(tb, k, lat));
-  return static_cast<double>(lat);
+    out.ns = static_cast<double>(t.loop().now() - t0);
+    co_await t.loop().sleep(1 * kMilli);  // let repair sets land
+    out.bytes_copied = buffer_stats().bytes_copied - before.bytes_copied;
+    out.gather_calls = buffer_stats().gather_calls - before.gather_calls;
+  }(tb, k, m));
+  set_legacy_copy_path(false);
+  return m;
+}
+
+double timed_read_ns(bool partial_hit, std::size_t k) {
+  return timed_read(partial_hit, k).ns;
 }
 
 struct WarmResult {
@@ -91,7 +112,7 @@ WarmResult warm_reread() {
   tb.run([](GlusterTestbed& t, WarmResult& out) -> sim::Task<void> {
     auto f = co_await t.client(0).create(kPath);
     (void)co_await t.client(0).write(
-        *f, 0, std::vector<std::byte>(kBlocks * kBlock));
+        *f, 0, Buffer::zeros(kBlocks * kBlock));
     // No SMCache: the bank is stone cold; the first read misses everywhere,
     // range-fetches once, and repairs all 8 blocks from the client.
     const SimTime t0 = t.loop().now();
@@ -144,7 +165,34 @@ int main(int argc, char** argv) {
               w.cold_ns / 1e3, w.warm_ns / 1e3,
               static_cast<unsigned long long>(w.blocks_repaired),
               warm_is_full_hit ? "true" : "false");
+  // The copy ledger (tentpole metric): bytes the buffer layer memcpy'd per
+  // byte the caller read, zero-copy vs the legacy copy-per-hop ablation.
+  constexpr double kPayload = static_cast<double>(kBlocks * kBlock);
+  const ReadMeasure full = timed_read(true, kBlocks);
+  const ReadMeasure half = timed_read(true, kBlocks / 2);
+  const ReadMeasure full_legacy = timed_read(true, kBlocks, /*legacy=*/true);
+  const ReadMeasure half_legacy =
+      timed_read(true, kBlocks / 2, /*legacy=*/true);
+  const auto ledger = [](const char* name, const ReadMeasure& m) {
+    std::printf("    \"%s\": {\"bytes_copied\": %llu, \"gather_calls\":"
+                " %llu, \"bytes_copied_per_byte_read\": %.3f},\n",
+                name, static_cast<unsigned long long>(m.bytes_copied),
+                static_cast<unsigned long long>(m.gather_calls),
+                static_cast<double>(m.bytes_copied) / kPayload);
+  };
+  const bool le_one_payload =
+      full.bytes_copied <= static_cast<std::uint64_t>(kPayload);
+  std::printf("  \"copy_ledger\": {\n");
+  std::printf("    \"payload_bytes\": %llu,\n",
+              static_cast<unsigned long long>(kBlocks * kBlock));
+  ledger("full_hit", full);
+  ledger("half_hit", half);
+  ledger("full_hit_legacy_copy_path", full_legacy);
+  ledger("half_hit_legacy_copy_path", half_legacy);
+  std::printf("    \"full_hit_copies_le_one_payload\": %s\n  },\n",
+              le_one_payload ? "true" : "false");
+
   std::printf("  \"partial_hit_strictly_cheaper_for_k_ge_1\": %s\n}\n",
               strictly_cheaper ? "true" : "false");
-  return strictly_cheaper && warm_is_full_hit ? 0 : 1;
+  return strictly_cheaper && warm_is_full_hit && le_one_payload ? 0 : 1;
 }

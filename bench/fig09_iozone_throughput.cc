@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/buffer.h"
 #include "workload/iozone.h"
 
 namespace {
@@ -38,8 +39,16 @@ IozoneOptions options() {
   return opt;
 }
 
+// Buffer-layer copy ledger for one run (delta across the whole iozone
+// write+read pass), reported in the JSON footer for the headline config.
+struct CopyLedger {
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t gather_calls = 0;
+  std::uint64_t bytes_read = 0;
+};
+
 double run_gluster(std::size_t threads, std::size_t n_mcds,
-                   core::HashScheme hash) {
+                   core::HashScheme hash, CopyLedger* ledger = nullptr) {
   GlusterTestbedConfig cfg;
   cfg.n_clients = threads;
   cfg.n_mcds = n_mcds;
@@ -48,8 +57,16 @@ double run_gluster(std::size_t threads, std::size_t n_mcds,
   cfg.mcd_memory = kMcdMemory;
   cfg.server.page_cache_bytes = kServerCache;
   GlusterTestbed tb(cfg);
-  return workload::run_iozone(tb.loop(), clients_of(tb), options())
-      .aggregate_read_mbps;
+  const auto before = buffer_stats();
+  const double mbps =
+      workload::run_iozone(tb.loop(), clients_of(tb), options())
+          .aggregate_read_mbps;
+  if (ledger) {
+    ledger->bytes_copied = buffer_stats().bytes_copied - before.bytes_copied;
+    ledger->gather_calls = buffer_stats().gather_calls - before.gather_calls;
+    ledger->bytes_read = threads * kFileBytes;  // the re-read phase volume
+  }
+  return mbps;
 }
 
 double run_lustre(std::size_t threads) {
@@ -78,12 +95,14 @@ int main(int argc, char** argv) {
   Table table({"threads", "NoCache", "IMCa(1MCD)", "IMCa(2MCD)", "IMCa(4MCD)",
                "Lustre-1DS(Cold)"});
   double nocache8 = 0, mcd4_8 = 0, lustre8 = 0;
+  CopyLedger ledger8x4;
   for (const auto threads : thread_counts) {
     const double nocache =
         run_gluster(threads, 0, core::HashScheme::kModulo);
     const double m1 = run_gluster(threads, 1, core::HashScheme::kModulo);
     const double m2 = run_gluster(threads, 2, core::HashScheme::kModulo);
-    const double m4 = run_gluster(threads, 4, core::HashScheme::kModulo);
+    const double m4 = run_gluster(threads, 4, core::HashScheme::kModulo,
+                                  threads == 8 ? &ledger8x4 : nullptr);
     const double lustre = run_lustre(threads);
     table.add_row({Table::cell(static_cast<std::uint64_t>(threads)),
                    Table::cell(nocache, 1), Table::cell(m1, 1),
@@ -110,5 +129,20 @@ int main(int argc, char** argv) {
   std::printf("# hash ablation at 8 threads / 4 MCDs: modulo=%.0f MB/s"
               " crc32=%.0f MB/s consistent=%.0f MB/s\n",
               mcd4_8, crc, consistent);
+
+  // Copy ledger for the headline run (8 threads, 4 MCDs): how many times
+  // the buffer layer moved each byte the clients read back. One JSON line
+  // so dashboards can scrape it alongside the throughput table.
+  std::printf("{\"copy_ledger\": {\"config\": \"8threads_4mcds\","
+              " \"bytes_read\": %llu, \"bytes_copied\": %llu,"
+              " \"gather_calls\": %llu,"
+              " \"bytes_copied_per_byte_read\": %.3f}}\n",
+              static_cast<unsigned long long>(ledger8x4.bytes_read),
+              static_cast<unsigned long long>(ledger8x4.bytes_copied),
+              static_cast<unsigned long long>(ledger8x4.gather_calls),
+              ledger8x4.bytes_read
+                  ? static_cast<double>(ledger8x4.bytes_copied) /
+                        static_cast<double>(ledger8x4.bytes_read)
+                  : 0.0);
   return 0;
 }

@@ -63,8 +63,8 @@ BENCHMARK(BM_BlockCovering)->Arg(2048)->Arg(65536);
 
 void BM_McCacheSetGet(benchmark::State& state) {
   memcache::McCache cache(256 * kMiB);
-  const std::vector<std::byte> value(static_cast<std::size_t>(state.range(0)),
-                                     std::byte{7});
+  const Buffer value = Buffer::take(std::vector<std::byte>(
+      static_cast<std::size_t>(state.range(0)), std::byte{7}));
   std::uint64_t i = 0;
   for (auto _ : state) {
     const std::string key = "key" + std::to_string(i & 4095);
@@ -80,7 +80,8 @@ BENCHMARK(BM_McCacheSetGet)->Arg(128)->Arg(2048)->Arg(65536);
 void BM_McCacheLruChurn(benchmark::State& state) {
   // Cache sized to hold ~1000 items of this class: constant eviction.
   memcache::McCache cache(2 * kMiB);
-  const std::vector<std::byte> value(2000, std::byte{1});
+  const Buffer value =
+      Buffer::take(std::vector<std::byte>(2000, std::byte{1}));
   std::uint64_t i = 0;
   for (auto _ : state) {
     (void)cache.set("churn" + std::to_string(i), 0, 0, value, i);

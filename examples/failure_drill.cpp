@@ -23,11 +23,11 @@ namespace {
 constexpr std::size_t kMcds = 3;
 constexpr std::uint64_t kFileBytes = 64 * kKiB;
 
-std::vector<std::byte> make_payload() {
+Buffer make_payload() {
   Rng rng(2008);
   std::vector<std::byte> data(kFileBytes);
   for (auto& b : data) b = static_cast<std::byte>(rng.below(256));
-  return data;
+  return Buffer::take(std::move(data));
 }
 
 }  // namespace
@@ -71,7 +71,7 @@ int main() {
     co_await verify("entire cache bank down");
 
     // Writes remain possible and durable with zero daemons alive.
-    (void)co_await fs.write(*file, 0, to_bytes("overwritten-after-outage"));
+    (void)co_await fs.write(*file, 0, to_buffer("overwritten-after-outage"));
     auto head = co_await fs.read(*file, 0, 24);
     const bool post_ok =
         head.has_value() && to_string(*head) == "overwritten-after-outage";

@@ -31,7 +31,7 @@ sim::Task<void> producer(cluster::GlusterTestbed& tb) {
     co_await tb.loop().sleep(kProduceInterval);
     const std::string record =
         "update #" + std::to_string(batch) + ": fresh data\n";
-    (void)co_await fs.write(*file, offset, to_bytes(record));
+    (void)co_await fs.write(*file, offset, to_buffer(record));
     offset += record.size();
   }
 }

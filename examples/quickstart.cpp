@@ -32,7 +32,7 @@ int main() {
       std::printf("create failed: %s\n", std::string(errc_name(file.error())).c_str());
       co_return;
     }
-    (void)co_await fs.write(*file, 0, to_bytes("hello, intermediate cache!"));
+    (void)co_await fs.write(*file, 0, to_buffer("hello, intermediate cache!"));
 
     // The write is durable at the GlusterFS server *and* the server-side
     // SMCache translator has pushed the covering 2 KB block plus the stat

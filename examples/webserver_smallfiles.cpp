@@ -55,7 +55,8 @@ Outcome run(std::size_t n_mcds) {
   // Populate the catalog (one admin pass, untimed in the report).
   tb.run([](cluster::GlusterTestbed& t) -> sim::Task<void> {
     auto& fs = t.client(0);
-    std::vector<std::byte> page(kPageBytes, std::byte{'x'});
+    const Buffer page =
+        Buffer::take(std::vector<std::byte>(kPageBytes, std::byte{'x'}));
     for (std::size_t d = 0; d < kCatalog; ++d) {
       auto f = co_await fs.create(path_of(d));
       (void)co_await fs.write(*f, 0, page);

@@ -2,9 +2,40 @@
 
 namespace imca {
 
+ByteBuf::ByteBuf(const ByteBuf& other) {
+  other.seal();
+  chain_ = other.chain_;
+  cursor_ = other.cursor_;
+}
+
+ByteBuf& ByteBuf::operator=(const ByteBuf& other) {
+  if (this != &other) {
+    other.seal();
+    chain_ = other.chain_;
+    tail_.reset();
+    cursor_ = other.cursor_;
+  }
+  return *this;
+}
+
+void ByteBuf::seal() const {
+  if (!tail_ || tail_->empty()) return;
+  auto& st = buffer_stats();
+  ++st.segments_allocated;
+  st.segment_bytes += tail_->size();
+  // Hand the tail's storage to an immutable Segment without copying; the
+  // local shared_ptr is dropped so no mutable alias survives.
+  chain_.append(BufView(Segment(
+      std::shared_ptr<const std::vector<std::byte>>(std::move(tail_)))));
+  tail_.reset();
+}
+
 void ByteBuf::append(const void* p, std::size_t n) {
+  if (n == 0) return;
+  if (!tail_) tail_ = std::make_shared<std::vector<std::byte>>();
   const auto* b = static_cast<const std::byte*>(p);
-  data_.insert(data_.end(), b, b + n);
+  tail_->insert(tail_->end(), b, b + n);
+  buffer_stats().bytes_copied += n;
 }
 
 Expected<void> ByteBuf::need(std::size_t n) const {
@@ -40,45 +71,67 @@ void ByteBuf::put_bytes(std::span<const std::byte> b) {
   put_raw(b);
 }
 
+void ByteBuf::put_bytes(const Buffer& b) {
+  put_u32(static_cast<std::uint32_t>(b.size()));
+  put_buffer(b);
+}
+
 void ByteBuf::put_raw(std::string_view s) { append(s.data(), s.size()); }
 
 void ByteBuf::put_raw(std::span<const std::byte> b) {
   append(b.data(), b.size());
 }
 
+void ByteBuf::put_buffer(const Buffer& b) {
+  if (b.empty()) return;
+  seal();
+  chain_.append(b);
+}
+
+const Buffer& ByteBuf::buffer() const {
+  seal();
+  return chain_;
+}
+
 Expected<std::uint8_t> ByteBuf::get_u8() {
   if (auto r = need(1); !r) return r.error();
-  return static_cast<std::uint8_t>(data_[cursor_++]);
+  return static_cast<std::uint8_t>(buffer().at(cursor_++));
 }
 
 Expected<std::uint16_t> ByteBuf::get_u16() {
   if (auto r = need(2); !r) return r.error();
+  std::byte b[2];
+  buffer().copy_to(cursor_, b);
+  cursor_ += 2;
   std::uint16_t v = 0;
   for (int i = 0; i < 2; ++i) {
     v = static_cast<std::uint16_t>(
-        v | (static_cast<std::uint16_t>(data_[cursor_ + static_cast<std::size_t>(i)]) << (8 * i)));
+        v | (static_cast<std::uint16_t>(b[i]) << (8 * i)));
   }
-  cursor_ += 2;
   return v;
 }
 
 Expected<std::uint32_t> ByteBuf::get_u32() {
   if (auto r = need(4); !r) return r.error();
+  std::byte b[4];
+  buffer().copy_to(cursor_, b);
+  cursor_ += 4;
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(data_[cursor_ + static_cast<std::size_t>(i)]) << (8 * i);
+    v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
   }
-  cursor_ += 4;
   return v;
 }
 
 Expected<std::uint64_t> ByteBuf::get_u64() {
   if (auto r = need(8); !r) return r.error();
+  std::byte b[8];
+  buffer().copy_to(cursor_, b);
+  cursor_ += 8;
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(data_[cursor_ + static_cast<std::size_t>(i)]) << (8 * i);
+    v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
   }
-  cursor_ += 8;
   return v;
 }
 
@@ -92,29 +145,33 @@ Expected<std::string> ByteBuf::get_string() {
   auto len = get_u32();
   if (!len) return len.error();
   if (auto r = need(*len); !r) return r.error();
-  std::string s(reinterpret_cast<const char*>(data_.data() + cursor_), *len);
+  std::string s(*len, '\0');
+  buffer().copy_to(cursor_, {reinterpret_cast<std::byte*>(s.data()), s.size()});
   cursor_ += *len;
   return s;
 }
 
-Expected<std::vector<std::byte>> ByteBuf::get_bytes() {
+Expected<Buffer> ByteBuf::get_bytes() {
   auto len = get_u32();
   if (!len) return len.error();
-  return get_raw(*len);
+  return get_view(*len);
 }
 
-Expected<std::vector<std::byte>> ByteBuf::get_raw(std::size_t n) {
+Expected<Buffer> ByteBuf::get_view(std::size_t n) {
   if (auto r = need(n); !r) return r.error();
-  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(cursor_),
-                             data_.begin() + static_cast<std::ptrdiff_t>(cursor_ + n));
+  Buffer b = buffer().slice(cursor_, n);
   cursor_ += n;
-  return out;
+  return b;
 }
 
 std::vector<std::byte> to_bytes(std::string_view s) {
   const auto* p = reinterpret_cast<const std::byte*>(s.data());
   return {p, p + s.size()};
 }
+
+Buffer to_buffer(std::string_view s) { return Buffer::of_string(s); }
+
+std::string to_string(const Buffer& b) { return b.gather_string(); }
 
 std::string to_string(std::span<const std::byte> b) {
   return {reinterpret_cast<const char*>(b.data()), b.size()};

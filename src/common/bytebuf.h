@@ -4,16 +4,26 @@
 // network: RPC argument marshalling and the memcached text protocol both
 // build and parse real byte sequences, so message sizes charged to the links
 // are the sizes of actual encodings, not estimates.
+//
+// Storage is a Buffer (refcounted segment chain) plus a small mutable append
+// tail. Headers and protocol text are encoded into the tail; payloads enter
+// through put_buffer()/put_bytes(Buffer), which splice the caller's segments
+// in without copying, and leave through get_view()/get_bytes(), which hand
+// back zero-copy slices of the receive buffer. The payload bytes of a reply
+// are therefore the same storage the cache or disk produced — only the few
+// header bytes around them are ever re-encoded per hop.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/errc.h"
 #include "common/expected.h"
 
@@ -22,7 +32,16 @@ namespace imca {
 class ByteBuf {
  public:
   ByteBuf() = default;
-  explicit ByteBuf(std::vector<std::byte> data) : data_(std::move(data)) {}
+  explicit ByteBuf(std::vector<std::byte> data)
+      : chain_(Buffer::take(std::move(data))) {}
+  explicit ByteBuf(Buffer data) : chain_(std::move(data)) {}
+
+  // Copying seals the source's append tail first: the copy must not alias a
+  // vector the original keeps appending to (retry paths copy the request).
+  ByteBuf(const ByteBuf& other);
+  ByteBuf& operator=(const ByteBuf& other);
+  ByteBuf(ByteBuf&&) = default;
+  ByteBuf& operator=(ByteBuf&&) = default;
 
   // --- writing (appends at the end) ---
   void put_u8(std::uint8_t v) { append(&v, 1); }
@@ -32,11 +51,15 @@ class ByteBuf {
   void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
   // Length-prefixed string (u32 length + bytes).
   void put_string(std::string_view s);
-  // Length-prefixed blob.
+  // Length-prefixed blob (copies: the bytes come from mutable memory).
   void put_bytes(std::span<const std::byte> b);
-  // Raw bytes, no length prefix (protocol text, payload bodies).
+  // Length-prefixed blob, spliced in without copying.
+  void put_bytes(const Buffer& b);
+  // Raw bytes, no length prefix (protocol text, small headers; copies).
   void put_raw(std::string_view s);
   void put_raw(std::span<const std::byte> b);
+  // Raw payload, spliced in without copying.
+  void put_buffer(const Buffer& b);
 
   // --- reading (advances the cursor) ---
   Expected<std::uint8_t> get_u8();
@@ -45,28 +68,41 @@ class ByteBuf {
   Expected<std::uint64_t> get_u64();
   Expected<std::int64_t> get_i64();
   Expected<std::string> get_string();
-  Expected<std::vector<std::byte>> get_bytes();
-  // Raw bytes of an exact size (no prefix).
-  Expected<std::vector<std::byte>> get_raw(std::size_t n);
+  // Length-prefixed blob as a zero-copy slice of this buffer's storage.
+  Expected<Buffer> get_bytes();
+  // Raw bytes of an exact size (no prefix), zero-copy.
+  Expected<Buffer> get_view(std::size_t n);
 
   // --- inspection ---
-  std::size_t size() const noexcept { return data_.size(); }
-  std::size_t remaining() const noexcept { return data_.size() - cursor_; }
+  std::size_t size() const noexcept {
+    return chain_.size() + (tail_ ? tail_->size() : 0);
+  }
+  std::size_t remaining() const noexcept { return size() - cursor_; }
   bool exhausted() const noexcept { return remaining() == 0; }
-  std::span<const std::byte> bytes() const noexcept { return data_; }
+  // The full contents as a segment chain (seals the append tail).
+  const Buffer& buffer() const;
+  bool ends_with(std::string_view tail) const { return buffer().ends_with(tail); }
   void rewind() noexcept { cursor_ = 0; }
 
  private:
   void append(const void* p, std::size_t n);
+  // Freeze the append tail into a refcounted segment so reads and copies see
+  // one immutable chain. Further appends start a fresh tail.
+  void seal() const;
   Expected<void> need(std::size_t n) const;
 
-  std::vector<std::byte> data_;
+  mutable Buffer chain_;
+  mutable std::shared_ptr<std::vector<std::byte>> tail_;
   std::size_t cursor_ = 0;
 };
 
-// Convenience conversions between strings and byte vectors (workload data and
-// memcached values are real bytes end to end).
+// Convenience conversions between strings and payload bytes. These are the
+// explicit workload-edge materialization points: to_buffer allocates a fresh
+// segment holding the string's bytes; to_string(Buffer) gathers (counted in
+// the copy ledger). Layers between the edges pass Buffer views instead.
 std::vector<std::byte> to_bytes(std::string_view s);
+Buffer to_buffer(std::string_view s);
 std::string to_string(std::span<const std::byte> b);
+std::string to_string(const Buffer& b);
 
 }  // namespace imca

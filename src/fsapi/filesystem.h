@@ -9,10 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <string>
-#include <vector>
 
+#include "common/buffer.h"
 #include "common/expected.h"
 #include "sim/task.h"
 #include "store/object_store.h"
@@ -40,14 +39,16 @@ class FileSystemClient {
   // POSIX stat by path.
   virtual sim::Task<Expected<store::Attr>> stat(std::string path) = 0;
 
-  // Read up to `len` bytes at `offset`; short at EOF.
-  virtual sim::Task<Expected<std::vector<std::byte>>> read(
-      OpenFile file, std::uint64_t offset, std::uint64_t len) = 0;
+  // Read up to `len` bytes at `offset`; short at EOF. The result is a
+  // segment chain shared with the layer that produced the bytes; callers
+  // materialize with gather()/copy_to() only at the true consumption edge.
+  virtual sim::Task<Expected<Buffer>> read(OpenFile file, std::uint64_t offset,
+                                           std::uint64_t len) = 0;
 
   // Write `data` at `offset`; returns bytes written (always all of them).
-  virtual sim::Task<Expected<std::uint64_t>> write(
-      OpenFile file, std::uint64_t offset,
-      std::span<const std::byte> data) = 0;
+  virtual sim::Task<Expected<std::uint64_t>> write(OpenFile file,
+                                                   std::uint64_t offset,
+                                                   Buffer data) = 0;
 
   // Remove by path.
   virtual sim::Task<Expected<void>> unlink(std::string path) = 0;

@@ -56,21 +56,22 @@ sim::Task<Expected<store::Attr>> GlusterClient::stat(std::string path) {
   co_return co_await top().stat(path);
 }
 
-sim::Task<Expected<std::vector<std::byte>>> GlusterClient::read(
-    fsapi::OpenFile file, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> GlusterClient::read(fsapi::OpenFile file,
+                                                std::uint64_t offset,
+                                                std::uint64_t len) {
   auto path = path_of(file);
   if (!path) co_return path.error();
   co_await fuse_charge();
   co_return co_await top().read(*path, offset, len);
 }
 
-sim::Task<Expected<std::uint64_t>> GlusterClient::write(
-    fsapi::OpenFile file, std::uint64_t offset,
-    std::span<const std::byte> data) {
+sim::Task<Expected<std::uint64_t>> GlusterClient::write(fsapi::OpenFile file,
+                                                        std::uint64_t offset,
+                                                        Buffer data) {
   auto path = path_of(file);
   if (!path) co_return path.error();
   co_await fuse_charge();
-  co_return co_await top().write(*path, offset, data);
+  co_return co_await top().write(*path, offset, std::move(data));
 }
 
 sim::Task<Expected<void>> GlusterClient::unlink(std::string path) {

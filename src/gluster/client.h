@@ -39,12 +39,12 @@ class GlusterClient final : public fsapi::FileSystemClient {
   sim::Task<Expected<fsapi::OpenFile>> open(std::string path) override;
   sim::Task<Expected<void>> close(fsapi::OpenFile file) override;
   sim::Task<Expected<store::Attr>> stat(std::string path) override;
-  sim::Task<Expected<std::vector<std::byte>>> read(fsapi::OpenFile file,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len) override;
-  sim::Task<Expected<std::uint64_t>> write(
-      fsapi::OpenFile file, std::uint64_t offset,
-      std::span<const std::byte> data) override;
+  sim::Task<Expected<Buffer>> read(fsapi::OpenFile file,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(fsapi::OpenFile file,
+                                           std::uint64_t offset,
+                                           Buffer data) override;
   sim::Task<Expected<void>> unlink(std::string path) override;
   sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override;

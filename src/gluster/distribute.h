@@ -37,15 +37,15 @@ class DistributeXlator final : public Xlator {
   sim::Task<Expected<store::Attr>> stat(const std::string& path) override {
     co_return co_await brick(path).stat(path);
   }
-  sim::Task<Expected<std::vector<std::byte>>> read(
-      const std::string& path, std::uint64_t offset,
-      std::uint64_t len) override {
+  sim::Task<Expected<Buffer>> read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) override {
     co_return co_await brick(path).read(path, offset, len);
   }
-  sim::Task<Expected<std::uint64_t>> write(
-      const std::string& path, std::uint64_t offset,
-      std::span<const std::byte> data) override {
-    co_return co_await brick(path).write(path, offset, data);
+  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                           std::uint64_t offset,
+                                           Buffer data) override {
+    co_return co_await brick(path).write(path, offset, std::move(data));
   }
   sim::Task<Expected<void>> unlink(const std::string& path) override {
     co_return co_await brick(path).unlink(path);
@@ -69,7 +69,7 @@ class DistributeXlator final : public Xlator {
     auto created = co_await brick(to).create(to, attr->mode);
     if (!created) co_return created.error();
     if (!data->empty()) {
-      auto w = co_await brick(to).write(to, 0, *data);
+      auto w = co_await brick(to).write(to, 0, std::move(*data));
       if (!w) co_return w.error();
     }
     co_return co_await brick(from).unlink(from);

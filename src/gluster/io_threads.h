@@ -40,19 +40,19 @@ class IoThreadsXlator final : public Xlator {
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<std::vector<std::byte>>> read(
-      const std::string& path, std::uint64_t offset,
-      std::uint64_t len) override {
+  sim::Task<Expected<Buffer>> read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) override {
     co_await sem_.acquire();
     auto r = co_await child_->read(path, offset, len);
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<std::uint64_t>> write(
-      const std::string& path, std::uint64_t offset,
-      std::span<const std::byte> data) override {
+  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                           std::uint64_t offset,
+                                           Buffer data) override {
     co_await sem_.acquire();
-    auto r = co_await child_->write(path, offset, data);
+    auto r = co_await child_->write(path, offset, std::move(data));
     sem_.release();
     co_return r;
   }

@@ -33,8 +33,9 @@ sim::Task<Expected<store::Attr>> PosixXlator::stat(const std::string& path) {
   co_return *attr;
 }
 
-sim::Task<Expected<std::vector<std::byte>>> PosixXlator::read(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> PosixXlator::read(const std::string& path,
+                                              std::uint64_t offset,
+                                              std::uint64_t len) {
   auto attr = os_.stat(path);
   if (!attr) co_return attr.error();
   co_await node_.cpu().use(params_.data_op_cpu +
@@ -46,8 +47,7 @@ sim::Task<Expected<std::vector<std::byte>>> PosixXlator::read(
 }
 
 sim::Task<Expected<std::uint64_t>> PosixXlator::write(
-    const std::string& path, std::uint64_t offset,
-    std::span<const std::byte> data) {
+    const std::string& path, std::uint64_t offset, Buffer data) {
   auto attr = os_.stat(path);
   if (!attr) co_return attr.error();
   co_await node_.cpu().use(params_.data_op_cpu +

@@ -8,10 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <string>
-#include <vector>
 
+#include "common/buffer.h"
 #include "common/bytebuf.h"
 #include "common/errc.h"
 #include "common/expected.h"
@@ -38,7 +37,7 @@ struct FopRequest {
   std::uint64_t length = 0;   // read
   std::uint32_t mode = 0644;  // create
   std::string path2;          // rename target
-  std::vector<std::byte> data;  // write payload
+  Buffer data;                // write payload (spliced into the encoding)
 
   ByteBuf encode() const;
   static Expected<FopRequest> decode(ByteBuf& in);
@@ -46,9 +45,9 @@ struct FopRequest {
 
 struct FopReply {
   Errc errc = Errc::kOk;
-  store::Attr attr;             // create/open/stat
-  std::vector<std::byte> data;  // read payload
-  std::uint64_t count = 0;      // write bytes accepted
+  store::Attr attr;         // create/open/stat
+  Buffer data;              // read payload (views of the receive buffer)
+  std::uint64_t count = 0;  // write bytes accepted
 
   ByteBuf encode() const;
   static Expected<FopReply> decode(ByteBuf& in);

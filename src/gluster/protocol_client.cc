@@ -54,8 +54,9 @@ sim::Task<Expected<store::Attr>> ProtocolClient::stat(
   co_return rep->attr;
 }
 
-sim::Task<Expected<std::vector<std::byte>>> ProtocolClient::read(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> ProtocolClient::read(const std::string& path,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t len) {
   FopRequest req;
   req.type = FopType::kRead;
   req.path = path;
@@ -68,13 +69,12 @@ sim::Task<Expected<std::vector<std::byte>>> ProtocolClient::read(
 }
 
 sim::Task<Expected<std::uint64_t>> ProtocolClient::write(
-    const std::string& path, std::uint64_t offset,
-    std::span<const std::byte> data) {
+    const std::string& path, std::uint64_t offset, Buffer data) {
   FopRequest req;
   req.type = FopType::kWrite;
   req.path = path;
   req.offset = offset;
-  req.data.assign(data.begin(), data.end());
+  req.data = std::move(data);
   auto rep = co_await roundtrip(std::move(req));
   if (!rep) co_return rep.error();
   if (!ok(rep->errc)) co_return rep->errc;

@@ -18,12 +18,12 @@ class ProtocolClient final : public Xlator {
   sim::Task<Expected<store::Attr>> open(const std::string& path) override;
   sim::Task<Expected<void>> close(const std::string& path) override;
   sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
-  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len) override;
-  sim::Task<Expected<std::uint64_t>> write(
-      const std::string& path, std::uint64_t offset,
-      std::span<const std::byte> data) override;
+  sim::Task<Expected<Buffer>> read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                           std::uint64_t offset,
+                                           Buffer data) override;
   sim::Task<Expected<void>> unlink(const std::string& path) override;
   sim::Task<Expected<void>> truncate(const std::string& path,
                                      std::uint64_t size) override;

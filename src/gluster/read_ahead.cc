@@ -4,16 +4,15 @@
 
 namespace imca::gluster {
 
-sim::Task<Expected<std::vector<std::byte>>> ReadAheadXlator::read(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
-  // Serve from the prefetch buffer when it fully covers the request.
+sim::Task<Expected<Buffer>> ReadAheadXlator::read(const std::string& path,
+                                                  std::uint64_t offset,
+                                                  std::uint64_t len) {
+  // Serve from the prefetch buffer when it fully covers the request: the
+  // result shares the prefetched segments, no bytes move.
   if (path == buf_path_ && offset >= buf_offset_ &&
       offset + len <= buf_offset_ + buf_.size()) {
     ++hits_;
-    const std::uint64_t start = offset - buf_offset_;
-    co_return std::vector<std::byte>(
-        buf_.begin() + static_cast<std::ptrdiff_t>(start),
-        buf_.begin() + static_cast<std::ptrdiff_t>(start + len));
+    co_return buf_.slice(offset - buf_offset_, len);
   }
 
   // Sequential continuation of the buffered stream? Prefetch a full window.
@@ -24,10 +23,7 @@ sim::Task<Expected<std::vector<std::byte>>> ReadAheadXlator::read(
   if (!data) co_return data;
   if (fetch_len > len) ++prefetches_;
 
-  std::vector<std::byte> result(
-      data->begin(),
-      data->begin() + static_cast<std::ptrdiff_t>(
-                          std::min<std::uint64_t>(len, data->size())));
+  Buffer result = data->slice(0, len);
   // Stash the whole fetched extent for the next sequential read.
   buf_path_ = path;
   buf_offset_ = offset;
@@ -36,10 +32,9 @@ sim::Task<Expected<std::vector<std::byte>>> ReadAheadXlator::read(
 }
 
 sim::Task<Expected<std::uint64_t>> ReadAheadXlator::write(
-    const std::string& path, std::uint64_t offset,
-    std::span<const std::byte> data) {
+    const std::string& path, std::uint64_t offset, Buffer data) {
   drop(path);  // never serve stale prefetched bytes
-  co_return co_await child_->write(path, offset, data);
+  co_return co_await child_->write(path, offset, std::move(data));
 }
 
 sim::Task<Expected<store::Attr>> ReadAheadXlator::open(

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <string>
-#include <vector>
 
 #include "gluster/xlator.h"
 
@@ -20,12 +19,12 @@ class ReadAheadXlator final : public Xlator {
   explicit ReadAheadXlator(std::uint64_t window = 128 * kKiB)
       : window_(window) {}
 
-  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len) override;
-  sim::Task<Expected<std::uint64_t>> write(
-      const std::string& path, std::uint64_t offset,
-      std::span<const std::byte> data) override;
+  sim::Task<Expected<Buffer>> read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                           std::uint64_t offset,
+                                           Buffer data) override;
   sim::Task<Expected<store::Attr>> open(const std::string& path) override;
   sim::Task<Expected<void>> unlink(const std::string& path) override;
   sim::Task<Expected<void>> close(const std::string& path) override;
@@ -49,7 +48,7 @@ class ReadAheadXlator final : public Xlator {
   // translator's per-fd pages with default settings).
   std::string buf_path_;
   std::uint64_t buf_offset_ = 0;
-  std::vector<std::byte> buf_;
+  Buffer buf_;
   std::uint64_t hits_ = 0;
   std::uint64_t prefetches_ = 0;
 };

@@ -82,7 +82,7 @@ sim::Task<FopReply> GlusterServer::dispatch(FopRequest req) {
       break;
     }
     case FopType::kWrite: {
-      auto r = co_await x.write(req.path, req.offset, req.data);
+      auto r = co_await x.write(req.path, req.offset, std::move(req.data));
       rep.errc = r.error();
       if (r) rep.count = *r;
       break;

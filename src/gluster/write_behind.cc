@@ -5,40 +5,41 @@ namespace imca::gluster {
 sim::Task<Expected<void>> WriteBehindXlator::flush() {
   if (buf_.empty()) co_return Expected<void>{};
   ++flushes_;
-  auto r = co_await child_->write(buf_path_, buf_offset_, buf_);
-  buf_.clear();
+  auto r = co_await child_->write(buf_path_, buf_offset_, std::move(buf_));
+  buf_ = Buffer{};
   buf_path_.clear();
   if (!r) co_return r.error();
   co_return Expected<void>{};
 }
 
 sim::Task<Expected<std::uint64_t>> WriteBehindXlator::write(
-    const std::string& path, std::uint64_t offset,
-    std::span<const std::byte> data) {
+    const std::string& path, std::uint64_t offset, Buffer data) {
+  const std::uint64_t written = data.size();
   // Contiguous continuation of the current buffer? Absorb it.
   if (buffering(path) && offset == buf_offset_ + buf_.size()) {
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    buf_.append(std::move(data));
     ++absorbed_;
     if (buf_.size() >= threshold_) {
       auto r = co_await flush();
       if (!r) co_return r.error();
     }
-    co_return data.size();
+    co_return written;
   }
 
   // Non-contiguous or different file: flush what we hold, start a new run.
   if (auto r = co_await flush(); !r) co_return r.error();
   buf_path_ = path;
   buf_offset_ = offset;
-  buf_.assign(data.begin(), data.end());
+  buf_ = std::move(data);
   if (buf_.size() >= threshold_) {
     if (auto r = co_await flush(); !r) co_return r.error();
   }
-  co_return data.size();
+  co_return written;
 }
 
-sim::Task<Expected<std::vector<std::byte>>> WriteBehindXlator::read(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> WriteBehindXlator::read(const std::string& path,
+                                                    std::uint64_t offset,
+                                                    std::uint64_t len) {
   if (buffering(path)) {
     if (auto r = co_await flush(); !r) co_return r.error();
   }

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <string>
-#include <vector>
 
 #include "gluster/xlator.h"
 
@@ -21,12 +20,12 @@ class WriteBehindXlator final : public Xlator {
   explicit WriteBehindXlator(std::uint64_t flush_threshold = 128 * kKiB)
       : threshold_(flush_threshold) {}
 
-  sim::Task<Expected<std::uint64_t>> write(
-      const std::string& path, std::uint64_t offset,
-      std::span<const std::byte> data) override;
-  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                           std::uint64_t offset,
+                                           Buffer data) override;
+  sim::Task<Expected<Buffer>> read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) override;
   sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
   sim::Task<Expected<void>> close(const std::string& path) override;
   sim::Task<Expected<void>> unlink(const std::string& path) override;
@@ -49,7 +48,9 @@ class WriteBehindXlator final : public Xlator {
   std::uint64_t threshold_;
   std::string buf_path_;
   std::uint64_t buf_offset_ = 0;
-  std::vector<std::byte> buf_;
+  // Absorbed writes are spliced, not re-copied: segments are immutable, so
+  // sharing the writer's storage is safe.
+  Buffer buf_;
   std::uint64_t flushes_ = 0;
   std::uint64_t absorbed_ = 0;
 };

@@ -29,17 +29,18 @@ sim::Task<Expected<store::Attr>> Xlator::stat(const std::string& path) {
   co_return co_await child_->stat(path);
 }
 
-sim::Task<Expected<std::vector<std::byte>>> Xlator::read(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> Xlator::read(const std::string& path,
+                                         std::uint64_t offset,
+                                         std::uint64_t len) {
   assert(child_ != nullptr);
   co_return co_await child_->read(path, offset, len);
 }
 
-sim::Task<Expected<std::uint64_t>> Xlator::write(
-    const std::string& path, std::uint64_t offset,
-    std::span<const std::byte> data) {
+sim::Task<Expected<std::uint64_t>> Xlator::write(const std::string& path,
+                                                 std::uint64_t offset,
+                                                 Buffer data) {
   assert(child_ != nullptr);
-  co_return co_await child_->write(path, offset, data);
+  co_return co_await child_->write(path, offset, std::move(data));
 }
 
 sim::Task<Expected<void>> Xlator::unlink(const std::string& path) {

@@ -14,10 +14,9 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <string>
-#include <vector>
 
+#include "common/buffer.h"
 #include "common/expected.h"
 #include "sim/task.h"
 #include "store/object_store.h"
@@ -38,11 +37,12 @@ class Xlator {
   virtual sim::Task<Expected<store::Attr>> open(const std::string& path);
   virtual sim::Task<Expected<void>> close(const std::string& path);
   virtual sim::Task<Expected<store::Attr>> stat(const std::string& path);
-  virtual sim::Task<Expected<std::vector<std::byte>>> read(
-      const std::string& path, std::uint64_t offset, std::uint64_t len);
-  virtual sim::Task<Expected<std::uint64_t>> write(
-      const std::string& path, std::uint64_t offset,
-      std::span<const std::byte> data);
+  virtual sim::Task<Expected<Buffer>> read(const std::string& path,
+                                           std::uint64_t offset,
+                                           std::uint64_t len);
+  virtual sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   Buffer data);
   virtual sim::Task<Expected<void>> unlink(const std::string& path);
   virtual sim::Task<Expected<void>> truncate(const std::string& path,
                                              std::uint64_t size);

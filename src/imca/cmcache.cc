@@ -30,9 +30,10 @@ sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
   co_return co_await child_->stat(path);
 }
 
-sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
-  if (len == 0) co_return std::vector<std::byte>{};
+sim::Task<Expected<Buffer>> CmCacheXlator::read(const std::string& path,
+                                                std::uint64_t offset,
+                                                std::uint64_t len) {
+  if (len == 0) co_return Buffer{};
 
   // Degraded-read detection: if the MCD client reported any fault signal
   // during this read *and* the read leaned on the server (forwarded or
@@ -42,7 +43,7 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read(
   const std::uint64_t server_reads =
       stats_.reads_forwarded + stats_.reads_partial;
 
-  std::optional<Expected<std::vector<std::byte>>> result;
+  std::optional<Expected<Buffer>> result;
   if (!cfg_.partial_hit_reads) {
     result.emplace(co_await read_forward_on_miss(path, offset, len));
   } else {
@@ -56,10 +57,9 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read(
 }
 
 sim::Task<Expected<std::uint64_t>> CmCacheXlator::write(
-    const std::string& path, std::uint64_t offset,
-    std::span<const std::byte> data) {
+    const std::string& path, std::uint64_t offset, Buffer data) {
   bump_epoch(path);  // before forwarding: no repair captured earlier may land
-  co_return co_await child_->write(path, offset, data);
+  co_return co_await child_->write(path, offset, std::move(data));
 }
 
 sim::Task<Expected<void>> CmCacheXlator::unlink(const std::string& path) {
@@ -80,7 +80,7 @@ sim::Task<Expected<void>> CmCacheXlator::rename(const std::string& from,
   co_return co_await child_->rename(from, to);
 }
 
-sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_forward_on_miss(
+sim::Task<Expected<Buffer>> CmCacheXlator::read_forward_on_miss(
     const std::string& path, std::uint64_t offset, std::uint64_t len) {
   const auto blocks = mapper_.covering(offset, len);
   std::vector<std::string> keys;
@@ -100,8 +100,7 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_forward_on_miss(
   // blocks only matter if an *earlier* block was full (data continues). We
   // require: every block present up to the first short block; everything
   // after a short block is EOF territory.
-  std::vector<std::byte> assembled;
-  assembled.reserve(mapper_.aligned_length(offset, len));
+  Buffer assembled;
   bool complete = true;
   for (std::size_t i = 0; i < keys.size(); ++i) {
     auto it = got.find(keys[i]);
@@ -113,9 +112,9 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_forward_on_miss(
       }
       break;
     }
-    const auto& data = it->second.data;
-    assembled.insert(assembled.end(), data.begin(), data.end());
-    if (data.size() < mapper_.block_size()) break;  // short block = EOF
+    const std::size_t block_len = it->second.data.size();
+    assembled.append(std::move(it->second.data));  // splice, no copy
+    if (block_len < mapper_.block_size()) break;  // short block = EOF
   }
 
   if (!complete) {
@@ -127,15 +126,11 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_forward_on_miss(
 
   ++stats_.reads_from_cache;
   const std::uint64_t skip = offset - mapper_.align_down(offset);
-  if (assembled.size() <= skip) co_return std::vector<std::byte>{};  // EOF
-  const std::uint64_t avail = assembled.size() - skip;
-  const std::uint64_t take = std::min(len, avail);
-  co_return std::vector<std::byte>(
-      assembled.begin() + static_cast<std::ptrdiff_t>(skip),
-      assembled.begin() + static_cast<std::ptrdiff_t>(skip + take));
+  if (assembled.size() <= skip) co_return Buffer{};  // EOF
+  co_return assembled.slice(skip, len);  // view of the cached segments
 }
 
-sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
+sim::Task<Expected<Buffer>> CmCacheXlator::read_partial_hit(
     const std::string& path, std::uint64_t offset, std::uint64_t len) {
   const std::uint64_t bs = mapper_.block_size();
   const auto blocks = mapper_.covering(offset, len);
@@ -150,8 +145,8 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
   struct Slot {
     std::uint64_t block = 0;
     std::string key;
-    BlockBytes bytes;          // null until resolved
-    bool from_server = false;  // resolved by this read's own range fetch
+    std::optional<Buffer> bytes;  // unset until resolved
+    bool from_server = false;     // resolved by this read's own range fetch
     bool failed = false;
     SingleFlight<BlockResult>::FlightPtr waiting;  // someone else is fetching
     SingleFlight<BlockResult>::FlightPtr leading;  // we must complete this
@@ -193,10 +188,9 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
     for (std::size_t j = 0; j < got.size(); ++j) {
       if (!got[j]) continue;
       auto& s = slots[get_slots[j]];
-      s.bytes = std::make_shared<const std::vector<std::byte>>(
-          std::move(got[j]->data));
+      s.bytes = std::move(got[j]->data);
       ++cached_hits;
-      if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{s.bytes});
+      if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{*s.bytes});
     }
   }
   stats_.blocks_hit += cached_hits;
@@ -214,8 +208,8 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
     for (std::size_t i = eof_slot + 1; i < slots.size(); ++i) {
       auto& s = slots[i];
       if (s.bytes || s.waiting) continue;
-      s.bytes = std::make_shared<const std::vector<std::byte>>();
-      if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{s.bytes});
+      s.bytes.emplace();  // empty = at/after EOF
+      if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{*s.bytes});
     }
   }
 
@@ -224,7 +218,7 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
   struct Run {
     std::size_t first = 0;  // slot index
     std::size_t count = 0;
-    std::vector<std::byte> data;
+    Buffer data;
     Errc error = Errc::kOk;
   };
   std::vector<Run> runs;
@@ -259,10 +253,10 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
     co_await sim::when_all(mcds_->loop(), std::move(fetches));
   }
 
-  // 5. Distribute each run's bytes back to its slots (a slice past the end
-  //    of the returned data is an empty block = at/after EOF). A failed run
-  //    fails its slots; either way every led flight is completed so waiters
-  //    never hang.
+  // 5. Distribute each run's bytes back to its slots as zero-copy slices of
+  //    the range-read's segments (a slice past the end of the returned data
+  //    is an empty block = at/after EOF). A failed run fails its slots;
+  //    either way every led flight is completed so waiters never hang.
   for (const auto& run : runs) {
     for (std::size_t k = 0; k < run.count; ++k) {
       auto& s = slots[run.first + k];
@@ -271,15 +265,10 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
         if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{run.error});
         continue;
       }
-      const std::size_t lo =
-          std::min(run.data.size(), static_cast<std::size_t>(k * bs));
-      const std::size_t hi =
-          std::min(run.data.size(), static_cast<std::size_t>((k + 1) * bs));
-      s.bytes = std::make_shared<const std::vector<std::byte>>(
-          run.data.begin() + static_cast<std::ptrdiff_t>(lo),
-          run.data.begin() + static_cast<std::ptrdiff_t>(hi));
+      s.bytes = run.data.slice(static_cast<std::size_t>(k * bs),
+                               static_cast<std::size_t>(bs));
       s.from_server = true;
-      if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{s.bytes});
+      if (s.leading) inflight_.complete(s.key, s.leading, BlockResult{*s.bytes});
     }
   }
 
@@ -293,7 +282,7 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
     std::vector<Repair> repairs;
     for (const auto& s : slots) {
       if (s.from_server && s.bytes && !s.bytes->empty()) {
-        repairs.push_back(Repair{s.key, s.block, s.bytes});
+        repairs.push_back(Repair{s.key, s.block, *s.bytes});  // shared views
       }
     }
     if (!repairs.empty()) {
@@ -309,7 +298,7 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
     co_await s.waiting->done.wait();
     const BlockResult& r = *s.waiting->value;
     if (r) {
-      s.bytes = *r;  // share the leader's buffer
+      s.bytes = *r;  // share the leader's segments
     } else {
       s.failed = true;
     }
@@ -325,14 +314,16 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
     co_return co_await child_->read(path, offset, len);
   }
 
-  // 9. Assemble in block order; a short block ends the file.
-  std::vector<std::byte> assembled;
-  assembled.reserve(mapper_.aligned_length(offset, len));
+  // 9. Assemble in block order by splicing the resolved buffers — cached
+  //    segments, server range segments and flight-shared segments end up
+  //    side by side in one view chain; a short block ends the file.
+  Buffer assembled;
   bool hit_server = false;
-  for (const auto& s : slots) {
-    assembled.insert(assembled.end(), s.bytes->begin(), s.bytes->end());
+  for (auto& s : slots) {
+    const std::size_t block_len = s.bytes->size();
+    assembled.append(std::move(*s.bytes));
     hit_server = hit_server || s.from_server;
-    if (s.bytes->size() < bs) break;  // short block = EOF
+    if (block_len < bs) break;  // short block = EOF
   }
 
   if (!hit_server) {
@@ -346,12 +337,8 @@ sim::Task<Expected<std::vector<std::byte>>> CmCacheXlator::read_partial_hit(
   }
 
   const std::uint64_t skip = offset - mapper_.align_down(offset);
-  if (assembled.size() <= skip) co_return std::vector<std::byte>{};  // EOF
-  const std::uint64_t avail = assembled.size() - skip;
-  const std::uint64_t take = std::min(len, avail);
-  co_return std::vector<std::byte>(
-      assembled.begin() + static_cast<std::ptrdiff_t>(skip),
-      assembled.begin() + static_cast<std::ptrdiff_t>(skip + take));
+  if (assembled.size() <= skip) co_return Buffer{};  // EOF
+  co_return assembled.slice(skip, len);  // views; no payload copy
 }
 
 sim::Task<void> CmCacheXlator::repair_blocks(std::string path,
@@ -370,7 +357,7 @@ sim::Task<void> CmCacheXlator::repair_blocks(std::string path,
     // `add`, not `set`: a repair must never clobber a fresher publish or
     // another reader's repair. NOT_STORED means the cache already holds the
     // block — the warm-cache outcome the repair wanted.
-    auto stored = co_await mcds_->add(r.key, *r.bytes, r.block);
+    auto stored = co_await mcds_->add(r.key, std::move(r.bytes), r.block);
     if (stored || stored.error() == Errc::kNotStored) {
       ++stats_.blocks_repaired;
     } else {

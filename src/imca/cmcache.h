@@ -76,16 +76,16 @@ class CmCacheXlator final : public gluster::Xlator {
         inflight_(mcds_->loop()) {}
 
   sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
-  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len) override;
+  sim::Task<Expected<Buffer>> read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) override;
 
   // Mutations pass through to the server, but each bumps the path's write
   // epoch *before* forwarding so an in-flight read-repair captured under the
   // old contents can never land after the change (see repair_blocks).
-  sim::Task<Expected<std::uint64_t>> write(
-      const std::string& path, std::uint64_t offset,
-      std::span<const std::byte> data) override;
+  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                           std::uint64_t offset,
+                                           Buffer data) override;
   sim::Task<Expected<void>> unlink(const std::string& path) override;
   sim::Task<Expected<void>> truncate(const std::string& path,
                                      std::uint64_t size) override;
@@ -101,23 +101,24 @@ class CmCacheXlator final : public gluster::Xlator {
 
  private:
   // A resolved block's bytes: full block, short (EOF inside the block) or
-  // empty (at/after EOF). Shared so single-flight waiters splice the same
-  // buffer the leader produced, without copies.
-  using BlockBytes = std::shared_ptr<const std::vector<std::byte>>;
-  using BlockResult = Expected<BlockBytes>;
+  // empty (at/after EOF). Buffers share segments, so single-flight waiters
+  // splice the same storage the leader produced, without copies.
+  using BlockResult = Expected<Buffer>;
 
   struct Repair {
     std::string key;
     std::uint64_t block = 0;  // routing hint for the modulo selector
-    BlockBytes bytes;
+    Buffer bytes;
   };
 
   // The paper's path: any miss discards the hits and forwards the whole read.
-  sim::Task<Expected<std::vector<std::byte>>> read_forward_on_miss(
-      const std::string& path, std::uint64_t offset, std::uint64_t len);
+  sim::Task<Expected<Buffer>> read_forward_on_miss(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t len);
   // The rebuilt path: partial-hit assembly + read-repair + single-flight.
-  sim::Task<Expected<std::vector<std::byte>>> read_partial_hit(
-      const std::string& path, std::uint64_t offset, std::uint64_t len);
+  sim::Task<Expected<Buffer>> read_partial_hit(const std::string& path,
+                                               std::uint64_t offset,
+                                               std::uint64_t len);
   // Fire-and-forget: push server-fetched blocks into the MCD array. `epoch`
   // is the path's write epoch captured when the read began; a repair is
   // withheld if the path has been mutated since.

@@ -49,8 +49,7 @@ sim::Task<void> SmCacheXlator::publish_stat(const std::string& path,
                                             const store::Attr& attr) {
   ByteBuf buf;
   attr.encode(buf);
-  std::vector<std::byte> data(buf.bytes().begin(), buf.bytes().end());
-  auto stored = co_await mcds_->set(stat_key(path), data);
+  auto stored = co_await mcds_->set(stat_key(path), buf.buffer());
   if (stored) {
     ++stats_.stats_published;
   } else {
@@ -58,18 +57,17 @@ sim::Task<void> SmCacheXlator::publish_stat(const std::string& path,
   }
 }
 
-sim::Task<void> SmCacheXlator::publish_blocks(
-    const std::string& path, std::uint64_t region_start,
-    const std::vector<std::byte>& data) {
+sim::Task<void> SmCacheXlator::publish_blocks(const std::string& path,
+                                              std::uint64_t region_start,
+                                              const Buffer& data) {
   const std::uint64_t bs = mapper_.block_size();
   std::uint64_t pos = 0;
   while (pos < data.size()) {
     const std::uint64_t block_offset = region_start + pos;
     const std::uint64_t n = std::min<std::uint64_t>(bs, data.size() - pos);
-    std::vector<std::byte> block(
-        data.begin() + static_cast<std::ptrdiff_t>(pos),
-        data.begin() + static_cast<std::ptrdiff_t>(pos + n));
-    auto stored = co_await mcds_->set(data_key(path, block_offset), block,
+    Buffer block = data.slice(pos, n);  // view of the read-back's segments
+    auto stored = co_await mcds_->set(data_key(path, block_offset),
+                                      std::move(block),
                                       mapper_.index_of(block_offset));
     if (stored) {
       ++stats_.blocks_published;
@@ -147,8 +145,9 @@ sim::Task<Expected<store::Attr>> SmCacheXlator::stat(const std::string& path) {
   co_return attr;
 }
 
-sim::Task<Expected<std::vector<std::byte>>> SmCacheXlator::read(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> SmCacheXlator::read(const std::string& path,
+                                                std::uint64_t offset,
+                                                std::uint64_t len) {
   if (len == 0) co_return co_await child_->read(path, offset, len);
 
   // Widen to block alignment: the server may read more than requested
@@ -169,18 +168,15 @@ sim::Task<Expected<std::vector<std::byte>>> SmCacheXlator::read(
     co_await publish_blocks(path, start, *data);
   }
 
-  // Slice the requested range back out.
+  // Slice the requested range back out (views of the same segments that
+  // were just published).
   const std::uint64_t skip = offset - start;
-  if (data->size() <= skip) co_return std::vector<std::byte>{};
-  const std::uint64_t take = std::min(len, data->size() - skip);
-  co_return std::vector<std::byte>(
-      data->begin() + static_cast<std::ptrdiff_t>(skip),
-      data->begin() + static_cast<std::ptrdiff_t>(skip + take));
+  if (data->size() <= skip) co_return Buffer{};
+  co_return data->slice(skip, len);
 }
 
 sim::Task<Expected<std::uint64_t>> SmCacheXlator::write(
-    const std::string& path, std::uint64_t offset,
-    std::span<const std::byte> data) {
+    const std::string& path, std::uint64_t offset, Buffer data) {
   // Old size first: a write far beyond EOF leaves stale short blocks at the
   // old boundary which must be purged for coherence. The size usually comes
   // from our own bookkeeping; only a path we have never seen costs a stat.
@@ -194,12 +190,13 @@ sim::Task<Expected<std::uint64_t>> SmCacheXlator::write(
 
   // Persistence first: the write must be on the file system before any MCD
   // sees a byte of it (§4.3.2, §4.4).
-  auto written = co_await child_->write(path, offset, data);
+  const std::uint64_t data_size = data.size();
+  auto written = co_await child_->write(path, offset, std::move(data));
   if (!written) co_return written;
-  known_size_[path] = std::max(old_size, offset + data.size());
+  known_size_[path] = std::max(old_size, offset + data_size);
 
   const std::uint64_t start = mapper_.align_down(offset);
-  const std::uint64_t length = mapper_.aligned_length(offset, data.size());
+  const std::uint64_t length = mapper_.aligned_length(offset, data_size);
 
   if (old_size < start) {
     // The write skipped past the old EOF: blocks in [old EOF, start) were

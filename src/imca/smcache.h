@@ -60,12 +60,12 @@ class SmCacheXlator final : public gluster::Xlator {
 
   sim::Task<Expected<store::Attr>> open(const std::string& path) override;
   sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
-  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len) override;
-  sim::Task<Expected<std::uint64_t>> write(
-      const std::string& path, std::uint64_t offset,
-      std::span<const std::byte> data) override;
+  sim::Task<Expected<Buffer>> read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                           std::uint64_t offset,
+                                           Buffer data) override;
   sim::Task<Expected<void>> close(const std::string& path) override;
   sim::Task<Expected<void>> unlink(const std::string& path) override;
   sim::Task<Expected<void>> truncate(const std::string& path,
@@ -91,11 +91,12 @@ class SmCacheXlator final : public gluster::Xlator {
     std::uint64_t length = 0;  // aligned region length
   };
 
-  // Publish every block of `data` (which starts at aligned `region_start`).
-  // Blocks shorter than the block size mark EOF; empty blocks are skipped.
+  // Publish every block of `data` (which starts at aligned `region_start`)
+  // as zero-copy slices of its segments. Blocks shorter than the block size
+  // mark EOF; empty blocks are skipped.
   sim::Task<void> publish_blocks(const std::string& path,
                                  std::uint64_t region_start,
-                                 const std::vector<std::byte>& data);
+                                 const Buffer& data);
   sim::Task<void> publish_stat(const std::string& path,
                                const store::Attr& attr);
   // Delete the stat item and every block up to `highest_byte`.

@@ -40,9 +40,9 @@ sim::Task<void> CachedLustreClient::purge_published(const std::string& path) {
   it->second.published_extent = 0;
 }
 
-sim::Task<void> CachedLustreClient::publish_region(
-    const std::string& path, std::uint64_t start,
-    const std::vector<std::byte>& data) {
+sim::Task<void> CachedLustreClient::publish_region(const std::string& path,
+                                                   std::uint64_t start,
+                                                   const Buffer& data) {
   PathState& st = state_[path];
   const std::uint64_t epoch_at_start = st.epoch;
   const std::uint64_t bs = mapper_.block_size();
@@ -50,10 +50,7 @@ sim::Task<void> CachedLustreClient::publish_region(
   while (pos < data.size()) {
     if (st.epoch != epoch_at_start) break;  // revoked mid-publish: stop
     const std::uint64_t n = std::min<std::uint64_t>(bs, data.size() - pos);
-    std::vector<std::byte> block(
-        data.begin() + static_cast<std::ptrdiff_t>(pos),
-        data.begin() + static_cast<std::ptrdiff_t>(pos + n));
-    (void)co_await bank_->set(data_key(path, start + pos), block,
+    (void)co_await bank_->set(data_key(path, start + pos), data.slice(pos, n),
                               mapper_.index_of(start + pos));
     ++stats_.blocks_published;
     st.published_extent = std::max(st.published_extent, start + pos + n);
@@ -92,11 +89,12 @@ sim::Task<Expected<store::Attr>> CachedLustreClient::stat(std::string path) {
   co_return co_await inner_.stat(std::move(path));
 }
 
-sim::Task<Expected<std::vector<std::byte>>> CachedLustreClient::read(
-    fsapi::OpenFile file, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> CachedLustreClient::read(fsapi::OpenFile file,
+                                                     std::uint64_t offset,
+                                                     std::uint64_t len) {
   auto path = path_of(file);
   if (!path) co_return path.error();
-  if (len == 0) co_return std::vector<std::byte>{};
+  if (len == 0) co_return Buffer{};
 
   // The PR lock defines the coherence epoch: while we hold it, no writer can
   // have changed the file (a writer's PW enqueue revokes us first, and the
@@ -112,7 +110,7 @@ sim::Task<Expected<std::vector<std::byte>>> CachedLustreClient::read(
   }
   auto got = co_await bank_->multi_get(keys, hints);
 
-  std::vector<std::byte> assembled;
+  Buffer assembled;
   bool complete = true;
   for (std::size_t i = 0; i < keys.size(); ++i) {
     auto it = got.find(keys[i]);
@@ -120,20 +118,16 @@ sim::Task<Expected<std::vector<std::byte>>> CachedLustreClient::read(
       if (assembled.size() == i * mapper_.block_size()) complete = false;
       break;
     }
-    assembled.insert(assembled.end(), it->second.data.begin(),
-                     it->second.data.end());
-    if (it->second.data.size() < mapper_.block_size()) break;  // EOF block
+    const std::size_t block_len = it->second.data.size();
+    assembled.append(std::move(it->second.data));  // splice, no copy
+    if (block_len < mapper_.block_size()) break;  // EOF block
   }
 
   if (complete) {
     ++stats_.reads_from_bank;
     const std::uint64_t skip = offset - mapper_.align_down(offset);
-    if (assembled.size() <= skip) co_return std::vector<std::byte>{};
-    const std::uint64_t take =
-        std::min<std::uint64_t>(len, assembled.size() - skip);
-    co_return std::vector<std::byte>(
-        assembled.begin() + static_cast<std::ptrdiff_t>(skip),
-        assembled.begin() + static_cast<std::ptrdiff_t>(skip + take));
+    if (assembled.size() <= skip) co_return Buffer{};
+    co_return assembled.slice(skip, len);
   }
 
   // Miss: fetch the aligned covering region through Lustre and publish it
@@ -146,29 +140,25 @@ sim::Task<Expected<std::vector<std::byte>>> CachedLustreClient::read(
   co_await publish_region(*path, start, *region);
 
   const std::uint64_t skip = offset - start;
-  if (region->size() <= skip) co_return std::vector<std::byte>{};
-  const std::uint64_t take =
-      std::min<std::uint64_t>(len, region->size() - skip);
-  co_return std::vector<std::byte>(
-      region->begin() + static_cast<std::ptrdiff_t>(skip),
-      region->begin() + static_cast<std::ptrdiff_t>(skip + take));
+  if (region->size() <= skip) co_return Buffer{};
+  co_return region->slice(skip, len);
 }
 
 sim::Task<Expected<std::uint64_t>> CachedLustreClient::write(
-    fsapi::OpenFile file, std::uint64_t offset,
-    std::span<const std::byte> data) {
+    fsapi::OpenFile file, std::uint64_t offset, Buffer data) {
   auto path = path_of(file);
   if (!path) co_return path.error();
 
   // Durability first, through Lustre's own PW-locked write-through path.
-  auto written = co_await inner_.write(file, offset, data);
+  const std::uint64_t data_size = data.size();
+  auto written = co_await inner_.write(file, offset, std::move(data));
   if (!written) co_return written;
 
   // We now hold the PW lock: we are the only client allowed to publish.
   // Read the aligned covering region back (warm: the inner client just
   // cached it) and push it to the bank.
   const std::uint64_t start = mapper_.align_down(offset);
-  const std::uint64_t length = mapper_.aligned_length(offset, data.size());
+  const std::uint64_t length = mapper_.aligned_length(offset, data_size);
   auto region = co_await inner_.read(file, start, length);
   if (region) {
     co_await publish_region(*path, start, *region);

@@ -99,8 +99,9 @@ sim::Task<Expected<store::Attr>> LustreClient::stat(std::string path) {
   co_return co_await mds_.stat(path);
 }
 
-sim::Task<Expected<std::vector<std::byte>>> LustreClient::read(
-    fsapi::OpenFile file, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> LustreClient::read(fsapi::OpenFile file,
+                                               std::uint64_t offset,
+                                               std::uint64_t len) {
   auto path = path_of(file);
   if (!path) co_return path.error();
   if (auto l = co_await ensure_lock(*path, LockMode::kRead); !l) {
@@ -111,7 +112,7 @@ sim::Task<Expected<std::vector<std::byte>>> LustreClient::read(
   // set_size on every write).
   auto attr = mds_.namespace_store().stat(*path);
   if (!attr) co_return Errc::kStale;
-  if (offset >= attr->size) co_return std::vector<std::byte>{};
+  if (offset >= attr->size) co_return Buffer{};
   const std::uint64_t n = std::min(len, attr->size - offset);
 
   const auto key = cache_key(*path);
@@ -141,41 +142,45 @@ sim::Task<Expected<std::vector<std::byte>>> LustreClient::read(
     if (!cache_disabled_) pages_.populate(key, offset, n);
   }
 
-  // Assemble the actual bytes from the DS objects (ground truth).
-  std::vector<std::byte> out;
-  out.reserve(n);
+  // Assemble the actual bytes from the DS objects (ground truth) by
+  // splicing each stripe piece's segment into one buffer.
+  Buffer out;
   for (const auto& p : stripes_.map(offset, n)) {
     auto piece = ds_[p.server]->objects().read(*path, p.local_offset, p.length);
     if (!piece) co_return piece.error();
-    piece->resize(p.length);  // sparse stripes read back as zeros
-    out.insert(out.end(), piece->begin(), piece->end());
+    if (piece->size() < p.length) {
+      // Sparse stripes read back as zeros.
+      piece->append(Buffer::zeros(p.length - piece->size()));
+    }
+    out.append(std::move(*piece));
   }
   co_return out;
 }
 
-sim::Task<Expected<std::uint64_t>> LustreClient::write(
-    fsapi::OpenFile file, std::uint64_t offset,
-    std::span<const std::byte> data) {
+sim::Task<Expected<std::uint64_t>> LustreClient::write(fsapi::OpenFile file,
+                                                       std::uint64_t offset,
+                                                       Buffer data) {
   auto path = path_of(file);
   if (!path) co_return path.error();
   if (auto l = co_await ensure_lock(*path, LockMode::kWrite); !l) {
     co_return l.error();
   }
 
-  // Write-through to every stripe's DS, concurrently.
+  // Write-through to every stripe's DS, concurrently. Each stripe piece is
+  // a zero-copy view of the caller's buffer.
   const auto pieces = stripes_.map(offset, data.size());
   std::vector<sim::Task<void>> stores;
   for (const auto& p : pieces) {
-    std::span<const std::byte> slice =
-        data.subspan(p.global_offset - offset, p.length);
+    Buffer slice = data.slice(p.global_offset - offset, p.length);
     stores.push_back([](LustreClient& c, StripePiece piece, std::string obj,
-                        std::vector<std::byte> bytes) -> sim::Task<void> {
+                        Buffer bytes) -> sim::Task<void> {
       co_await c.rpc_.fabric().transfer(c.self_, c.ds_[piece.server]->node(),
                                         bytes.size() + c.params_.rpc_request_bytes);
-      (void)co_await c.ds_[piece.server]->write(obj, piece.local_offset, bytes);
+      (void)co_await c.ds_[piece.server]->write(obj, piece.local_offset,
+                                                std::move(bytes));
       co_await c.rpc_.fabric().transfer(c.ds_[piece.server]->node(), c.self_,
                                         c.params_.rpc_reply_bytes);
-    }(*this, p, *path, std::vector<std::byte>(slice.begin(), slice.end())));
+    }(*this, p, *path, std::move(slice)));
   }
   co_await sim::when_all(rpc_.fabric().loop(), std::move(stores));
   pages_.populate(cache_key(*path), offset, data.size());

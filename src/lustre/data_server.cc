@@ -9,12 +9,13 @@ DataServer::DataServer(net::RpcSystem& rpc, net::NodeId node, DsParams params)
       dev_(rpc.fabric().loop(), params.raid_members, params.disk,
            params.page_cache_bytes, "ost" + std::to_string(node)) {}
 
-sim::Task<Expected<std::vector<std::byte>>> DataServer::read(
-    const std::string& object, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> DataServer::read(const std::string& object,
+                                             std::uint64_t offset,
+                                             std::uint64_t len) {
   co_await rpc_.fabric().node(node_).cpu().use(
       params_.op_cpu + transfer_time(len, params_.copy_bps));
   auto attr = objects_.stat(object);
-  if (!attr) co_return std::vector<std::byte>{};  // sparse object: zero bytes
+  if (!attr) co_return Buffer{};  // sparse object: zero bytes
   co_await dev_.read(attr->inode, offset, len);
   auto data = objects_.read(object, offset, len);
   if (!data) co_return data.error();
@@ -22,8 +23,7 @@ sim::Task<Expected<std::vector<std::byte>>> DataServer::read(
 }
 
 sim::Task<Expected<std::uint64_t>> DataServer::write(
-    const std::string& object, std::uint64_t offset,
-    std::span<const std::byte> data) {
+    const std::string& object, std::uint64_t offset, Buffer data) {
   co_await rpc_.fabric().node(node_).cpu().use(
       params_.op_cpu + transfer_time(data.size(), params_.copy_bps));
   if (!objects_.exists(object)) {

@@ -34,12 +34,10 @@ class DataServer {
 
   // Serve a read/write of a local extent (object auto-created on first
   // write, like OST objects).
-  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& object,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len);
+  sim::Task<Expected<Buffer>> read(const std::string& object,
+                                   std::uint64_t offset, std::uint64_t len);
   sim::Task<Expected<std::uint64_t>> write(const std::string& object,
-                                           std::uint64_t offset,
-                                           std::span<const std::byte> data);
+                                           std::uint64_t offset, Buffer data);
   sim::Task<Expected<void>> remove(const std::string& object);
   sim::Task<Expected<void>> truncate_object(const std::string& object,
                                             std::uint64_t local_size);

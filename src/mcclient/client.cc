@@ -30,13 +30,7 @@ McClient::McClient(net::RpcSystem& rpc, net::NodeId self,
 }
 
 bool McClient::reply_intact(const ByteBuf& resp, ReplyShape shape) {
-  const auto b = resp.bytes();
-  const std::string_view sv(reinterpret_cast<const char*>(b.data()), b.size());
-  const std::string_view tail =
-      shape == ReplyShape::kTerminated ? std::string_view("END\r\n")
-                                       : std::string_view("\r\n");
-  return sv.size() >= tail.size() &&
-         sv.substr(sv.size() - tail.size()) == tail;
+  return resp.ends_with(shape == ReplyShape::kTerminated ? "END\r\n" : "\r\n");
 }
 
 SimDuration McClient::backoff_delay(std::size_t retry_index) const {
@@ -318,7 +312,7 @@ sim::Task<std::vector<std::optional<Value>>> McClient::multi_get_ordered(
 }
 
 sim::Task<Expected<void>> McClient::store(StoreVerb verb, std::string key,
-                                          std::span<const std::byte> data,
+                                          Buffer data,
                                           std::optional<std::uint64_t> hint,
                                           std::uint32_t flags,
                                           std::uint32_t exptime_s) {
@@ -347,22 +341,20 @@ sim::Task<Expected<void>> McClient::store(StoreVerb verb, std::string key,
   co_return Errc::kProto;
 }
 
-sim::Task<Expected<void>> McClient::set(std::string key,
-                                        std::span<const std::byte> data,
+sim::Task<Expected<void>> McClient::set(std::string key, Buffer data,
                                         std::optional<std::uint64_t> hint,
                                         std::uint32_t flags,
                                         std::uint32_t exptime_s) {
-  co_return co_await store(StoreVerb::kSet, std::move(key), data, hint, flags,
-                           exptime_s);
+  co_return co_await store(StoreVerb::kSet, std::move(key), std::move(data),
+                           hint, flags, exptime_s);
 }
 
-sim::Task<Expected<void>> McClient::add(std::string key,
-                                        std::span<const std::byte> data,
+sim::Task<Expected<void>> McClient::add(std::string key, Buffer data,
                                         std::optional<std::uint64_t> hint,
                                         std::uint32_t flags,
                                         std::uint32_t exptime_s) {
-  co_return co_await store(StoreVerb::kAdd, std::move(key), data, hint, flags,
-                           exptime_s);
+  co_return co_await store(StoreVerb::kAdd, std::move(key), std::move(data),
+                           hint, flags, exptime_s);
 }
 
 sim::Task<Expected<Value>> McClient::gets(std::string key,
@@ -391,8 +383,7 @@ sim::Task<Expected<Value>> McClient::gets(std::string key,
   co_return std::move(it->second);
 }
 
-sim::Task<Expected<void>> McClient::cas(std::string key,
-                                        std::span<const std::byte> data,
+sim::Task<Expected<void>> McClient::cas(std::string key, Buffer data,
                                         std::uint64_t cas_id,
                                         std::optional<std::uint64_t> hint) {
   ++stats_.sets;

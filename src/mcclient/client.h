@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytebuf.h"
 #include "common/units.h"
 #include "common/expected.h"
@@ -136,8 +137,7 @@ class McClient {
 
   // Store a value; kNoEnt if the daemon is dead (callers ignore: the data
   // is merely uncached), kTooBig/kKeyTooLong surface protocol limits.
-  sim::Task<Expected<void>> set(std::string key,
-                                std::span<const std::byte> data,
+  sim::Task<Expected<void>> set(std::string key, Buffer data,
                                 std::optional<std::uint64_t> hint = std::nullopt,
                                 std::uint32_t flags = 0,
                                 std::uint32_t exptime_s = 0);
@@ -145,8 +145,7 @@ class McClient {
   // Store only if the key is absent (memcached add). kNotStored when a value
   // is already cached — the verb read-repair wants: a repair can never
   // clobber a fresher publish.
-  sim::Task<Expected<void>> add(std::string key,
-                                std::span<const std::byte> data,
+  sim::Task<Expected<void>> add(std::string key, Buffer data,
                                 std::optional<std::uint64_t> hint = std::nullopt,
                                 std::uint32_t flags = 0,
                                 std::uint32_t exptime_s = 0);
@@ -157,8 +156,7 @@ class McClient {
 
   // Compare-and-swap against a cas id from gets(). kBusy if another writer
   // got there first, kNoEnt if the item vanished.
-  sim::Task<Expected<void>> cas(std::string key,
-                                std::span<const std::byte> data,
+  sim::Task<Expected<void>> cas(std::string key, Buffer data,
                                 std::uint64_t cas_id,
                                 std::optional<std::uint64_t> hint = std::nullopt);
 
@@ -232,7 +230,7 @@ class McClient {
   // Purge-then-mark-alive. Every dead->alive transition funnels through here.
   sim::Task<bool> try_rejoin(std::size_t server);
   sim::Task<Expected<void>> store(memcache::StoreVerb verb, std::string key,
-                                  std::span<const std::byte> data,
+                                  Buffer data,
                                   std::optional<std::uint64_t> hint,
                                   std::uint32_t flags, std::uint32_t exptime_s);
 

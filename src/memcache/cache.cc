@@ -42,8 +42,7 @@ Expected<void> McCache::claim_chunk(std::uint32_t cls) {
 }
 
 Expected<void> McCache::store(std::string_view key, std::uint32_t flags,
-                              SimTime expire_at,
-                              std::span<const std::byte> data, SimTime now) {
+                              SimTime expire_at, Buffer data, SimTime now) {
   if (key.size() > kMaxKeyLen) return Errc::kKeyTooLong;
   auto cls = slabs_.class_for(total_size(key, data.size()));
   if (!cls) return cls.error();
@@ -61,59 +60,56 @@ Expected<void> McCache::store(std::string_view key, std::uint32_t flags,
   item.key = it->first;
   item.flags = flags;
   item.expire_at = expire_at;
-  item.data.assign(data.begin(), data.end());
+  item.data = std::move(data);
   item.slab_class = *cls;
   item.cas = next_cas_++;
   lru_[*cls].push_front(std::string_view(it->first));
   item.lru_pos = lru_[*cls].begin();
 
-  stats_.bytes += total_size(key, data.size());
+  stats_.bytes += total_size(key, item.data.size());
   ++stats_.curr_items;
   (void)now;
   return {};
 }
 
 Expected<void> McCache::set(std::string_view key, std::uint32_t flags,
-                            SimTime expire_at,
-                            std::span<const std::byte> data, SimTime now) {
+                            SimTime expire_at, Buffer data, SimTime now) {
   ++stats_.cmd_set;
-  return store(key, flags, expire_at, data, now);
+  return store(key, flags, expire_at, std::move(data), now);
 }
 
 Expected<void> McCache::add(std::string_view key, std::uint32_t flags,
-                            SimTime expire_at,
-                            std::span<const std::byte> data, SimTime now) {
+                            SimTime expire_at, Buffer data, SimTime now) {
   ++stats_.cmd_set;
   if (live(key, now)) return Errc::kNotStored;
-  return store(key, flags, expire_at, data, now);
+  return store(key, flags, expire_at, std::move(data), now);
 }
 
 Expected<void> McCache::replace(std::string_view key, std::uint32_t flags,
-                                SimTime expire_at,
-                                std::span<const std::byte> data, SimTime now) {
+                                SimTime expire_at, Buffer data, SimTime now) {
   ++stats_.cmd_set;
   if (!live(key, now)) return Errc::kNotStored;
-  return store(key, flags, expire_at, data, now);
+  return store(key, flags, expire_at, std::move(data), now);
 }
 
-Expected<void> McCache::append(std::string_view key,
-                               std::span<const std::byte> data, SimTime now) {
+Expected<void> McCache::append(std::string_view key, Buffer data,
+                               SimTime now) {
   ++stats_.cmd_set;
   if (!live(key, now)) return Errc::kNotStored;
   const Item& old = items_.find(std::string(key))->second;
-  std::vector<std::byte> merged = old.data;
-  merged.insert(merged.end(), data.begin(), data.end());
-  return store(key, old.flags, old.expire_at, merged, now);
+  Buffer merged = old.data;  // shares segments
+  merged.append(std::move(data));
+  return store(key, old.flags, old.expire_at, std::move(merged), now);
 }
 
-Expected<void> McCache::prepend(std::string_view key,
-                                std::span<const std::byte> data, SimTime now) {
+Expected<void> McCache::prepend(std::string_view key, Buffer data,
+                                SimTime now) {
   ++stats_.cmd_set;
   if (!live(key, now)) return Errc::kNotStored;
   const Item& old = items_.find(std::string(key))->second;
-  std::vector<std::byte> merged(data.begin(), data.end());
-  merged.insert(merged.end(), old.data.begin(), old.data.end());
-  return store(key, old.flags, old.expire_at, merged, now);
+  Buffer merged = std::move(data);
+  merged.append(old.data);
+  return store(key, old.flags, old.expire_at, std::move(merged), now);
 }
 
 Expected<Value> McCache::get(std::string_view key, SimTime now) {
@@ -132,14 +128,13 @@ Expected<Value> McCache::get(std::string_view key, SimTime now) {
 }
 
 Expected<void> McCache::cas(std::string_view key, std::uint32_t flags,
-                            SimTime expire_at,
-                            std::span<const std::byte> data,
+                            SimTime expire_at, Buffer data,
                             std::uint64_t expected_cas, SimTime now) {
   ++stats_.cmd_set;
   if (!live(key, now)) return Errc::kNoEnt;  // NOT_FOUND
   const Item& item = items_.find(std::string(key))->second;
   if (item.cas != expected_cas) return Errc::kBusy;  // EXISTS
-  return store(key, flags, expire_at, data, now);
+  return store(key, flags, expire_at, std::move(data), now);
 }
 
 Expected<std::uint64_t> McCache::arith(std::string_view key,
@@ -161,12 +156,8 @@ Expected<std::uint64_t> McCache::arith(std::string_view key,
   } else {
     value = delta > value ? 0 : value - delta;  // decr clamps at zero
   }
-  const std::string text = std::to_string(value);
   auto r = store(key, item.flags, item.expire_at,
-                 std::span<const std::byte>(
-                     reinterpret_cast<const std::byte*>(text.data()),
-                     text.size()),
-                 now);
+                 Buffer::of_string(std::to_string(value)), now);
   if (!r) return r.error();
   return value;
 }

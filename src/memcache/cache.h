@@ -14,12 +14,12 @@
 #include <cstdint>
 #include <list>
 #include <optional>
-#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/errc.h"
 #include "common/expected.h"
 #include "common/units.h"
@@ -31,7 +31,9 @@ inline constexpr std::uint64_t kMaxKeyLen = 250;
 
 struct Value {
   std::uint32_t flags = 0;
-  std::vector<std::byte> data;
+  // Shared segments: a get hands back views of the stored item, and a store
+  // adopts the request's segments — the slab never re-copies payload bytes.
+  Buffer data;
   // Unique per stored version; returned by gets and checked by cas.
   std::uint64_t cas = 0;
 };
@@ -57,22 +59,18 @@ class McCache {
 
   // Store unconditionally. `expire_at` of 0 means "never" (IMCa's usage).
   Expected<void> set(std::string_view key, std::uint32_t flags,
-                     SimTime expire_at, std::span<const std::byte> data,
+                     SimTime expire_at, Buffer data,
                      SimTime now);
 
   // Store only if the key is absent / present.
   Expected<void> add(std::string_view key, std::uint32_t flags,
-                     SimTime expire_at, std::span<const std::byte> data,
-                     SimTime now);
+                     SimTime expire_at, Buffer data, SimTime now);
   Expected<void> replace(std::string_view key, std::uint32_t flags,
-                         SimTime expire_at, std::span<const std::byte> data,
-                         SimTime now);
+                         SimTime expire_at, Buffer data, SimTime now);
 
   // Splice bytes after / before an existing item's data.
-  Expected<void> append(std::string_view key, std::span<const std::byte> data,
-                        SimTime now);
-  Expected<void> prepend(std::string_view key, std::span<const std::byte> data,
-                         SimTime now);
+  Expected<void> append(std::string_view key, Buffer data, SimTime now);
+  Expected<void> prepend(std::string_view key, Buffer data, SimTime now);
 
   // Fetch; refreshes LRU position. kNoEnt on miss or lazy expiry.
   Expected<Value> get(std::string_view key, SimTime now);
@@ -80,7 +78,7 @@ class McCache {
   // Compare-and-swap: store only if the item's current cas id equals
   // `expected_cas`. kNoEnt if absent, kBusy ("EXISTS") on a cas mismatch.
   Expected<void> cas(std::string_view key, std::uint32_t flags,
-                     SimTime expire_at, std::span<const std::byte> data,
+                     SimTime expire_at, Buffer data,
                      std::uint64_t expected_cas, SimTime now);
 
   // Arithmetic on a decimal-ASCII value (memcached's incr/decr). Returns the
@@ -105,7 +103,7 @@ class McCache {
     std::string key;
     std::uint32_t flags = 0;
     SimTime expire_at = 0;
-    std::vector<std::byte> data;
+    Buffer data;
     std::uint32_t slab_class = 0;
     std::uint64_t cas = 0;
     std::list<std::string_view>::iterator lru_pos;
@@ -116,8 +114,7 @@ class McCache {
   }
 
   Expected<void> store(std::string_view key, std::uint32_t flags,
-                       SimTime expire_at, std::span<const std::byte> data,
-                       SimTime now);
+                       SimTime expire_at, Buffer data, SimTime now);
   Expected<std::uint64_t> arith(std::string_view key, std::uint64_t delta,
                                 bool up, SimTime now);
   // True if the item exists and is not expired; expired items are reaped.

@@ -20,36 +20,51 @@ const char* verb_name(StoreVerb v) {
   return "?";
 }
 
-// Cursor over the raw bytes of a message; reads CRLF-terminated lines and
-// exact-size binary blocks.
+// Cursor over the segment chain of a message; reads CRLF-terminated lines
+// and exact-size binary blocks. Data blocks come back as zero-copy slices of
+// the message's own segments; header lines are borrowed in place when they
+// fit one segment and staged through a small scratch string when they
+// straddle a boundary.
 class Scanner {
  public:
-  explicit Scanner(std::span<const std::byte> bytes)
-      : text_(reinterpret_cast<const char*>(bytes.data()), bytes.size()) {}
+  explicit Scanner(const Buffer& buf) : buf_(buf) {}
 
-  // Next line without its CRLF; kProto if no terminator remains.
+  // Next line without its CRLF; kProto if no terminator remains. The view is
+  // valid until the next line() call.
   Expected<std::string_view> line() {
-    const auto pos = text_.find(kCrlf, cursor_);
-    if (pos == std::string_view::npos) return Errc::kProto;
-    std::string_view out = text_.substr(cursor_, pos - cursor_);
+    const auto pos = buf_.find(kCrlf, cursor_);
+    if (pos == Buffer::npos) return Errc::kProto;
+    const std::size_t len = pos - cursor_;
+    std::string_view out;
+    if (const auto flat = buf_.contiguous(cursor_, len); flat.size() == len) {
+      out = {reinterpret_cast<const char*>(flat.data()), len};
+    } else {
+      scratch_.resize(len);
+      buf_.copy_to(cursor_,
+                   {reinterpret_cast<std::byte*>(scratch_.data()), len});
+      out = scratch_;
+    }
     cursor_ = pos + kCrlf.size();
     return out;
   }
 
   // Exactly `n` bytes followed by CRLF (a data block).
-  Expected<std::span<const std::byte>> block(std::size_t n) {
-    if (text_.size() - cursor_ < n + kCrlf.size()) return Errc::kProto;
-    if (text_.substr(cursor_ + n, kCrlf.size()) != kCrlf) return Errc::kProto;
-    auto out = std::span<const std::byte>(
-        reinterpret_cast<const std::byte*>(text_.data()) + cursor_, n);
+  Expected<Buffer> block(std::size_t n) {
+    if (buf_.size() - cursor_ < n + kCrlf.size()) return Errc::kProto;
+    if (buf_.at(cursor_ + n) != std::byte{'\r'} ||
+        buf_.at(cursor_ + n + 1) != std::byte{'\n'}) {
+      return Errc::kProto;
+    }
+    Buffer out = buf_.slice(cursor_, n);
     cursor_ += n + kCrlf.size();
     return out;
   }
 
-  bool exhausted() const noexcept { return cursor_ == text_.size(); }
+  bool exhausted() const noexcept { return cursor_ == buf_.size(); }
 
  private:
-  std::string_view text_;
+  const Buffer& buf_;
+  std::string scratch_;
   std::size_t cursor_ = 0;
 };
 
@@ -103,21 +118,20 @@ ByteBuf encode_gets(std::span<const std::string> keys) {
 }
 
 ByteBuf encode_store(StoreVerb verb, std::string_view key, std::uint32_t flags,
-                     std::uint32_t exptime_s,
-                     std::span<const std::byte> data) {
+                     std::uint32_t exptime_s, const Buffer& data) {
   ByteBuf out;
   char head[320];
   std::snprintf(head, sizeof head, "%s %.*s %u %u %zu", verb_name(verb),
                 static_cast<int>(key.size()), key.data(), flags, exptime_s,
                 data.size());
   put_line(out, head);
-  out.put_raw(data);
+  out.put_buffer(data);
   out.put_raw(kCrlf);
   return out;
 }
 
 ByteBuf encode_cas(std::string_view key, std::uint32_t flags,
-                   std::uint32_t exptime_s, std::span<const std::byte> data,
+                   std::uint32_t exptime_s, const Buffer& data,
                    std::uint64_t cas_id) {
   ByteBuf out;
   char head[360];
@@ -125,7 +139,7 @@ ByteBuf encode_cas(std::string_view key, std::uint32_t flags,
                 static_cast<int>(key.size()), key.data(), flags, exptime_s,
                 data.size(), static_cast<unsigned long long>(cas_id));
   put_line(out, head);
-  out.put_raw(data);
+  out.put_buffer(data);
   out.put_raw(kCrlf);
   return out;
 }
@@ -161,7 +175,7 @@ ByteBuf encode_stats() {
 }
 
 Expected<GetResult> parse_get_response(ByteBuf& in) {
-  Scanner sc(in.bytes());
+  Scanner sc(in.buffer());
   GetResult result;
   while (true) {
     auto line = sc.line();
@@ -183,13 +197,13 @@ Expected<GetResult> parse_get_response(ByteBuf& in) {
     auto data = sc.block(*nbytes);
     if (!data) return data.error();
     v.flags = *flags;
-    v.data.assign(data->begin(), data->end());
+    v.data = std::move(*data);
     result.emplace(std::string(tok[1]), std::move(v));
   }
 }
 
 Expected<StoreReply> parse_store_response(ByteBuf& in) {
-  Scanner sc(in.bytes());
+  Scanner sc(in.buffer());
   auto line = sc.line();
   if (!line) return line.error();
   if (*line == "STORED") return StoreReply::kStored;
@@ -199,7 +213,7 @@ Expected<StoreReply> parse_store_response(ByteBuf& in) {
 }
 
 Expected<CasReply> parse_cas_response(ByteBuf& in) {
-  Scanner sc(in.bytes());
+  Scanner sc(in.buffer());
   auto line = sc.line();
   if (!line) return line.error();
   if (*line == "STORED") return CasReply::kStored;
@@ -209,7 +223,7 @@ Expected<CasReply> parse_cas_response(ByteBuf& in) {
 }
 
 Expected<std::uint64_t> parse_arith_response(ByteBuf& in) {
-  Scanner sc(in.bytes());
+  Scanner sc(in.buffer());
   auto line = sc.line();
   if (!line) return line.error();
   if (*line == "NOT_FOUND") return Errc::kNoEnt;
@@ -218,7 +232,7 @@ Expected<std::uint64_t> parse_arith_response(ByteBuf& in) {
 }
 
 Expected<DeleteReply> parse_delete_response(ByteBuf& in) {
-  Scanner sc(in.bytes());
+  Scanner sc(in.buffer());
   auto line = sc.line();
   if (!line) return line.error();
   if (*line == "DELETED") return DeleteReply::kDeleted;
@@ -228,7 +242,7 @@ Expected<DeleteReply> parse_delete_response(ByteBuf& in) {
 
 Expected<std::map<std::string, std::string>> parse_stats_response(
     ByteBuf& in) {
-  Scanner sc(in.bytes());
+  Scanner sc(in.buffer());
   std::map<std::string, std::string> out;
   while (true) {
     auto line = sc.line();
@@ -266,7 +280,7 @@ ByteBuf do_get(McCache& cache, const std::vector<std::string_view>& tok,
                     v->data.size());
     }
     put_line(out, head);
-    out.put_raw(v->data);
+    out.put_buffer(v->data);
     out.put_raw(kCrlf);
   }
   put_line(out, "END");
@@ -285,7 +299,7 @@ ByteBuf do_cas(McCache& cache, const std::vector<std::string_view>& tok,
   if (!data) return error_reply();
   const SimTime expire_at =
       *exptime == 0 ? 0 : now + static_cast<SimTime>(*exptime) * kSecond;
-  auto r = cache.cas(tok[1], *flags, expire_at, *data, *cas_id, now);
+  auto r = cache.cas(tok[1], *flags, expire_at, std::move(*data), *cas_id, now);
   ByteBuf out;
   if (r) {
     put_line(out, "STORED");
@@ -334,19 +348,19 @@ ByteBuf do_store(McCache& cache, StoreVerb verb,
   Expected<void> r = Errc::kInval;
   switch (verb) {
     case StoreVerb::kSet:
-      r = cache.set(tok[1], *flags, expire_at, *data, now);
+      r = cache.set(tok[1], *flags, expire_at, std::move(*data), now);
       break;
     case StoreVerb::kAdd:
-      r = cache.add(tok[1], *flags, expire_at, *data, now);
+      r = cache.add(tok[1], *flags, expire_at, std::move(*data), now);
       break;
     case StoreVerb::kReplace:
-      r = cache.replace(tok[1], *flags, expire_at, *data, now);
+      r = cache.replace(tok[1], *flags, expire_at, std::move(*data), now);
       break;
     case StoreVerb::kAppend:
-      r = cache.append(tok[1], *data, now);
+      r = cache.append(tok[1], std::move(*data), now);
       break;
     case StoreVerb::kPrepend:
-      r = cache.prepend(tok[1], *data, now);
+      r = cache.prepend(tok[1], std::move(*data), now);
       break;
   }
 
@@ -396,7 +410,7 @@ ByteBuf do_stats(const McCache& cache) {
 }  // namespace
 
 std::size_t count_request_keys(const ByteBuf& request) {
-  Scanner sc(request.bytes());
+  Scanner sc(request.buffer());
   auto first = sc.line();
   if (!first) return 1;
   const auto tok = split_ws(*first);
@@ -407,7 +421,7 @@ std::size_t count_request_keys(const ByteBuf& request) {
 }
 
 ByteBuf handle_request(McCache& cache, ByteBuf request, SimTime now) {
-  Scanner sc(request.bytes());
+  Scanner sc(request.buffer());
   auto first = sc.line();
   if (!first) return error_reply();
   const auto tok = split_ws(*first);

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytebuf.h"
 #include "common/errc.h"
 #include "common/expected.h"
@@ -28,11 +29,12 @@ enum class StoreVerb { kSet, kAdd, kReplace, kAppend, kPrepend };
 ByteBuf encode_get(std::span<const std::string> keys);
 // gets: like get but the VALUE lines carry each item's cas id.
 ByteBuf encode_gets(std::span<const std::string> keys);
+// The data block is spliced into the request without copying.
 ByteBuf encode_store(StoreVerb verb, std::string_view key, std::uint32_t flags,
-                     std::uint32_t exptime_s, std::span<const std::byte> data);
+                     std::uint32_t exptime_s, const Buffer& data);
 // cas: store only if the item's cas id still equals `cas_id`.
 ByteBuf encode_cas(std::string_view key, std::uint32_t flags,
-                   std::uint32_t exptime_s, std::span<const std::byte> data,
+                   std::uint32_t exptime_s, const Buffer& data,
                    std::uint64_t cas_id);
 ByteBuf encode_incr(std::string_view key, std::uint64_t delta);
 ByteBuf encode_decr(std::string_view key, std::uint64_t delta);
@@ -43,7 +45,8 @@ ByteBuf encode_stats();
 // --- client-side response parsing ---
 
 // Values returned by a get, keyed by item key. Missing keys simply do not
-// appear (the protocol's way of signalling a miss).
+// appear (the protocol's way of signalling a miss). Each Value's data is a
+// zero-copy view over the reply's receive buffer.
 using GetResult = std::map<std::string, Value>;
 Expected<GetResult> parse_get_response(ByteBuf& in);
 

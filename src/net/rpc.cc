@@ -63,9 +63,7 @@ sim::Task<Expected<ByteBuf>> RpcSystem::call(NodeId src, NodeId dst, Port port,
     // Truncate to a strict prefix; the protocol parser reports kProto.
     const std::size_t cut =
         static_cast<std::size_t>(fault.cut_draw % response.size());
-    response = ByteBuf(std::vector<std::byte>(response.bytes().begin(),
-                                              response.bytes().begin() +
-                                                  static_cast<std::ptrdiff_t>(cut)));
+    response = ByteBuf(response.buffer().slice(0, cut));
   }
 
   co_await fabric_.transfer_via(t, dst, src, response.size());

@@ -28,8 +28,9 @@ sim::Task<Expected<store::Attr>> NfsServer::getattr(const std::string& path) {
   co_return *attr;
 }
 
-sim::Task<Expected<std::vector<std::byte>>> NfsServer::read(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> NfsServer::read(const std::string& path,
+                                            std::uint64_t offset,
+                                            std::uint64_t len) {
   auto attr = files_.stat(path);
   if (!attr) co_return attr.error();
   co_await rpc_.fabric().node(node_).cpu().use(
@@ -40,17 +41,18 @@ sim::Task<Expected<std::vector<std::byte>>> NfsServer::read(
   co_return std::move(*data);
 }
 
-sim::Task<Expected<std::uint64_t>> NfsServer::write(
-    const std::string& path, std::uint64_t offset,
-    std::span<const std::byte> data) {
+sim::Task<Expected<std::uint64_t>> NfsServer::write(const std::string& path,
+                                                    std::uint64_t offset,
+                                                    Buffer data) {
   auto attr = files_.stat(path);
   if (!attr) co_return attr.error();
+  const std::uint64_t n = data.size();
   co_await rpc_.fabric().node(node_).cpu().use(
-      params_.op_cpu + transfer_time(data.size(), params_.copy_bps));
+      params_.op_cpu + transfer_time(n, params_.copy_bps));
   auto size = files_.write(path, offset, data, rpc_.fabric().loop().now());
   if (!size) co_return size.error();
-  co_await dev_.write(attr->inode, offset, data.size());
-  co_return data.size();
+  co_await dev_.write(attr->inode, offset, n);
+  co_return n;
 }
 
 sim::Task<Expected<void>> NfsServer::remove(const std::string& path) {
@@ -132,11 +134,12 @@ sim::Task<Expected<store::Attr>> NfsClient::stat(std::string path) {
   co_return attr;
 }
 
-sim::Task<Expected<std::vector<std::byte>>> NfsClient::read(
-    fsapi::OpenFile file, std::uint64_t offset, std::uint64_t len) {
+sim::Task<Expected<Buffer>> NfsClient::read(fsapi::OpenFile file,
+                                            std::uint64_t offset,
+                                            std::uint64_t len) {
   auto path = path_of(file);
   if (!path) co_return path.error();
-  std::vector<std::byte> out;
+  Buffer out;
   std::uint64_t pos = offset;
   std::uint64_t left = len;
   while (left > 0) {
@@ -148,17 +151,18 @@ sim::Task<Expected<std::vector<std::byte>>> NfsClient::read(
     if (!data) co_return data.error();
     co_await rpc_.fabric().transfer(server_.node(), self_,
                                     params_.rpc_header_bytes + data->size());
-    out.insert(out.end(), data->begin(), data->end());
-    if (data->size() < chunk) break;  // EOF
+    const std::uint64_t got = data->size();
+    out.append(std::move(*data));  // splice the chunk's segments
+    if (got < chunk) break;  // EOF
     pos += chunk;
     left -= chunk;
   }
   co_return out;
 }
 
-sim::Task<Expected<std::uint64_t>> NfsClient::write(
-    fsapi::OpenFile file, std::uint64_t offset,
-    std::span<const std::byte> data) {
+sim::Task<Expected<std::uint64_t>> NfsClient::write(fsapi::OpenFile file,
+                                                    std::uint64_t offset,
+                                                    Buffer data) {
   auto path = path_of(file);
   if (!path) co_return path.error();
   std::uint64_t pos = 0;
@@ -169,7 +173,7 @@ sim::Task<Expected<std::uint64_t>> NfsClient::write(
     co_await rpc_.fabric().transfer(self_, server_.node(),
                                     params_.rpc_header_bytes + chunk);
     auto w = co_await server_.write(*path, offset + pos,
-                                    data.subspan(pos, chunk));
+                                    data.slice(pos, chunk));
     if (!w) co_return w.error();
     co_await rpc_.fabric().transfer(server_.node(), self_,
                                     params_.rpc_header_bytes);

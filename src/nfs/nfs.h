@@ -44,12 +44,10 @@ class NfsServer {
 
   sim::Task<Expected<store::Attr>> create(const std::string& path);
   sim::Task<Expected<store::Attr>> getattr(const std::string& path);
-  sim::Task<Expected<std::vector<std::byte>>> read(const std::string& path,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len);
+  sim::Task<Expected<Buffer>> read(const std::string& path,
+                                   std::uint64_t offset, std::uint64_t len);
   sim::Task<Expected<std::uint64_t>> write(const std::string& path,
-                                           std::uint64_t offset,
-                                           std::span<const std::byte> data);
+                                           std::uint64_t offset, Buffer data);
   sim::Task<Expected<void>> remove(const std::string& path);
   sim::Task<Expected<void>> setattr_size(const std::string& path,
                                          std::uint64_t size);
@@ -80,12 +78,11 @@ class NfsClient final : public fsapi::FileSystemClient {
   sim::Task<Expected<fsapi::OpenFile>> open(std::string path) override;
   sim::Task<Expected<void>> close(fsapi::OpenFile file) override;
   sim::Task<Expected<store::Attr>> stat(std::string path) override;
-  sim::Task<Expected<std::vector<std::byte>>> read(fsapi::OpenFile file,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len) override;
-  sim::Task<Expected<std::uint64_t>> write(
-      fsapi::OpenFile file, std::uint64_t offset,
-      std::span<const std::byte> data) override;
+  sim::Task<Expected<Buffer>> read(fsapi::OpenFile file, std::uint64_t offset,
+                                   std::uint64_t len) override;
+  sim::Task<Expected<std::uint64_t>> write(fsapi::OpenFile file,
+                                           std::uint64_t offset,
+                                           Buffer data) override;
   sim::Task<Expected<void>> unlink(std::string path) override;
   sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override;

@@ -71,8 +71,7 @@ Expected<Attr> ObjectStore::stat(std::string_view path) const {
 
 Expected<std::uint64_t> ObjectStore::write(std::string_view path,
                                            std::uint64_t offset,
-                                           std::span<const std::byte> data,
-                                           SimTime now) {
+                                           const Buffer& data, SimTime now) {
   auto it = files_.find(path);
   if (it == files_.end()) return Errc::kNoEnt;
   File& f = it->second;
@@ -81,24 +80,21 @@ Expected<std::uint64_t> ObjectStore::write(std::string_view path,
     total_bytes_ += end - f.data.size();
     f.data.resize(end);  // zero-fills holes
   }
-  std::copy(data.begin(), data.end(),
-            f.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  data.copy_to(0, std::span<std::byte>(f.data).subspan(offset, data.size()));
   f.attr.size = f.data.size();
   f.attr.mtime = f.attr.ctime = now;
   return f.attr.size;
 }
 
-Expected<std::vector<std::byte>> ObjectStore::read(std::string_view path,
-                                                   std::uint64_t offset,
-                                                   std::uint64_t len) const {
+Expected<Buffer> ObjectStore::read(std::string_view path,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) const {
   auto it = files_.find(path);
   if (it == files_.end()) return Errc::kNoEnt;
   const File& f = it->second;
-  if (offset >= f.data.size()) return std::vector<std::byte>{};
+  if (offset >= f.data.size()) return Buffer{};
   const std::uint64_t n = std::min(len, f.data.size() - offset);
-  return std::vector<std::byte>(
-      f.data.begin() + static_cast<std::ptrdiff_t>(offset),
-      f.data.begin() + static_cast<std::ptrdiff_t>(offset + n));
+  return Buffer::copy_of(std::span<const std::byte>(f.data).subspan(offset, n));
 }
 
 Expected<void> ObjectStore::truncate(std::string_view path, std::uint64_t size,

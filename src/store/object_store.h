@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytebuf.h"
 #include "common/errc.h"
 #include "common/expected.h"
@@ -60,14 +61,17 @@ class ObjectStore {
   Expected<Attr> stat(std::string_view path) const;
 
   // Write bytes at `offset`, extending the file (holes are zero-filled).
-  // Returns the file's new size. Updates mtime/ctime.
+  // Returns the file's new size. Updates mtime/ctime. The store keeps flat
+  // per-file bytes, so this materializes `data` once (the "iobuf -> disk"
+  // copy in the ledger).
   Expected<std::uint64_t> write(std::string_view path, std::uint64_t offset,
-                                std::span<const std::byte> data, SimTime now);
+                                const Buffer& data, SimTime now);
 
   // Read up to `len` bytes from `offset`; short reads at EOF like POSIX.
-  Expected<std::vector<std::byte>> read(std::string_view path,
-                                        std::uint64_t offset,
-                                        std::uint64_t len) const;
+  // Allocates one fresh segment per call (the "disk -> iobuf" copy); every
+  // hop above shares it.
+  Expected<Buffer> read(std::string_view path, std::uint64_t offset,
+                        std::uint64_t len) const;
 
   Expected<void> truncate(std::string_view path, std::uint64_t size,
                           SimTime now);

@@ -24,10 +24,13 @@ sim::Task<void> iozone_client(sim::EventLoop& loop,
   auto f = co_await fs.create(path);
   assert(f.has_value());
 
-  std::vector<std::byte> buffer(opt.request_size);
-  for (std::size_t i = 0; i < buffer.size(); ++i) {
-    buffer[i] = static_cast<std::byte>((index * 101 + i) & 0xFF);
+  // Workload edge: generate the record bytes once and adopt them into one
+  // refcounted segment; every write passes views of it.
+  std::vector<std::byte> pattern(opt.request_size);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::byte>((index * 101 + i) & 0xFF);
   }
+  const Buffer buffer = Buffer::take(std::move(pattern));
 
   co_await barrier.arrive_and_wait();
   sh.write_start = loop.now();

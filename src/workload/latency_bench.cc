@@ -14,12 +14,13 @@ struct Accumulator {
   std::map<std::uint64_t, MeanAccum> read;
 };
 
-std::vector<std::byte> make_record(std::uint64_t size, std::uint64_t salt) {
+Buffer make_record(std::uint64_t size, std::uint64_t salt) {
   std::vector<std::byte> data(size);
   for (std::uint64_t i = 0; i < size; ++i) {
     data[i] = static_cast<std::byte>((salt * 131 + i * 7 + 3) & 0xFF);
   }
-  return data;
+  // Workload edge: one segment per record size; writes pass shared views.
+  return Buffer::take(std::move(data));
 }
 
 sim::Task<void> client_body(sim::EventLoop& loop,

@@ -63,10 +63,11 @@ TEST(CachedLustre, RoundTripAndBankPopulation) {
   rig.run([](Rig& r) -> Task<void> {
     auto& fs = *r.cached[0];
     auto f = co_await fs.create("/c/file");
-    std::vector<std::byte> payload(8 * kKiB);
-    for (std::size_t i = 0; i < payload.size(); ++i) {
-      payload[i] = static_cast<std::byte>((i * 3) & 0xFF);
+    std::vector<std::byte> pattern(8 * kKiB);
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = static_cast<std::byte>((i * 3) & 0xFF);
     }
+    const Buffer payload = Buffer::take(std::move(pattern));
     EXPECT_TRUE((co_await fs.write(*f, 0, payload)).has_value());
     auto back = co_await fs.read(*f, 0, 8 * kKiB);
     EXPECT_TRUE(back.has_value());
@@ -74,7 +75,7 @@ TEST(CachedLustre, RoundTripAndBankPopulation) {
     auto mid = co_await fs.read(*f, 3000, 3000);
     EXPECT_TRUE(mid.has_value());
     if (mid) {
-      EXPECT_TRUE(std::equal(mid->begin(), mid->end(), payload.begin() + 3000));
+      EXPECT_TRUE(mid->content_equals(payload.slice(3000, mid->size())));
     }
   }(rig));
   // The write published the covering blocks.
@@ -90,7 +91,7 @@ TEST(CachedLustre, SecondClientReadsFromBankNotDataServers) {
   rig.run([](Rig& r) -> Task<void> {
     auto& writer = *r.cached[0];
     auto wf = co_await writer.create("/c/shared");
-    (void)co_await writer.write(*wf, 0, to_bytes("bank-served content!"));
+    (void)co_await writer.write(*wf, 0, to_buffer("bank-served content!"));
 
     auto& reader = *r.cached[1];
     auto rf = co_await reader.open("/c/shared");
@@ -109,14 +110,14 @@ TEST(CachedLustre, WriterRevocationPurgesStaleBankEntries) {
     auto& b = *r.cached[1];
 
     auto fa = co_await a.create("/c/doc");
-    (void)co_await a.write(*fa, 0, to_bytes("version-A"));
+    (void)co_await a.write(*fa, 0, to_buffer("version-A"));
     auto ra = co_await a.read(*fa, 0, 9);  // A reads its own publish
     EXPECT_TRUE(ra.has_value());
 
     // B takes the PW lock and writes: A's lock is revoked, A's published
     // blocks are purged, then B publishes the fresh content.
     auto fb = co_await b.open("/c/doc");
-    EXPECT_TRUE((co_await b.write(*fb, 0, to_bytes("version-B"))).has_value());
+    EXPECT_TRUE((co_await b.write(*fb, 0, to_buffer("version-B"))).has_value());
     EXPECT_GE(r.cached[0]->stats().revocation_purges, 1u);
 
     // A reads again: must see B's version (via bank or via Lustre, either
@@ -142,7 +143,7 @@ TEST(CachedLustre, PingPongWritersStayCoherent) {
       auto& reader_fs = (round % 2 == 0) ? b : a;
       auto& reader_fd = (round % 2 == 0) ? fb : fa;
       EXPECT_TRUE(
-          (co_await writer_fs.write(*writer_fd, 0, to_bytes(text))).has_value());
+          (co_await writer_fs.write(*writer_fd, 0, to_buffer(text))).has_value());
       auto got = co_await reader_fs.read(*reader_fd, 0, text.size());
       EXPECT_TRUE(got.has_value());
       if (got) { EXPECT_EQ(to_string(*got), text) << "round " << round; }
@@ -155,12 +156,12 @@ TEST(CachedLustre, UnlinkPurgesBank) {
   rig.run([](Rig& r) -> Task<void> {
     auto& fs = *r.cached[0];
     auto f = co_await fs.create("/c/gone");
-    (void)co_await fs.write(*f, 0, to_bytes("soon to vanish"));
+    (void)co_await fs.write(*f, 0, to_buffer("soon to vanish"));
     (void)co_await fs.close(*f);
     EXPECT_TRUE((co_await fs.unlink("/c/gone")).has_value());
     // Recreate shorter: no stale tail may surface.
     auto f2 = co_await fs.create("/c/gone");
-    (void)co_await fs.write(*f2, 0, to_bytes("new"));
+    (void)co_await fs.write(*f2, 0, to_buffer("new"));
     auto back = co_await fs.read(*f2, 0, 100);
     EXPECT_TRUE(back.has_value());
     if (back) { EXPECT_EQ(to_string(*back), "new"); }
@@ -172,7 +173,8 @@ TEST(CachedLustre, BankFailureFallsBackToLustre) {
   rig.run([](Rig& r) -> Task<void> {
     auto& fs = *r.cached[0];
     auto f = co_await fs.create("/c/resilient");
-    std::vector<std::byte> payload(6 * kKiB, std::byte{42});
+    const Buffer payload =
+        Buffer::take(std::vector<std::byte>(6 * kKiB, std::byte{42}));
     (void)co_await fs.write(*f, 0, payload);
     for (auto& m : r.mcds) m->stop();  // the whole bank dies
     auto back = co_await fs.read(*f, 0, 6 * kKiB);

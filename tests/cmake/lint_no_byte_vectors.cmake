@@ -1,0 +1,51 @@
+# Fails if any data-path signature in src/ passes payloads as
+# std::vector<std::byte>. The buffer layer itself (common/buffer.*,
+# common/bytebuf.*) legitimately adopts vectors into segments and gathers
+# back into them, and byte *sources* may keep vector storage privately
+# (ObjectStore's file bytes, workload pattern generators) — everything else
+# must traffic in imca::Buffer.
+#
+# Usage: cmake -D SOURCE_DIR=<repo root> -P lint_no_byte_vectors.cmake
+#        (wired as the `lint-no-byte-vectors` build target)
+
+file(GLOB_RECURSE candidates
+     "${SOURCE_DIR}/src/*.h" "${SOURCE_DIR}/src/*.cc")
+
+set(violations "")
+foreach(f ${candidates})
+  # The storage layer: vectors are its backing representation.
+  if(f MATCHES "src/common/(buffer|bytebuf)\\.(h|cc)$")
+    continue()
+  endif()
+  file(STRINGS "${f}" lines)
+  set(lineno 0)
+  foreach(line IN LISTS lines)
+    math(EXPR lineno "${lineno} + 1")
+    if(NOT line MATCHES "std::vector<std::byte>")
+      continue()
+    endif()
+    # Private storage members ("std::vector<std::byte> name;") and local
+    # pattern builders ("std::vector<std::byte> name(...);") are byte
+    # sources, not signatures; a signature shows the type inside a parameter
+    # list or as a return type — i.e. followed by '(' before any '=', or
+    # preceding a function name. Conservative rule: flag any line where the
+    # type appears next to a ',' or ')' (parameter position) or as
+    # "Task<...std::vector<std::byte>...>" (payload-returning fop).
+    if(line MATCHES "std::vector<std::byte>[ ]*[a-zA-Z_]*[,)]"
+       OR line MATCHES "Task<[^>]*std::vector<std::byte>"
+       OR line MATCHES "Expected<std::vector<std::byte>>")
+      list(APPEND violations "${f}:${lineno}: ${line}")
+    endif()
+  endforeach()
+endforeach()
+
+if(violations)
+  message(STATUS "payload-by-vector signatures found (use imca::Buffer):")
+  foreach(v ${violations})
+    message(STATUS "  ${v}")
+  endforeach()
+  list(LENGTH violations n)
+  message(FATAL_ERROR "lint-no-byte-vectors: ${n} violation(s)")
+else()
+  message(STATUS "lint-no-byte-vectors: clean")
+endif()

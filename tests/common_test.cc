@@ -122,11 +122,28 @@ TEST(ByteBuf, RoundTripScalars) {
 TEST(ByteBuf, RoundTripStringsAndBytes) {
   ByteBuf b;
   b.put_string("hello");
-  b.put_bytes(to_bytes("world"));
+  b.put_bytes(to_buffer("world"));
   b.put_raw("raw");
   EXPECT_EQ(b.get_string().value(), "hello");
   EXPECT_EQ(to_string(b.get_bytes().value()), "world");
-  EXPECT_EQ(to_string(b.get_raw(3).value()), "raw");
+  EXPECT_EQ(to_string(b.get_view(3).value()), "raw");
+}
+
+TEST(ByteBuf, PayloadViewsShareStorage) {
+  // A payload spliced in and read back must be the same segment, not a copy.
+  Buffer payload = to_buffer("payload-bytes");
+  ByteBuf b;
+  b.put_u32(7);
+  b.put_buffer(payload);
+  EXPECT_EQ(b.get_u32().value(), 7u);
+  const auto& st = buffer_stats();
+  const std::uint64_t copied_before = st.bytes_copied;
+  Buffer view = b.get_view(payload.size()).value();
+  EXPECT_EQ(st.bytes_copied, copied_before);  // slicing copies nothing
+  EXPECT_TRUE(view.content_equals(payload));
+  ASSERT_EQ(view.views().size(), 1u);
+  EXPECT_EQ(view.views()[0].segment().bytes().data(),
+            payload.views()[0].segment().bytes().data());
 }
 
 TEST(ByteBuf, UnderflowIsProtocolError) {

@@ -29,7 +29,7 @@ TEST(FopCodec, RequestRoundTrip) {
   req.offset = 12345;
   req.length = 678;
   req.mode = 0600;
-  req.data = to_bytes("payload");
+  req.data = to_buffer("payload");
   ByteBuf wire = req.encode();
   auto back = FopRequest::decode(wire);
   ASSERT_TRUE(back);
@@ -46,7 +46,7 @@ TEST(FopCodec, ReplyRoundTrip) {
   rep.errc = Errc::kNoEnt;
   rep.attr.inode = 9;
   rep.attr.size = 100;
-  rep.data = to_bytes("bytes");
+  rep.data = to_buffer("bytes");
   rep.count = 5;
   ByteBuf wire = rep.encode();
   auto back = FopReply::decode(wire);
@@ -93,7 +93,7 @@ TEST_F(GlusterTest, CreateWriteReadStatUnlink) {
   run([](GlusterClient& fs) -> Task<void> {
     auto f = co_await fs.create("/a");
     EXPECT_TRUE(f.has_value());
-    auto w = co_await fs.write(*f, 0, to_bytes("hello world"));
+    auto w = co_await fs.write(*f, 0, to_buffer("hello world"));
     EXPECT_TRUE(w.has_value());
     if (w) { EXPECT_EQ(*w, 11u); }
     auto r = co_await fs.read(*f, 6, 5);
@@ -123,7 +123,7 @@ TEST_F(GlusterTest, ErrorsCrossTheWire) {
 TEST_F(GlusterTest, OpsTakeNetworkAndServerTime) {
   run([](GlusterClient& fs) -> Task<void> {
     auto f = co_await fs.create("/t");
-    (void)co_await fs.write(*f, 0, std::vector<std::byte>(64 * kKiB));
+    (void)co_await fs.write(*f, 0, Buffer::zeros(64 * kKiB));
     (void)co_await fs.read(*f, 0, 64 * kKiB);
   }(*client_));
   // Round trips, FUSE crossings and server fop work all advanced the clock.
@@ -138,7 +138,7 @@ TEST_F(GlusterTest, ColdReadPaysDiskWarmReadDoesNot) {
   run([&cold, &warm](GlusterClient& fs, GlusterServer& srv,
                      EventLoop& loop) -> Task<void> {
     auto f = co_await fs.create("/d");
-    (void)co_await fs.write(*f, 0, std::vector<std::byte>(256 * kKiB));
+    (void)co_await fs.write(*f, 0, Buffer::zeros(256 * kKiB));
     srv.device().drop_caches();  // force media access
     SimTime t0 = loop.now();
     (void)co_await fs.read(*f, 0, 4096);
@@ -188,7 +188,7 @@ TEST_F(GlusterTest, ReadAheadServesSequentialFromBuffer) {
   const std::uint64_t before_calls = rpc_.calls_made();
   run([](GlusterClient& fs) -> Task<void> {
     auto f = co_await fs.create("/seq");
-    (void)co_await fs.write(*f, 0, std::vector<std::byte>(256 * kKiB));
+    (void)co_await fs.write(*f, 0, Buffer::zeros(256 * kKiB));
     // Sequential 4K reads: most are served out of the prefetch window.
     for (std::uint64_t off = 0; off < 256 * kKiB; off += 4 * kKiB) {
       auto r = co_await fs.read(fsapi::OpenFile{f->fd}, off, 4 * kKiB);
@@ -205,10 +205,10 @@ TEST_F(GlusterTest, ReadAheadNeverServesStaleAfterWrite) {
   client_->push_translator(std::make_unique<ReadAheadXlator>(64 * kKiB));
   run([](GlusterClient& fs) -> Task<void> {
     auto f = co_await fs.create("/fresh");
-    (void)co_await fs.write(*f, 0, to_bytes("old old old old "));
+    (void)co_await fs.write(*f, 0, to_buffer("old old old old "));
     auto r1 = co_await fs.read(*f, 0, 16);  // buffers the region
     EXPECT_TRUE(r1.has_value());
-    (void)co_await fs.write(*f, 0, to_bytes("new!"));
+    (void)co_await fs.write(*f, 0, to_buffer("new!"));
     auto r2 = co_await fs.read(*f, 0, 4);
     EXPECT_TRUE(r2.has_value());
     if (r2) { EXPECT_EQ(to_string(*r2), "new!"); }
@@ -224,7 +224,7 @@ TEST_F(GlusterTest, WriteBehindAggregatesSequentialWrites) {
     auto f = co_await fs.create("/wb");
     for (int i = 0; i < 32; ++i) {
       auto w = co_await fs.write(*f, static_cast<std::uint64_t>(i) * 1024,
-                                 std::vector<std::byte>(1024, std::byte{7}));
+                                 Buffer::take(std::vector<std::byte>(1024, std::byte{7})));
       EXPECT_TRUE(w.has_value());
     }
     (void)co_await fs.close(*f);  // flushes the tail
@@ -239,7 +239,7 @@ TEST_F(GlusterTest, WriteBehindFlushesBeforeRead) {
   client_->push_translator(std::make_unique<WriteBehindXlator>(1 * kMiB));
   run([](GlusterClient& fs) -> Task<void> {
     auto f = co_await fs.create("/wbr");
-    (void)co_await fs.write(*f, 0, to_bytes("buffered"));
+    (void)co_await fs.write(*f, 0, to_buffer("buffered"));
     auto r = co_await fs.read(*f, 0, 8);  // must see the buffered bytes
     EXPECT_TRUE(r.has_value());
     if (r) { EXPECT_EQ(to_string(*r), "buffered"); }
@@ -278,7 +278,7 @@ TEST(Distribute, SpreadsNamespaceAcrossBricks) {
       const std::string path = "/spread/file" + std::to_string(i);
       auto f = co_await fs.create(path);
       EXPECT_TRUE(f.has_value());
-      (void)co_await fs.write(*f, 0, to_bytes("x" + std::to_string(i)));
+      (void)co_await fs.write(*f, 0, to_buffer("x" + std::to_string(i)));
       (void)co_await fs.close(*f);
     }
     // Every file is reachable afterwards.
@@ -330,7 +330,7 @@ TEST(Distribute, CrossBrickRenameMigratesData) {
       if (dx->brick_of(to) != dx->brick_of(from)) break;
     }
     auto f = co_await fs.create(from);
-    (void)co_await fs.write(*f, 0, to_bytes("migrates across bricks"));
+    (void)co_await fs.write(*f, 0, to_buffer("migrates across bricks"));
     EXPECT_TRUE((co_await fs.rename(from, to)).has_value());
     EXPECT_EQ((co_await fs.stat(from)).error(), Errc::kNoEnt);
     auto g = co_await fs.open(to);

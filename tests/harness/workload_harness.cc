@@ -262,15 +262,14 @@ sim::Task<void> replay_body(cluster::GlusterTestbed& bed,
 
 }  // namespace
 
-std::vector<std::byte> payload_bytes(std::uint64_t payload_seed,
-                                     std::uint64_t n) {
+Buffer payload_bytes(std::uint64_t payload_seed, std::uint64_t n) {
   Rng rng(payload_seed);
   std::vector<std::byte> data;
   data.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     data.push_back(static_cast<std::byte>(rng.below(256)));
   }
-  return data;
+  return Buffer::take(std::move(data));
 }
 
 std::vector<Op> generate_ops(std::uint64_t seed, std::size_t n_ops) {

@@ -74,8 +74,7 @@ struct ReplayResult {
 };
 
 // Deterministic payload for a write op: `n` bytes drawn from `payload_seed`.
-std::vector<std::byte> payload_bytes(std::uint64_t payload_seed,
-                                     std::uint64_t n);
+Buffer payload_bytes(std::uint64_t payload_seed, std::uint64_t n);
 
 // Draw `n_ops` ops from `seed`.
 std::vector<Op> generate_ops(std::uint64_t seed, std::size_t n_ops);

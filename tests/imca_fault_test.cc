@@ -30,12 +30,12 @@ core::ImcaConfig failover_imca() {
   return cfg;
 }
 
-std::vector<std::byte> pattern(std::size_t n, unsigned salt) {
+Buffer pattern(std::size_t n, unsigned salt) {
   std::vector<std::byte> p(n);
   for (std::size_t i = 0; i < n; ++i) {
     p[i] = static_cast<std::byte>((i * 31 + salt) & 0xFF);
   }
-  return p;
+  return Buffer::take(std::move(p));
 }
 
 // Crash (and restart) each daemon in turn under the randomized invariant
@@ -199,10 +199,7 @@ TEST(ImcaFault, AllMcdsDownReadsDegradeToServer) {
       auto r = co_await b.client(0).read(*f, off, 2 * kKiB);
       EXPECT_TRUE(r.has_value());
       if (!r) co_return;
-      const auto first = payload.begin() + static_cast<std::ptrdiff_t>(off);
-      const std::vector<std::byte> want(
-          first, first + static_cast<std::ptrdiff_t>(2 * kKiB));
-      EXPECT_EQ(*r, want);
+      EXPECT_EQ(*r, payload.slice(off, 2 * kKiB));
     }
   }(bed));
 

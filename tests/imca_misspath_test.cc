@@ -71,12 +71,12 @@ struct Rig {
   }
 
   // Patterned payload so splices are position-checkable.
-  static std::vector<std::byte> pattern(std::size_t n) {
+  static Buffer pattern(std::size_t n) {
     std::vector<std::byte> p(n);
     for (std::size_t i = 0; i < n; ++i) {
       p[i] = static_cast<std::byte>((i * 13 + 7) & 0xFF);
     }
-    return p;
+    return Buffer::take(std::move(p));
   }
 
   void run(Task<void> t) {
@@ -115,10 +115,7 @@ TEST(MissPath, PartialHitSplicesUnalignedRead) {
     auto r = co_await dd.client->read(*f, off, len);
     EXPECT_TRUE(r.has_value());
     if (r) {
-      const std::vector<std::byte> want(
-          payload.begin() + static_cast<std::ptrdiff_t>(off),
-          payload.begin() + static_cast<std::ptrdiff_t>(off + len));
-      EXPECT_EQ(*r, want);
+      EXPECT_EQ(*r, payload.slice(off, len));
     }
   }(d));
   EXPECT_EQ(d.cmcache->stats().reads_partial, 1u);
@@ -145,10 +142,7 @@ TEST(MissPath, PartialHitAcrossEofShortBlock) {
     auto r2 = co_await dd.client->read(*f, kBs + 100, kBs + 5000);
     EXPECT_TRUE(r2.has_value());
     if (r2) {
-      const std::vector<std::byte> want(
-          payload.begin() + static_cast<std::ptrdiff_t>(kBs + 100),
-          payload.end());
-      EXPECT_EQ(*r2, want);
+      EXPECT_EQ(*r2, payload.slice(kBs + 100));
     }
   }(d));
   EXPECT_GE(d.cmcache->stats().reads_partial, 1u);
@@ -239,7 +233,7 @@ TEST(MissPath, SingleFlightSharesOneFetchAmongWaiters) {
     std::vector<Task<void>> readers;
     for (int i = 0; i < 4; ++i) {
       readers.push_back([](Rig& rr, fsapi::OpenFile fd,
-                           const std::vector<std::byte>& want) -> Task<void> {
+                           const Buffer& want) -> Task<void> {
         auto r = co_await rr.client->read(fd, 0, 2 * kBs);
         EXPECT_TRUE(r.has_value());
         if (r) { EXPECT_EQ(*r, want); }
@@ -264,7 +258,7 @@ TEST(MissPath, CoalesceOffFetchesIndependently) {
     std::vector<Task<void>> readers;
     for (int i = 0; i < 3; ++i) {
       readers.push_back([](Rig& rr, fsapi::OpenFile fd,
-                           const std::vector<std::byte>& want) -> Task<void> {
+                           const Buffer& want) -> Task<void> {
         auto r = co_await rr.client->read(fd, 0, 2 * kBs);
         EXPECT_TRUE(r.has_value());
         if (r) { EXPECT_EQ(*r, want); }

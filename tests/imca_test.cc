@@ -133,7 +133,7 @@ TEST(Imca, StatServedFromCacheAfterOpen) {
   Deployment d(2);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/file");
-    (void)co_await dd.client->write(*f, 0, to_bytes("0123456789"));
+    (void)co_await dd.client->write(*f, 0, to_buffer("0123456789"));
     // Reopen publishes the stat structure into the MCDs.
     auto f2 = co_await dd.client->open("/file");
     EXPECT_TRUE(f2.has_value());
@@ -167,11 +167,11 @@ TEST(Imca, WritePopulatesCacheReadsSkipServer) {
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/data");
     // Write 16 KiB; SMCache reads it back and publishes all 8 blocks (2K).
-    std::vector<std::byte> payload(16 * kKiB);
-    for (std::size_t i = 0; i < payload.size(); ++i) {
-      payload[i] = static_cast<std::byte>(i & 0xFF);
+    std::vector<std::byte> pattern(16 * kKiB);
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = static_cast<std::byte>(i & 0xFF);
     }
-    (void)co_await dd.client->write(*f, 0, payload);
+    (void)co_await dd.client->write(*f, 0, Buffer::take(std::move(pattern)));
 
     const auto fops_before = dd.server->fops_served();
     // Sequential 2 KiB reads: every block comes from the MCD array.
@@ -181,7 +181,7 @@ TEST(Imca, WritePopulatesCacheReadsSkipServer) {
       if (r) {
         EXPECT_EQ(r->size(), 2 * kKiB);
         for (std::size_t i = 0; i < r->size(); ++i) {
-          EXPECT_EQ((*r)[i], static_cast<std::byte>((off + i) & 0xFF));
+          EXPECT_EQ(r->at(i), static_cast<std::byte>((off + i) & 0xFF));
         }
       }
     }
@@ -195,7 +195,7 @@ TEST(Imca, ReadMissForwardsAndRepopulates) {
   Deployment d(2);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/miss");
-    (void)co_await dd.client->write(*f, 0, std::vector<std::byte>(8 * kKiB));
+    (void)co_await dd.client->write(*f, 0, Buffer::zeros(8 * kKiB));
     // Nuke the cache bank: every block gone.
     for (auto& m : dd.mcds) m->cache().flush_all();
 
@@ -213,10 +213,11 @@ TEST(Imca, UnalignedReadAssemblesAcrossBlocks) {
   Deployment d(2);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/unaligned");
-    std::vector<std::byte> payload(8 * kKiB);
-    for (std::size_t i = 0; i < payload.size(); ++i) {
-      payload[i] = static_cast<std::byte>((i * 7) & 0xFF);
+    std::vector<std::byte> pattern(8 * kKiB);
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = static_cast<std::byte>((i * 7) & 0xFF);
     }
+    const Buffer payload = Buffer::take(std::move(pattern));
     (void)co_await dd.client->write(*f, 0, payload);
     // Read straddling three 2K blocks at odd offsets, served from cache.
     auto r = co_await dd.client->read(*f, 1500, 4000);
@@ -224,7 +225,7 @@ TEST(Imca, UnalignedReadAssemblesAcrossBlocks) {
     if (r) {
       EXPECT_EQ(r->size(), 4000u);
       for (std::size_t i = 0; i < r->size(); ++i) {
-        EXPECT_EQ((*r)[i], payload[1500 + i]);
+        EXPECT_EQ(r->at(i), payload.at(1500 + i));
       }
     }
   }(d));
@@ -235,7 +236,7 @@ TEST(Imca, ShortReadAtEofThroughCache) {
   Deployment d(1);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/short");
-    (void)co_await dd.client->write(*f, 0, to_bytes("abc"));  // 3 bytes
+    (void)co_await dd.client->write(*f, 0, to_buffer("abc"));  // 3 bytes
     auto r = co_await dd.client->read(*f, 0, 2 * kKiB);  // short block cached
     EXPECT_TRUE(r.has_value());
     if (r) { EXPECT_EQ(to_string(*r), "abc"); }
@@ -249,10 +250,10 @@ TEST(Imca, WriteAfterWriteReadsFresh) {
   Deployment d(2);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/fresh");
-    (void)co_await dd.client->write(*f, 0, to_bytes("old old old!"));
+    (void)co_await dd.client->write(*f, 0, to_buffer("old old old!"));
     auto r1 = co_await dd.client->read(*f, 0, 12);
     EXPECT_TRUE(r1.has_value());
-    (void)co_await dd.client->write(*f, 4, to_bytes("NEW"));
+    (void)co_await dd.client->write(*f, 4, to_buffer("NEW"));
     auto r2 = co_await dd.client->read(*f, 0, 12);
     EXPECT_TRUE(r2.has_value());
     if (r2) { EXPECT_EQ(to_string(*r2), "old NEW old!"); }
@@ -269,19 +270,19 @@ TEST(Imca, HoleWritePurgesStaleEofBlock) {
   Deployment d(2);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/hole");
-    (void)co_await dd.client->write(*f, 0, to_bytes("tiny"));     // 4 bytes
+    (void)co_await dd.client->write(*f, 0, to_buffer("tiny"));     // 4 bytes
     auto warm = co_await dd.client->read(*f, 0, 2 * kKiB);        // caches short block
     EXPECT_TRUE(warm.has_value());
     // Extend far past the old EOF, leaving a zero hole.
-    (void)co_await dd.client->write(*f, 10 * kKiB, to_bytes("tail"));
+    (void)co_await dd.client->write(*f, 10 * kKiB, to_buffer("tail"));
     // A read across the old boundary must see 2K of data (zeros after
     // "tiny"), not a 4-byte EOF.
     auto r = co_await dd.client->read(*f, 0, 2 * kKiB);
     EXPECT_TRUE(r.has_value());
     if (r) {
       EXPECT_EQ(r->size(), 2 * kKiB);
-      EXPECT_EQ(to_string(std::span(*r).subspan(0, 4)), "tiny");
-      EXPECT_EQ((*r)[100], std::byte{0});
+      EXPECT_EQ(to_string(r->slice(0, 4)), "tiny");
+      EXPECT_EQ(r->at(100), std::byte{0});
     }
     auto st = co_await dd.client->stat("/hole");
     EXPECT_TRUE(st.has_value());
@@ -293,13 +294,13 @@ TEST(Imca, DeletePurgesNoFalsePositives) {
   Deployment d(2);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/reborn");
-    (void)co_await dd.client->write(*f, 0, to_bytes("FIRST LIFE!!"));
+    (void)co_await dd.client->write(*f, 0, to_buffer("FIRST LIFE!!"));
     (void)co_await dd.client->read(*f, 0, 12);
     (void)co_await dd.client->close(*f);
     (void)co_await dd.client->unlink("/reborn");
     // Recreate with different, shorter contents.
     auto f2 = co_await dd.client->create("/reborn");
-    (void)co_await dd.client->write(*f2, 0, to_bytes("2nd"));
+    (void)co_await dd.client->write(*f2, 0, to_buffer("2nd"));
     auto r = co_await dd.client->read(*f2, 0, 100);
     EXPECT_TRUE(r.has_value());
     if (r) { EXPECT_EQ(to_string(*r), "2nd"); }
@@ -313,7 +314,7 @@ TEST(Imca, ClosePurgesFileData) {
   Deployment d(1);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/closed");
-    (void)co_await dd.client->write(*f, 0, std::vector<std::byte>(4 * kKiB));
+    (void)co_await dd.client->write(*f, 0, Buffer::zeros(4 * kKiB));
     EXPECT_GT(dd.mcds[0]->cache().item_count(), 0u);
     (void)co_await dd.client->close(*f);
     // Close discarded the blocks and the stat item.
@@ -327,10 +328,11 @@ TEST(Imca, McdFailuresNeverCorruptData) {
   Deployment d(3);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/durable");
-    std::vector<std::byte> payload(12 * kKiB);
-    for (std::size_t i = 0; i < payload.size(); ++i) {
-      payload[i] = static_cast<std::byte>((i * 13) & 0xFF);
+    std::vector<std::byte> pattern(12 * kKiB);
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = static_cast<std::byte>((i * 13) & 0xFF);
     }
+    const Buffer payload = Buffer::take(std::move(pattern));
     (void)co_await dd.client->write(*f, 0, payload);
     (void)co_await dd.client->read(*f, 0, 12 * kKiB);  // warm the bank
 
@@ -344,10 +346,10 @@ TEST(Imca, McdFailuresNeverCorruptData) {
     auto r2 = co_await dd.client->read(*f, 3000, 5000);
     EXPECT_TRUE(r2.has_value());
     if (r2) {
-      EXPECT_TRUE(std::equal(r2->begin(), r2->end(), payload.begin() + 3000));
+      EXPECT_TRUE(r2->content_equals(payload.slice(3000, r2->size())));
     }
     // Writes still work with the bank gone.
-    (void)co_await dd.client->write(*f, 0, to_bytes("post-mortem"));
+    (void)co_await dd.client->write(*f, 0, to_buffer("post-mortem"));
     auto r3 = co_await dd.client->read(*f, 0, 11);
     EXPECT_TRUE(r3.has_value());
     if (r3) { EXPECT_EQ(to_string(*r3), "post-mortem"); }
@@ -360,7 +362,7 @@ TEST(Imca, ThreadedUpdatesEventuallyCoherent) {
   Deployment d(2, cfg);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/async");
-    (void)co_await dd.client->write(*f, 0, to_bytes("deferred data"));
+    (void)co_await dd.client->write(*f, 0, to_buffer("deferred data"));
     co_await dd.smcache->quiesce();  // wait for the worker to publish
     const auto fops_before = dd.server->fops_served();
     auto r = co_await dd.client->read(*f, 0, 13);
@@ -385,7 +387,7 @@ TEST(Imca, ThreadedWriteCheaperThanSyncWrite) {
       for (int i = 0; i < 32; ++i) {
         (void)co_await dd.client->write(
             *f, static_cast<std::uint64_t>(i) * 2048,
-            std::vector<std::byte>(2048, std::byte{1}));
+            Buffer::take(std::vector<std::byte>(2048, std::byte{1})));
       }
       write_time = dd.loop.now() - t0;
     }(d));
@@ -400,8 +402,8 @@ TEST(Imca, TruncatePurgesTailBlocks) {
   Deployment d(2);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/trunc");
-    std::vector<std::byte> payload(8 * kKiB, std::byte{7});
-    (void)co_await dd.client->write(*f, 0, payload);
+    (void)co_await dd.client->write(
+        *f, 0, Buffer::take(std::vector<std::byte>(8 * kKiB, std::byte{7})));
     (void)co_await dd.client->read(*f, 0, 8 * kKiB);  // bank fully warm
 
     EXPECT_TRUE((co_await dd.client->truncate("/trunc", 3 * kKiB)).has_value());
@@ -414,7 +416,7 @@ TEST(Imca, TruncatePurgesTailBlocks) {
     EXPECT_TRUE(head.has_value());
     if (head) {
       EXPECT_EQ(head->size(), 3 * kKiB);
-      EXPECT_EQ((*head)[0], std::byte{7});
+      EXPECT_EQ(head->at(0), std::byte{7});
     }
     auto st = co_await dd.client->stat("/trunc");
     EXPECT_TRUE(st.has_value());
@@ -425,7 +427,7 @@ TEST(Imca, TruncatePurgesTailBlocks) {
     EXPECT_TRUE(regrown.has_value());
     if (regrown) {
       EXPECT_EQ(regrown->size(), 16u);
-      EXPECT_EQ((*regrown)[0], std::byte{0});
+      EXPECT_EQ(regrown->at(0), std::byte{0});
     }
   }(d));
 }
@@ -434,7 +436,7 @@ TEST(Imca, RenameMovesCacheIdentity) {
   Deployment d(2);
   d.run([](Deployment& dd) -> Task<void> {
     auto f = co_await dd.client->create("/old-name");
-    (void)co_await dd.client->write(*f, 0, to_bytes("travels with the file"));
+    (void)co_await dd.client->write(*f, 0, to_buffer("travels with the file"));
     (void)co_await dd.client->read(*f, 0, 21);  // cached under /old-name
 
     EXPECT_TRUE((co_await dd.client->rename("/old-name", "/new-name"))
@@ -455,9 +457,9 @@ TEST(Imca, RenameOverExistingTargetPurgesItsCache) {
   Deployment d(1);
   d.run([](Deployment& dd) -> Task<void> {
     auto fa = co_await dd.client->create("/a");
-    (void)co_await dd.client->write(*fa, 0, to_bytes("contents of A"));
+    (void)co_await dd.client->write(*fa, 0, to_buffer("contents of A"));
     auto fb = co_await dd.client->create("/b");
-    (void)co_await dd.client->write(*fb, 0, to_bytes("victim B, longer text"));
+    (void)co_await dd.client->write(*fb, 0, to_buffer("victim B, longer text"));
     (void)co_await dd.client->read(*fb, 0, 21);  // B cached
 
     EXPECT_TRUE((co_await dd.client->rename("/a", "/b")).has_value());
@@ -511,7 +513,7 @@ TEST_P(ImcaIntegrityP, RandomOpsMatchReferenceModel) {
             ch = static_cast<char>('a' + rng.below(26));
           }
           auto w = co_await dd.client->write(open_files[path], off,
-                                             to_bytes(data));
+                                             to_buffer(data));
           EXPECT_TRUE(w.has_value()) << path;
           std::string& ref = model[path];
           if (ref.size() < off + len) ref.resize(off + len, '\0');

@@ -27,46 +27,45 @@ using sim::Task;
 
 // The same scripted op sequence applied to any FileSystemClient; returns the
 // final read-back of the whole file.
-sim::Task<std::vector<std::byte>> scripted_ops(fsapi::FileSystemClient& fs) {
+sim::Task<Buffer> scripted_ops(fsapi::FileSystemClient& fs) {
   auto f = co_await fs.create("/x/script");
-  (void)co_await fs.write(*f, 0, to_bytes("The quick brown fox"));
-  (void)co_await fs.write(*f, 4, to_bytes("QUICK"));
-  (void)co_await fs.write(*f, 40, to_bytes("jumps at offset forty"));
+  (void)co_await fs.write(*f, 0, to_buffer("The quick brown fox"));
+  (void)co_await fs.write(*f, 4, to_buffer("QUICK"));
+  (void)co_await fs.write(*f, 40, to_buffer("jumps at offset forty"));
   auto st = co_await fs.stat("/x/script");
   EXPECT_TRUE(st.has_value());
   if (st) { EXPECT_EQ(st->size, 61u); }
   auto data = co_await fs.read(*f, 0, 100);
-  co_return data ? *data : std::vector<std::byte>{};
+  co_return data ? *data : Buffer{};
 }
 
 TEST(CrossSystem, AllThreeFileSystemsAgree) {
-  std::vector<std::byte> results[3];
+  Buffer results[3];
 
   GlusterTestbedConfig g;
   g.n_mcds = 2;
   GlusterTestbed gtb(g);
-  gtb.run([](GlusterTestbed& t, std::vector<std::byte>& out) -> Task<void> {
+  gtb.run([](GlusterTestbed& t, Buffer& out) -> Task<void> {
     out = co_await scripted_ops(t.client(0));
   }(gtb, results[0]));
 
   LustreTestbedConfig l;
   l.n_ds = 3;
   LustreTestbed ltb(l);
-  ltb.run([](LustreTestbed& t, std::vector<std::byte>& out) -> Task<void> {
+  ltb.run([](LustreTestbed& t, Buffer& out) -> Task<void> {
     out = co_await scripted_ops(t.client(0));
   }(ltb, results[1]));
 
   NfsTestbedConfig n;
   NfsTestbed ntb(n);
-  ntb.run([](NfsTestbed& t, std::vector<std::byte>& out) -> Task<void> {
+  ntb.run([](NfsTestbed& t, Buffer& out) -> Task<void> {
     out = co_await scripted_ops(t.client(0));
   }(ntb, results[2]));
 
   ASSERT_FALSE(results[0].empty());
   EXPECT_EQ(results[0], results[1]);
   EXPECT_EQ(results[0], results[2]);
-  EXPECT_EQ(to_string(std::span(results[0]).subspan(0, 19)),
-            "The QUICK brown fox");
+  EXPECT_EQ(to_string(results[0].slice(0, 19)), "The QUICK brown fox");
 }
 
 TEST(Robustness, MemcachedParserSurvivesGarbage) {
@@ -83,7 +82,7 @@ TEST(Robustness, MemcachedParserSurvivesGarbage) {
       ByteBuf prefixed;
       const char* prefixes[] = {"get ", "set ", "delete ", "stats", "\r\n"};
       prefixed.put_raw(prefixes[rng.below(5)]);
-      prefixed.put_raw(junk.bytes());
+      prefixed.put_buffer(junk.buffer());
       junk = std::move(prefixed);
     }
     auto resp = memcache::handle_request(cache, std::move(junk),
@@ -134,11 +133,10 @@ TEST(Robustness, TruncatedValidMessagesRejected) {
   req.type = gluster::FopType::kWrite;
   req.path = "/some/long/path/name";
   req.offset = 123456;
-  req.data = to_bytes("payload bytes here");
+  req.data = to_buffer("payload bytes here");
   const ByteBuf whole = req.encode();
   for (std::size_t cut = 0; cut < whole.size(); ++cut) {
-    ByteBuf truncated;
-    truncated.put_raw(whole.bytes().subspan(0, cut));
+    ByteBuf truncated(whole.buffer().slice(0, cut));
     EXPECT_FALSE(gluster::FopRequest::decode(truncated).has_value())
         << "cut=" << cut;
   }
@@ -193,7 +191,7 @@ TEST(Composition, ImcaOverDistributedNamespace) {
       const std::string path = "/dist/f" + std::to_string(i);
       auto f = co_await fs.create(path);
       EXPECT_TRUE(f.has_value());
-      (void)co_await fs.write(*f, 0, to_bytes("file " + std::to_string(i)));
+      (void)co_await fs.write(*f, 0, to_buffer("file " + std::to_string(i)));
       auto back = co_await fs.read(*f, 0, 10);
       EXPECT_TRUE(back.has_value());
       if (back) {
@@ -226,7 +224,7 @@ TEST(Composition, ReadAheadBelowCmCache) {
   tb.run([](GlusterTestbed& t) -> Task<void> {
     auto& fs = t.client(0);
     auto f = co_await fs.create("/ra/file");
-    (void)co_await fs.write(*f, 0, std::vector<std::byte>(64 * kKiB));
+    (void)co_await fs.write(*f, 0, Buffer::zeros(64 * kKiB));
     for (std::uint64_t off = 0; off < 64 * kKiB; off += 2 * kKiB) {
       auto r = co_await fs.read(*f, off, 2 * kKiB);
       EXPECT_TRUE(r.has_value());
@@ -243,7 +241,7 @@ TEST(Sharing, OneWriterManyReadersThroughBank) {
   tb.run([](GlusterTestbed& t) -> Task<void> {
     auto& writer = t.client(0);
     auto wf = co_await writer.create("/shared/board");
-    (void)co_await writer.write(*wf, 0, to_bytes("revision-1"));
+    (void)co_await writer.write(*wf, 0, to_buffer("revision-1"));
 
     // Every reader opens FIRST: each open purges the file's cached blocks
     // (paper §4.2), so opening between reads would defeat the sharing.
@@ -266,7 +264,7 @@ TEST(Sharing, OneWriterManyReadersThroughBank) {
 
     // After a write, SMCache republishes: every reader sees the new bytes
     // without any further purge/miss cycle.
-    (void)co_await writer.write(*wf, 9, to_bytes("2"));
+    (void)co_await writer.write(*wf, 9, to_buffer("2"));
     const auto fops_mid = t.server().fops_served();
     for (std::size_t r = 1; r <= 8; ++r) {
       auto data = co_await t.client(r).read(handles[r - 1], 0, 10);
@@ -290,13 +288,13 @@ TEST(Threaded, StalenessWindowClosesAfterQuiesce) {
     auto& writer = t.client(0);
     auto& reader = t.client(1);
     auto wf = co_await writer.create("/async/file");
-    (void)co_await writer.write(*wf, 0, to_bytes("AAAA"));
+    (void)co_await writer.write(*wf, 0, to_buffer("AAAA"));
     co_await t.smcache()->quiesce();
 
     auto rf = co_await reader.open("/async/file");
     (void)co_await reader.read(*rf, 0, 4);  // warm: "AAAA" cached
 
-    (void)co_await writer.write(*wf, 0, to_bytes("BBBB"));
+    (void)co_await writer.write(*wf, 0, to_buffer("BBBB"));
     // No quiesce: the racing read may be stale or fresh — but must be one of
     // the two legal values, never garbage.
     auto racing = co_await reader.read(*rf, 0, 4);

@@ -105,10 +105,11 @@ TEST(Lustre, CreateWriteReadRoundTrip) {
     auto f = co_await fs.create("/big");
     EXPECT_TRUE(f.has_value());
     // 3.5 MiB spans all four data servers.
-    std::vector<std::byte> payload(3 * kMiB + 512 * kKiB);
-    for (std::size_t i = 0; i < payload.size(); ++i) {
-      payload[i] = static_cast<std::byte>((i / kMiB + 1) & 0xFF);
+    std::vector<std::byte> pattern(3 * kMiB + 512 * kKiB);
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = static_cast<std::byte>((i / kMiB + 1) & 0xFF);
     }
+    const Buffer payload = Buffer::take(std::move(pattern));
     EXPECT_TRUE((co_await fs.write(*f, 0, payload)).has_value());
     auto st = co_await fs.stat("/big");
     EXPECT_TRUE(st.has_value());
@@ -121,7 +122,7 @@ TEST(Lustre, CreateWriteReadRoundTrip) {
     EXPECT_TRUE(mid.has_value());
     if (mid) {
       EXPECT_EQ(mid->size(), 50u);
-      EXPECT_EQ((*mid)[0], static_cast<std::byte>(3));
+      EXPECT_EQ(mid->at(0), static_cast<std::byte>(3));
     }
   }(rig));
   // Stripes landed on every DS.
@@ -136,7 +137,7 @@ TEST(Lustre, WarmReadIsMuchCheaperThanCold) {
   rig.run([&cold_t, &warm_t](LustreRig& r) -> Task<void> {
     auto& fs = *r.clients[0];
     auto f = co_await fs.create("/lat");
-    (void)co_await fs.write(*f, 0, std::vector<std::byte>(1 * kMiB));
+    (void)co_await fs.write(*f, 0, Buffer::zeros(1 * kMiB));
     fs.cold();  // unmount/remount: reads stay remote
     SimTime t0 = r.loop.now();
     (void)co_await fs.read(*f, 0, 64 * kKiB);
@@ -157,7 +158,7 @@ TEST(Lustre, ColdDropsLocksToo) {
   rig.run([](LustreRig& r) -> Task<void> {
     auto& fs = *r.clients[0];
     auto f = co_await fs.create("/locks");
-    (void)co_await fs.write(*f, 0, to_bytes("x"));
+    (void)co_await fs.write(*f, 0, to_buffer("x"));
     const auto before = r.mds->lock_requests();
     (void)co_await fs.read(*f, 0, 1);  // lock cached from the write? read lock
     (void)co_await fs.read(*f, 0, 1);  // no new lock RPC
@@ -174,13 +175,13 @@ TEST(Lustre, WriterRevokesReadersCache) {
     auto& reader = *r.clients[0];
     auto& writer = *r.clients[1];
     auto fr = co_await reader.create("/shared");
-    (void)co_await reader.write(*fr, 0, to_bytes("version-1 data"));
+    (void)co_await reader.write(*fr, 0, to_buffer("version-1 data"));
     (void)co_await reader.read(*fr, 0, 14);  // reader now caches the pages
 
     auto fw = co_await writer.open("/shared");
     EXPECT_TRUE(fw.has_value());
     // Writer's PW lock must revoke the reader.
-    EXPECT_TRUE((co_await writer.write(*fw, 0, to_bytes("version-2 data")))
+    EXPECT_TRUE((co_await writer.write(*fw, 0, to_buffer("version-2 data")))
                     .has_value());
     EXPECT_GE(r.mds->revocations(), 1u);
 
@@ -197,7 +198,7 @@ TEST(Lustre, ConcurrentReadersShareTheLock) {
   LustreRig rig(1, /*n_clients=*/4);
   rig.run([](LustreRig& r) -> Task<void> {
     auto f0 = co_await r.clients[0]->create("/ro");
-    (void)co_await r.clients[0]->write(*f0, 0, to_bytes("read-mostly"));
+    (void)co_await r.clients[0]->write(*f0, 0, to_buffer("read-mostly"));
     for (auto& c : r.clients) {
       auto f = co_await c->open("/ro");
       auto data = co_await c->read(*f, 0, 11);
@@ -220,7 +221,7 @@ TEST(Lustre, MoreDataServersMoreStreamBandwidth) {
     rig.run([&elapsed](LustreRig& r) -> Task<void> {
       auto& fs = *r.clients[0];
       auto f = co_await fs.create("/stream");
-      (void)co_await fs.write(*f, 0, std::vector<std::byte>(64 * kMiB));
+      (void)co_await fs.write(*f, 0, Buffer::zeros(64 * kMiB));
       fs.cold();
       for (auto& d : r.ds) d->device().drop_caches();  // force media
       const SimTime t0 = r.loop.now();
@@ -241,7 +242,7 @@ TEST(Lustre, UnlinkRemovesEverywhere) {
   rig.run([](LustreRig& r) -> Task<void> {
     auto& fs = *r.clients[0];
     auto f = co_await fs.create("/gone");
-    (void)co_await fs.write(*f, 0, std::vector<std::byte>(3 * kMiB));
+    (void)co_await fs.write(*f, 0, Buffer::zeros(3 * kMiB));
     EXPECT_TRUE((co_await fs.unlink("/gone")).has_value());
     EXPECT_EQ((co_await fs.stat("/gone")).error(), Errc::kNoEnt);
   }(rig));
@@ -255,11 +256,11 @@ TEST(Lustre, TruncateShrinksAcrossStripes) {
   rig.run([](LustreRig& r) -> Task<void> {
     auto& fs = *r.clients[0];
     auto f = co_await fs.create("/t");
-    std::vector<std::byte> payload(5 * kMiB);
-    for (std::size_t i = 0; i < payload.size(); ++i) {
-      payload[i] = static_cast<std::byte>((i / kMiB) + 1);
+    std::vector<std::byte> pattern(5 * kMiB);
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = static_cast<std::byte>((i / kMiB) + 1);
     }
-    (void)co_await fs.write(*f, 0, payload);
+    (void)co_await fs.write(*f, 0, Buffer::take(std::move(pattern)));
     // Shrink to 2.5 MiB: stripes on all three servers are affected.
     EXPECT_TRUE((co_await fs.truncate("/t", 2 * kMiB + 512 * kKiB))
                     .has_value());
@@ -270,7 +271,7 @@ TEST(Lustre, TruncateShrinksAcrossStripes) {
     EXPECT_TRUE(back.has_value());
     if (back) {
       EXPECT_EQ(back->size(), 2 * kMiB + 512 * kKiB);
-      EXPECT_EQ((*back)[2 * kMiB + 100], std::byte{3});  // third MiB intact
+      EXPECT_EQ(back->at(2 * kMiB + 100), std::byte{3});  // third MiB intact
     }
     // Grow back: zeros, not resurrected stripe bytes.
     EXPECT_TRUE((co_await fs.truncate("/t", 4 * kMiB)).has_value());
@@ -278,7 +279,7 @@ TEST(Lustre, TruncateShrinksAcrossStripes) {
     EXPECT_TRUE(tail.has_value());
     if (tail) {
       EXPECT_EQ(tail->size(), 16u);
-      EXPECT_EQ((*tail)[0], std::byte{0});
+      EXPECT_EQ(tail->at(0), std::byte{0});
     }
   }(rig));
 }
@@ -288,8 +289,8 @@ TEST(Lustre, RenameMovesStripesAndLocks) {
   rig.run([](LustreRig& r) -> Task<void> {
     auto& fs = *r.clients[0];
     auto f = co_await fs.create("/was");
-    std::vector<std::byte> payload(3 * kMiB, std::byte{9});
-    (void)co_await fs.write(*f, 0, payload);
+    (void)co_await fs.write(
+        *f, 0, Buffer::take(std::vector<std::byte>(3 * kMiB, std::byte{9})));
     EXPECT_TRUE((co_await fs.rename("/was", "/is")).has_value());
     EXPECT_EQ((co_await fs.stat("/was")).error(), Errc::kNoEnt);
     auto st = co_await fs.stat("/is");
@@ -298,7 +299,7 @@ TEST(Lustre, RenameMovesStripesAndLocks) {
     // The open handle follows the rename and data is intact on both DSs.
     auto back = co_await fs.read(*f, kMiB + 5, 10);
     EXPECT_TRUE(back.has_value());
-    if (back) { EXPECT_EQ((*back)[0], std::byte{9}); }
+    if (back) { EXPECT_EQ(back->at(0), std::byte{9}); }
   }(rig));
 }
 

@@ -150,7 +150,7 @@ TEST_F(FailoverTest, RejoinTriggersPurge) {
     t.servers_[2]->start();
     EXPECT_TRUE(t.servers_[2]
                     ->cache()
-                    .set(key, 0, 0, to_bytes("stale"), t.loop_.now())
+                    .set(key, 0, 0, to_buffer("stale"), t.loop_.now())
                     .has_value());
 
     // Before the probe interval elapses the daemon stays ejected.
@@ -165,7 +165,7 @@ TEST_F(FailoverTest, RejoinTriggersPurge) {
     EXPECT_EQ(t.servers_[2]->cache().item_count(), 0u);
 
     // Fully back in service.
-    EXPECT_TRUE((co_await cl.set(key, to_bytes("fresh"))).has_value());
+    EXPECT_TRUE((co_await cl.set(key, to_buffer("fresh"))).has_value());
     auto v = co_await cl.get(key);
     EXPECT_TRUE(v.has_value());
     if (v) { EXPECT_EQ(to_string(v->data), "fresh"); }
@@ -188,7 +188,7 @@ TEST_F(FailoverTest, FlushAllToleratesDeadServer) {
   run([](FailoverTest& t, McClient& cl,
          SimDuration& out) -> sim::Task<void> {
     for (int i = 0; i < 30; ++i) {
-      (void)co_await cl.set("k" + std::to_string(i), to_bytes("v"));
+      (void)co_await cl.set("k" + std::to_string(i), to_buffer("v"));
     }
     t.servers_[0]->stop();
     (void)co_await cl.get(key_for(cl, 0));  // refused: marks daemon 0 dead
@@ -219,8 +219,8 @@ TEST_F(FailoverTest, MultiGetMidBatchDeathIsBounded) {
   SimDuration elapsed = 0;
   run([](FailoverTest& t, McClient& cl,
          SimDuration& out) -> sim::Task<void> {
-    (void)co_await cl.set("a", to_bytes("A"), 0);  // hint 0 -> daemon 0
-    (void)co_await cl.set("b", to_bytes("B"), 1);  // hint 1 -> daemon 1
+    (void)co_await cl.set("a", to_buffer("A"), 0);  // hint 0 -> daemon 0
+    (void)co_await cl.set("b", to_buffer("B"), 1);  // hint 1 -> daemon 1
     t.drop_replies_from(1);
 
     const SimTime t0 = t.loop_.now();
@@ -253,7 +253,7 @@ TEST_F(FailoverTest, ShortReadDegradesToMiss) {
 
   run([](FailoverTest& t, McClient& cl) -> sim::Task<void> {
     const std::string key = key_for(cl, 0);
-    EXPECT_TRUE((co_await cl.set(key, to_bytes("v"))).has_value());
+    EXPECT_TRUE((co_await cl.set(key, to_buffer("v"))).has_value());
 
     net::FaultSpec spec;
     spec.short_read = 1.0;
@@ -289,7 +289,7 @@ TEST_F(FailoverTest, ReliableMutationRetriesUntilClean) {
       tt->injector_.clear_spec(tt->server_ids_[0], net::kPortMemcached);
     }(&t));
 
-    EXPECT_TRUE((co_await cl.set(key, to_bytes("durable"))).has_value());
+    EXPECT_TRUE((co_await cl.set(key, to_buffer("durable"))).has_value());
     auto v = co_await cl.get(key);
     EXPECT_TRUE(v.has_value());
     if (v) { EXPECT_EQ(to_string(v->data), "durable"); }
@@ -317,14 +317,14 @@ TEST_F(FailoverTest, DeleteBypassesEjectionAndRejoins) {
   run([](FailoverTest& t, McClient& cl) -> sim::Task<void> {
     const std::string key = key_for(cl, 1);
     t.servers_[1]->stop();
-    (void)co_await cl.set(key, to_bytes("x"));  // refused: marks daemon dead
+    (void)co_await cl.set(key, to_buffer("x"));  // refused: marks daemon dead
     EXPECT_TRUE(cl.server_dead(1));
 
     // Silent restart with a stale item the writer wants gone.
     t.servers_[1]->start();
     EXPECT_TRUE(t.servers_[1]
                     ->cache()
-                    .set(key, 0, 0, to_bytes("stale"), t.loop_.now())
+                    .set(key, 0, 0, to_buffer("stale"), t.loop_.now())
                     .has_value());
 
     EXPECT_TRUE((co_await cl.del(key)).has_value());

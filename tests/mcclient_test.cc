@@ -117,7 +117,7 @@ class McClientTest : public ::testing::Test {
 
 TEST_F(McClientTest, SetGetDeleteLifecycle) {
   run([](McClient& c) -> sim::Task<void> {
-    EXPECT_TRUE((co_await c.set("alpha", to_bytes("1"))).has_value());
+    EXPECT_TRUE((co_await c.set("alpha", to_buffer("1"))).has_value());
     auto v = co_await c.get("alpha");
     EXPECT_TRUE(v.has_value());
     if (v) { EXPECT_EQ(to_string(v->data), "1"); }
@@ -131,7 +131,7 @@ TEST_F(McClientTest, SetGetDeleteLifecycle) {
 TEST_F(McClientTest, KeysSpreadAcrossDaemons) {
   run([](McClient& c) -> sim::Task<void> {
     for (int i = 0; i < 60; ++i) {
-      (void)co_await c.set("/f" + std::to_string(i) + ":0", to_bytes("v"));
+      (void)co_await c.set("/f" + std::to_string(i) + ":0", to_buffer("v"));
     }
   }(*client_));
   int daemons_with_items = 0;
@@ -146,7 +146,7 @@ TEST_F(McClientTest, MultiGetBatchesPerDaemon) {
     std::vector<std::string> keys;
     for (int i = 0; i < 12; ++i) {
       keys.push_back("k" + std::to_string(i));
-      (void)co_await c.set(keys.back(), to_bytes(std::to_string(i)));
+      (void)co_await c.set(keys.back(), to_buffer(std::to_string(i)));
     }
     const auto calls_before = rpc.calls_made();
     auto got = co_await c.multi_get(keys);
@@ -162,7 +162,7 @@ TEST_F(McClientTest, MultiGetBatchesPerDaemon) {
 
 TEST_F(McClientTest, MultiGetReportsPartialMisses) {
   run([](McClient& c) -> sim::Task<void> {
-    (void)co_await c.set("present", to_bytes("v"));
+    (void)co_await c.set("present", to_buffer("v"));
     std::vector<std::string> keys;
     keys.emplace_back("present");
     keys.emplace_back("absent1");
@@ -182,7 +182,7 @@ TEST_F(McClientTest, DeadDaemonBecomesMissNotError) {
       key = "probe" + std::to_string(i);
       if (c.selector().pick(key, std::nullopt, kServers) == 1) break;
     }
-    EXPECT_TRUE((co_await c.set(key, to_bytes("v"))).has_value());
+    EXPECT_TRUE((co_await c.set(key, to_buffer("v"))).has_value());
     servers_[1]->stop();
     auto v = co_await c.get(key);
     EXPECT_EQ(v.error(), Errc::kNoEnt);  // read as a miss, not a failure
@@ -195,7 +195,7 @@ TEST_F(McClientTest, DeadDaemonBecomesMissNotError) {
       other = "other" + std::to_string(i);
       if (c.selector().pick(other, std::nullopt, kServers) != 1) break;
     }
-    EXPECT_TRUE((co_await c.set(other, to_bytes("w"))).has_value());
+    EXPECT_TRUE((co_await c.set(other, to_buffer("w"))).has_value());
     EXPECT_TRUE((co_await c.get(other)).has_value());
   }(*client_));
   EXPECT_GT(client_->stats().dead_server_ops, 0u);
@@ -203,7 +203,7 @@ TEST_F(McClientTest, DeadDaemonBecomesMissNotError) {
 
 TEST_F(McClientTest, ServerStatsReadable) {
   run([](McClient& c) -> sim::Task<void> {
-    (void)co_await c.set("x", to_bytes("y"));
+    (void)co_await c.set("x", to_buffer("y"));
     bool found = false;
     for (std::size_t s = 0; s < c.server_count(); ++s) {
       auto stats = co_await c.server_stats(s);
@@ -217,7 +217,7 @@ TEST_F(McClientTest, ServerStatsReadable) {
 TEST_F(McClientTest, FlushAllEmptiesEveryDaemon) {
   run([](McClient& c) -> sim::Task<void> {
     for (int i = 0; i < 30; ++i) {
-      (void)co_await c.set("k" + std::to_string(i), to_bytes("v"));
+      (void)co_await c.set("k" + std::to_string(i), to_buffer("v"));
     }
     co_await c.flush_all();
   }(*client_));
@@ -248,8 +248,8 @@ TEST_F(McClientTest, FlushAllIsConcurrent) {
 
 TEST_F(McClientTest, MultiGetOrderedExposesMisses) {
   run([](McClient& c, net::RpcSystem& rpc) -> sim::Task<void> {
-    (void)co_await c.set("ka", to_bytes("A"));
-    (void)co_await c.set("kc", to_bytes("C"));
+    (void)co_await c.set("ka", to_buffer("A"));
+    (void)co_await c.set("kc", to_buffer("C"));
     const auto calls_before = rpc.calls_made();
     std::vector<std::string> keys{"ka", "missing1", "kc", "missing2"};
     auto got = co_await c.multi_get_ordered(std::move(keys));
@@ -268,7 +268,7 @@ TEST_F(McClientTest, MultiGetOrderedExposesMisses) {
 
 TEST_F(McClientTest, ValueTooBigSurfaces) {
   run([](McClient& c) -> sim::Task<void> {
-    auto r = co_await c.set("big", std::vector<std::byte>(2 * kMiB));
+    auto r = co_await c.set("big", Buffer::zeros(2 * kMiB));
     EXPECT_EQ(r.error(), Errc::kTooBig);
   }(*client_));
 }
@@ -279,7 +279,7 @@ TEST_F(McClientTest, ModuloSelectorSpreadsBlocksOfOneFile) {
   run([this](McClient& c) -> sim::Task<void> {
     for (std::uint64_t block = 0; block < 9; ++block) {
       (void)co_await c.set("/data:" + std::to_string(block * 2048),
-                           to_bytes("b"), block);
+                           to_buffer("b"), block);
     }
     co_return;
   }(modulo_client));

@@ -12,7 +12,7 @@
 namespace imca::memcache {
 namespace {
 
-std::vector<std::byte> bytes(std::string_view s) { return to_bytes(s); }
+Buffer bytes(std::string_view s) { return to_buffer(s); }
 
 // --- engine: cas ---
 
@@ -135,7 +135,7 @@ TEST(ProtocolExt, MalformedExtCommandsError) {
     ByteBuf req;
     req.put_raw(raw);
     auto resp = handle_request(c, std::move(req), 0);
-    EXPECT_TRUE(to_string(resp.bytes()).starts_with("ERROR")) << raw;
+    EXPECT_TRUE(to_string(resp.buffer()).starts_with("ERROR")) << raw;
   };
   expect_error("cas k 0 0 1\r\nx\r\n");      // missing cas id
   expect_error("cas k 0 0 1 abc\r\nx\r\n");  // non-numeric cas id
@@ -158,17 +158,17 @@ TEST(ClientExt, CasLoopImplementsAtomicUpdate) {
                             std::make_unique<mcclient::Crc32Selector>());
 
   loop.spawn([](mcclient::McClient& c) -> sim::Task<void> {
-    (void)co_await c.set("doc", to_bytes("v0"));
+    (void)co_await c.set("doc", to_buffer("v0"));
     // Optimistic update: gets -> modify -> cas.
     auto v = co_await c.gets("doc");
     EXPECT_TRUE(v.has_value());
     if (v) {
-      auto r = co_await c.cas("doc", to_bytes("v1"), v->cas);
+      auto r = co_await c.cas("doc", to_buffer("v1"), v->cas);
       EXPECT_TRUE(r.has_value());
     }
     // A second cas with the stale id must lose.
     if (v) {
-      auto r = co_await c.cas("doc", to_bytes("v2"), v->cas);
+      auto r = co_await c.cas("doc", to_buffer("v2"), v->cas);
       EXPECT_EQ(r.error(), Errc::kBusy);
     }
     auto final_v = co_await c.get("doc");
@@ -176,7 +176,7 @@ TEST(ClientExt, CasLoopImplementsAtomicUpdate) {
     if (final_v) { EXPECT_EQ(to_string(final_v->data), "v1"); }
 
     // Counters.
-    (void)co_await c.set("hits", to_bytes("0"));
+    (void)co_await c.set("hits", to_buffer("0"));
     for (int i = 0; i < 5; ++i) {
       (void)co_await c.incr("hits", 2);
     }

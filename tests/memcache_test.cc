@@ -15,9 +15,9 @@
 namespace imca::memcache {
 namespace {
 
-std::vector<std::byte> bytes(std::string_view s) { return to_bytes(s); }
-std::vector<std::byte> blob(std::size_t n, char fill = 'x') {
-  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+Buffer bytes(std::string_view s) { return to_buffer(s); }
+Buffer blob(std::size_t n, char fill = 'x') {
+  return Buffer::take(std::vector<std::byte>(n, static_cast<std::byte>(fill)));
 }
 
 // --- SlabAllocator ---
@@ -257,15 +257,16 @@ TEST(Protocol, BinarySafeValues) {
   McCache c(64 * kMiB);
   // A value containing CRLF and NUL must survive the text protocol because
   // the data block is length-delimited.
-  std::vector<std::byte> nasty = bytes("a\r\nEND\r\n\0b");
-  nasty.push_back(std::byte{0});
+  std::vector<std::byte> raw = to_bytes("a\r\nEND\r\n\0b");
+  raw.push_back(std::byte{0});
+  Buffer nasty = Buffer::take(std::move(raw));
   (void)handle_request(c, encode_store(StoreVerb::kSet, "k", 0, 0, nasty), 0);
   const std::string keys[] = {"k"};
   auto got = parse_get_response(
                  *std::make_unique<ByteBuf>(handle_request(c, encode_get(keys), 1)))
                  .value();
   ASSERT_TRUE(got.contains("k"));
-  EXPECT_EQ(got.at("k").data, nasty);
+  EXPECT_TRUE(got.at("k").data.content_equals(nasty));
 }
 
 TEST(Protocol, DeleteReplies) {
@@ -303,7 +304,7 @@ TEST(Protocol, MalformedInputYieldsError) {
     ByteBuf req;
     req.put_raw(raw);
     auto resp = handle_request(c, std::move(req), 0);
-    const std::string text = to_string(resp.bytes());
+    const std::string text = to_string(resp.buffer());
     EXPECT_TRUE(text.starts_with("ERROR")) << "input: " << raw;
   };
   expect_error("");                        // no line terminator
@@ -319,7 +320,7 @@ TEST(Protocol, FlushAllClears) {
   McCache c(64 * kMiB);
   (void)handle_request(c, encode_store(StoreVerb::kSet, "k", 0, 0, bytes("v")), 0);
   auto resp = handle_request(c, encode_flush_all(), 1);
-  EXPECT_EQ(to_string(resp.bytes()), "OK\r\n");
+  EXPECT_EQ(to_string(resp.buffer()), "OK\r\n");
   EXPECT_EQ(c.item_count(), 0u);
 }
 
@@ -346,7 +347,7 @@ TEST_F(McServerTest, SetGetOverFabric) {
   loop_.spawn([](net::RpcSystem& rpc, bool& done) -> sim::Task<void> {
     auto r1 = co_await rpc.call(
         1, 0, net::kPortMemcached,
-        encode_store(StoreVerb::kSet, "k", 0, 0, to_bytes("v")));
+        encode_store(StoreVerb::kSet, "k", 0, 0, to_buffer("v")));
     EXPECT_TRUE(r1.has_value());
     const std::string keys[] = {"k"};
     auto r2 = co_await rpc.call(1, 0, net::kPortMemcached, encode_get(keys));
@@ -364,7 +365,7 @@ TEST_F(McServerTest, SetGetOverFabric) {
 
 TEST_F(McServerTest, StopRefusesAndDropsContents) {
   ASSERT_TRUE(server_->running());
-  (void)server_->cache().set("k", 0, 0, to_bytes("v"), 0);
+  (void)server_->cache().set("k", 0, 0, to_buffer("v"), 0);
   server_->stop();
   EXPECT_FALSE(server_->running());
   EXPECT_EQ(server_->cache().item_count(), 0u);  // restart comes back cold
@@ -383,7 +384,7 @@ TEST_F(McServerTest, ServiceTimeChargedToDaemonCpu) {
     (void)co_await rpc.call(
         1, 0, net::kPortMemcached,
         encode_store(StoreVerb::kSet, "k", 0, 0,
-                     std::vector<std::byte>(64 * 1024)));
+                     Buffer::zeros(64 * 1024)));
     co_return;
   }(rpc_));
   loop_.run();

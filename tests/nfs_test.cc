@@ -41,7 +41,7 @@ TEST(Nfs, BasicSemantics) {
     auto& fs = *r.client;
     auto f = co_await fs.create("/f");
     EXPECT_TRUE(f.has_value());
-    EXPECT_TRUE((co_await fs.write(*f, 0, to_bytes("nfs data"))).has_value());
+    EXPECT_TRUE((co_await fs.write(*f, 0, to_buffer("nfs data"))).has_value());
     auto back = co_await fs.read(*f, 4, 4);
     EXPECT_TRUE(back.has_value());
     if (back) { EXPECT_EQ(to_string(*back), "data"); }
@@ -58,7 +58,7 @@ TEST(Nfs, LargeReadsChunkAtRsize) {
   rig.run([](NfsRig& r) -> Task<void> {
     auto& fs = *r.client;
     auto f = co_await fs.create("/big");
-    (void)co_await fs.write(*f, 0, std::vector<std::byte>(1 * kMiB));
+    (void)co_await fs.write(*f, 0, Buffer::zeros(1 * kMiB));
     const auto msgs_before = r.fabric.messages_sent();
     auto back = co_await fs.read(*f, 0, 1 * kMiB);
     EXPECT_TRUE(back.has_value());
@@ -75,7 +75,7 @@ TEST(Nfs, TransportOrderingRdmaFastest) {
     rig.run([&elapsed](NfsRig& r) -> Task<void> {
       auto& fs = *r.client;
       auto f = co_await fs.create("/t");
-      (void)co_await fs.write(*f, 0, std::vector<std::byte>(8 * kMiB));
+      (void)co_await fs.write(*f, 0, Buffer::zeros(8 * kMiB));
       const SimTime t0 = r.loop.now();
       (void)co_await fs.read(*f, 0, 8 * kMiB);  // server cache is warm
       elapsed = r.loop.now() - t0;
@@ -103,7 +103,7 @@ TEST(Nfs, BandwidthCollapsesPastServerMemory) {
       auto& fs = *r.client;
       auto f = co_await fs.create("/ws");
       for (std::uint64_t off = 0; off < file_bytes; off += 4 * kMiB) {
-        (void)co_await fs.write(*f, off, std::vector<std::byte>(4 * kMiB));
+        (void)co_await fs.write(*f, off, Buffer::zeros(4 * kMiB));
       }
       // Two sequential re-read passes (IOzone re-read).
       const SimTime t0 = r.loop.now();
@@ -127,7 +127,7 @@ TEST(Nfs, EofShortRead) {
   rig.run([](NfsRig& r) -> Task<void> {
     auto& fs = *r.client;
     auto f = co_await fs.create("/short");
-    (void)co_await fs.write(*f, 0, to_bytes("abc"));
+    (void)co_await fs.write(*f, 0, to_buffer("abc"));
     auto back = co_await fs.read(*f, 1, 1 * kMiB);
     EXPECT_TRUE(back.has_value());
     if (back) { EXPECT_EQ(to_string(*back), "bc"); }
@@ -139,7 +139,7 @@ TEST(Nfs, TruncateAndRename) {
   rig.run([](NfsRig& r) -> Task<void> {
     auto& fs = *r.client;
     auto f = co_await fs.create("/a");
-    (void)co_await fs.write(*f, 0, to_bytes("twelve bytes"));
+    (void)co_await fs.write(*f, 0, to_buffer("twelve bytes"));
     EXPECT_TRUE((co_await fs.truncate("/a", 6)).has_value());
     auto cut = co_await fs.read(*f, 0, 100);
     EXPECT_TRUE(cut.has_value());

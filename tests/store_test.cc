@@ -230,7 +230,7 @@ TEST(ObjectStore, CreateStatUnlink) {
 TEST(ObjectStore, WriteExtendsAndStampsMtime) {
   ObjectStore os;
   ASSERT_TRUE(os.create("/f", 1));
-  auto sz = os.write("/f", 10, to_bytes("hello"), 50);
+  auto sz = os.write("/f", 10, to_buffer("hello"), 50);
   ASSERT_TRUE(sz);
   EXPECT_EQ(*sz, 15u);
   const auto st = os.stat("/f").value();
@@ -245,7 +245,7 @@ TEST(ObjectStore, WriteExtendsAndStampsMtime) {
 TEST(ObjectStore, ShortReadAtEof) {
   ObjectStore os;
   ASSERT_TRUE(os.create("/f", 1));
-  ASSERT_TRUE(os.write("/f", 0, to_bytes("abc"), 2));
+  ASSERT_TRUE(os.write("/f", 0, to_buffer("abc"), 2));
   EXPECT_EQ(to_string(os.read("/f", 1, 100).value()), "bc");
   EXPECT_TRUE(os.read("/f", 3, 10).value().empty());
   EXPECT_TRUE(os.read("/f", 99, 10).value().empty());
@@ -254,21 +254,21 @@ TEST(ObjectStore, ShortReadAtEof) {
 TEST(ObjectStore, OverwriteInPlace) {
   ObjectStore os;
   ASSERT_TRUE(os.create("/f", 1));
-  ASSERT_TRUE(os.write("/f", 0, to_bytes("aaaa"), 2));
-  ASSERT_TRUE(os.write("/f", 1, to_bytes("bb"), 3));
+  ASSERT_TRUE(os.write("/f", 0, to_buffer("aaaa"), 2));
+  ASSERT_TRUE(os.write("/f", 1, to_buffer("bb"), 3));
   EXPECT_EQ(to_string(os.read("/f", 0, 4).value()), "abba");
 }
 
 TEST(ObjectStore, WriteToMissingFileFails) {
   ObjectStore os;
-  EXPECT_EQ(os.write("/nope", 0, to_bytes("x"), 1).error(), Errc::kNoEnt);
+  EXPECT_EQ(os.write("/nope", 0, to_buffer("x"), 1).error(), Errc::kNoEnt);
   EXPECT_EQ(os.read("/nope", 0, 1).error(), Errc::kNoEnt);
 }
 
 TEST(ObjectStore, TruncateBothWays) {
   ObjectStore os;
   ASSERT_TRUE(os.create("/f", 1));
-  ASSERT_TRUE(os.write("/f", 0, to_bytes("abcdef"), 2));
+  ASSERT_TRUE(os.write("/f", 0, to_buffer("abcdef"), 2));
   ASSERT_TRUE(os.truncate("/f", 3, 5));
   EXPECT_EQ(os.stat("/f").value().size, 3u);
   EXPECT_EQ(to_string(os.read("/f", 0, 10).value()), "abc");
@@ -290,7 +290,7 @@ TEST(ObjectStore, InodesAreUniqueAndStable) {
 TEST(ObjectStore, AccountsTotalBytes) {
   ObjectStore os;
   ASSERT_TRUE(os.create("/a", 1));
-  ASSERT_TRUE(os.write("/a", 0, std::vector<std::byte>(1000), 1));
+  ASSERT_TRUE(os.write("/a", 0, Buffer::zeros(1000), 1));
   EXPECT_EQ(os.total_bytes(), 1000u);
   ASSERT_TRUE(os.unlink("/a"));
   EXPECT_EQ(os.total_bytes(), 0u);

@@ -53,7 +53,7 @@ TEST(Testbed, ImcaConfigWiresTranslators) {
   // Smoke: a file written by one client is readable by another via the bank.
   tb.run([](GlusterTestbed& t) -> sim::Task<void> {
     auto f = co_await t.client(0).create("/x");
-    (void)co_await t.client(0).write(*f, 0, to_bytes("cross-client"));
+    (void)co_await t.client(0).write(*f, 0, to_buffer("cross-client"));
     auto f2 = co_await t.client(1).open("/x");
     auto r = co_await t.client(1).read(*f2, 0, 12);
     EXPECT_TRUE(r.has_value());
@@ -215,7 +215,7 @@ TEST(McdTotals, AggregateCounters) {
   GlusterTestbed tb(cfg);
   tb.run([](GlusterTestbed& t) -> sim::Task<void> {
     auto f = co_await t.client(0).create("/agg");
-    (void)co_await t.client(0).write(*f, 0, std::vector<std::byte>(32 * kKiB));
+    (void)co_await t.client(0).write(*f, 0, Buffer::zeros(32 * kKiB));
     (void)co_await t.client(0).read(*f, 0, 32 * kKiB);
   }(tb));
   const auto totals = tb.mcd_totals();

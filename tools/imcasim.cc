@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cluster/testbed.h"
+#include "common/buffer.h"
 #include "common/table.h"
 #include "workload/iozone.h"
 #include "workload/latency_bench.h"
@@ -40,6 +41,7 @@ struct Options {
   bool no_partial_hit = false;    // paper baseline: forward on any miss
   bool no_read_repair = false;    // don't push fetched blocks to the MCDs
   bool no_coalesce = false;       // don't single-flight concurrent fetches
+  bool legacy_copy_path = false;  // pre-refactor copy-per-hop buffers
   bool cold = false;              // lustre: unmount before reads
   std::uint64_t max_record = 64 * kKiB;
   std::size_t records = 128;
@@ -84,6 +86,8 @@ struct Options {
       "  --no-partial-hit  forward whole reads on any block miss (paper)\n"
       "  --no-read-repair  disable client-side read-repair of missed blocks\n"
       "  --no-coalesce     disable single-flight read coalescing\n"
+      "  --legacy-copy-path  deep-copy buffers at every hop (pre-iovec\n"
+      "                      ablation; see DESIGN.md \u00a75e copy ledger)\n"
       "  --cold            lustre: drop client caches before reads\n"
       "  --max-record=BYTES  latency sweep ceiling (default 65536)\n"
       "  --records=N         records per size (default 128)\n"
@@ -124,6 +128,10 @@ Options parse(int argc, char** argv) {
     if (!std::strcmp(a, "--no-partial-hit")) { o.no_partial_hit = true; continue; }
     if (!std::strcmp(a, "--no-read-repair")) { o.no_read_repair = true; continue; }
     if (!std::strcmp(a, "--no-coalesce")) { o.no_coalesce = true; continue; }
+    if (!std::strcmp(a, "--legacy-copy-path")) {
+      o.legacy_copy_path = true;
+      continue;
+    }
     if (!std::strcmp(a, "--cold")) { o.cold = true; continue; }
     if (!std::strcmp(a, "--csv")) { o.csv = true; continue; }
     bool matched = false;
@@ -450,6 +458,7 @@ void print_cache_report(Rig& rig) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  set_legacy_copy_path(o.legacy_copy_path);
   Rig rig = build(o);
 
   std::printf("# system=%s workload=%s transport=%s clients=%zu",
@@ -480,6 +489,15 @@ int main(int argc, char** argv) {
     usage(2);
   }
   print_cache_report(rig);
+  const BufferStats& bs = buffer_stats();
+  std::printf("# copy_ledger%s: segments=%llu segment_bytes=%llu"
+              " bytes_copied=%llu gathers=%llu slices=%llu\n",
+              o.legacy_copy_path ? " (legacy-copy-path)" : "",
+              static_cast<unsigned long long>(bs.segments_allocated),
+              static_cast<unsigned long long>(bs.segment_bytes),
+              static_cast<unsigned long long>(bs.bytes_copied),
+              static_cast<unsigned long long>(bs.gather_calls),
+              static_cast<unsigned long long>(bs.view_slices));
   std::printf("# simulated_time=%s\n",
               format_duration(static_cast<double>(rig.loop().now())).c_str());
   return rc;
