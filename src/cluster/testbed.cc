@@ -16,12 +16,16 @@ GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
     mcds_.back()->start();
   }
 
-  if (cfg_.faults.active() && !mcds_.empty()) {
+  if (cfg_.faults.active()) {
     injector_ = std::make_unique<net::FaultInjector>(cfg_.faults.seed);
     if (cfg_.faults.spec.any()) {
       for (const auto n : mcd_nodes_) {
         injector_->set_spec(n, net::kPortMemcached, cfg_.faults.spec);
       }
+    }
+    if (cfg_.faults.server_spec.any()) {
+      injector_->set_spec(server_node, net::kPortGluster,
+                          cfg_.faults.server_spec);
     }
     rpc_.set_fault_injector(injector_.get());
     for (const auto& crash : cfg_.faults.crashes) {
@@ -42,18 +46,26 @@ GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
     server_->push_translator(std::move(sm));
   }
   server_->start();
+  // Brick crash windows are scheduled after start(): crash() is a no-op on
+  // a brick that is not up.
+  for (const auto& crash : cfg_.faults.server_crashes) {
+    server_->schedule_crash(crash.at, crash.restart_at);
+  }
 
   for (std::size_t c = 0; c < cfg_.n_clients; ++c) {
     const auto n =
         fabric_.add_node("client" + std::to_string(c), kCoresPerNode).id();
-    clients_.push_back(
-        std::make_unique<gluster::GlusterClient>(rpc_, n, server_node));
+    clients_.push_back(std::make_unique<gluster::GlusterClient>(
+        rpc_, n, server_node, cfg_.client));
     if (!mcds_.empty()) {
       auto cm = std::make_unique<core::CmCacheXlator>(
           std::make_unique<mcclient::McClient>(
               rpc_, n, mcd_nodes_, core::make_selector(cfg_.imca),
               core::make_mcclient_params(cfg_.imca, core::McRole::kReader)),
           cfg_.imca);
+      // Brownout: this mount's CMCache watches its own protocol/client's
+      // view of the brick's health.
+      cm->set_server_health(&clients_.back()->protocol());
       cmcaches_.push_back(cm.get());
       clients_.back()->push_translator(std::move(cm));
     }

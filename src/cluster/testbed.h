@@ -41,9 +41,12 @@ struct GlusterTestbedConfig {
   std::uint64_t mcd_memory = kMcdMemoryBytes;
   net::TransportParams transport = net::ipoib_rc();
   gluster::GlusterServerParams server;
-  // Deterministic fault plan for the MCD array: probabilistic wire faults on
-  // every MCD's memcached port plus scheduled crash/restart windows. Inert
-  // when inactive (the default).
+  // Mount parameters for every client (fuse cost + protocol/client
+  // deadline/retry policy; defaults are the seed's single-attempt mode).
+  gluster::GlusterClientParams client;
+  // Deterministic fault plan: probabilistic wire faults on every MCD's
+  // memcached port and/or the brick's GlusterFS port, plus scheduled
+  // crash/restart windows on either tier. Inert when inactive (default).
   net::FaultPlan faults;
 };
 
@@ -55,6 +58,10 @@ class GlusterTestbed {
   net::Fabric& fabric() noexcept { return fabric_; }
   std::size_t n_clients() const noexcept { return clients_.size(); }
   fsapi::FileSystemClient& client(std::size_t i) { return *clients_.at(i); }
+  // The same mount, concretely typed (protocol/client stats + health view).
+  gluster::GlusterClient& gluster_client(std::size_t i) {
+    return *clients_.at(i);
+  }
   gluster::GlusterServer& server() noexcept { return *server_; }
   bool imca_enabled() const noexcept { return !mcds_.empty(); }
   core::SmCacheXlator* smcache() noexcept { return smcache_; }

@@ -111,6 +111,25 @@ class Buffer {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   Buffer() = default;
+  Buffer(const Buffer&) = default;
+  Buffer& operator=(const Buffer&) = default;
+  // Moves must leave the source genuinely empty: a defaulted move would
+  // copy size_, and a moved-from buffer reporting a stale nonzero size is
+  // how absorb-into-moved-from corruption starts (write_behind flushes).
+  Buffer(Buffer&& other) noexcept
+      : views_(std::move(other.views_)), size_(other.size_) {
+    other.views_.clear();
+    other.size_ = 0;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      views_ = std::move(other.views_);
+      size_ = other.size_;
+      other.views_.clear();
+      other.size_ = 0;
+    }
+    return *this;
+  }
 
   // Adopt a vector as one segment (no copy).
   static Buffer take(std::vector<std::byte>&& data);

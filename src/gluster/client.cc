@@ -7,7 +7,8 @@ namespace imca::gluster {
 GlusterClient::GlusterClient(net::RpcSystem& rpc, net::NodeId self,
                              net::NodeId server, GlusterClientParams params)
     : rpc_(rpc), self_(self), params_(params) {
-  stack_.push_back(std::make_unique<ProtocolClient>(rpc, self, server));
+  stack_.push_back(
+      std::make_unique<ProtocolClient>(rpc, self, server, params_.protocol));
 }
 
 void GlusterClient::push_translator(std::unique_ptr<Xlator> xlator) {

@@ -23,6 +23,9 @@ namespace imca::gluster {
 
 struct GlusterClientParams {
   SimDuration fuse_crossing = 7 * kMicro;  // one kernel<->user switch + copy
+  // Deadline/retry/replay policy for the terminal translator (defaults are
+  // the seed's single-attempt behaviour).
+  ProtocolClientParams protocol = {};
 };
 
 class GlusterClient final : public fsapi::FileSystemClient {
@@ -52,6 +55,10 @@ class GlusterClient final : public fsapi::FileSystemClient {
 
   net::NodeId node() const noexcept { return self_; }
   Xlator& top() noexcept { return *stack_.back(); }
+  // The terminal translator — health view for brownout, retry stats.
+  ProtocolClient& protocol() noexcept {
+    return *static_cast<ProtocolClient*>(stack_.front().get());
+  }
 
  private:
   // Two FUSE crossings (request down, reply up) on the client CPU.

@@ -3,6 +3,12 @@
 // threads in the original; a counting semaphore on the simulated clock
 // here). With many clients this is the server-side queue the paper's
 // asynchronous request model drains.
+//
+// The queue in front of the pool is bounded (DESIGN.md §5f): with
+// `queue_limit` set, an op arriving while every thread is busy and the
+// queue is full is shed with kBusy (EAGAIN) instead of parking without
+// limit — backpressure the client retry machinery absorbs, rather than a
+// latency cliff nobody can see.
 #pragma once
 
 #include "gluster/xlator.h"
@@ -11,31 +17,57 @@
 namespace imca::gluster {
 
 class IoThreadsXlator final : public Xlator {
+  // Semaphore acquire that keeps the parked-op count honest, so shed() has
+  // a real queue depth to bound and peak_queue() is observable in tests.
+  struct EnterAwaiter {
+    IoThreadsXlator& x;
+    decltype(std::declval<sim::Semaphore&>().acquire()) inner;
+    bool parked = false;
+    explicit EnterAwaiter(IoThreadsXlator& xx) noexcept
+        : x(xx), inner(xx.sem_.acquire()) {}
+    bool await_ready() {
+      if (inner.await_ready()) return true;
+      parked = true;
+      ++x.queued_;
+      if (x.queued_ > x.peak_queue_) x.peak_queue_ = x.queued_;
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { inner.await_suspend(h); }
+    void await_resume() noexcept {
+      if (parked) --x.queued_;
+    }
+  };
+
  public:
-  IoThreadsXlator(sim::EventLoop& loop, std::size_t threads = 16)
-      : sem_(loop, threads) {}
+  IoThreadsXlator(sim::EventLoop& loop, std::size_t threads = 16,
+                  std::size_t queue_limit = 0)
+      : sem_(loop, threads), queue_limit_(queue_limit) {}
 
   sim::Task<Expected<store::Attr>> create(const std::string& path,
                                           std::uint32_t mode) override {
-    co_await sem_.acquire();
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
     auto r = co_await child_->create(path, mode);
     sem_.release();
     co_return r;
   }
   sim::Task<Expected<store::Attr>> open(const std::string& path) override {
-    co_await sem_.acquire();
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
     auto r = co_await child_->open(path);
     sem_.release();
     co_return r;
   }
   sim::Task<Expected<void>> close(const std::string& path) override {
-    co_await sem_.acquire();
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
     auto r = co_await child_->close(path);
     sem_.release();
     co_return r;
   }
   sim::Task<Expected<store::Attr>> stat(const std::string& path) override {
-    co_await sem_.acquire();
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
     auto r = co_await child_->stat(path);
     sem_.release();
     co_return r;
@@ -43,7 +75,8 @@ class IoThreadsXlator final : public Xlator {
   sim::Task<Expected<Buffer>> read(const std::string& path,
                                    std::uint64_t offset,
                                    std::uint64_t len) override {
-    co_await sem_.acquire();
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
     auto r = co_await child_->read(path, offset, len);
     sem_.release();
     co_return r;
@@ -51,27 +84,31 @@ class IoThreadsXlator final : public Xlator {
   sim::Task<Expected<std::uint64_t>> write(const std::string& path,
                                            std::uint64_t offset,
                                            Buffer data) override {
-    co_await sem_.acquire();
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
     auto r = co_await child_->write(path, offset, std::move(data));
     sem_.release();
     co_return r;
   }
   sim::Task<Expected<void>> unlink(const std::string& path) override {
-    co_await sem_.acquire();
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
     auto r = co_await child_->unlink(path);
     sem_.release();
     co_return r;
   }
   sim::Task<Expected<void>> truncate(const std::string& path,
                                      std::uint64_t size) override {
-    co_await sem_.acquire();
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
     auto r = co_await child_->truncate(path, size);
     sem_.release();
     co_return r;
   }
   sim::Task<Expected<void>> rename(const std::string& from,
                                    const std::string& to) override {
-    co_await sem_.acquire();
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
     auto r = co_await child_->rename(from, to);
     sem_.release();
     co_return r;
@@ -79,8 +116,28 @@ class IoThreadsXlator final : public Xlator {
 
   std::string_view name() const override { return "io-threads"; }
 
+  std::uint64_t sheds() const noexcept { return sheds_; }
+  std::uint64_t peak_queue() const noexcept { return peak_queue_; }
+  std::size_t queued() const noexcept { return queued_; }
+
  private:
+  // Admission check: with a bounded queue, a fop that would park behind
+  // queue_limit_ already-parked fops is refused up front.
+  bool shed() noexcept {
+    if (queue_limit_ > 0 && sem_.available() == 0 && queued_ >= queue_limit_) {
+      ++sheds_;
+      return true;
+    }
+    return false;
+  }
+
+  EnterAwaiter enter() noexcept { return EnterAwaiter{*this}; }
+
   sim::Semaphore sem_;
+  std::size_t queue_limit_;
+  std::size_t queued_ = 0;
+  std::uint64_t peak_queue_ = 0;
+  std::uint64_t sheds_ = 0;
 };
 
 }  // namespace imca::gluster

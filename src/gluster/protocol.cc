@@ -11,6 +11,10 @@ ByteBuf FopRequest::encode() const {
   out.put_u32(mode);
   out.put_string(path2);
   out.put_bytes(data);
+  out.put_u64(client_id);
+  out.put_u64(op_seq);
+  out.put_u8(retry);
+  out.put_u64(ttl);
   return out;
 }
 
@@ -38,6 +42,18 @@ Expected<FopRequest> FopRequest::decode(ByteBuf& in) {
   auto data = in.get_bytes();
   if (!data) return data.error();
   req.data = std::move(*data);
+  auto client_id = in.get_u64();
+  if (!client_id) return client_id.error();
+  req.client_id = *client_id;
+  auto op_seq = in.get_u64();
+  if (!op_seq) return op_seq.error();
+  req.op_seq = *op_seq;
+  auto retry = in.get_u8();
+  if (!retry) return retry.error();
+  req.retry = *retry;
+  auto ttl = in.get_u64();
+  if (!ttl) return ttl.error();
+  req.ttl = *ttl;
   return req;
 }
 

@@ -39,6 +39,19 @@ struct FopRequest {
   std::string path2;          // rename target
   Buffer data;                // write payload (spliced into the encoding)
 
+  // --- reliability envelope (DESIGN.md §5f) ---
+  // Issuing mount, keying the server's replay window. One mount per node.
+  std::uint64_t client_id = 0;
+  // Per-client monotone mutation number; 0 = not a replayable mutation.
+  // A retry re-sends the same op_seq, and the server's dedup window makes
+  // the pair apply exactly once.
+  std::uint64_t op_seq = 0;
+  // Nonzero on re-sends (server-side replay accounting).
+  std::uint8_t retry = 0;
+  // Remaining client deadline budget for this attempt, in sim ns; the
+  // server sheds requests it picks up after the budget expired. 0 = none.
+  std::uint64_t ttl = 0;
+
   ByteBuf encode() const;
   static Expected<FopRequest> decode(ByteBuf& in);
 };

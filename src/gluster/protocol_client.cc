@@ -1,14 +1,163 @@
 #include "gluster/protocol_client.h"
 
+#include <algorithm>
+#include <memory>
+
+#include "sim/sync.h"
+
 namespace imca::gluster {
 
-sim::Task<Expected<FopReply>> ProtocolClient::roundtrip(FopRequest req) {
-  auto wire = co_await rpc_.call(self_, server_, net::kPortGluster,
-                                 req.encode());
+namespace {
+
+// Every one of these is safe to retry: kConnRefused and kBusy mean the op
+// was NOT applied; the ambiguous ones (kTimedOut, kConnReset, kProto) are
+// made safe for mutations by the brick's replay window.
+bool retryable(Errc e) noexcept {
+  return e == Errc::kTimedOut || e == Errc::kConnRefused ||
+         e == Errc::kConnReset || e == Errc::kBusy || e == Errc::kProto;
+}
+
+}  // namespace
+
+void ProtocolClient::mark_alive() {
+  fail_streak_ = 0;
+  if (down_) {
+    down_ = false;
+    ++stats_.rejoins;
+  }
+}
+
+void ProtocolClient::note_failure() {
+  ++fail_streak_;
+  const SimTime now = loop().now();
+  if (!down_ && fail_streak_ >= params_.eject_after) {
+    down_ = true;
+    down_since_ = now;
+    ++stats_.ejections;
+  }
+  if (down_) next_probe_ = now + params_.probe_interval;
+}
+
+void ProtocolClient::note_elapsed(SimTime start) {
+  const SimDuration elapsed = loop().now() - start;
+  if (elapsed > stats_.max_op_elapsed) stats_.max_op_elapsed = elapsed;
+}
+
+sim::Task<Expected<FopReply>> ProtocolClient::attempt(FopRequest req,
+                                                      SimDuration timeout) {
+  Expected<ByteBuf> wire = Errc::kTimedOut;
+  if (timeout == 0) {
+    wire = co_await rpc_.call(self_, server_, net::kPortGluster, req.encode());
+  } else {
+    // Race the RPC against the attempt deadline (the McClient idiom). The
+    // RPC wrapper is detached: if the deadline wins, the wrapper keeps
+    // running in the background (every fault resolves in bounded sim time,
+    // so its frame always completes before the loop drains) and its late
+    // result is discarded.
+    struct Race {
+      explicit Race(sim::EventLoop& l) : done(l) {}
+      sim::Event done;
+      std::optional<Expected<ByteBuf>> result;
+    };
+    auto race = std::make_shared<Race>(loop());
+    loop().spawn([](ProtocolClient* c, ByteBuf encoded,
+                    std::shared_ptr<Race> r) -> sim::Task<void> {
+      auto resp = co_await c->rpc_.call(c->self_, c->server_,
+                                        net::kPortGluster, std::move(encoded));
+      if (!r->done.is_set()) r->result.emplace(std::move(resp));
+      r->done.set();
+    }(this, req.encode(), race));
+    sim::arm_timeout(loop(), std::shared_ptr<sim::Event>(race, &race->done),
+                     timeout);
+    co_await race->done.wait();
+    if (race->result) wire = std::move(*race->result);
+  }
   if (!wire) co_return wire.error();
   auto reply = FopReply::decode(*wire);
   if (!reply) co_return reply.error();
   co_return *reply;
+}
+
+sim::Task<Expected<FopReply>> ProtocolClient::roundtrip(FopRequest req) {
+  ++stats_.fops;
+  // Number the mutation ONCE per op: every retry re-sends the same
+  // (client_id, op_seq), which is what the brick's dedup window keys on.
+  if (mutation_fop(req.type)) {
+    req.client_id = self_;
+    req.op_seq = ++next_seq_;
+  }
+  if (params_.op_deadline == 0) {
+    co_return co_await attempt(std::move(req), 0);  // seed behaviour
+  }
+
+  const SimTime start = loop().now();
+  const SimTime deadline = start + params_.op_deadline;
+  Expected<FopReply> last = Errc::kTimedOut;
+  std::uint32_t attempts = 0;
+  for (;;) {
+    const SimTime now = loop().now();
+    if (now >= deadline) {
+      ++stats_.deadline_exhausted;
+      break;
+    }
+    const SimDuration remaining = deadline - now;
+    if (down_ && now < next_probe_) {
+      // Ejected and no probe due yet: wait (bounded by the budget) instead
+      // of hammering a dead brick. Cacheable ops never park here — CMCache
+      // consults server_down() and serves brownout hits above us.
+      ++stats_.fast_fails;
+      co_await loop().sleep(
+          std::min<SimDuration>(next_probe_ - now, remaining));
+      continue;
+    }
+    if (attempts > 0) {
+      req.retry = 1;
+      ++stats_.retries;
+      if (req.op_seq > 0) ++stats_.replays;
+    }
+    SimDuration t = remaining;
+    if (params_.attempt_timeout > 0) {
+      t = std::min(t, params_.attempt_timeout);
+    }
+    req.ttl = t;  // the brick sheds us if we pick this up after t
+    auto rep = co_await attempt(req, t);
+    ++attempts;
+
+    if (rep && rep->errc != Errc::kBusy) {
+      mark_alive();
+      note_elapsed(start);
+      co_return rep;
+    }
+    Errc e;
+    if (rep) {  // decoded kBusy reply: the brick is alive, just shedding
+      e = Errc::kBusy;
+      ++stats_.sheds_seen;
+      mark_alive();
+      last = *rep;
+    } else {
+      e = rep.error();
+      switch (e) {
+        case Errc::kTimedOut: ++stats_.timeouts; break;
+        case Errc::kConnRefused: ++stats_.refusals; break;
+        case Errc::kConnReset: ++stats_.resets; break;
+        default: ++stats_.torn; break;
+      }
+      note_failure();
+      last = e;
+    }
+    if (!retryable(e)) break;
+    // Capped exponential backoff, never past the deadline: total elapsed
+    // stays within op_deadline + one backoff step, the bound the fault
+    // matrix asserts.
+    const std::uint32_t shift = std::min<std::uint32_t>(attempts - 1, 20);
+    const SimDuration backoff = std::min<SimDuration>(
+        params_.backoff_base << shift, params_.backoff_cap);
+    const SimTime after = loop().now();
+    if (after >= deadline) continue;  // loop head records exhaustion
+    co_await loop().sleep(std::min<SimDuration>(backoff, deadline - after));
+  }
+  note_elapsed(start);
+  co_return last;
 }
 
 sim::Task<Expected<store::Attr>> ProtocolClient::create(

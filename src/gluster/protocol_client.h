@@ -1,5 +1,19 @@
 // protocol/client: the terminal client-side translator. Encodes each fop,
 // ships it to the brick over the fabric, and decodes the reply.
+//
+// Reliability (DESIGN.md §5f): with an op deadline configured, each fop is
+// raced against a per-attempt timeout and retried with capped exponential
+// backoff until the deadline budget runs out. Mutations are numbered
+// (client_id, op_seq) once per op — every retry re-sends the same number,
+// and the brick's replay window turns the client's at-least-once loop into
+// exactly-once application. After `eject_after` consecutive failures the
+// server is marked down; retries then wait for the probe interval instead
+// of hammering a dead brick, and CMCache can consult the ServerHealth view
+// to serve bounded-staleness cache hits meanwhile (brownout).
+//
+// With op_deadline == 0 (the default) behaviour is the seed's: one attempt,
+// no timeout, no retry, no numbering side effects visible on the wire
+// beyond the envelope fields.
 #pragma once
 
 #include "gluster/protocol.h"
@@ -8,10 +22,41 @@
 
 namespace imca::gluster {
 
-class ProtocolClient final : public Xlator {
+struct ProtocolClientParams {
+  // Total budget per fop. 0 = seed behaviour (single attempt, wait forever).
+  SimDuration op_deadline = 0;
+  // Budget per attempt; each attempt is raced against min(this, remaining).
+  // 0 = attempts get the whole remaining budget.
+  SimDuration attempt_timeout = 10 * kMilli;
+  SimDuration backoff_base = 1 * kMilli;  // doubles per retry, capped below
+  SimDuration backoff_cap = 16 * kMilli;
+  // Consecutive failed attempts before the server is considered down.
+  std::size_t eject_after = 3;
+  // While down, at most one probe attempt per this interval.
+  SimDuration probe_interval = 10 * kMilli;
+};
+
+struct ProtocolClientStats {
+  std::uint64_t fops = 0;      // roundtrip() calls, not attempts
+  std::uint64_t retries = 0;   // attempts after the first
+  std::uint64_t replays = 0;   // retries carrying a mutation op_seq
+  std::uint64_t timeouts = 0;  // attempt outcomes, by class:
+  std::uint64_t refusals = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t torn = 0;       // undecodable / unexpected transport errors
+  std::uint64_t sheds_seen = 0; // kBusy replies (brick shed the request)
+  std::uint64_t deadline_exhausted = 0;  // ops that ran out of budget
+  std::uint64_t fast_fails = 0;  // retry slots parked waiting for a probe
+  std::uint64_t ejections = 0;
+  std::uint64_t rejoins = 0;
+  SimDuration max_op_elapsed = 0;  // worst roundtrip() wall time
+};
+
+class ProtocolClient final : public Xlator, public ServerHealth {
  public:
-  ProtocolClient(net::RpcSystem& rpc, net::NodeId self, net::NodeId server)
-      : rpc_(rpc), self_(self), server_(server) {}
+  ProtocolClient(net::RpcSystem& rpc, net::NodeId self, net::NodeId server,
+                 ProtocolClientParams params = {})
+      : rpc_(rpc), self_(self), server_(server), params_(params) {}
 
   sim::Task<Expected<store::Attr>> create(const std::string& path,
                                           std::uint32_t mode) override;
@@ -32,15 +77,40 @@ class ProtocolClient final : public Xlator {
 
   std::string_view name() const override { return "protocol/client"; }
 
+  // --- ServerHealth ---
+  bool server_down() const override { return down_; }
+  SimTime server_down_since() const override { return down_since_; }
+
   net::NodeId server() const noexcept { return server_; }
+  const ProtocolClientStats& stats() const noexcept { return stats_; }
 
  private:
-  // Ship `req`, return the decoded reply (or the transport error).
+  // True for fops that change durable state and must apply exactly once.
+  static bool mutation_fop(FopType t) noexcept {
+    return t == FopType::kCreate || t == FopType::kWrite ||
+           t == FopType::kUnlink || t == FopType::kTruncate ||
+           t == FopType::kRename;
+  }
+
+  sim::EventLoop& loop() noexcept { return rpc_.fabric().loop(); }
+  // Ship `req`, applying the deadline/retry/replay policy.
   sim::Task<Expected<FopReply>> roundtrip(FopRequest req);
+  // One wire attempt, raced against `timeout` (0 = no timeout).
+  sim::Task<Expected<FopReply>> attempt(FopRequest req, SimDuration timeout);
+  void mark_alive();
+  void note_failure();
+  void note_elapsed(SimTime start);
 
   net::RpcSystem& rpc_;
   net::NodeId self_;
   net::NodeId server_;
+  ProtocolClientParams params_;
+  ProtocolClientStats stats_;
+  std::uint64_t next_seq_ = 0;  // mutation numbering (client_id = self_)
+  std::size_t fail_streak_ = 0;
+  bool down_ = false;
+  SimTime down_since_ = 0;
+  SimTime next_probe_ = 0;
 };
 
 }  // namespace imca::gluster

@@ -1,38 +1,92 @@
 #include "gluster/write_behind.h"
 
+#include <cassert>
+
 namespace imca::gluster {
 
 sim::Task<Expected<void>> WriteBehindXlator::flush() {
   if (buf_.empty()) co_return Expected<void>{};
   ++flushes_;
-  auto r = co_await child_->write(buf_path_, buf_offset_, std::move(buf_));
+  ++run_id_;  // the run leaves the buffer now, whatever the outcome
+  deadline_armed_ = false;
+  // Detach the run BEFORE suspending on the child: while this write is in
+  // flight (a disk access is ~12 ms) new client writes must start a fresh
+  // run, not absorb into a buffer that is already on its way down — that
+  // both corrupts the buffer and silently loses the absorbed bytes when
+  // the flush resumes and resets it.
+  const std::string path = std::move(buf_path_);
+  const std::uint64_t offset = buf_offset_;
+  Buffer run = std::move(buf_);
+  buf_path_.clear();
+  auto r = co_await child_->write(path, offset, std::move(run));
+  if (!r) {
+    ++flush_errors_;
+    co_return r.error();
+  }
+  co_return Expected<void>{};
+}
+
+Errc WriteBehindXlator::take_stuck_error(const std::string& path) {
+  const auto it = stuck_errors_.find(path);
+  if (it == stuck_errors_.end()) return Errc::kOk;
+  const Errc e = it->second;
+  stuck_errors_.erase(it);
+  return e;
+}
+
+void WriteBehindXlator::arm_deadline_flush() {
+  if (params_.flush_deadline == 0 || deadline_armed_ || buf_.empty()) return;
+  assert(loop_ != nullptr && "flush_deadline needs the loop constructor");
+  deadline_armed_ = true;
+  const std::uint64_t run = run_id_;
+  loop_->spawn([](WriteBehindXlator* wb, std::uint64_t r) -> sim::Task<void> {
+    co_await wb->loop_->sleep(wb->params_.flush_deadline);
+    if (wb->run_id_ != r || wb->buf_.empty()) co_return;  // already flushed
+    ++wb->deadline_flushes_;
+    const std::string path = wb->buf_path_;
+    if (auto ok = co_await wb->flush(); !ok) {
+      // Off the fop path: nobody to hand the error to right now. Stick it
+      // to the path; the next op on it pays (GlusterFS fd-error semantics).
+      wb->stuck_errors_[path] = ok.error();
+    }
+  }(this, run));
+}
+
+std::uint64_t WriteBehindXlator::drop_volatile() {
+  const std::uint64_t n = buf_.size();
+  if (n > 0) {
+    ++dropped_runs_;
+    dropped_bytes_ += n;
+    ++run_id_;
+  }
   buf_ = Buffer{};
   buf_path_.clear();
-  if (!r) co_return r.error();
-  co_return Expected<void>{};
+  deadline_armed_ = false;
+  stuck_errors_.clear();  // stuck errors were brick memory too
+  return n;
 }
 
 sim::Task<Expected<std::uint64_t>> WriteBehindXlator::write(
     const std::string& path, std::uint64_t offset, Buffer data) {
+  if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
+    co_return stuck;
+  }
   const std::uint64_t written = data.size();
   // Contiguous continuation of the current buffer? Absorb it.
   if (buffering(path) && offset == buf_offset_ + buf_.size()) {
     buf_.append(std::move(data));
     ++absorbed_;
-    if (buf_.size() >= threshold_) {
-      auto r = co_await flush();
-      if (!r) co_return r.error();
-    }
-    co_return written;
-  }
-
-  // Non-contiguous or different file: flush what we hold, start a new run.
-  if (auto r = co_await flush(); !r) co_return r.error();
-  buf_path_ = path;
-  buf_offset_ = offset;
-  buf_ = std::move(data);
-  if (buf_.size() >= threshold_) {
+  } else {
+    // Non-contiguous or different file: flush what we hold, start a new run.
     if (auto r = co_await flush(); !r) co_return r.error();
+    buf_path_ = path;
+    buf_offset_ = offset;
+    buf_ = std::move(data);
+  }
+  if (params_.flush_before_ack || buf_.size() >= params_.flush_threshold) {
+    if (auto r = co_await flush(); !r) co_return r.error();
+  } else {
+    arm_deadline_flush();
   }
   co_return written;
 }
@@ -40,6 +94,9 @@ sim::Task<Expected<std::uint64_t>> WriteBehindXlator::write(
 sim::Task<Expected<Buffer>> WriteBehindXlator::read(const std::string& path,
                                                     std::uint64_t offset,
                                                     std::uint64_t len) {
+  if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
+    co_return stuck;
+  }
   if (buffering(path)) {
     if (auto r = co_await flush(); !r) co_return r.error();
   }
@@ -48,6 +105,9 @@ sim::Task<Expected<Buffer>> WriteBehindXlator::read(const std::string& path,
 
 sim::Task<Expected<store::Attr>> WriteBehindXlator::stat(
     const std::string& path) {
+  if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
+    co_return stuck;
+  }
   if (buffering(path)) {
     if (auto r = co_await flush(); !r) co_return r.error();
   }
@@ -55,6 +115,9 @@ sim::Task<Expected<store::Attr>> WriteBehindXlator::stat(
 }
 
 sim::Task<Expected<void>> WriteBehindXlator::close(const std::string& path) {
+  if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
+    co_return stuck;
+  }
   if (buffering(path)) {
     if (auto r = co_await flush(); !r) co_return r.error();
   }
@@ -62,6 +125,9 @@ sim::Task<Expected<void>> WriteBehindXlator::close(const std::string& path) {
 }
 
 sim::Task<Expected<void>> WriteBehindXlator::unlink(const std::string& path) {
+  if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
+    co_return stuck;
+  }
   if (buffering(path)) {
     if (auto r = co_await flush(); !r) co_return r.error();
   }
@@ -70,6 +136,9 @@ sim::Task<Expected<void>> WriteBehindXlator::unlink(const std::string& path) {
 
 sim::Task<Expected<void>> WriteBehindXlator::truncate(const std::string& path,
                                                       std::uint64_t size) {
+  if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
+    co_return stuck;
+  }
   if (buffering(path)) {
     if (auto r = co_await flush(); !r) co_return r.error();
   }
@@ -78,6 +147,12 @@ sim::Task<Expected<void>> WriteBehindXlator::truncate(const std::string& path,
 
 sim::Task<Expected<void>> WriteBehindXlator::rename(const std::string& from,
                                                     const std::string& to) {
+  if (const Errc stuck = take_stuck_error(from); stuck != Errc::kOk) {
+    co_return stuck;
+  }
+  if (const Errc stuck = take_stuck_error(to); stuck != Errc::kOk) {
+    co_return stuck;
+  }
   if (buffering(from) || buffering(to)) {
     if (auto r = co_await flush(); !r) co_return r.error();
   }

@@ -18,10 +18,26 @@
 
 #include "common/buffer.h"
 #include "common/expected.h"
+#include "common/units.h"
 #include "sim/task.h"
 #include "store/object_store.h"
 
 namespace imca::gluster {
+
+// What a caching translator may ask about the file server's reachability.
+// Implemented by ProtocolClient (which learns about server death from its
+// own ejection machinery); consumed by CMCache's brownout mode, which may
+// serve bounded-staleness cache hits while the server is ejected
+// (DESIGN.md §5f).
+class ServerHealth {
+ public:
+  virtual ~ServerHealth() = default;
+  // True while the server is ejected (consecutive-failure threshold hit and
+  // no successful probe since).
+  virtual bool server_down() const = 0;
+  // When the current down episode began (meaningful only while down).
+  virtual SimTime server_down_since() const = 0;
+};
 
 class Xlator {
  public:

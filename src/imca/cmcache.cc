@@ -13,7 +13,24 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
 }  // namespace
 
+CmCacheXlator::Brownout CmCacheXlator::brownout_state() const {
+  if (health_ == nullptr || !health_->server_down() || !cfg_.brownout) {
+    return Brownout::kOff;
+  }
+  const SimTime now = mcds_->loop().now();
+  const SimDuration stale = now - health_->server_down_since();
+  return stale <= cfg_.brownout_max_staleness ? Brownout::kServe
+                                              : Brownout::kBypass;
+}
+
 sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
+  const Brownout bo = brownout_state();
+  if (bo == Brownout::kBypass) {
+    // The outage outlived the staleness bound: a cached answer could be
+    // arbitrarily old, so surface the outage instead of serving it.
+    ++fault_stats_.brownout_stale_bypass;
+    co_return co_await child_->stat(path);
+  }
   const std::uint64_t signals = mcds_->stats().fault_signals();
   auto cached = co_await mcds_->get(stat_key(path));
   if (cached) {
@@ -21,6 +38,7 @@ sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
     auto attr = store::Attr::decode(buf);
     if (attr) {
       ++stats_.stat_hits;
+      if (bo == Brownout::kServe) ++fault_stats_.brownout_serves;
       co_return *attr;
     }
     // Undecodable item (shouldn't happen): fall through to the server.
@@ -35,6 +53,13 @@ sim::Task<Expected<Buffer>> CmCacheXlator::read(const std::string& path,
                                                 std::uint64_t len) {
   if (len == 0) co_return Buffer{};
 
+  const Brownout bo = brownout_state();
+  if (bo == Brownout::kBypass) {
+    // Too stale to trust the cache (see stat); the read meets the outage.
+    ++fault_stats_.brownout_stale_bypass;
+    co_return co_await child_->read(path, offset, len);
+  }
+
   // Degraded-read detection: if the MCD client reported any fault signal
   // during this read *and* the read leaned on the server (forwarded or
   // partial), a fault cost it cached bytes. Detached repairs can also move
@@ -42,6 +67,7 @@ sim::Task<Expected<Buffer>> CmCacheXlator::read(const std::string& path,
   const std::uint64_t signals = mcds_->stats().fault_signals();
   const std::uint64_t server_reads =
       stats_.reads_forwarded + stats_.reads_partial;
+  const std::uint64_t cache_reads = stats_.reads_from_cache;
 
   std::optional<Expected<Buffer>> result;
   if (!cfg_.partial_hit_reads) {
@@ -52,6 +78,10 @@ sim::Task<Expected<Buffer>> CmCacheXlator::read(const std::string& path,
   if (faulted_since(signals) &&
       stats_.reads_forwarded + stats_.reads_partial != server_reads) {
     ++fault_stats_.degraded_reads;
+  }
+  if (bo == Brownout::kServe && stats_.reads_from_cache != cache_reads) {
+    // Fully answered by the MCD array while the file server was down.
+    ++fault_stats_.brownout_serves;
   }
   co_return std::move(*result);
 }

@@ -64,6 +64,11 @@ struct FaultStats {
   std::uint64_t degraded_stats = 0;          // stat lookups likewise
   std::uint64_t repairs_dropped = 0;         // read-repair adds lost to faults
   std::uint64_t repairs_skipped_stale = 0;   // repairs withheld: path changed
+  // --- file-server brownout (DESIGN.md §5f) ---
+  std::uint64_t brownout_serves = 0;        // cache answers given while the
+                                            // server was down, within bound
+  std::uint64_t brownout_stale_bypass = 0;  // ops sent to the dead server
+                                            // because the bound had passed
 };
 
 class CmCacheXlator final : public gluster::Xlator {
@@ -93,6 +98,14 @@ class CmCacheXlator final : public gluster::Xlator {
                                    const std::string& to) override;
 
   std::string_view name() const override { return "cmcache"; }
+
+  // Wire the file server's health view (ProtocolClient). Enables brownout:
+  // while the server is ejected, stats and fully-cached reads are served
+  // from the MCD array within cfg.brownout_max_staleness of the outage
+  // start; beyond that the cache is bypassed so callers see the outage.
+  void set_server_health(const gluster::ServerHealth* health) noexcept {
+    health_ = health;
+  }
 
   const CmCacheStats& stats() const noexcept { return stats_; }
   const FaultStats& fault_stats() const noexcept { return fault_stats_; }
@@ -137,9 +150,18 @@ class CmCacheXlator final : public gluster::Xlator {
     return mcds_->stats().fault_signals() != before;
   }
 
+  // How this op should treat the cache given the file server's health.
+  enum class Brownout {
+    kOff,     // server up (or no health view / knob off): normal behaviour
+    kServe,   // server down, within the staleness bound: cache may answer
+    kBypass,  // server down too long: skip the cache, surface the outage
+  };
+  Brownout brownout_state() const;
+
   std::unique_ptr<mcclient::McClient> mcds_;
   BlockMapper mapper_;
   ImcaConfig cfg_;
+  const gluster::ServerHealth* health_ = nullptr;
   CmCacheStats stats_;
   FaultStats fault_stats_;
   SingleFlight<BlockResult> inflight_;

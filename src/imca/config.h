@@ -77,6 +77,19 @@ struct ImcaConfig {
   std::size_t mcd_eject_after = 3;
   // Probe ejected MCDs for rejoin (flush-first) this often.
   SimDuration mcd_retry_dead_interval = 50 * kMilli;
+
+  // --- file-server brownout (DESIGN.md §5f "Server failure model") ---
+
+  // While the GlusterFS server is ejected (ProtocolClient's ServerHealth
+  // view says down), serve stats and fully-cached reads from the MCD array
+  // instead of failing — but only within the staleness bound below. Takes
+  // effect only when a ServerHealth is wired (CmCacheXlator::
+  // set_server_health); without one, behaviour is unchanged.
+  bool brownout = true;
+  // How long after the server went down cached answers may still be served.
+  // Beyond this, CMCache bypasses the cache so the caller sees the outage
+  // instead of unboundedly stale data.
+  SimDuration brownout_max_staleness = 2000 * kMilli;
 };
 
 // Which side of the IMCa protocol a client serves. The reader (CMCache)

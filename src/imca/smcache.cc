@@ -13,22 +13,22 @@ SmCacheXlator::SmCacheXlator(sim::EventLoop& loop,
       cfg_(cfg),
       jobs_(loop) {
   if (cfg_.threaded_updates) {
-    loop_.spawn(worker_loop());
+    worker_ = worker_loop();
+    loop_.start(worker_);
   }
 }
 
-SmCacheXlator::~SmCacheXlator() {
-  if (cfg_.threaded_updates) {
-    Job poison;
-    poison.poison = true;
-    jobs_.send(std::move(poison));  // unblocks the worker if the loop runs
-  }
-}
+// ~worker_ (member destruction) cancels the worker at its suspension point
+// and reclaims the frame — parked in recv(), mid-job or completed — so
+// shutdown never leaks it. No poison message: scheduling a wakeup for a
+// frame that is about to be destroyed would leave a dangling handle in the
+// loop's queue.
+SmCacheXlator::~SmCacheXlator() = default;
 
 sim::Task<void> SmCacheXlator::worker_loop() {
+  // Runs until cancelled by ~SmCacheXlator (the owner destroys the frame).
   while (true) {
     Job job = co_await jobs_.recv();
-    if (job.poison) co_return;
     ++stats_.worker_jobs;
     co_await readback_and_publish(std::move(job.path), job.offset, job.length);
     if (--jobs_pending_ == 0 && drained_ != nullptr) {

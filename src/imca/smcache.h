@@ -85,7 +85,6 @@ class SmCacheXlator final : public gluster::Xlator {
 
  private:
   struct Job {
-    bool poison = false;
     std::string path;
     std::uint64_t offset = 0;  // aligned region start
     std::uint64_t length = 0;  // aligned region length
@@ -125,6 +124,10 @@ class SmCacheXlator final : public gluster::Xlator {
   sim::Channel<Job> jobs_;
   std::uint64_t jobs_pending_ = 0;
   sim::Event* drained_ = nullptr;  // armed by quiesce()
+  // Caller-owned worker frame (threaded mode): declared after jobs_ so it is
+  // destroyed first, cancelling a worker still parked in jobs_.recv() while
+  // the channel is alive. No detached frame survives shutdown.
+  sim::Task<void> worker_;
 };
 
 }  // namespace imca::core

@@ -84,15 +84,32 @@ struct CrashEvent {
   std::optional<SimTime> restart_at;
 };
 
+// A deterministic kill (and optional restart) of the GlusterFS brick
+// itself (DESIGN.md §5f). A crashed brick stops listening and drops its
+// volatile state (page cache, write-behind buffers); the ObjectStore — the
+// disk — survives and is what a restart comes back up with.
+struct ServerCrashEvent {
+  SimTime at = 0;
+  std::optional<SimTime> restart_at;
+};
+
 // Everything a deployment needs to run under faults: the seed for the
-// per-call draws, one probabilistic spec applied to every MCD, and the
-// scheduled crash windows.
+// per-call draws, probabilistic wire specs (one applied to every MCD, one
+// to the brick's GlusterFS port), and the scheduled crash windows on both
+// tiers.
 struct FaultPlan {
   std::uint64_t seed = 1;
-  FaultSpec spec;
+  FaultSpec spec;                 // MCD array wire faults
   std::vector<CrashEvent> crashes;
+  // File-server tier (DESIGN.md §5f): wire faults on port 24007 — the
+  // slow-server / lossy-server drills — plus brick crash windows.
+  FaultSpec server_spec;
+  std::vector<ServerCrashEvent> server_crashes;
 
-  bool active() const noexcept { return spec.any() || !crashes.empty(); }
+  bool active() const noexcept {
+    return spec.any() || !crashes.empty() || server_spec.any() ||
+           !server_crashes.empty();
+  }
 };
 
 class FaultInjector {

@@ -39,6 +39,13 @@ class EventLoop {
   // and must handle their own errors).
   void spawn(Task<void> task);
 
+  // Begin running a task the CALLER keeps owning. Scheduled like spawn(),
+  // but the frame is not adopted: the caller must keep the Task alive until
+  // it completes, and destroying the Task cancels the worker at its current
+  // suspension point, freeing the frame. This is how long-lived service
+  // workers (SMCache's update thread) shut down without leaking.
+  void start(Task<void>& task) { schedule_now(task.handle()); }
+
   // Awaitable: suspend the current coroutine for `d` simulated time.
   // `co_await loop.sleep(0)` yields to other ready coroutines.
   auto sleep(SimDuration d) noexcept { return SleepAwaiter{*this, now_ + d}; }

@@ -143,6 +143,13 @@ class [[nodiscard]] Task {
     return std::exchange(handle_, {});
   }
 
+  // Non-owning view of the frame, for EventLoop::start (caller-owned
+  // background tasks). The Task keeps ownership; destroying it destroys the
+  // frame at its current suspension point.
+  std::coroutine_handle<promise_type> handle() const noexcept {
+    return handle_;
+  }
+
  private:
   void destroy() noexcept {
     if (handle_) {

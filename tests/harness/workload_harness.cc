@@ -316,11 +316,15 @@ ReplayResult replay(const std::vector<Op>& trace, const ReplayConfig& cfg) {
   tc.smcache = cfg.smcache;
   tc.imca = cfg.imca;
   tc.faults = cfg.faults;
+  tc.server = cfg.server;
+  tc.client = cfg.client;
   cluster::GlusterTestbed bed(std::move(tc));
 
   ReplayResult res;
   bed.run(replay_body(bed, trace, cfg, res));
 
+  res.server = bed.server().stats();
+  res.pc = bed.gluster_client(0).protocol().stats();
   if (bed.imca_enabled()) {
     res.cm = bed.cmcache(0).stats();
     res.cm_faults = bed.cmcache(0).fault_stats();

@@ -53,6 +53,12 @@ struct ReplayConfig {
   bool smcache = true;
   core::ImcaConfig imca;
   net::FaultPlan faults;
+  // Brick-side knobs (crash/restart drills set write_behind +
+  // flush_before_ack so an acked byte is always durable — the mode under
+  // which "acked mutations survive any crash schedule" is provable).
+  gluster::GlusterServerParams server;
+  // Mount-side knobs (protocol/client deadline + retry/replay policy).
+  gluster::GlusterClientParams client;
   // Byte-check every live file after every op (the invariant proper). Off =
   // only the read ops and the final sweep check.
   bool verify_every_op = true;
@@ -71,6 +77,8 @@ struct ReplayResult {
   mcclient::ClientStats cm_client;
   core::SmCacheStats sm;
   mcclient::ClientStats sm_client;
+  gluster::GlusterServerStats server;
+  gluster::ProtocolClientStats pc;
 };
 
 // Deterministic payload for a write op: `n` bytes drawn from `payload_seed`.

@@ -1,0 +1,368 @@
+// Brick failure model (DESIGN.md §5f), unit level: crash/restart drops
+// volatile state but never durable state; the (client_id, op_seq) replay
+// window turns client at-least-once retries into exactly-once application;
+// admission/io-queue/deadline shedding answers kBusy instead of queueing
+// without bound; CMCache brownout serves bounded-staleness cache hits while
+// the brick is ejected; and the write-behind durability contract's two modes
+// lose / keep acked bytes across a crash exactly as advertised.
+//
+// Note: gtest ASSERT_* macros use `return` and cannot appear inside a
+// coroutine body, so the tests guard with EXPECT_* + early co_return.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/testbed.h"
+#include "gluster/client.h"
+#include "gluster/protocol.h"
+#include "gluster/server.h"
+#include "net/rpc.h"
+#include "net/transport.h"
+#include "sim/sync.h"
+
+namespace imca {
+namespace {
+
+using gluster::FopReply;
+using gluster::FopRequest;
+using gluster::FopType;
+using sim::EventLoop;
+using sim::Task;
+
+// One raw wire exchange from node 1 to the brick on node 0 — the envelope
+// fields (client_id/op_seq/retry/ttl) exactly as given, no client policy.
+Task<FopReply> send_raw(net::RpcSystem& rpc, FopRequest req) {
+  ByteBuf wire = req.encode();
+  auto raw = co_await rpc.call(1, 0, net::kPortGluster, std::move(wire));
+  FopReply rep;
+  if (!raw) {
+    rep.errc = raw.error();
+    co_return rep;
+  }
+  auto decoded = FopReply::decode(*raw);
+  if (!decoded) {
+    rep.errc = Errc::kProto;
+    co_return rep;
+  }
+  co_return *decoded;
+}
+
+class ServerFaultTest : public ::testing::Test {
+ public:  // coroutine lambdas reach in by reference
+  ServerFaultTest() : fabric_(loop_, net::ipoib_rc()), rpc_(fabric_) {
+    fabric_.add_node("server");
+    fabric_.add_node("client");
+  }
+
+  void build(gluster::GlusterServerParams sp = {},
+             gluster::GlusterClientParams cp = {}) {
+    server_ = std::make_unique<gluster::GlusterServer>(rpc_, 0, sp);
+    server_->start();
+    client_ = std::make_unique<gluster::GlusterClient>(rpc_, 1, 0, cp);
+  }
+
+  void run(Task<void> t) {
+    loop_.spawn(std::move(t));
+    loop_.run();
+  }
+
+  EventLoop loop_;
+  net::Fabric fabric_;
+  net::RpcSystem rpc_;
+  std::unique_ptr<gluster::GlusterServer> server_;
+  std::unique_ptr<gluster::GlusterClient> client_;
+};
+
+TEST_F(ServerFaultTest, CrashDropsVolatileStateRestartServesDurable) {
+  build();
+  run([](ServerFaultTest& t) -> Task<void> {
+    auto& fs = *t.client_;
+    auto f = co_await fs.create("/f");
+    EXPECT_TRUE(f.has_value());
+    if (!f) co_return;
+    EXPECT_TRUE((co_await fs.write(*f, 0, to_buffer("hello world"))).has_value());
+    EXPECT_GT(t.server_->device().cache().resident_pages(), 0u);
+
+    t.server_->crash();
+    EXPECT_FALSE(t.server_->up());
+    // The page cache was process memory; the ObjectStore is the disk.
+    EXPECT_EQ(t.server_->device().cache().resident_pages(), 0u);
+    EXPECT_EQ(t.server_->object_store().file_count(), 1u);
+    // Seed client policy: one attempt, and the dead brick refuses it.
+    auto refused = co_await fs.stat("/f");
+    EXPECT_FALSE(refused.has_value());
+    if (!refused) { EXPECT_EQ(refused.error(), Errc::kConnRefused); }
+
+    t.server_->restart();
+    auto st = co_await fs.stat("/f");
+    EXPECT_TRUE(st.has_value());
+    if (st) { EXPECT_EQ(st->size, 11u); }
+    auto r = co_await fs.read(*f, 0, 11);
+    EXPECT_TRUE(r.has_value());
+    if (r) { EXPECT_EQ(to_string(*r), "hello world"); }
+  }(*this));
+  const auto s = server_->stats();
+  EXPECT_EQ(s.crashes, 1u);
+  EXPECT_EQ(s.restarts, 1u);
+}
+
+TEST_F(ServerFaultTest, ScheduledCrashWindowRiddenOutByRetries) {
+  gluster::GlusterClientParams cp;
+  cp.protocol.op_deadline = 400 * kMilli;
+  cp.protocol.attempt_timeout = 40 * kMilli;
+  cp.protocol.backoff_base = 1 * kMilli;
+  cp.protocol.backoff_cap = 8 * kMilli;
+  cp.protocol.eject_after = 3;
+  cp.protocol.probe_interval = 5 * kMilli;
+  build({}, cp);
+  server_->schedule_crash(5 * kMilli, 25 * kMilli);
+
+  run([](ServerFaultTest& t) -> Task<void> {
+    auto& fs = *t.client_;
+    auto f = co_await fs.create("/f");
+    EXPECT_TRUE(f.has_value());
+    if (!f) co_return;
+    // Ten 1 KiB writes straddling the crash window [5ms, 25ms); the ones
+    // landing in it must ride through on retries, exactly once each.
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      const std::string chunk(1024, static_cast<char>('a' + i));
+      auto w = co_await fs.write(*f, i * 1024, to_buffer(chunk));
+      EXPECT_TRUE(w.has_value()) << "write " << i;
+      if (w) { EXPECT_EQ(*w, 1024u); }
+      co_await t.loop_.sleep(3 * kMilli);
+    }
+    auto r = co_await fs.read(*f, 0, 10 * 1024);
+    EXPECT_TRUE(r.has_value());
+    if (!r) co_return;
+    const std::string got = to_string(*r);
+    EXPECT_EQ(got.size(), 10u * 1024u);
+    if (got.size() != 10u * 1024u) co_return;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(got[i * 1024], static_cast<char>('a' + i)) << "chunk " << i;
+      EXPECT_EQ(got[i * 1024 + 1023], static_cast<char>('a' + i));
+    }
+  }(*this));
+
+  const auto s = server_->stats();
+  EXPECT_EQ(s.crashes, 1u);
+  EXPECT_EQ(s.restarts, 1u);
+  EXPECT_EQ(s.duplicate_applies, 0u);
+  const auto& pc = client_->protocol().stats();
+  EXPECT_GT(pc.retries, 0u);  // the window really forced the retry machinery
+}
+
+TEST_F(ServerFaultTest, ReplayWindowAnswersWithoutReapplying) {
+  build();
+  run([](ServerFaultTest& t) -> Task<void> {
+    FopRequest req;
+    req.type = FopType::kCreate;
+    req.path = "/dup";
+    req.client_id = 7;
+    req.op_seq = 1;
+    auto first = co_await send_raw(t.rpc_, req);
+    EXPECT_EQ(first.errc, Errc::kOk);
+
+    // The retry re-sends the same (client_id, op_seq): the window answers
+    // with the recorded kOk instead of re-running create (which would say
+    // kExist — the classic non-idempotent-retry lie).
+    req.retry = 1;
+    auto replay = co_await send_raw(t.rpc_, req);
+    EXPECT_EQ(replay.errc, Errc::kOk);
+
+    // A genuinely new mutation against the same path sees the truth.
+    req.op_seq = 2;
+    req.retry = 0;
+    auto fresh = co_await send_raw(t.rpc_, req);
+    EXPECT_EQ(fresh.errc, Errc::kExist);
+  }(*this));
+  const auto s = server_->stats();
+  EXPECT_EQ(s.replays_seen, 1u);
+  EXPECT_EQ(s.replays_deduped, 1u);
+  EXPECT_EQ(s.duplicate_applies, 0u);
+}
+
+TEST_F(ServerFaultTest, AdmissionBoundShedsInsteadOfQueueing) {
+  gluster::GlusterServerParams sp;
+  sp.admission_limit = 1;
+  build(sp);
+  run([](ServerFaultTest& t) -> Task<void> {
+    FopRequest req;
+    req.type = FopType::kCreate;
+    req.path = "/a";
+    (void)co_await send_raw(t.rpc_, req);
+    // Cold metadata: the next stat occupies dispatch for a ~12 ms disk
+    // access, so its concurrent twin finds the admission slot taken.
+    t.server_->device().drop_caches();
+    std::vector<Errc> out;
+    std::vector<Task<void>> batch;
+    for (int i = 0; i < 2; ++i) {
+      batch.push_back(
+          [](ServerFaultTest& tt, std::vector<Errc>& o) -> Task<void> {
+            FopRequest s;
+            s.type = FopType::kStat;
+            s.path = "/a";
+            o.push_back((co_await send_raw(tt.rpc_, s)).errc);
+          }(t, out));
+    }
+    co_await sim::when_all(t.loop_, std::move(batch));
+    EXPECT_EQ(out.size(), 2u);
+    int ok = 0, busy = 0;
+    for (Errc e : out) (e == Errc::kOk ? ok : busy)++;
+    EXPECT_EQ(ok, 1);
+    EXPECT_EQ(busy, 1);
+  }(*this));
+  EXPECT_EQ(server_->stats().sheds_admission, 1u);
+}
+
+TEST_F(ServerFaultTest, IoQueueBoundShedsTheOverflow) {
+  gluster::GlusterServerParams sp;
+  sp.io_threads = 1;
+  sp.io_queue_limit = 1;
+  build(sp);
+  run([](ServerFaultTest& t) -> Task<void> {
+    FopRequest req;
+    req.type = FopType::kCreate;
+    req.path = "/a";
+    (void)co_await send_raw(t.rpc_, req);
+    t.server_->device().drop_caches();
+    // One io thread, one queue slot, three cold stats: serve one, queue
+    // one, shed one.
+    std::vector<Errc> out;
+    std::vector<Task<void>> batch;
+    for (int i = 0; i < 3; ++i) {
+      batch.push_back(
+          [](ServerFaultTest& tt, std::vector<Errc>& o) -> Task<void> {
+            FopRequest s;
+            s.type = FopType::kStat;
+            s.path = "/a";
+            o.push_back((co_await send_raw(tt.rpc_, s)).errc);
+          }(t, out));
+    }
+    co_await sim::when_all(t.loop_, std::move(batch));
+    EXPECT_EQ(out.size(), 3u);
+    int ok = 0, busy = 0;
+    for (Errc e : out) (e == Errc::kOk ? ok : busy)++;
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(busy, 1);
+  }(*this));
+  EXPECT_EQ(server_->stats().sheds_io, 1u);
+}
+
+TEST_F(ServerFaultTest, ExpiredDeadlineBudgetIsShedBeforeDispatch) {
+  build();
+  run([](ServerFaultTest& t) -> Task<void> {
+    FopRequest req;
+    req.type = FopType::kStat;
+    req.path = "/whatever";
+    req.ttl = 1;  // 1 ns of budget: gone before dispatch CPU finishes
+    auto rep = co_await send_raw(t.rpc_, req);
+    EXPECT_EQ(rep.errc, Errc::kBusy);
+  }(*this));
+  EXPECT_EQ(server_->stats().sheds_expired, 1u);
+}
+
+TEST_F(ServerFaultTest, UnsafeWriteBehindLosesAckedBytesInCrash) {
+  gluster::GlusterServerParams sp;
+  sp.write_behind = true;  // classic mode: ack from brick memory
+  build(sp);
+  run([](ServerFaultTest& t) -> Task<void> {
+    auto& fs = *t.client_;
+    auto f = co_await fs.create("/f");
+    EXPECT_TRUE(f.has_value());
+    if (!f) co_return;
+    auto w = co_await fs.write(*f, 0, to_buffer("precious"));
+    EXPECT_TRUE(w.has_value());  // acked...
+    EXPECT_EQ(t.server_->write_behind()->buffered_bytes(), 8u);  // ...volatile
+
+    t.server_->crash();
+    t.server_->restart();
+    auto st = co_await fs.stat("/f");
+    EXPECT_TRUE(st.has_value());
+    // The acked bytes died with the process.
+    if (st) { EXPECT_EQ(st->size, 0u); }
+  }(*this));
+  EXPECT_EQ(server_->stats().wb_dropped_bytes, 8u);
+}
+
+TEST_F(ServerFaultTest, FlushBeforeAckSurvivesTheSameCrash) {
+  gluster::GlusterServerParams sp;
+  sp.write_behind = true;
+  sp.wb.flush_before_ack = true;  // the matrix's durable-ack mode
+  build(sp);
+  run([](ServerFaultTest& t) -> Task<void> {
+    auto& fs = *t.client_;
+    auto f = co_await fs.create("/f");
+    EXPECT_TRUE(f.has_value());
+    if (!f) co_return;
+    auto w = co_await fs.write(*f, 0, to_buffer("precious"));
+    EXPECT_TRUE(w.has_value());
+    EXPECT_EQ(t.server_->write_behind()->buffered_bytes(), 0u);  // already down
+
+    t.server_->crash();
+    t.server_->restart();
+    auto st = co_await fs.stat("/f");
+    EXPECT_TRUE(st.has_value());
+    if (st) { EXPECT_EQ(st->size, 8u); }
+    auto r = co_await fs.read(*f, 0, 8);
+    EXPECT_TRUE(r.has_value());
+    if (r) { EXPECT_EQ(to_string(*r), "precious"); }
+  }(*this));
+  EXPECT_EQ(server_->stats().wb_dropped_bytes, 0u);
+}
+
+// --- CMCache brownout: the full testbed, because it needs a warm MCD ---
+
+TEST(ServerBrownout, CacheServesWithinBoundThenStepsAside) {
+  cluster::GlusterTestbedConfig cfg;
+  cfg.n_mcds = 1;
+  cfg.smcache = true;
+  cfg.imca.brownout = true;
+  cfg.imca.brownout_max_staleness = 100 * kMilli;
+  // The attempt timeout must clear a ~12 ms cold-disk access or the healthy
+  // warm-up ops would spuriously time out; the refusal probes after the
+  // crash are wire-latency fast, so the dead stat still fails within one
+  // deadline of probing.
+  cfg.client.protocol.op_deadline = 60 * kMilli;
+  cfg.client.protocol.attempt_timeout = 40 * kMilli;
+  cfg.client.protocol.backoff_base = 1 * kMilli;
+  cfg.client.protocol.backoff_cap = 4 * kMilli;
+  cfg.client.protocol.eject_after = 1;
+  cfg.client.protocol.probe_interval = 5 * kMilli;
+  cluster::GlusterTestbed bed(cfg);
+
+  bed.run([](cluster::GlusterTestbed& b) -> Task<void> {
+    auto& fs = b.client(0);
+    auto f = co_await fs.create("/warm");
+    EXPECT_TRUE(f.has_value());
+    if (!f) co_return;
+    EXPECT_TRUE((co_await fs.write(*f, 0, to_buffer("cached bytes"))).has_value());
+    EXPECT_TRUE((co_await fs.close(*f)).has_value());
+    // First stat misses and SMCache publishes the attr to the MCD; the
+    // second confirms the cache can answer on its own.
+    EXPECT_TRUE((co_await fs.stat("/warm")).has_value());
+    EXPECT_TRUE((co_await fs.stat("/warm")).has_value());
+
+    b.server().crash();
+    // Trip ejection with an op the cache cannot answer for us.
+    auto dead = co_await fs.stat("/missing");
+    EXPECT_FALSE(dead.has_value());
+    EXPECT_TRUE(b.gluster_client(0).protocol().server_down());
+
+    // Within the staleness bound: the MCD array answers for the dead brick.
+    auto st = co_await fs.stat("/warm");
+    EXPECT_TRUE(st.has_value());
+    if (st) { EXPECT_EQ(st->size, 12u); }
+    EXPECT_GE(b.cmcache(0).fault_stats().brownout_serves, 1u);
+
+    // Past the bound: the cache steps aside and the outage is visible.
+    co_await b.loop().sleep(200 * kMilli);
+    auto stale = co_await fs.stat("/warm");
+    EXPECT_FALSE(stale.has_value());
+    EXPECT_GE(b.cmcache(0).fault_stats().brownout_stale_bypass, 1u);
+  }(bed));
+}
+
+}  // namespace
+}  // namespace imca

@@ -1,0 +1,278 @@
+// WriteBehindXlator durability contract (DESIGN.md §5f): flush ordering in
+// front of dependent ops, error propagation when the deferred flush fails,
+// flush_before_ack (durable acks), deadline flushes, and what a crash's
+// drop_volatile() loses in each mode.
+//
+// Note: gtest ASSERT_* macros use `return` and cannot appear inside a
+// coroutine body, so the tests guard with EXPECT_* + early co_return.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gluster/write_behind.h"
+#include "sim/event_loop.h"
+
+namespace imca::gluster {
+namespace {
+
+using sim::EventLoop;
+using sim::Task;
+
+// Scripted bottom of the stack: applies writes to an in-memory store,
+// records the op order, and fails writes on demand — the "brick went bad
+// under the buffer" half of the flush-error tests.
+class FailingChild final : public Xlator {
+ public:
+  std::vector<std::string> log;
+  Errc fail_writes = Errc::kOk;  // != kOk: every write fails with this
+  EventLoop* loop = nullptr;     // with write_delay: simulate a slow disk
+  SimDuration write_delay = 0;
+
+  std::string_view name() const override { return "failing-child"; }
+
+  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                           std::uint64_t offset,
+                                           Buffer data) override {
+    log.push_back("write " + path + " @" + std::to_string(offset) + "+" +
+                  std::to_string(data.size()));
+    if (write_delay > 0) co_await loop->sleep(write_delay);
+    if (fail_writes != Errc::kOk) co_return fail_writes;
+    auto& s = files_[path];
+    const std::string bytes = to_string(data);
+    if (s.size() < offset + bytes.size()) s.resize(offset + bytes.size(), '\0');
+    s.replace(offset, bytes.size(), bytes);
+    co_return bytes.size();
+  }
+  sim::Task<Expected<Buffer>> read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::uint64_t len) override {
+    log.push_back("read " + path);
+    const auto it = files_.find(path);
+    if (it == files_.end()) co_return Errc::kNoEnt;
+    if (offset >= it->second.size()) co_return Buffer{};
+    co_return to_buffer(it->second.substr(offset, len));
+  }
+  sim::Task<Expected<store::Attr>> stat(const std::string& path) override {
+    log.push_back("stat " + path);
+    const auto it = files_.find(path);
+    if (it == files_.end()) co_return Errc::kNoEnt;
+    store::Attr a;
+    a.size = it->second.size();
+    co_return a;
+  }
+  sim::Task<Expected<void>> close(const std::string& path) override {
+    log.push_back("close " + path);
+    co_return Expected<void>{};
+  }
+  sim::Task<Expected<void>> unlink(const std::string& path) override {
+    log.push_back("unlink " + path);
+    files_.erase(path);
+    co_return Expected<void>{};
+  }
+  sim::Task<Expected<void>> truncate(const std::string& path,
+                                     std::uint64_t size) override {
+    log.push_back("truncate " + path);
+    files_[path].resize(size, '\0');
+    co_return Expected<void>{};
+  }
+  sim::Task<Expected<void>> rename(const std::string& from,
+                                   const std::string& to) override {
+    log.push_back("rename " + from + "->" + to);
+    files_[to] = files_[from];
+    files_.erase(from);
+    co_return Expected<void>{};
+  }
+
+  const std::string& contents(const std::string& path) { return files_[path]; }
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+class WriteBehindTest : public ::testing::Test {
+ public:  // coroutine lambdas reach in by reference
+  void build(WriteBehindParams params) {
+    wb_ = std::make_unique<WriteBehindXlator>(loop_, params);
+    wb_->set_child(&child_);
+  }
+  void run(Task<void> t) {
+    loop_.spawn(std::move(t));
+    loop_.run();
+  }
+
+  EventLoop loop_;
+  FailingChild child_;
+  std::unique_ptr<WriteBehindXlator> wb_;
+};
+
+TEST_F(WriteBehindTest, FlushPrecedesEveryDependentOp) {
+  build({});  // default: buffer up to 128 KiB, no deadline, lazy acks
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("1234"));
+    EXPECT_TRUE(t.child_.log.empty());  // buffered, nothing downstream yet
+    (void)co_await t.wb_->stat("/a");
+    // The buffered run reached the child BEFORE the stat.
+    EXPECT_EQ(t.child_.log.size(), 2u);
+    if (t.child_.log.size() < 2) co_return;
+    EXPECT_EQ(t.child_.log[0], "write /a @0+4");
+    EXPECT_EQ(t.child_.log[1], "stat /a");
+
+    (void)co_await t.wb_->write("/a", 4, to_buffer("56"));
+    auto r = co_await t.wb_->read("/a", 0, 6);
+    EXPECT_TRUE(r.has_value());
+    if (r) { EXPECT_EQ(to_string(*r), "123456"); }
+    EXPECT_EQ(t.child_.log.size(), 4u);
+    if (t.child_.log.size() < 4) co_return;
+    EXPECT_EQ(t.child_.log[2], "write /a @4+2");  // flushed before the read
+    EXPECT_EQ(t.child_.log[3], "read /a");
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, DependentOpPaysTheFlushError) {
+  build({});
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("abcd"));
+    t.child_.fail_writes = Errc::kIo;
+    // The close needs the flush; the flush fails; the close reports it.
+    auto r = co_await t.wb_->close("/a");
+    EXPECT_FALSE(r.has_value());
+    if (!r) { EXPECT_EQ(r.error(), Errc::kIo); }
+    EXPECT_EQ(t.wb_->flush_errors(), 1u);
+    // The run is gone (not silently retried with the same bytes forever).
+    EXPECT_EQ(t.wb_->buffered_bytes(), 0u);
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, FlushBeforeAckMakesEveryAckDurable) {
+  WriteBehindParams p;
+  p.flush_before_ack = true;
+  build(p);
+  run([](WriteBehindTest& t) -> Task<void> {
+    auto w = co_await t.wb_->write("/a", 0, to_buffer("abcd"));
+    EXPECT_TRUE(w.has_value());
+    // Ack implies the bytes already sit on the child.
+    EXPECT_EQ(t.child_.contents("/a"), "abcd");
+    EXPECT_EQ(t.wb_->buffered_bytes(), 0u);
+
+    // And a failing child write surfaces on the ack path itself.
+    t.child_.fail_writes = Errc::kIo;
+    auto w2 = co_await t.wb_->write("/a", 4, to_buffer("ef"));
+    EXPECT_FALSE(w2.has_value());
+    if (!w2) { EXPECT_EQ(w2.error(), Errc::kIo); }
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, DeadlineFlushDrainsTheRun) {
+  WriteBehindParams p;
+  p.flush_deadline = 2 * kMilli;
+  build(p);
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("abcd"));
+    EXPECT_EQ(t.wb_->buffered_bytes(), 4u);
+    co_await t.loop_.sleep(3 * kMilli);
+    // No dependent op ran; the deadline pushed the run out on its own.
+    EXPECT_EQ(t.wb_->buffered_bytes(), 0u);
+    EXPECT_EQ(t.wb_->deadline_flushes(), 1u);
+    EXPECT_EQ(t.child_.contents("/a"), "abcd");
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, DeadlineFlushErrorSticksToThePath) {
+  WriteBehindParams p;
+  p.flush_deadline = 2 * kMilli;
+  build(p);
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("abcd"));
+    t.child_.fail_writes = Errc::kIo;
+    co_await t.loop_.sleep(3 * kMilli);  // deadline flush fails off-path
+    EXPECT_EQ(t.wb_->flush_errors(), 1u);
+    t.child_.fail_writes = Errc::kOk;
+    // Nobody was on the fop path when the flush failed; the NEXT op on the
+    // path pays (GlusterFS's stuck-to-the-fd semantics) — exactly once.
+    auto st = co_await t.wb_->stat("/a");
+    EXPECT_FALSE(st.has_value());
+    if (!st) { EXPECT_EQ(st.error(), Errc::kIo); }
+    auto st2 = co_await t.wb_->stat("/a");
+    EXPECT_FALSE(st2.has_value());
+    // The run died in the failed flush, so the child never saw the file —
+    // but the stuck error itself was consumed exactly once.
+    if (!st2) { EXPECT_EQ(st2.error(), Errc::kNoEnt); }
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, RenameChecksBothPathsForStuckErrors) {
+  WriteBehindParams p;
+  p.flush_deadline = 1 * kMilli;
+  build(p);
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/b", 0, to_buffer("xy"));
+    t.child_.fail_writes = Errc::kIo;
+    co_await t.loop_.sleep(2 * kMilli);
+    t.child_.fail_writes = Errc::kOk;
+    auto r = co_await t.wb_->rename("/a", "/b");  // error stuck to the target
+    EXPECT_FALSE(r.has_value());
+    if (!r) { EXPECT_EQ(r.error(), Errc::kIo); }
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, DropVolatileLosesExactlyTheBufferedRun) {
+  build({});  // lazy acks: the crash-unsafe mode
+  run([](WriteBehindTest& t) -> Task<void> {
+    auto w = co_await t.wb_->write("/a", 0, to_buffer("abcdef"));
+    EXPECT_TRUE(w.has_value());  // acked...
+    EXPECT_EQ(t.wb_->drop_volatile(), 6u);  // ...and lost in the "crash"
+    EXPECT_EQ(t.wb_->dropped_runs(), 1u);
+    EXPECT_EQ(t.wb_->dropped_bytes(), 6u);
+    EXPECT_EQ(t.wb_->buffered_bytes(), 0u);
+    EXPECT_EQ(t.child_.contents("/a"), "");  // never reached the child
+
+    // An empty buffer drops nothing.
+    EXPECT_EQ(t.wb_->drop_volatile(), 0u);
+    EXPECT_EQ(t.wb_->dropped_runs(), 1u);
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, WriteDuringInFlightFlushStartsAFreshRun) {
+  // A write arriving while the previous run is suspended inside the child
+  // (slow disk) must NOT absorb into the in-flight run — that corrupted
+  // the buffer and lost the absorbed bytes when the flush resumed.
+  WriteBehindParams p;
+  p.flush_deadline = 2 * kMilli;
+  build(p);
+  child_.loop = &loop_;
+  child_.write_delay = 5 * kMilli;
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("1234"));
+    co_await t.loop_.sleep(3 * kMilli);
+    // The deadline flush is now suspended in the child. This contiguous
+    // write would have absorbed into the moved-from run.
+    (void)co_await t.wb_->write("/a", 4, to_buffer("5678"));
+    EXPECT_EQ(t.wb_->buffered_bytes(), 4u);  // a fresh run, not absorbed
+    co_await t.loop_.sleep(20 * kMilli);     // both flushes drain
+    EXPECT_EQ(t.wb_->buffered_bytes(), 0u);
+    EXPECT_EQ(t.child_.contents("/a"), "12345678");  // nothing lost
+    EXPECT_EQ(t.wb_->flushes(), 2u);
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, ContiguousWritesAbsorbUntilThreshold) {
+  WriteBehindParams p;
+  p.flush_threshold = 8;
+  build(p);
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("1234"));
+    (void)co_await t.wb_->write("/a", 4, to_buffer("56"));
+    EXPECT_EQ(t.wb_->absorbed_writes(), 1u);
+    EXPECT_TRUE(t.child_.log.empty());
+    // Crossing the threshold pushes one coalesced write downstream.
+    (void)co_await t.wb_->write("/a", 6, to_buffer("789"));
+    EXPECT_EQ(t.child_.log.size(), 1u);
+    if (!t.child_.log.empty()) { EXPECT_EQ(t.child_.log[0], "write /a @0+9"); }
+    EXPECT_EQ(t.child_.contents("/a"), "123456789");
+  }(*this));
+}
+
+}  // namespace
+}  // namespace imca::gluster

@@ -62,9 +62,18 @@ struct Options {
   // ~0 = auto: 2 ms whenever any fault flag is present, otherwise off.
   std::uint64_t mcd_timeout_ms = ~0ull;
 
+  // --- file-server fault plan (imca/gluster; DESIGN.md §5f) ---
+  std::vector<net::ServerCrashEvent> server_crashes;  // --crash-server=ms[:ms]
+  std::uint64_t server_slow_ms = 0;        // --server-slow=MS
+  std::uint64_t wb_flush_deadline_ms = 0;  // --wb-flush-deadline=MS
+
   bool any_fault() const {
     return fault_drop > 0 || fault_timeout > 0 || fault_slow > 0 ||
            fault_short > 0 || !crashes.empty();
+  }
+  bool any_server_fault() const {
+    return !server_crashes.empty() || server_slow_ms > 0 ||
+           wb_flush_deadline_ms > 0;
   }
 };
 
@@ -106,7 +115,16 @@ struct Options {
       "  --crash-mcd=i@ms[:ms]  kill daemon i at `ms`, optionally restart\n"
       "                      at the second `ms` (repeatable)\n"
       "  --mcd-timeout-ms=N  per-op MCD deadline; defaults to 2 when any\n"
-      "                      fault flag is given, 0 (off) otherwise\n");
+      "                      fault flag is given, 0 (off) otherwise\n"
+      "\n"
+      "file-server fault injection (imca and gluster; DESIGN.md §5f):\n"
+      "  --crash-server=ms[:ms]  kill the brick at `ms`, optionally restart\n"
+      "                      at the second `ms` (repeatable); arms the\n"
+      "                      client deadline/retry/replay machinery\n"
+      "  --server-slow=MS    ~35%% of brick replies crawl in MS late —\n"
+      "                      forces attempt timeouts and replay dedup\n"
+      "  --wb-flush-deadline=MS  server-side write-behind in flush_before_ack\n"
+      "                      mode with an MS flush deadline\n");
   std::exit(code);
 }
 
@@ -175,6 +193,21 @@ Options parse(int argc, char** argv) {
       o.crashes.push_back(ev);
       continue;
     }
+    if (auto v = flag_value(a, "--crash-server")) {
+      // ms or ms:ms
+      char* end = nullptr;
+      net::ServerCrashEvent ev;
+      ev.at = std::strtoull(v->c_str(), &end, 10) * kMilli;
+      if (*end == ':') {
+        ev.restart_at = std::strtoull(end + 1, &end, 10) * kMilli;
+      }
+      if (*end != '\0') {
+        std::fprintf(stderr, "--crash-server wants ms[:ms]\n");
+        usage(2);
+      }
+      o.server_crashes.push_back(ev);
+      continue;
+    }
     str("--system", o.system);
     str("--workload", o.workload);
     str("--transport", o.transport);
@@ -192,6 +225,8 @@ Options parse(int argc, char** argv) {
     num("--fault-seed", o.fault_seed);
     num("--fault-slow-ms", o.fault_slow_ms);
     num("--mcd-timeout-ms", o.mcd_timeout_ms);
+    num("--server-slow", o.server_slow_ms);
+    num("--wb-flush-deadline", o.wb_flush_deadline_ms);
     prob("--fault-drop", o.fault_drop);
     prob("--fault-timeout", o.fault_timeout);
     prob("--fault-slow", o.fault_slow);
@@ -278,6 +313,27 @@ Rig build(const Options& o) {
     cfg.faults.spec.short_read = o.fault_short;
     cfg.faults.spec.slow_delay = o.fault_slow_ms * kMilli;
     cfg.faults.crashes = o.crashes;
+    cfg.faults.server_crashes = o.server_crashes;
+    if (o.server_slow_ms > 0) {
+      cfg.faults.server_spec.slow_reply = 0.35;
+      cfg.faults.server_spec.slow_delay = o.server_slow_ms * kMilli;
+    }
+    if (o.wb_flush_deadline_ms > 0) {
+      cfg.server.write_behind = true;
+      cfg.server.wb.flush_before_ack = true;
+      cfg.server.wb.flush_deadline = o.wb_flush_deadline_ms * kMilli;
+    }
+    if (o.any_server_fault()) {
+      // Brick faults without retries surface as hard workload errors; arm
+      // the deadline/retry/replay machinery with the fault-matrix policy.
+      // The attempt timeout must clear one cold disk access (~12 ms).
+      cfg.client.protocol.op_deadline = 400 * kMilli;
+      cfg.client.protocol.attempt_timeout = 40 * kMilli;
+      cfg.client.protocol.backoff_base = 1 * kMilli;
+      cfg.client.protocol.backoff_cap = 8 * kMilli;
+      cfg.client.protocol.eject_after = 3;
+      cfg.client.protocol.probe_interval = 5 * kMilli;
+    }
     if (o.mcd_timeout_ms != ~0ull) {
       cfg.imca.mcd_op_timeout = o.mcd_timeout_ms * kMilli;
     } else if (cfg.faults.active()) {
@@ -287,8 +343,9 @@ Rig build(const Options& o) {
     }
     rig.gluster = std::make_unique<cluster::GlusterTestbed>(cfg);
   } else if (o.system == "lustre") {
-    if (o.any_fault()) {
-      std::fprintf(stderr, "MCD fault flags only apply to --system=imca\n");
+    if (o.any_fault() || o.any_server_fault()) {
+      std::fprintf(stderr,
+                   "fault flags only apply to --system=imca|gluster\n");
       usage(2);
     }
     cluster::LustreTestbedConfig cfg;
@@ -298,8 +355,9 @@ Rig build(const Options& o) {
     if (o.server_cache_mb) cfg.ds.page_cache_bytes = o.server_cache_mb * kMiB;
     rig.lustre = std::make_unique<cluster::LustreTestbed>(cfg);
   } else if (o.system == "nfs") {
-    if (o.any_fault()) {
-      std::fprintf(stderr, "MCD fault flags only apply to --system=imca\n");
+    if (o.any_fault() || o.any_server_fault()) {
+      std::fprintf(stderr,
+                   "fault flags only apply to --system=imca|gluster\n");
       usage(2);
     }
     cluster::NfsTestbedConfig cfg;
@@ -454,6 +512,58 @@ void print_cache_report(Rig& rig) {
   }
 }
 
+// The §5f drill readout: what the brick survived and what the replay
+// machinery did about it. Printed only when a server-fault flag armed it.
+void print_server_fault_report(Rig& rig, const Options& o) {
+  if (!rig.gluster || !o.any_server_fault()) return;
+  const auto ss = rig.gluster->server().stats();
+  std::printf("# brick faults: crashes=%llu restarts=%llu replies_lost=%llu"
+              " sheds=%llu (admission=%llu expired=%llu io=%llu)"
+              " wb_dropped_bytes=%llu\n",
+              static_cast<unsigned long long>(ss.crashes),
+              static_cast<unsigned long long>(ss.restarts),
+              static_cast<unsigned long long>(ss.replies_lost_in_crash),
+              static_cast<unsigned long long>(ss.sheds_admission +
+                                              ss.sheds_expired + ss.sheds_io),
+              static_cast<unsigned long long>(ss.sheds_admission),
+              static_cast<unsigned long long>(ss.sheds_expired),
+              static_cast<unsigned long long>(ss.sheds_io),
+              static_cast<unsigned long long>(ss.wb_dropped_bytes));
+  gluster::ProtocolClientStats pc;
+  for (std::size_t i = 0; i < rig.gluster->n_clients(); ++i) {
+    const auto& s = rig.gluster->gluster_client(i).protocol().stats();
+    pc.retries += s.retries;
+    pc.replays += s.replays;
+    pc.timeouts += s.timeouts;
+    pc.sheds_seen += s.sheds_seen;
+    pc.deadline_exhausted += s.deadline_exhausted;
+    if (s.max_op_elapsed > pc.max_op_elapsed) {
+      pc.max_op_elapsed = s.max_op_elapsed;
+    }
+  }
+  std::printf("# replay: retries=%llu replays=%llu deduped=%llu parked=%llu"
+              " dup_applies=%llu timeouts=%llu sheds_seen=%llu"
+              " deadline_exhausted=%llu max_op_ms=%.2f\n",
+              static_cast<unsigned long long>(pc.retries),
+              static_cast<unsigned long long>(pc.replays),
+              static_cast<unsigned long long>(ss.replays_deduped),
+              static_cast<unsigned long long>(ss.replays_parked),
+              static_cast<unsigned long long>(ss.duplicate_applies),
+              static_cast<unsigned long long>(pc.timeouts),
+              static_cast<unsigned long long>(pc.sheds_seen),
+              static_cast<unsigned long long>(pc.deadline_exhausted),
+              static_cast<double>(pc.max_op_elapsed) / kMilli);
+  if (rig.gluster->imca_enabled()) {
+    unsigned long long serves = 0, bypass = 0;
+    for (std::size_t i = 0; i < rig.gluster->n_clients(); ++i) {
+      const auto& f = rig.gluster->cmcache(i).fault_stats();
+      serves += f.brownout_serves;
+      bypass += f.brownout_stale_bypass;
+    }
+    std::printf("# brownout: serves=%llu stale_bypass=%llu\n", serves, bypass);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -489,6 +599,7 @@ int main(int argc, char** argv) {
     usage(2);
   }
   print_cache_report(rig);
+  print_server_fault_report(rig, o);
   const BufferStats& bs = buffer_stats();
   std::printf("# copy_ledger%s: segments=%llu segment_bytes=%llu"
               " bytes_copied=%llu gathers=%llu slices=%llu\n",
