@@ -135,28 +135,32 @@ sim::Task<FopReply> GlusterServer::process(FopRequest req, SimTime arrival) {
   // window, never re-applied: this is the exactly-once half the client's
   // at-least-once retry loop needs.
   if (op_seq > 0) {
-    if (const FopReply* recorded = window_lookup(client_id, op_seq)) {
-      ++stats_.replays_deduped;
-      co_return *recorded;
-    }
-    // A replay can overtake its original: the client's attempt timeout can
-    // fire while the first send is still inside dispatch (slow disk, queue
-    // pressure), so the retry arrives before anything was recorded.
-    // Re-dispatching would apply the mutation twice — park on the original
-    // and answer from whatever it records.
-    if (const auto it =
-            inflight_mutations_.find(std::make_pair(client_id, op_seq));
-        it != inflight_mutations_.end()) {
-      const std::shared_ptr<sim::Event> original_done = it->second;
-      ++stats_.replays_parked;
-      co_await original_done->wait();
+    for (;;) {
       if (const FopReply* recorded = window_lookup(client_id, op_seq)) {
         ++stats_.replays_deduped;
         co_return *recorded;
       }
-      // Nothing recorded: the original was shed before applying anything
-      // (kBusy), so running the mutation now is its first application.
+      // A replay can overtake its original: the client's attempt timeout can
+      // fire while the first send is still inside dispatch (slow disk, queue
+      // pressure), so the retry arrives before anything was recorded.
+      // Re-dispatching would apply the mutation twice — park on the original
+      // and answer from whatever it records.
+      const auto it =
+          inflight_mutations_.find(std::make_pair(client_id, op_seq));
+      if (it == inflight_mutations_.end()) break;
+      const std::shared_ptr<sim::Event> original_done = it->second;
+      ++stats_.replays_parked;
+      co_await original_done->wait();
+      // Nothing may be recorded after the wake (the original was shed with
+      // kBusy before applying anything). If several replays of this fop were
+      // parked, the first one to resume becomes the new original and inserts
+      // a fresh in-flight entry — so loop and re-check BOTH tables: falling
+      // through here on a window miss alone would dispatch the mutation
+      // concurrently with that new original, applying it twice.
     }
+    // Neither recorded nor in flight: running the mutation now is its first
+    // application. No suspension point between here and the in-flight
+    // insert below, so this claim cannot race with another replay.
   }
   FopReply rep;
   if (params_.admission_limit > 0 && inflight_ >= params_.admission_limit) {

@@ -18,12 +18,29 @@ sim::Task<Expected<void>> WriteBehindXlator::flush() {
   const std::uint64_t offset = buf_offset_;
   Buffer run = std::move(buf_);
   buf_path_.clear();
-  auto r = co_await child_->write(path, offset, std::move(run));
-  if (!r) {
-    ++flush_errors_;
-    co_return r.error();
+  // Hand the child a copy per attempt (Buffer segments are refcounted, so
+  // this shares storage, not bytes) and keep the run for a retry: kBusy is
+  // a shed admission queue, not a bad disk, and in classic mode the run
+  // holds bytes that were already acked to a writer.
+  Errc err = Errc::kOk;
+  for (unsigned attempt = 0;; ++attempt) {
+    auto r = co_await child_->write(path, offset, run);
+    if (r) co_return Expected<void>{};
+    err = r.error();
+    if (err != Errc::kBusy || attempt + 1 >= kFlushAttempts) break;
+    ++flush_retries_;
+    if (loop_ != nullptr) co_await loop_->sleep(kFlushRetryBackoff);
   }
-  co_return Expected<void>{};
+  ++flush_errors_;
+  // Terminal failure: the error goes to the current caller only, and the
+  // run dies here (GlusterFS drops the fd's dirty pages the same way). In
+  // classic mode those bytes were acked — count the loss so a crash-free
+  // run that lost data cannot claim dropped_bytes == 0.
+  if (!params_.flush_before_ack) {
+    ++dropped_runs_;
+    dropped_bytes_ += run.size();
+  }
+  co_return err;
 }
 
 Errc WriteBehindXlator::take_stuck_error(const std::string& path) {
@@ -39,17 +56,26 @@ void WriteBehindXlator::arm_deadline_flush() {
   assert(loop_ != nullptr && "flush_deadline needs the loop constructor");
   deadline_armed_ = true;
   const std::uint64_t run = run_id_;
-  loop_->spawn([](WriteBehindXlator* wb, std::uint64_t r) -> sim::Task<void> {
-    co_await wb->loop_->sleep(wb->params_.flush_deadline);
+  // The loop owns the spawned frame, not this xlator: it can outlive us by
+  // up to flush_deadline. Take the loop pointer by value and check the
+  // liveness token after every suspension before touching members.
+  loop_->spawn([](WriteBehindXlator* wb, sim::EventLoop* loop,
+                  SimDuration deadline, std::weak_ptr<const bool> alive,
+                  std::uint64_t r) -> sim::Task<void> {
+    co_await loop->sleep(deadline);
+    if (alive.expired()) co_return;  // xlator torn down while we slept
     if (wb->run_id_ != r || wb->buf_.empty()) co_return;  // already flushed
     ++wb->deadline_flushes_;
     const std::string path = wb->buf_path_;
-    if (auto ok = co_await wb->flush(); !ok) {
+    auto ok = co_await wb->flush();
+    if (alive.expired()) co_return;
+    if (!ok) {
       // Off the fop path: nobody to hand the error to right now. Stick it
       // to the path; the next op on it pays (GlusterFS fd-error semantics).
       wb->stuck_errors_[path] = ok.error();
     }
-  }(this, run));
+  }(this, loop_, params_.flush_deadline,
+    std::weak_ptr<const bool>(alive_), run));
 }
 
 std::uint64_t WriteBehindXlator::drop_volatile() {
@@ -78,7 +104,15 @@ sim::Task<Expected<std::uint64_t>> WriteBehindXlator::write(
     ++absorbed_;
   } else {
     // Non-contiguous or different file: flush what we hold, start a new run.
-    if (auto r = co_await flush(); !r) co_return r.error();
+    // flush() suspends inside the child; a concurrent write can install —
+    // and in classic mode already be acked for — a brand-new run while this
+    // one is down there. Installing ours over it would silently lose those
+    // acked bytes, so re-check after every resume and keep flushing until
+    // the buffer is genuinely empty (no suspension between the final check
+    // and the install).
+    while (!buf_.empty()) {
+      if (auto r = co_await flush(); !r) co_return r.error();
+    }
     buf_path_ = path;
     buf_offset_ = offset;
     buf_ = std::move(data);

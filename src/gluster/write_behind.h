@@ -24,6 +24,7 @@
 // flushing (drop_volatile), which is precisely the loss the matrix measures.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -74,11 +75,18 @@ class WriteBehindXlator final : public Xlator {
   std::uint64_t absorbed_writes() const noexcept { return absorbed_; }
   std::uint64_t deadline_flushes() const noexcept { return deadline_flushes_; }
   std::uint64_t flush_errors() const noexcept { return flush_errors_; }
+  std::uint64_t flush_retries() const noexcept { return flush_retries_; }
   std::uint64_t dropped_bytes() const noexcept { return dropped_bytes_; }
   std::uint64_t dropped_runs() const noexcept { return dropped_runs_; }
   std::uint64_t buffered_bytes() const noexcept { return buf_.size(); }
 
  private:
+  // A shed child (kBusy) is retried this many times before the flush gives
+  // up: in classic mode the run holds already-acked bytes, so a transient
+  // queue-full must not become silent data loss.
+  static constexpr unsigned kFlushAttempts = 3;
+  static constexpr SimDuration kFlushRetryBackoff = 1 * kMilli;
+
   sim::Task<Expected<void>> flush();
   // kOk or the error a failed off-path flush stuck to `path` (consumed).
   Errc take_stuck_error(const std::string& path);
@@ -89,6 +97,10 @@ class WriteBehindXlator final : public Xlator {
 
   sim::EventLoop* loop_ = nullptr;  // null in the legacy constructor
   WriteBehindParams params_;
+  // Liveness token for detached deadline tasks: the loop owns their frames,
+  // not this xlator, so they hold a weak_ptr and bail out if it expired
+  // while they slept (xlator torn down under a pending deadline).
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
   std::string buf_path_;
   std::uint64_t buf_offset_ = 0;
   // Absorbed writes are spliced, not re-copied: segments are immutable, so
@@ -104,6 +116,7 @@ class WriteBehindXlator final : public Xlator {
   std::uint64_t absorbed_ = 0;
   std::uint64_t deadline_flushes_ = 0;
   std::uint64_t flush_errors_ = 0;
+  std::uint64_t flush_retries_ = 0;
   std::uint64_t dropped_bytes_ = 0;
   std::uint64_t dropped_runs_ = 0;
 };

@@ -30,6 +30,11 @@ sim::Task<Expected<ByteBuf>> RpcSystem::call(NodeId src, NodeId dst, Port port,
     co_return Errc::kConnRefused;
   }
 
+  // The daemon can shut down while the request is on the wire or while the
+  // handler runs (killed mid-request), erasing its map node under any of
+  // the awaits below — copy the callable before the first suspension.
+  Handler handler = it->second;
+
   co_await fabric_.transfer_via(t, src, dst, request.size());
 
   if (fault.kind == FaultKind::kDropRequest) {
@@ -39,9 +44,12 @@ sim::Task<Expected<ByteBuf>> RpcSystem::call(NodeId src, NodeId dst, Port port,
     co_return Errc::kTimedOut;
   }
 
-  // The handler may unregister itself while running (daemon killed mid-
-  // request); take a copy of the callable so the call completes first.
-  Handler handler = it->second;
+  if (!listening(dst, port)) {
+    // The daemon died while the request crossed the wire: it lands on a
+    // closed port and the RST comes back. Nothing was applied.
+    co_return Errc::kConnReset;
+  }
+
   ByteBuf response = co_await handler(std::move(request), src);
 
   if (!listening(dst, port)) {

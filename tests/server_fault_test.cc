@@ -183,6 +183,98 @@ TEST_F(ServerFaultTest, ReplayWindowAnswersWithoutReapplying) {
   EXPECT_EQ(s.duplicate_applies, 0u);
 }
 
+// Sheds the first `shed_first` writes with kBusy after holding them for
+// `hold` — the "slow original that finishes with kBusy" shape (a long
+// write-behind flush that then hits a shed io-threads queue). Nothing is
+// applied on the shed path, so a later retry is NOT a duplicate.
+class SlowShedXlator final : public gluster::Xlator {
+ public:
+  SlowShedXlator(EventLoop& loop, int shed_first, SimDuration hold)
+      : loop_(loop), shed_left_(shed_first), hold_(hold) {}
+  std::string_view name() const override { return "slow-shed"; }
+  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+                                           std::uint64_t offset,
+                                           Buffer data) override {
+    if (shed_left_ > 0) {
+      --shed_left_;
+      co_await loop_.sleep(hold_);
+      co_return Errc::kBusy;
+    }
+    ++applies_;
+    co_return co_await child_->write(path, offset, std::move(data));
+  }
+  int applies() const noexcept { return applies_; }
+
+ private:
+  EventLoop& loop_;
+  int shed_left_;
+  SimDuration hold_;
+  int applies_ = 0;
+};
+
+TEST_F(ServerFaultTest, ParkedReplaysNeverDoubleApplyAfterShedOriginal) {
+  // Two replays of the same mutation park on an original that is slow and
+  // then sheds with kBusy (nothing applied, nothing recorded). Both wake on
+  // the same event; only ONE of them may become the new original — the
+  // other must park again on (or be answered by) that new original, never
+  // dispatch concurrently with it.
+  server_ = std::make_unique<gluster::GlusterServer>(rpc_, 0,
+                                                     gluster::GlusterServerParams{});
+  auto shed = std::make_unique<SlowShedXlator>(loop_, 1, 2 * kMilli);
+  auto* shed_raw = shed.get();
+  server_->push_translator(std::move(shed));
+  server_->start();
+
+  run([](ServerFaultTest& t) -> Task<void> {
+    FopRequest create;
+    create.type = FopType::kCreate;
+    create.path = "/f";
+    EXPECT_EQ((co_await send_raw(t.rpc_, create)).errc, Errc::kOk);
+
+    std::vector<Errc> replay_errcs;
+    std::vector<Task<void>> batch;
+    // The original: held 2 ms inside dispatch, then shed with kBusy.
+    batch.push_back([](ServerFaultTest& tt) -> Task<void> {
+      FopRequest w;
+      w.type = FopType::kWrite;
+      w.path = "/f";
+      w.client_id = 7;
+      w.op_seq = 1;
+      w.data = to_buffer("abcd");
+      auto rep = co_await send_raw(tt.rpc_, w);
+      EXPECT_EQ(rep.errc, Errc::kBusy);  // shed before applying anything
+    }(t));
+    // Two replays overtaking it; both park on the in-flight original.
+    for (int i = 1; i <= 2; ++i) {
+      batch.push_back([](ServerFaultTest& tt, int retry,
+                         std::vector<Errc>& out) -> Task<void> {
+        co_await tt.loop_.sleep(static_cast<SimDuration>(retry) * 500 * kMicro);
+        FopRequest w;
+        w.type = FopType::kWrite;
+        w.path = "/f";
+        w.client_id = 7;
+        w.op_seq = 1;
+        w.retry = static_cast<std::uint8_t>(retry);
+        w.data = to_buffer("abcd");
+        auto rep = co_await send_raw(tt.rpc_, w);
+        out.push_back(rep.errc);
+        EXPECT_EQ(rep.errc, Errc::kOk);
+        EXPECT_EQ(rep.count, 4u);
+      }(t, i, replay_errcs));
+    }
+    co_await sim::when_all(t.loop_, std::move(batch));
+    EXPECT_EQ(replay_errcs.size(), 2u);
+  }(*this));
+
+  // The mutation ran through the stack exactly once, by whichever replay
+  // became the new original after the shed.
+  EXPECT_EQ(shed_raw->applies(), 1);
+  const auto s = server_->stats();
+  EXPECT_EQ(s.duplicate_applies, 0u);
+  EXPECT_GE(s.replays_parked, 2u);
+  EXPECT_GE(s.replays_deduped, 1u);
+}
+
 TEST_F(ServerFaultTest, AdmissionBoundShedsInsteadOfQueueing) {
   gluster::GlusterServerParams sp;
   sp.admission_limit = 1;

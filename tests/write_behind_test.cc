@@ -257,6 +257,84 @@ TEST_F(WriteBehindTest, WriteDuringInFlightFlushStartsAFreshRun) {
   }(*this));
 }
 
+TEST_F(WriteBehindTest, FlushRaceCannotClobberAConcurrentRun) {
+  // The non-contiguous /b write flushes /a's run and suspends in the slow
+  // child; while it is down there a concurrent writer installs — and is
+  // acked for — a brand-new /c run. Resuming and blindly installing /b's
+  // run would silently clobber those acked /c bytes.
+  build({});  // classic acks
+  child_.loop = &loop_;
+  child_.write_delay = 5 * kMilli;
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("AAAA"));
+    t.loop_.spawn([](WriteBehindTest& tt) -> Task<void> {
+      co_await tt.loop_.sleep(1 * kMilli);
+      auto w = co_await tt.wb_->write("/c", 0, to_buffer("CCCC"));
+      EXPECT_TRUE(w.has_value());  // acked from the buffer
+    }(t));
+    auto w = co_await t.wb_->write("/b", 0, to_buffer("BBBB"));
+    EXPECT_TRUE(w.has_value());
+    EXPECT_TRUE((co_await t.wb_->close("/b")).has_value());  // drain /b
+    EXPECT_TRUE((co_await t.wb_->close("/c")).has_value());
+    EXPECT_EQ(t.child_.contents("/a"), "AAAA");
+    EXPECT_EQ(t.child_.contents("/b"), "BBBB");
+    EXPECT_EQ(t.child_.contents("/c"), "CCCC");  // not clobbered
+    EXPECT_EQ(t.wb_->dropped_bytes(), 0u);
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, TransientBusyChildIsRetriedNotDropped) {
+  build({});
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("abcd"));  // acked
+    // The child sheds (kBusy) for a while — a full io-threads queue, not a
+    // bad disk — then recovers before the retries run out.
+    t.child_.fail_writes = Errc::kBusy;
+    t.loop_.spawn([](WriteBehindTest& tt) -> Task<void> {
+      co_await tt.loop_.sleep(1500 * kMicro);
+      tt.child_.fail_writes = Errc::kOk;
+    }(t));
+    auto r = co_await t.wb_->close("/a");  // needs the flush
+    EXPECT_TRUE(r.has_value());
+    EXPECT_EQ(t.wb_->flush_errors(), 0u);
+    EXPECT_EQ(t.wb_->flush_retries(), 2u);
+    EXPECT_EQ(t.wb_->dropped_bytes(), 0u);
+    EXPECT_EQ(t.child_.contents("/a"), "abcd");  // the acked bytes landed
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, ExhaustedBusyRetriesCountTheAckedLoss) {
+  build({});  // classic acks: the dying run held acked bytes
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("abcd"));
+    t.child_.fail_writes = Errc::kBusy;  // and stays busy
+    auto r = co_await t.wb_->close("/a");
+    EXPECT_FALSE(r.has_value());
+    if (!r) { EXPECT_EQ(r.error(), Errc::kBusy); }
+    EXPECT_EQ(t.wb_->flush_errors(), 1u);
+    EXPECT_EQ(t.wb_->flush_retries(), 2u);
+    // The loss is visible in the drop counters, not silent.
+    EXPECT_EQ(t.wb_->dropped_runs(), 1u);
+    EXPECT_EQ(t.wb_->dropped_bytes(), 4u);
+  }(*this));
+}
+
+TEST_F(WriteBehindTest, TeardownUnderPendingDeadlineFlushIsSafe) {
+  // The deadline task's frame is owned by the loop, not the xlator: tearing
+  // the xlator down while the task still sleeps must be a no-op, not a
+  // use-after-free (the ASan builds of this test are the real check).
+  WriteBehindParams p;
+  p.flush_deadline = 5 * kMilli;
+  build(p);
+  run([](WriteBehindTest& t) -> Task<void> {
+    (void)co_await t.wb_->write("/a", 0, to_buffer("abcd"));
+    co_await t.loop_.sleep(1 * kMilli);
+    t.wb_.reset();  // xlator gone; the deadline task still has 4 ms to sleep
+    co_await t.loop_.sleep(10 * kMilli);
+    EXPECT_TRUE(t.child_.log.empty());  // the orphaned task did nothing
+  }(*this));
+}
+
 TEST_F(WriteBehindTest, ContiguousWritesAbsorbUntilThreshold) {
   WriteBehindParams p;
   p.flush_threshold = 8;
