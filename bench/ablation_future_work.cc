@@ -69,13 +69,13 @@ void rdma_ablation(const BenchArgs& args) {
     cfg.imca.rdma_cache_path = rdma;
     GlusterTestbed tb(cfg);
     SimDuration lat = 0;
-    tb.run([&lat](GlusterTestbed& t) -> sim::Task<void> {
+    tb.run([](GlusterTestbed& t, SimDuration& out_lat) -> sim::Task<void> {
       auto f = co_await t.client(0).create("/probe");
       (void)co_await t.client(0).write(*f, 0, to_buffer("xy"));
       const SimTime t0 = t.loop().now();
       (void)co_await t.client(0).read(*f, 0, 1);
-      lat = t.loop().now() - t0;
-    }(tb));
+      out_lat = t.loop().now() - t0;
+    }(tb, lat));
     return static_cast<double>(lat);
   };
 

@@ -1,0 +1,27 @@
+# imca_sanitized_tree(<name> ...) — one definition for every "configure a
+# sibling build tree with sanitizers, build a few targets, run them" gate
+# (previously each target spelled the configure/build/run dance by hand).
+#
+#   imca_sanitized_tree(imca_buffer_asan
+#     SANITIZE address,undefined
+#     COMMENT  "Buffer suites under ASan/UBSan"
+#     BUILD    buffer_test common_test
+#     RUN      "tests/buffer_test" "tests/common_test")
+#
+# SANITIZE feeds the sibling tree's -DIMCA_SANITIZE=… verbatim; BUILD is the
+# target list; each RUN entry is a command line relative to the sibling tree.
+function(imca_sanitized_tree name)
+  cmake_parse_arguments(ARG "" "SANITIZE;COMMENT" "BUILD;RUN" ${ARGN})
+  set(tree "${CMAKE_BINARY_DIR}/${name}")
+  set(cmds
+      COMMAND ${CMAKE_COMMAND} -B "${tree}" -S "${CMAKE_SOURCE_DIR}"
+              -DIMCA_SANITIZE=${ARG_SANITIZE}
+      COMMAND ${CMAKE_COMMAND} --build "${tree}" --target ${ARG_BUILD}
+              --parallel)
+  foreach(run IN LISTS ARG_RUN)
+    separate_arguments(run_args UNIX_COMMAND "${run}")
+    list(POP_FRONT run_args exe)
+    list(APPEND cmds COMMAND "${tree}/${exe}" ${run_args})
+  endforeach()
+  add_custom_target(${name} ${cmds} COMMENT "${ARG_COMMENT}" VERBATIM)
+endfunction()

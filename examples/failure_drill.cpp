@@ -41,19 +41,22 @@ int main() {
   const auto payload = make_payload();
   bool all_correct = true;
 
-  tb.run([&payload, &all_correct](cluster::GlusterTestbed& t) -> sim::Task<void> {
+  tb.run([](cluster::GlusterTestbed& t, Buffer data,
+            bool& ok_flag) -> sim::Task<void> {
     auto& fs = t.client(0);
     auto file = co_await fs.create("/critical/dataset.bin");
-    (void)co_await fs.write(*file, 0, payload);
+    (void)co_await fs.write(*file, 0, data);
     std::printf("wrote %llu bytes through IMCa (%zu MCDs up)\n\n",
-                static_cast<unsigned long long>(payload.size()), kMcds);
+                static_cast<unsigned long long>(data.size()), kMcds);
 
+    // verify lives in the enclosing coroutine frame, which outlives it.
+    // NOLINTNEXTLINE(imca-coro-lambda): every call co_awaited to completion.
     const auto verify = [&](const char* situation) -> sim::Task<void> {
       const SimTime t0 = t.loop().now();
-      auto back = co_await fs.read(*file, 0, payload.size());
+      auto back = co_await fs.read(*file, 0, data.size());
       const SimDuration took = t.loop().now() - t0;
-      const bool correct = back.has_value() && *back == payload;
-      all_correct = all_correct && correct;
+      const bool correct = back.has_value() && *back == data;
+      ok_flag = ok_flag && correct;
       std::printf("%-34s read=%s integrity=%s latency=%s\n", situation,
                   back ? "ok" : "FAILED", correct ? "intact" : "CORRUPT",
                   format_duration(static_cast<double>(took)).c_str());
@@ -75,7 +78,7 @@ int main() {
     auto head = co_await fs.read(*file, 0, 24);
     const bool post_ok =
         head.has_value() && to_string(*head) == "overwritten-after-outage";
-    all_correct = all_correct && post_ok;
+    ok_flag = ok_flag && post_ok;
     std::printf("%-34s read=%s integrity=%s\n", "write+read during outage",
                 head ? "ok" : "FAILED", post_ok ? "intact" : "CORRUPT");
 
@@ -83,7 +86,7 @@ int main() {
     std::printf("\nclient ops absorbed by dead daemons: %llu\n",
                 static_cast<unsigned long long>(
                     t.cmcache(0).mcds().stats().dead_server_ops));
-  }(tb));
+  }(tb, payload, all_correct));
 
   std::printf("\n%s\n", all_correct
                             ? "DRILL PASSED: no failure affected correctness."

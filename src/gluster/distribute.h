@@ -24,38 +24,38 @@ class DistributeXlator final : public Xlator {
       std::vector<std::unique_ptr<ProtocolClient>> bricks)
       : bricks_(std::move(bricks)) {}
 
-  sim::Task<Expected<store::Attr>> create(const std::string& path,
+  sim::Task<Expected<store::Attr>> create(std::string path,
                                           std::uint32_t mode) override {
     co_return co_await brick(path).create(path, mode);
   }
-  sim::Task<Expected<store::Attr>> open(const std::string& path) override {
+  sim::Task<Expected<store::Attr>> open(std::string path) override {
     co_return co_await brick(path).open(path);
   }
-  sim::Task<Expected<void>> close(const std::string& path) override {
+  sim::Task<Expected<void>> close(std::string path) override {
     co_return co_await brick(path).close(path);
   }
-  sim::Task<Expected<store::Attr>> stat(const std::string& path) override {
+  sim::Task<Expected<store::Attr>> stat(std::string path) override {
     co_return co_await brick(path).stat(path);
   }
-  sim::Task<Expected<Buffer>> read(const std::string& path,
+  sim::Task<Expected<Buffer>> read(std::string path,
                                    std::uint64_t offset,
                                    std::uint64_t len) override {
     co_return co_await brick(path).read(path, offset, len);
   }
-  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+  sim::Task<Expected<std::uint64_t>> write(std::string path,
                                            std::uint64_t offset,
                                            Buffer data) override {
     co_return co_await brick(path).write(path, offset, std::move(data));
   }
-  sim::Task<Expected<void>> unlink(const std::string& path) override {
+  sim::Task<Expected<void>> unlink(std::string path) override {
     co_return co_await brick(path).unlink(path);
   }
-  sim::Task<Expected<void>> truncate(const std::string& path,
+  sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override {
     co_return co_await brick(path).truncate(path, size);
   }
-  sim::Task<Expected<void>> rename(const std::string& from,
-                                   const std::string& to) override {
+  sim::Task<Expected<void>> rename(std::string from,
+                                   std::string to) override {
     if (brick_of(from) == brick_of(to)) {
       co_return co_await brick(from).rename(from, to);
     }

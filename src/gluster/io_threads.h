@@ -43,7 +43,7 @@ class IoThreadsXlator final : public Xlator {
                   std::size_t queue_limit = 0)
       : sem_(loop, threads), queue_limit_(queue_limit) {}
 
-  sim::Task<Expected<store::Attr>> create(const std::string& path,
+  sim::Task<Expected<store::Attr>> create(std::string path,
                                           std::uint32_t mode) override {
     if (shed()) co_return Errc::kBusy;
     co_await enter();
@@ -51,28 +51,28 @@ class IoThreadsXlator final : public Xlator {
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<store::Attr>> open(const std::string& path) override {
+  sim::Task<Expected<store::Attr>> open(std::string path) override {
     if (shed()) co_return Errc::kBusy;
     co_await enter();
     auto r = co_await child_->open(path);
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<void>> close(const std::string& path) override {
+  sim::Task<Expected<void>> close(std::string path) override {
     if (shed()) co_return Errc::kBusy;
     co_await enter();
     auto r = co_await child_->close(path);
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<store::Attr>> stat(const std::string& path) override {
+  sim::Task<Expected<store::Attr>> stat(std::string path) override {
     if (shed()) co_return Errc::kBusy;
     co_await enter();
     auto r = co_await child_->stat(path);
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<Buffer>> read(const std::string& path,
+  sim::Task<Expected<Buffer>> read(std::string path,
                                    std::uint64_t offset,
                                    std::uint64_t len) override {
     if (shed()) co_return Errc::kBusy;
@@ -81,7 +81,7 @@ class IoThreadsXlator final : public Xlator {
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+  sim::Task<Expected<std::uint64_t>> write(std::string path,
                                            std::uint64_t offset,
                                            Buffer data) override {
     if (shed()) co_return Errc::kBusy;
@@ -90,14 +90,14 @@ class IoThreadsXlator final : public Xlator {
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<void>> unlink(const std::string& path) override {
+  sim::Task<Expected<void>> unlink(std::string path) override {
     if (shed()) co_return Errc::kBusy;
     co_await enter();
     auto r = co_await child_->unlink(path);
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<void>> truncate(const std::string& path,
+  sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override {
     if (shed()) co_return Errc::kBusy;
     co_await enter();
@@ -105,8 +105,8 @@ class IoThreadsXlator final : public Xlator {
     sem_.release();
     co_return r;
   }
-  sim::Task<Expected<void>> rename(const std::string& from,
-                                   const std::string& to) override {
+  sim::Task<Expected<void>> rename(std::string from,
+                                   std::string to) override {
     if (shed()) co_return Errc::kBusy;
     co_await enter();
     auto r = co_await child_->rename(from, to);

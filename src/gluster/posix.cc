@@ -2,7 +2,7 @@
 
 namespace imca::gluster {
 
-sim::Task<Expected<store::Attr>> PosixXlator::create(const std::string& path,
+sim::Task<Expected<store::Attr>> PosixXlator::create(std::string path,
                                                      std::uint32_t mode) {
   co_await node_.cpu().use(params_.meta_op_cpu);
   auto attr = os_.create(path, loop_.now(), mode);
@@ -12,7 +12,7 @@ sim::Task<Expected<store::Attr>> PosixXlator::create(const std::string& path,
   co_return *attr;
 }
 
-sim::Task<Expected<store::Attr>> PosixXlator::open(const std::string& path) {
+sim::Task<Expected<store::Attr>> PosixXlator::open(std::string path) {
   co_await node_.cpu().use(params_.meta_op_cpu);
   auto attr = os_.stat(path);
   if (!attr) co_return attr.error();
@@ -20,12 +20,12 @@ sim::Task<Expected<store::Attr>> PosixXlator::open(const std::string& path) {
   co_return *attr;
 }
 
-sim::Task<Expected<void>> PosixXlator::close(const std::string&) {
+sim::Task<Expected<void>> PosixXlator::close(std::string) {
   co_await node_.cpu().use(params_.meta_op_cpu / 2);
   co_return Expected<void>{};
 }
 
-sim::Task<Expected<store::Attr>> PosixXlator::stat(const std::string& path) {
+sim::Task<Expected<store::Attr>> PosixXlator::stat(std::string path) {
   co_await node_.cpu().use(params_.meta_op_cpu);
   auto attr = os_.stat(path);
   if (!attr) co_return attr.error();
@@ -33,7 +33,7 @@ sim::Task<Expected<store::Attr>> PosixXlator::stat(const std::string& path) {
   co_return *attr;
 }
 
-sim::Task<Expected<Buffer>> PosixXlator::read(const std::string& path,
+sim::Task<Expected<Buffer>> PosixXlator::read(std::string path,
                                               std::uint64_t offset,
                                               std::uint64_t len) {
   auto attr = os_.stat(path);
@@ -47,7 +47,7 @@ sim::Task<Expected<Buffer>> PosixXlator::read(const std::string& path,
 }
 
 sim::Task<Expected<std::uint64_t>> PosixXlator::write(
-    const std::string& path, std::uint64_t offset, Buffer data) {
+    std::string path, std::uint64_t offset, Buffer data) {
   auto attr = os_.stat(path);
   if (!attr) co_return attr.error();
   co_await node_.cpu().use(params_.data_op_cpu +
@@ -58,7 +58,7 @@ sim::Task<Expected<std::uint64_t>> PosixXlator::write(
   co_return data.size();
 }
 
-sim::Task<Expected<void>> PosixXlator::unlink(const std::string& path) {
+sim::Task<Expected<void>> PosixXlator::unlink(std::string path) {
   co_await node_.cpu().use(params_.meta_op_cpu);
   auto attr = os_.stat(path);
   if (!attr) co_return attr.error();
@@ -69,7 +69,7 @@ sim::Task<Expected<void>> PosixXlator::unlink(const std::string& path) {
   co_return Expected<void>{};
 }
 
-sim::Task<Expected<void>> PosixXlator::truncate(const std::string& path,
+sim::Task<Expected<void>> PosixXlator::truncate(std::string path,
                                                 std::uint64_t size) {
   co_await node_.cpu().use(params_.meta_op_cpu);
   auto attr = os_.stat(path);
@@ -82,8 +82,8 @@ sim::Task<Expected<void>> PosixXlator::truncate(const std::string& path,
   co_return r;
 }
 
-sim::Task<Expected<void>> PosixXlator::rename(const std::string& from,
-                                              const std::string& to) {
+sim::Task<Expected<void>> PosixXlator::rename(std::string from,
+                                              std::string to) {
   co_await node_.cpu().use(params_.meta_op_cpu);
   auto attr = os_.stat(from);
   auto r = os_.rename(from, to, loop_.now());

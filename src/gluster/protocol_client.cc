@@ -161,7 +161,7 @@ sim::Task<Expected<FopReply>> ProtocolClient::roundtrip(FopRequest req) {
 }
 
 sim::Task<Expected<store::Attr>> ProtocolClient::create(
-    const std::string& path, std::uint32_t mode) {
+    std::string path, std::uint32_t mode) {
   FopRequest req;
   req.type = FopType::kCreate;
   req.path = path;
@@ -173,7 +173,7 @@ sim::Task<Expected<store::Attr>> ProtocolClient::create(
 }
 
 sim::Task<Expected<store::Attr>> ProtocolClient::open(
-    const std::string& path) {
+    std::string path) {
   FopRequest req;
   req.type = FopType::kOpen;
   req.path = path;
@@ -183,7 +183,7 @@ sim::Task<Expected<store::Attr>> ProtocolClient::open(
   co_return rep->attr;
 }
 
-sim::Task<Expected<void>> ProtocolClient::close(const std::string& path) {
+sim::Task<Expected<void>> ProtocolClient::close(std::string path) {
   FopRequest req;
   req.type = FopType::kClose;
   req.path = path;
@@ -193,7 +193,7 @@ sim::Task<Expected<void>> ProtocolClient::close(const std::string& path) {
 }
 
 sim::Task<Expected<store::Attr>> ProtocolClient::stat(
-    const std::string& path) {
+    std::string path) {
   FopRequest req;
   req.type = FopType::kStat;
   req.path = path;
@@ -203,7 +203,7 @@ sim::Task<Expected<store::Attr>> ProtocolClient::stat(
   co_return rep->attr;
 }
 
-sim::Task<Expected<Buffer>> ProtocolClient::read(const std::string& path,
+sim::Task<Expected<Buffer>> ProtocolClient::read(std::string path,
                                                  std::uint64_t offset,
                                                  std::uint64_t len) {
   FopRequest req;
@@ -218,7 +218,7 @@ sim::Task<Expected<Buffer>> ProtocolClient::read(const std::string& path,
 }
 
 sim::Task<Expected<std::uint64_t>> ProtocolClient::write(
-    const std::string& path, std::uint64_t offset, Buffer data) {
+    std::string path, std::uint64_t offset, Buffer data) {
   FopRequest req;
   req.type = FopType::kWrite;
   req.path = path;
@@ -230,7 +230,7 @@ sim::Task<Expected<std::uint64_t>> ProtocolClient::write(
   co_return rep->count;
 }
 
-sim::Task<Expected<void>> ProtocolClient::unlink(const std::string& path) {
+sim::Task<Expected<void>> ProtocolClient::unlink(std::string path) {
   FopRequest req;
   req.type = FopType::kUnlink;
   req.path = path;
@@ -239,7 +239,7 @@ sim::Task<Expected<void>> ProtocolClient::unlink(const std::string& path) {
   co_return rep->errc == Errc::kOk ? Expected<void>{} : rep->errc;
 }
 
-sim::Task<Expected<void>> ProtocolClient::truncate(const std::string& path,
+sim::Task<Expected<void>> ProtocolClient::truncate(std::string path,
                                                    std::uint64_t size) {
   FopRequest req;
   req.type = FopType::kTruncate;
@@ -250,8 +250,8 @@ sim::Task<Expected<void>> ProtocolClient::truncate(const std::string& path,
   co_return rep->errc == Errc::kOk ? Expected<void>{} : rep->errc;
 }
 
-sim::Task<Expected<void>> ProtocolClient::rename(const std::string& from,
-                                                 const std::string& to) {
+sim::Task<Expected<void>> ProtocolClient::rename(std::string from,
+                                                 std::string to) {
   FopRequest req;
   req.type = FopType::kRename;
   req.path = from;

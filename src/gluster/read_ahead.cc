@@ -4,7 +4,7 @@
 
 namespace imca::gluster {
 
-sim::Task<Expected<Buffer>> ReadAheadXlator::read(const std::string& path,
+sim::Task<Expected<Buffer>> ReadAheadXlator::read(std::string path,
                                                   std::uint64_t offset,
                                                   std::uint64_t len) {
   // Serve from the prefetch buffer when it fully covers the request: the
@@ -32,35 +32,35 @@ sim::Task<Expected<Buffer>> ReadAheadXlator::read(const std::string& path,
 }
 
 sim::Task<Expected<std::uint64_t>> ReadAheadXlator::write(
-    const std::string& path, std::uint64_t offset, Buffer data) {
+    std::string path, std::uint64_t offset, Buffer data) {
   drop(path);  // never serve stale prefetched bytes
   co_return co_await child_->write(path, offset, std::move(data));
 }
 
 sim::Task<Expected<store::Attr>> ReadAheadXlator::open(
-    const std::string& path) {
+    std::string path) {
   drop(path);
   co_return co_await child_->open(path);
 }
 
-sim::Task<Expected<void>> ReadAheadXlator::unlink(const std::string& path) {
+sim::Task<Expected<void>> ReadAheadXlator::unlink(std::string path) {
   drop(path);
   co_return co_await child_->unlink(path);
 }
 
-sim::Task<Expected<void>> ReadAheadXlator::close(const std::string& path) {
+sim::Task<Expected<void>> ReadAheadXlator::close(std::string path) {
   drop(path);
   co_return co_await child_->close(path);
 }
 
-sim::Task<Expected<void>> ReadAheadXlator::truncate(const std::string& path,
+sim::Task<Expected<void>> ReadAheadXlator::truncate(std::string path,
                                                     std::uint64_t size) {
   drop(path);
   co_return co_await child_->truncate(path, size);
 }
 
-sim::Task<Expected<void>> ReadAheadXlator::rename(const std::string& from,
-                                                  const std::string& to) {
+sim::Task<Expected<void>> ReadAheadXlator::rename(std::string from,
+                                                  std::string to) {
   drop(from);
   drop(to);
   co_return co_await child_->rename(from, to);

@@ -19,19 +19,19 @@ class ReadAheadXlator final : public Xlator {
   explicit ReadAheadXlator(std::uint64_t window = 128 * kKiB)
       : window_(window) {}
 
-  sim::Task<Expected<Buffer>> read(const std::string& path,
+  sim::Task<Expected<Buffer>> read(std::string path,
                                    std::uint64_t offset,
                                    std::uint64_t len) override;
-  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+  sim::Task<Expected<std::uint64_t>> write(std::string path,
                                            std::uint64_t offset,
                                            Buffer data) override;
-  sim::Task<Expected<store::Attr>> open(const std::string& path) override;
-  sim::Task<Expected<void>> unlink(const std::string& path) override;
-  sim::Task<Expected<void>> close(const std::string& path) override;
-  sim::Task<Expected<void>> truncate(const std::string& path,
+  sim::Task<Expected<store::Attr>> open(std::string path) override;
+  sim::Task<Expected<void>> unlink(std::string path) override;
+  sim::Task<Expected<void>> close(std::string path) override;
+  sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override;
-  sim::Task<Expected<void>> rename(const std::string& from,
-                                   const std::string& to) override;
+  sim::Task<Expected<void>> rename(std::string from,
+                                   std::string to) override;
 
   std::string_view name() const override { return "read-ahead"; }
 

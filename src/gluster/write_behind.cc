@@ -93,7 +93,7 @@ std::uint64_t WriteBehindXlator::drop_volatile() {
 }
 
 sim::Task<Expected<std::uint64_t>> WriteBehindXlator::write(
-    const std::string& path, std::uint64_t offset, Buffer data) {
+    std::string path, std::uint64_t offset, Buffer data) {
   if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
     co_return stuck;
   }
@@ -125,7 +125,7 @@ sim::Task<Expected<std::uint64_t>> WriteBehindXlator::write(
   co_return written;
 }
 
-sim::Task<Expected<Buffer>> WriteBehindXlator::read(const std::string& path,
+sim::Task<Expected<Buffer>> WriteBehindXlator::read(std::string path,
                                                     std::uint64_t offset,
                                                     std::uint64_t len) {
   if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
@@ -138,7 +138,7 @@ sim::Task<Expected<Buffer>> WriteBehindXlator::read(const std::string& path,
 }
 
 sim::Task<Expected<store::Attr>> WriteBehindXlator::stat(
-    const std::string& path) {
+    std::string path) {
   if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
     co_return stuck;
   }
@@ -148,7 +148,7 @@ sim::Task<Expected<store::Attr>> WriteBehindXlator::stat(
   co_return co_await child_->stat(path);
 }
 
-sim::Task<Expected<void>> WriteBehindXlator::close(const std::string& path) {
+sim::Task<Expected<void>> WriteBehindXlator::close(std::string path) {
   if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
     co_return stuck;
   }
@@ -158,7 +158,7 @@ sim::Task<Expected<void>> WriteBehindXlator::close(const std::string& path) {
   co_return co_await child_->close(path);
 }
 
-sim::Task<Expected<void>> WriteBehindXlator::unlink(const std::string& path) {
+sim::Task<Expected<void>> WriteBehindXlator::unlink(std::string path) {
   if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
     co_return stuck;
   }
@@ -168,7 +168,7 @@ sim::Task<Expected<void>> WriteBehindXlator::unlink(const std::string& path) {
   co_return co_await child_->unlink(path);
 }
 
-sim::Task<Expected<void>> WriteBehindXlator::truncate(const std::string& path,
+sim::Task<Expected<void>> WriteBehindXlator::truncate(std::string path,
                                                       std::uint64_t size) {
   if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
     co_return stuck;
@@ -179,8 +179,8 @@ sim::Task<Expected<void>> WriteBehindXlator::truncate(const std::string& path,
   co_return co_await child_->truncate(path, size);
 }
 
-sim::Task<Expected<void>> WriteBehindXlator::rename(const std::string& from,
-                                                    const std::string& to) {
+sim::Task<Expected<void>> WriteBehindXlator::rename(std::string from,
+                                                    std::string to) {
   if (const Errc stuck = take_stuck_error(from); stuck != Errc::kOk) {
     co_return stuck;
   }

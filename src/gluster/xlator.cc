@@ -8,54 +8,54 @@ namespace imca::gluster {
 // (posix, protocol/client) must override every fop; hitting these asserts
 // means the stack was mis-assembled.
 
-sim::Task<Expected<store::Attr>> Xlator::create(const std::string& path,
+sim::Task<Expected<store::Attr>> Xlator::create(std::string path,
                                                 std::uint32_t mode) {
   assert(child_ != nullptr);
   co_return co_await child_->create(path, mode);
 }
 
-sim::Task<Expected<store::Attr>> Xlator::open(const std::string& path) {
+sim::Task<Expected<store::Attr>> Xlator::open(std::string path) {
   assert(child_ != nullptr);
   co_return co_await child_->open(path);
 }
 
-sim::Task<Expected<void>> Xlator::close(const std::string& path) {
+sim::Task<Expected<void>> Xlator::close(std::string path) {
   assert(child_ != nullptr);
   co_return co_await child_->close(path);
 }
 
-sim::Task<Expected<store::Attr>> Xlator::stat(const std::string& path) {
+sim::Task<Expected<store::Attr>> Xlator::stat(std::string path) {
   assert(child_ != nullptr);
   co_return co_await child_->stat(path);
 }
 
-sim::Task<Expected<Buffer>> Xlator::read(const std::string& path,
+sim::Task<Expected<Buffer>> Xlator::read(std::string path,
                                          std::uint64_t offset,
                                          std::uint64_t len) {
   assert(child_ != nullptr);
   co_return co_await child_->read(path, offset, len);
 }
 
-sim::Task<Expected<std::uint64_t>> Xlator::write(const std::string& path,
+sim::Task<Expected<std::uint64_t>> Xlator::write(std::string path,
                                                  std::uint64_t offset,
                                                  Buffer data) {
   assert(child_ != nullptr);
   co_return co_await child_->write(path, offset, std::move(data));
 }
 
-sim::Task<Expected<void>> Xlator::unlink(const std::string& path) {
+sim::Task<Expected<void>> Xlator::unlink(std::string path) {
   assert(child_ != nullptr);
   co_return co_await child_->unlink(path);
 }
 
-sim::Task<Expected<void>> Xlator::truncate(const std::string& path,
+sim::Task<Expected<void>> Xlator::truncate(std::string path,
                                            std::uint64_t size) {
   assert(child_ != nullptr);
   co_return co_await child_->truncate(path, size);
 }
 
-sim::Task<Expected<void>> Xlator::rename(const std::string& from,
-                                         const std::string& to) {
+sim::Task<Expected<void>> Xlator::rename(std::string from,
+                                         std::string to) {
   assert(child_ != nullptr);
   co_return co_await child_->rename(from, to);
 }

@@ -48,22 +48,22 @@ class Xlator {
   void set_child(Xlator* child) noexcept { child_ = child; }
   Xlator* child() const noexcept { return child_; }
 
-  virtual sim::Task<Expected<store::Attr>> create(const std::string& path,
+  virtual sim::Task<Expected<store::Attr>> create(std::string path,
                                                   std::uint32_t mode);
-  virtual sim::Task<Expected<store::Attr>> open(const std::string& path);
-  virtual sim::Task<Expected<void>> close(const std::string& path);
-  virtual sim::Task<Expected<store::Attr>> stat(const std::string& path);
-  virtual sim::Task<Expected<Buffer>> read(const std::string& path,
+  virtual sim::Task<Expected<store::Attr>> open(std::string path);
+  virtual sim::Task<Expected<void>> close(std::string path);
+  virtual sim::Task<Expected<store::Attr>> stat(std::string path);
+  virtual sim::Task<Expected<Buffer>> read(std::string path,
                                            std::uint64_t offset,
                                            std::uint64_t len);
-  virtual sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+  virtual sim::Task<Expected<std::uint64_t>> write(std::string path,
                                                    std::uint64_t offset,
                                                    Buffer data);
-  virtual sim::Task<Expected<void>> unlink(const std::string& path);
-  virtual sim::Task<Expected<void>> truncate(const std::string& path,
+  virtual sim::Task<Expected<void>> unlink(std::string path);
+  virtual sim::Task<Expected<void>> truncate(std::string path,
                                              std::uint64_t size);
-  virtual sim::Task<Expected<void>> rename(const std::string& from,
-                                           const std::string& to);
+  virtual sim::Task<Expected<void>> rename(std::string from,
+                                           std::string to);
 
   // A short name for diagnostics ("posix", "cmcache", ...).
   virtual std::string_view name() const = 0;

@@ -23,7 +23,7 @@ CmCacheXlator::Brownout CmCacheXlator::brownout_state() const {
                                               : Brownout::kBypass;
 }
 
-sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
+sim::Task<Expected<store::Attr>> CmCacheXlator::stat(std::string path) {
   const Brownout bo = brownout_state();
   if (bo == Brownout::kBypass) {
     // The outage outlived the staleness bound: a cached answer could be
@@ -48,7 +48,7 @@ sim::Task<Expected<store::Attr>> CmCacheXlator::stat(const std::string& path) {
   co_return co_await child_->stat(path);
 }
 
-sim::Task<Expected<Buffer>> CmCacheXlator::read(const std::string& path,
+sim::Task<Expected<Buffer>> CmCacheXlator::read(std::string path,
                                                 std::uint64_t offset,
                                                 std::uint64_t len) {
   if (len == 0) co_return Buffer{};
@@ -87,31 +87,31 @@ sim::Task<Expected<Buffer>> CmCacheXlator::read(const std::string& path,
 }
 
 sim::Task<Expected<std::uint64_t>> CmCacheXlator::write(
-    const std::string& path, std::uint64_t offset, Buffer data) {
+    std::string path, std::uint64_t offset, Buffer data) {
   bump_epoch(path);  // before forwarding: no repair captured earlier may land
   co_return co_await child_->write(path, offset, std::move(data));
 }
 
-sim::Task<Expected<void>> CmCacheXlator::unlink(const std::string& path) {
+sim::Task<Expected<void>> CmCacheXlator::unlink(std::string path) {
   bump_epoch(path);
   co_return co_await child_->unlink(path);
 }
 
-sim::Task<Expected<void>> CmCacheXlator::truncate(const std::string& path,
+sim::Task<Expected<void>> CmCacheXlator::truncate(std::string path,
                                                   std::uint64_t size) {
   bump_epoch(path);
   co_return co_await child_->truncate(path, size);
 }
 
-sim::Task<Expected<void>> CmCacheXlator::rename(const std::string& from,
-                                                const std::string& to) {
+sim::Task<Expected<void>> CmCacheXlator::rename(std::string from,
+                                                std::string to) {
   bump_epoch(from);
   bump_epoch(to);
   co_return co_await child_->rename(from, to);
 }
 
 sim::Task<Expected<Buffer>> CmCacheXlator::read_forward_on_miss(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+    std::string path, std::uint64_t offset, std::uint64_t len) {
   const auto blocks = mapper_.covering(offset, len);
   std::vector<std::string> keys;
   std::vector<std::uint64_t> hints;
@@ -161,7 +161,7 @@ sim::Task<Expected<Buffer>> CmCacheXlator::read_forward_on_miss(
 }
 
 sim::Task<Expected<Buffer>> CmCacheXlator::read_partial_hit(
-    const std::string& path, std::uint64_t offset, std::uint64_t len) {
+    std::string path, std::uint64_t offset, std::uint64_t len) {
   const std::uint64_t bs = mapper_.block_size();
   const auto blocks = mapper_.covering(offset, len);
   stats_.blocks_requested += blocks.size();
@@ -269,7 +269,7 @@ sim::Task<Expected<Buffer>> CmCacheXlator::read_partial_hit(
     for (auto& run : runs) {
       const std::uint64_t start = mapper_.start_of(slots[run.first].block);
       const std::uint64_t length = static_cast<std::uint64_t>(run.count) * bs;
-      fetches.push_back([](gluster::Xlator& child, const std::string& p,
+      fetches.push_back([](gluster::Xlator& child, std::string p,
                            std::uint64_t s, std::uint64_t l,
                            Run& out) -> sim::Task<void> {
         auto data = co_await child.read(p, s, l);

@@ -80,22 +80,22 @@ class CmCacheXlator final : public gluster::Xlator {
         cfg_(cfg),
         inflight_(mcds_->loop()) {}
 
-  sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
-  sim::Task<Expected<Buffer>> read(const std::string& path,
+  sim::Task<Expected<store::Attr>> stat(std::string path) override;
+  sim::Task<Expected<Buffer>> read(std::string path,
                                    std::uint64_t offset,
                                    std::uint64_t len) override;
 
   // Mutations pass through to the server, but each bumps the path's write
   // epoch *before* forwarding so an in-flight read-repair captured under the
   // old contents can never land after the change (see repair_blocks).
-  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+  sim::Task<Expected<std::uint64_t>> write(std::string path,
                                            std::uint64_t offset,
                                            Buffer data) override;
-  sim::Task<Expected<void>> unlink(const std::string& path) override;
-  sim::Task<Expected<void>> truncate(const std::string& path,
+  sim::Task<Expected<void>> unlink(std::string path) override;
+  sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override;
-  sim::Task<Expected<void>> rename(const std::string& from,
-                                   const std::string& to) override;
+  sim::Task<Expected<void>> rename(std::string from,
+                                   std::string to) override;
 
   std::string_view name() const override { return "cmcache"; }
 
@@ -125,11 +125,11 @@ class CmCacheXlator final : public gluster::Xlator {
   };
 
   // The paper's path: any miss discards the hits and forwards the whole read.
-  sim::Task<Expected<Buffer>> read_forward_on_miss(const std::string& path,
+  sim::Task<Expected<Buffer>> read_forward_on_miss(std::string path,
                                                    std::uint64_t offset,
                                                    std::uint64_t len);
   // The rebuilt path: partial-hit assembly + read-repair + single-flight.
-  sim::Task<Expected<Buffer>> read_partial_hit(const std::string& path,
+  sim::Task<Expected<Buffer>> read_partial_hit(std::string path,
                                                std::uint64_t offset,
                                                std::uint64_t len);
   // Fire-and-forget: push server-fetched blocks into the MCD array. `epoch`

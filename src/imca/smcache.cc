@@ -45,8 +45,8 @@ sim::Task<void> SmCacheXlator::quiesce() {
   co_await done.wait();
 }
 
-sim::Task<void> SmCacheXlator::publish_stat(const std::string& path,
-                                            const store::Attr& attr) {
+sim::Task<void> SmCacheXlator::publish_stat(std::string path,
+                                            store::Attr attr) {
   ByteBuf buf;
   attr.encode(buf);
   auto stored = co_await mcds_->set(stat_key(path), buf.buffer());
@@ -57,9 +57,9 @@ sim::Task<void> SmCacheXlator::publish_stat(const std::string& path,
   }
 }
 
-sim::Task<void> SmCacheXlator::publish_blocks(const std::string& path,
+sim::Task<void> SmCacheXlator::publish_blocks(std::string path,
                                               std::uint64_t region_start,
-                                              const Buffer& data) {
+                                              Buffer data) {
   const std::uint64_t bs = mapper_.block_size();
   std::uint64_t pos = 0;
   while (pos < data.size()) {
@@ -85,7 +85,7 @@ sim::Task<void> SmCacheXlator::publish_blocks(const std::string& path,
   }
 }
 
-sim::Task<void> SmCacheXlator::purge_range(const std::string& path,
+sim::Task<void> SmCacheXlator::purge_range(std::string path,
                                            std::uint64_t from_byte,
                                            std::uint64_t to_byte) {
   const std::uint64_t bs = mapper_.block_size();
@@ -102,7 +102,7 @@ sim::Task<void> SmCacheXlator::purge_range(const std::string& path,
   }
 }
 
-sim::Task<void> SmCacheXlator::purge(const std::string& path,
+sim::Task<void> SmCacheXlator::purge(std::string path,
                                      std::uint64_t highest_byte) {
   ++stats_.purges;
   (void)co_await mcds_->del(stat_key(path));
@@ -122,7 +122,7 @@ sim::Task<void> SmCacheXlator::readback_and_publish(std::string path,
   if (attr) co_await publish_stat(path, *attr);
 }
 
-sim::Task<Expected<store::Attr>> SmCacheXlator::open(const std::string& path) {
+sim::Task<Expected<store::Attr>> SmCacheXlator::open(std::string path) {
   auto attr = co_await child_->open(path);
   if (!attr) co_return attr;
   known_size_[path] = attr->size;
@@ -136,7 +136,7 @@ sim::Task<Expected<store::Attr>> SmCacheXlator::open(const std::string& path) {
   co_return attr;
 }
 
-sim::Task<Expected<store::Attr>> SmCacheXlator::stat(const std::string& path) {
+sim::Task<Expected<store::Attr>> SmCacheXlator::stat(std::string path) {
   auto attr = co_await child_->stat(path);
   if (attr) {
     known_size_[path] = attr->size;
@@ -145,7 +145,7 @@ sim::Task<Expected<store::Attr>> SmCacheXlator::stat(const std::string& path) {
   co_return attr;
 }
 
-sim::Task<Expected<Buffer>> SmCacheXlator::read(const std::string& path,
+sim::Task<Expected<Buffer>> SmCacheXlator::read(std::string path,
                                                 std::uint64_t offset,
                                                 std::uint64_t len) {
   if (len == 0) co_return co_await child_->read(path, offset, len);
@@ -176,7 +176,7 @@ sim::Task<Expected<Buffer>> SmCacheXlator::read(const std::string& path,
 }
 
 sim::Task<Expected<std::uint64_t>> SmCacheXlator::write(
-    const std::string& path, std::uint64_t offset, Buffer data) {
+    std::string path, std::uint64_t offset, Buffer data) {
   // Old size first: a write far beyond EOF leaves stale short blocks at the
   // old boundary which must be purged for coherence. The size usually comes
   // from our own bookkeeping; only a path we have never seen costs a stat.
@@ -217,7 +217,7 @@ sim::Task<Expected<std::uint64_t>> SmCacheXlator::write(
   co_return written;
 }
 
-sim::Task<Expected<void>> SmCacheXlator::close(const std::string& path) {
+sim::Task<Expected<void>> SmCacheXlator::close(std::string path) {
   auto r = co_await child_->close(path);
   // "it will attempt to discard the data for the file from the MCDs" (§4.3.2)
   const auto it = published_extent_.find(path);
@@ -229,7 +229,7 @@ sim::Task<Expected<void>> SmCacheXlator::close(const std::string& path) {
   co_return r;
 }
 
-sim::Task<Expected<void>> SmCacheXlator::truncate(const std::string& path,
+sim::Task<Expected<void>> SmCacheXlator::truncate(std::string path,
                                                   std::uint64_t size) {
   // Old size first (usually from our own bookkeeping): the region whose
   // bytes change is [min(old,new), max(old,new)) — a shrink removes data, a
@@ -261,8 +261,8 @@ sim::Task<Expected<void>> SmCacheXlator::truncate(const std::string& path,
   co_return r;
 }
 
-sim::Task<Expected<void>> SmCacheXlator::rename(const std::string& from,
-                                                const std::string& to) {
+sim::Task<Expected<void>> SmCacheXlator::rename(std::string from,
+                                                std::string to) {
   auto r = co_await child_->rename(from, to);
   if (!r) co_return r;
   // Every cached item keys on the absolute path: both the old name's blocks
@@ -281,7 +281,7 @@ sim::Task<Expected<void>> SmCacheXlator::rename(const std::string& from,
   co_return r;
 }
 
-sim::Task<Expected<void>> SmCacheXlator::unlink(const std::string& path) {
+sim::Task<Expected<void>> SmCacheXlator::unlink(std::string path) {
   auto r = co_await child_->unlink(path);
   if (!r) co_return r;
   known_size_.erase(path);

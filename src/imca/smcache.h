@@ -58,20 +58,20 @@ class SmCacheXlator final : public gluster::Xlator {
                 std::unique_ptr<mcclient::McClient> mcds, ImcaConfig cfg);
   ~SmCacheXlator() override;
 
-  sim::Task<Expected<store::Attr>> open(const std::string& path) override;
-  sim::Task<Expected<store::Attr>> stat(const std::string& path) override;
-  sim::Task<Expected<Buffer>> read(const std::string& path,
+  sim::Task<Expected<store::Attr>> open(std::string path) override;
+  sim::Task<Expected<store::Attr>> stat(std::string path) override;
+  sim::Task<Expected<Buffer>> read(std::string path,
                                    std::uint64_t offset,
                                    std::uint64_t len) override;
-  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+  sim::Task<Expected<std::uint64_t>> write(std::string path,
                                            std::uint64_t offset,
                                            Buffer data) override;
-  sim::Task<Expected<void>> close(const std::string& path) override;
-  sim::Task<Expected<void>> unlink(const std::string& path) override;
-  sim::Task<Expected<void>> truncate(const std::string& path,
+  sim::Task<Expected<void>> close(std::string path) override;
+  sim::Task<Expected<void>> unlink(std::string path) override;
+  sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override;
-  sim::Task<Expected<void>> rename(const std::string& from,
-                                   const std::string& to) override;
+  sim::Task<Expected<void>> rename(std::string from,
+                                   std::string to) override;
 
   std::string_view name() const override { return "smcache"; }
 
@@ -93,15 +93,14 @@ class SmCacheXlator final : public gluster::Xlator {
   // Publish every block of `data` (which starts at aligned `region_start`)
   // as zero-copy slices of its segments. Blocks shorter than the block size
   // mark EOF; empty blocks are skipped.
-  sim::Task<void> publish_blocks(const std::string& path,
-                                 std::uint64_t region_start,
-                                 const Buffer& data);
-  sim::Task<void> publish_stat(const std::string& path,
-                               const store::Attr& attr);
+  sim::Task<void> publish_blocks(std::string path,
+                                 std::uint64_t region_start, Buffer data);
+  sim::Task<void> publish_stat(std::string path,
+                               store::Attr attr);
   // Delete the stat item and every block up to `highest_byte`.
-  sim::Task<void> purge(const std::string& path, std::uint64_t highest_byte);
+  sim::Task<void> purge(std::string path, std::uint64_t highest_byte);
   // Delete blocks covering [from_byte, to_byte) — stale-EOF cleanup.
-  sim::Task<void> purge_range(const std::string& path, std::uint64_t from_byte,
+  sim::Task<void> purge_range(std::string path, std::uint64_t from_byte,
                               std::uint64_t to_byte);
   // Read the aligned region back from the file system and publish it.
   sim::Task<void> readback_and_publish(std::string path, std::uint64_t start,

@@ -10,17 +10,24 @@ CachedLustreClient::CachedLustreClient(
     LustreClient& inner, std::unique_ptr<mcclient::McClient> bank,
     std::uint64_t block_size)
     : inner_(inner), bank_(std::move(bank)), mapper_(block_size) {
-  inner_.set_revoke_hook(
-      [this](const std::string& path, LockMode requested) -> sim::Task<void> {
-        // A reader's arrival (PR) leaves our published data valid — only a
-        // writer about to change the bytes forces a purge.
-        if (requested != LockMode::kWrite) co_return;
-        auto it = state_.find(path);
-        if (it == state_.end()) co_return;
-        ++it->second.epoch;
-        ++stats_.revocation_purges;
-        co_await purge_published(path);
-      });
+  // The forwarding lambda is not itself a coroutine (IMCA-CORO-LAMBDA):
+  // the frame that suspends belongs to the named member coroutine, whose
+  // parameters are its own copies.
+  inner_.set_revoke_hook([this](std::string path, LockMode requested) {
+    return on_revoke(std::move(path), requested);
+  });
+}
+
+sim::Task<void> CachedLustreClient::on_revoke(std::string path,
+                                              LockMode requested) {
+  // A reader's arrival (PR) leaves our published data valid — only a
+  // writer about to change the bytes forces a purge.
+  if (requested != LockMode::kWrite) co_return;
+  auto it = state_.find(path);
+  if (it == state_.end()) co_return;
+  ++it->second.epoch;
+  ++stats_.revocation_purges;
+  co_await purge_published(path);
 }
 
 Expected<std::string> CachedLustreClient::path_of(fsapi::OpenFile file) const {
@@ -29,7 +36,7 @@ Expected<std::string> CachedLustreClient::path_of(fsapi::OpenFile file) const {
   return it->second;
 }
 
-sim::Task<void> CachedLustreClient::purge_published(const std::string& path) {
+sim::Task<void> CachedLustreClient::purge_published(std::string path) {
   auto it = state_.find(path);
   if (it == state_.end()) co_return;
   const std::uint64_t bs = mapper_.block_size();
@@ -40,9 +47,9 @@ sim::Task<void> CachedLustreClient::purge_published(const std::string& path) {
   it->second.published_extent = 0;
 }
 
-sim::Task<void> CachedLustreClient::publish_region(const std::string& path,
+sim::Task<void> CachedLustreClient::publish_region(std::string path,
                                                    std::uint64_t start,
-                                                   const Buffer& data) {
+                                                   Buffer data) {
   PathState& st = state_[path];
   const std::uint64_t epoch_at_start = st.epoch;
   const std::uint64_t bs = mapper_.block_size();

@@ -76,9 +76,12 @@ class CachedLustreClient final : public fsapi::FileSystemClient {
     std::uint64_t published_extent = 0; // highest byte we pushed to the bank
   };
 
-  sim::Task<void> publish_region(const std::string& path, std::uint64_t start,
-                                 const Buffer& data);
-  sim::Task<void> purge_published(const std::string& path);
+  sim::Task<void> publish_region(std::string path, std::uint64_t start,
+                                 Buffer data);
+  sim::Task<void> purge_published(std::string path);
+  // LDLM revoke hook body (named coroutine: the registered lambda only
+  // forwards, so no frame ever refers to a dead lambda object).
+  sim::Task<void> on_revoke(std::string path, LockMode requested);
   Expected<std::string> path_of(fsapi::OpenFile file) const;
 
   LustreClient& inner_;

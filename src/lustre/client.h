@@ -67,7 +67,7 @@ class LustreClient final : public fsapi::FileSystemClient {
   // Take (or reuse) a cached PR lock on `path` — exposed for layers that
   // stack caching above this client (lustre::CachedLustreClient) and need
   // the coherence epoch the lock defines.
-  sim::Task<Expected<void>> lock_for_read(const std::string& path) {
+  sim::Task<Expected<void>> lock_for_read(std::string path) {
     return ensure_lock(path, LockMode::kRead);
   }
 
@@ -75,7 +75,7 @@ class LustreClient final : public fsapi::FileSystemClient {
   // locks, after the client's own pages are dropped. Stacked caches use it
   // to invalidate their tier; `requested` is the competing lock mode.
   void set_revoke_hook(std::function<sim::Task<void>(
-                           const std::string& path, LockMode requested)>
+                           std::string path, LockMode requested)>
                            hook) {
     revoke_hook_ = std::move(hook);
   }
@@ -96,8 +96,11 @@ class LustreClient final : public fsapi::FileSystemClient {
  private:
   sim::Task<void> charge_rpc(net::NodeId peer, std::uint64_t req_bytes,
                              std::uint64_t reply_bytes);
-  sim::Task<Expected<void>> ensure_lock(const std::string& path,
+  sim::Task<Expected<void>> ensure_lock(std::string path,
                                         LockMode mode);
+  // MDS revoke callback body (named coroutine; the registered lambda only
+  // forwards).
+  sim::Task<void> on_lock_revoked(std::string path, LockMode requested);
   Expected<std::string> path_of(fsapi::OpenFile file) const;
   std::uint64_t cache_key(const std::string& path) const;
 
@@ -109,7 +112,7 @@ class LustreClient final : public fsapi::FileSystemClient {
   LustreClientParams params_;
 
   store::PageCache pages_;
-  std::function<sim::Task<void>(const std::string& path, LockMode requested)>
+  std::function<sim::Task<void>(std::string path, LockMode requested)>
       revoke_hook_;
   bool cache_disabled_ = false;
   std::map<std::string, LockMode> lock_cache_;

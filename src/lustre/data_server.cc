@@ -9,7 +9,7 @@ DataServer::DataServer(net::RpcSystem& rpc, net::NodeId node, DsParams params)
       dev_(rpc.fabric().loop(), params.raid_members, params.disk,
            params.page_cache_bytes, "ost" + std::to_string(node)) {}
 
-sim::Task<Expected<Buffer>> DataServer::read(const std::string& object,
+sim::Task<Expected<Buffer>> DataServer::read(std::string object,
                                              std::uint64_t offset,
                                              std::uint64_t len) {
   co_await rpc_.fabric().node(node_).cpu().use(
@@ -23,7 +23,7 @@ sim::Task<Expected<Buffer>> DataServer::read(const std::string& object,
 }
 
 sim::Task<Expected<std::uint64_t>> DataServer::write(
-    const std::string& object, std::uint64_t offset, Buffer data) {
+    std::string object, std::uint64_t offset, Buffer data) {
   co_await rpc_.fabric().node(node_).cpu().use(
       params_.op_cpu + transfer_time(data.size(), params_.copy_bps));
   if (!objects_.exists(object)) {
@@ -37,7 +37,7 @@ sim::Task<Expected<std::uint64_t>> DataServer::write(
   co_return data.size();
 }
 
-sim::Task<Expected<void>> DataServer::remove(const std::string& object) {
+sim::Task<Expected<void>> DataServer::remove(std::string object) {
   co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
   if (objects_.exists(object)) {
     const auto attr = objects_.stat(object);
@@ -48,7 +48,7 @@ sim::Task<Expected<void>> DataServer::remove(const std::string& object) {
 }
 
 sim::Task<Expected<void>> DataServer::truncate_object(
-    const std::string& object, std::uint64_t local_size) {
+    std::string object, std::uint64_t local_size) {
   co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
   if (!objects_.exists(object)) co_return Expected<void>{};  // sparse
   const auto attr = objects_.stat(object);
@@ -57,8 +57,8 @@ sim::Task<Expected<void>> DataServer::truncate_object(
                               rpc_.fabric().loop().now());
 }
 
-sim::Task<Expected<void>> DataServer::rename_object(const std::string& from,
-                                                    const std::string& to) {
+sim::Task<Expected<void>> DataServer::rename_object(std::string from,
+                                                    std::string to) {
   co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
   if (!objects_.exists(from)) {
     // This DS held no stripes of the file; make sure no stale target stays.

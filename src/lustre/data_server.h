@@ -34,15 +34,15 @@ class DataServer {
 
   // Serve a read/write of a local extent (object auto-created on first
   // write, like OST objects).
-  sim::Task<Expected<Buffer>> read(const std::string& object,
+  sim::Task<Expected<Buffer>> read(std::string object,
                                    std::uint64_t offset, std::uint64_t len);
-  sim::Task<Expected<std::uint64_t>> write(const std::string& object,
+  sim::Task<Expected<std::uint64_t>> write(std::string object,
                                            std::uint64_t offset, Buffer data);
-  sim::Task<Expected<void>> remove(const std::string& object);
-  sim::Task<Expected<void>> truncate_object(const std::string& object,
+  sim::Task<Expected<void>> remove(std::string object);
+  sim::Task<Expected<void>> truncate_object(std::string object,
                                             std::uint64_t local_size);
-  sim::Task<Expected<void>> rename_object(const std::string& from,
-                                          const std::string& to);
+  sim::Task<Expected<void>> rename_object(std::string from,
+                                          std::string to);
 
  private:
   net::RpcSystem& rpc_;

@@ -16,7 +16,7 @@ sim::Task<void> MetadataServer::charge_op() {
 }
 
 sim::Task<Expected<store::Attr>> MetadataServer::create(
-    const std::string& path) {
+    std::string path) {
   co_await charge_op();
   auto attr = ns_.create(path, rpc_.fabric().loop().now());
   if (!attr) co_return attr.error();
@@ -24,7 +24,7 @@ sim::Task<Expected<store::Attr>> MetadataServer::create(
   co_return *attr;
 }
 
-sim::Task<Expected<store::Attr>> MetadataServer::stat(const std::string& path) {
+sim::Task<Expected<store::Attr>> MetadataServer::stat(std::string path) {
   co_await charge_op();
   auto attr = ns_.stat(path);
   if (!attr) co_return attr.error();
@@ -32,7 +32,7 @@ sim::Task<Expected<store::Attr>> MetadataServer::stat(const std::string& path) {
   co_return *attr;
 }
 
-sim::Task<Expected<void>> MetadataServer::unlink(const std::string& path) {
+sim::Task<Expected<void>> MetadataServer::unlink(std::string path) {
   co_await charge_op();
   auto attr = ns_.stat(path);
   if (!attr) co_return attr.error();
@@ -43,7 +43,7 @@ sim::Task<Expected<void>> MetadataServer::unlink(const std::string& path) {
   co_return Expected<void>{};
 }
 
-sim::Task<Expected<void>> MetadataServer::set_size(const std::string& path,
+sim::Task<Expected<void>> MetadataServer::set_size(std::string path,
                                                    std::uint64_t size) {
   co_await charge_op();
   auto attr = ns_.stat(path);
@@ -53,14 +53,14 @@ sim::Task<Expected<void>> MetadataServer::set_size(const std::string& path,
   co_return ns_.truncate(path, new_size, rpc_.fabric().loop().now());
 }
 
-sim::Task<Expected<void>> MetadataServer::truncate(const std::string& path,
+sim::Task<Expected<void>> MetadataServer::truncate(std::string path,
                                                    std::uint64_t size) {
   co_await charge_op();
   co_return ns_.truncate(path, size, rpc_.fabric().loop().now());
 }
 
-sim::Task<Expected<void>> MetadataServer::rename(const std::string& from,
-                                                 const std::string& to) {
+sim::Task<Expected<void>> MetadataServer::rename(std::string from,
+                                                 std::string to) {
   co_await charge_op();
   auto r = ns_.rename(from, to, rpc_.fabric().loop().now());
   if (r) {
@@ -84,7 +84,7 @@ void MetadataServer::drop_client_locks(std::uint32_t client) {
   }
 }
 
-sim::Task<Expected<void>> MetadataServer::lock(const std::string& path,
+sim::Task<Expected<void>> MetadataServer::lock(std::string path,
                                                std::uint32_t client,
                                                LockMode mode) {
   ++lock_requests_;

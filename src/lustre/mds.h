@@ -47,7 +47,7 @@ class MetadataServer {
   // when it revokes a lock. `requested` is the mode the competing client
   // asked for — Lustre's blocking callbacks carry the conflicting mode, and
   // stacked caches need it: only a writer's arrival invalidates data.
-  using RevokeFn = std::function<sim::Task<void>(const std::string& path,
+  using RevokeFn = std::function<sim::Task<void>(std::string path,
                                                  LockMode requested)>;
 
   MetadataServer(net::RpcSystem& rpc, net::NodeId node, MdsParams params = {});
@@ -56,22 +56,22 @@ class MetadataServer {
   store::ObjectStore& namespace_store() noexcept { return ns_; }
 
   // --- metadata ops (invoked via the owning client's RPC wrappers) ---
-  sim::Task<Expected<store::Attr>> create(const std::string& path);
-  sim::Task<Expected<store::Attr>> stat(const std::string& path);
-  sim::Task<Expected<void>> unlink(const std::string& path);
+  sim::Task<Expected<store::Attr>> create(std::string path);
+  sim::Task<Expected<store::Attr>> stat(std::string path);
+  sim::Task<Expected<void>> unlink(std::string path);
   // Size updates flow back from clients after writes (Lustre's size-on-MDS
   // simplification of its glimpse protocol).
-  sim::Task<Expected<void>> set_size(const std::string& path,
+  sim::Task<Expected<void>> set_size(std::string path,
                                      std::uint64_t size);
   // Explicit truncate: unlike set_size, the size may shrink.
-  sim::Task<Expected<void>> truncate(const std::string& path,
+  sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size);
-  sim::Task<Expected<void>> rename(const std::string& from,
-                                   const std::string& to);
+  sim::Task<Expected<void>> rename(std::string from,
+                                   std::string to);
 
   // --- lock manager ---
   // Grant `mode` on `path` to `client`, revoking conflicting holders first.
-  sim::Task<Expected<void>> lock(const std::string& path, std::uint32_t client,
+  sim::Task<Expected<void>> lock(std::string path, std::uint32_t client,
                                  LockMode mode);
   void register_client(std::uint32_t client, RevokeFn revoke);
   // Drop every lock `client` holds (unmount — the paper's cold-cache knob).

@@ -252,7 +252,7 @@ sim::Task<GetResult> McClient::multi_get(std::vector<std::string> keys,
   calls.reserve(groups.by_server.size());
   for (auto& [server, group] : groups.by_server) {
     calls.push_back([](McClient& c, std::size_t srv,
-                       const std::vector<std::string>& keys_for_server,
+                       std::vector<std::string> keys_for_server,
                        GetResult& out) -> sim::Task<void> {
       auto resp = co_await c.call(srv, memcache::encode_get(keys_for_server),
                                   OpKind::kGet, ReplyShape::kTerminated);
@@ -284,7 +284,7 @@ sim::Task<std::vector<std::optional<Value>>> McClient::multi_get_ordered(
   calls.reserve(groups.by_server.size());
   for (auto& [server, group] : groups.by_server) {
     calls.push_back([](McClient& c, std::size_t srv,
-                       const std::vector<std::string>& keys_for_server,
+                       std::vector<std::string> keys_for_server,
                        GetResult& out_map) -> sim::Task<void> {
       auto resp = co_await c.call(srv, memcache::encode_get(keys_for_server),
                                   OpKind::kGet, ReplyShape::kTerminated);

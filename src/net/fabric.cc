@@ -13,7 +13,7 @@ sim::Task<void> Fabric::transfer(NodeId src, NodeId dst,
   co_await transfer_via(transport_, src, dst, payload);
 }
 
-sim::Task<void> Fabric::transfer_via(const TransportParams& transport,
+sim::Task<void> Fabric::transfer_via(TransportParams transport,
                                      NodeId src, NodeId dst,
                                      std::uint64_t payload) {
   ++messages_;

@@ -51,7 +51,7 @@ class Fabric {
   // Same, but under explicit transport parameters — e.g. a verbs/RDMA
   // channel between specific endpoints while the rest of the cluster speaks
   // IPoIB (the paper's future-work direction of RDMA-ing the cache bank).
-  sim::Task<void> transfer_via(const TransportParams& transport, NodeId src,
+  sim::Task<void> transfer_via(TransportParams transport, NodeId src,
                                NodeId dst, std::uint64_t payload);
 
   // --- instrumentation ---

@@ -12,7 +12,7 @@ NfsServer::NfsServer(net::RpcSystem& rpc, net::NodeId node,
       dev_(rpc.fabric().loop(), params.raid_members, params.disk,
            params.page_cache_bytes, "nfsd" + std::to_string(node)) {}
 
-sim::Task<Expected<store::Attr>> NfsServer::create(const std::string& path) {
+sim::Task<Expected<store::Attr>> NfsServer::create(std::string path) {
   co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
   auto attr = files_.create(path, rpc_.fabric().loop().now());
   if (!attr) co_return attr.error();
@@ -20,7 +20,7 @@ sim::Task<Expected<store::Attr>> NfsServer::create(const std::string& path) {
   co_return *attr;
 }
 
-sim::Task<Expected<store::Attr>> NfsServer::getattr(const std::string& path) {
+sim::Task<Expected<store::Attr>> NfsServer::getattr(std::string path) {
   co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
   auto attr = files_.stat(path);
   if (!attr) co_return attr.error();
@@ -28,7 +28,7 @@ sim::Task<Expected<store::Attr>> NfsServer::getattr(const std::string& path) {
   co_return *attr;
 }
 
-sim::Task<Expected<Buffer>> NfsServer::read(const std::string& path,
+sim::Task<Expected<Buffer>> NfsServer::read(std::string path,
                                             std::uint64_t offset,
                                             std::uint64_t len) {
   auto attr = files_.stat(path);
@@ -41,7 +41,7 @@ sim::Task<Expected<Buffer>> NfsServer::read(const std::string& path,
   co_return std::move(*data);
 }
 
-sim::Task<Expected<std::uint64_t>> NfsServer::write(const std::string& path,
+sim::Task<Expected<std::uint64_t>> NfsServer::write(std::string path,
                                                     std::uint64_t offset,
                                                     Buffer data) {
   auto attr = files_.stat(path);
@@ -55,7 +55,7 @@ sim::Task<Expected<std::uint64_t>> NfsServer::write(const std::string& path,
   co_return n;
 }
 
-sim::Task<Expected<void>> NfsServer::remove(const std::string& path) {
+sim::Task<Expected<void>> NfsServer::remove(std::string path) {
   co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
   auto attr = files_.stat(path);
   if (!attr) co_return attr.error();
@@ -63,7 +63,7 @@ sim::Task<Expected<void>> NfsServer::remove(const std::string& path) {
   co_return files_.unlink(path);
 }
 
-sim::Task<Expected<void>> NfsServer::setattr_size(const std::string& path,
+sim::Task<Expected<void>> NfsServer::setattr_size(std::string path,
                                                   std::uint64_t size) {
   co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
   auto attr = files_.stat(path);
@@ -72,8 +72,8 @@ sim::Task<Expected<void>> NfsServer::setattr_size(const std::string& path,
   co_return files_.truncate(path, size, rpc_.fabric().loop().now());
 }
 
-sim::Task<Expected<void>> NfsServer::rename_file(const std::string& from,
-                                                 const std::string& to) {
+sim::Task<Expected<void>> NfsServer::rename_file(std::string from,
+                                                 std::string to) {
   co_await rpc_.fabric().node(node_).cpu().use(params_.op_cpu);
   co_return files_.rename(from, to, rpc_.fabric().loop().now());
 }

@@ -42,17 +42,17 @@ class NfsServer {
   store::ObjectStore& files() noexcept { return files_; }
   store::BlockDevice& device() noexcept { return dev_; }
 
-  sim::Task<Expected<store::Attr>> create(const std::string& path);
-  sim::Task<Expected<store::Attr>> getattr(const std::string& path);
-  sim::Task<Expected<Buffer>> read(const std::string& path,
+  sim::Task<Expected<store::Attr>> create(std::string path);
+  sim::Task<Expected<store::Attr>> getattr(std::string path);
+  sim::Task<Expected<Buffer>> read(std::string path,
                                    std::uint64_t offset, std::uint64_t len);
-  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+  sim::Task<Expected<std::uint64_t>> write(std::string path,
                                            std::uint64_t offset, Buffer data);
-  sim::Task<Expected<void>> remove(const std::string& path);
-  sim::Task<Expected<void>> setattr_size(const std::string& path,
+  sim::Task<Expected<void>> remove(std::string path);
+  sim::Task<Expected<void>> setattr_size(std::string path,
                                          std::uint64_t size);
-  sim::Task<Expected<void>> rename_file(const std::string& from,
-                                        const std::string& to);
+  sim::Task<Expected<void>> rename_file(std::string from,
+                                        std::string to);
 
  private:
   net::RpcSystem& rpc_;

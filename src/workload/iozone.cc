@@ -18,7 +18,7 @@ struct Shared {
 
 sim::Task<void> iozone_client(sim::EventLoop& loop,
                               fsapi::FileSystemClient& fs, std::size_t index,
-                              const IozoneOptions& opt, sim::Barrier& barrier,
+                              IozoneOptions opt, sim::Barrier& barrier,
                               Shared& sh) {
   const std::string path = opt.file_prefix + std::to_string(index);
   auto f = co_await fs.create(path);

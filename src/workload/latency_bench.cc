@@ -26,7 +26,7 @@ Buffer make_record(std::uint64_t size, std::uint64_t salt) {
 sim::Task<void> client_body(sim::EventLoop& loop,
                             fsapi::FileSystemClient& fs,
                             std::size_t client_index,
-                            const LatencyOptions& opt, sim::Barrier& barrier,
+                            LatencyOptions opt, sim::Barrier& barrier,
                             Accumulator& acc) {
   const bool is_root = client_index == 0;
   const std::string path =

@@ -11,7 +11,7 @@ namespace {
 sim::Task<void> stat_client(sim::EventLoop& loop,
                             fsapi::FileSystemClient& fs,
                             std::size_t client_index, std::size_t n_clients,
-                            const StatOptions& opt, sim::Barrier& barrier,
+                            StatOptions opt, sim::Barrier& barrier,
                             double& max_seconds, std::uint64_t& total) {
   // Stage one (untimed): the first client materializes the file set.
   if (client_index == 0) {

@@ -135,25 +135,25 @@ TEST_F(GlusterTest, OpsTakeNetworkAndServerTime) {
 
 TEST_F(GlusterTest, ColdReadPaysDiskWarmReadDoesNot) {
   SimDuration cold = 0, warm = 0;
-  run([&cold, &warm](GlusterClient& fs, GlusterServer& srv,
-                     EventLoop& loop) -> Task<void> {
+  run([](GlusterClient& fs, GlusterServer& srv, EventLoop& loop,
+         SimDuration& out_cold, SimDuration& out_warm) -> Task<void> {
     auto f = co_await fs.create("/d");
     (void)co_await fs.write(*f, 0, Buffer::zeros(256 * kKiB));
     srv.device().drop_caches();  // force media access
     SimTime t0 = loop.now();
     (void)co_await fs.read(*f, 0, 4096);
-    cold = loop.now() - t0;
+    out_cold = loop.now() - t0;
     t0 = loop.now();
-    (void)co_await fs.read(*f, 0, 4096);  // server page cache now warm
-    warm = loop.now() - t0;
-  }(*client_, *server_, loop_));
+    (void)co_await fs.read(*f, 0, 4096);  // server page cache now out_warm
+    out_warm = loop.now() - t0;
+  }(*client_, *server_, loop_, cold, warm));
   EXPECT_GT(cold, warm * 5);  // the seek dominates
 }
 
 TEST_F(GlusterTest, StatOfManyColdFilesHitsDisk) {
   SimDuration cold_time = 0;
-  run([&cold_time](GlusterClient& fs, GlusterServer& srv,
-                   EventLoop& loop) -> Task<void> {
+  run([](GlusterClient& fs, GlusterServer& srv, EventLoop& loop,
+         SimDuration& out_cold_time) -> Task<void> {
     for (int i = 0; i < 50; ++i) {
       auto f = co_await fs.create("/f" + std::to_string(i));
       (void)co_await fs.close(*f);
@@ -163,14 +163,14 @@ TEST_F(GlusterTest, StatOfManyColdFilesHitsDisk) {
     for (int i = 0; i < 50; ++i) {
       EXPECT_TRUE((co_await fs.stat("/f" + std::to_string(i))).has_value());
     }
-    cold_time = loop.now() - t0;
+    out_cold_time = loop.now() - t0;
     // Second pass: inode pages are cached, stats are disk-free.
     const SimTime t1 = loop.now();
     for (int i = 0; i < 50; ++i) {
       EXPECT_TRUE((co_await fs.stat("/f" + std::to_string(i))).has_value());
     }
-    EXPECT_LT(loop.now() - t1, cold_time);
-  }(*client_, *server_, loop_));
+    EXPECT_LT(loop.now() - t1, out_cold_time);
+  }(*client_, *server_, loop_, cold_time));
   // Cold stats paid at least the initial seek plus per-request media time.
   EXPECT_GT(cold_time, 10 * kMilli);
   std::uint64_t seeks = 0;

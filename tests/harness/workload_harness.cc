@@ -103,7 +103,7 @@ sim::Task<void> verify_all(fsapi::FileSystemClient& fs, ReplayState& st,
 }
 
 sim::Task<void> apply_op(fsapi::FileSystemClient& fs, ReplayState& st,
-                         const Op& op, ReplayResult& res) {
+                         Op op, ReplayResult& res) {
   const std::uint32_t f = op.file % kFiles;
   switch (op.kind) {
     case Op::Kind::kWrite: {
@@ -239,8 +239,8 @@ sim::Task<void> apply_op(fsapi::FileSystemClient& fs, ReplayState& st,
 }
 
 sim::Task<void> replay_body(cluster::GlusterTestbed& bed,
-                            const std::vector<Op>& trace,
-                            const ReplayConfig& cfg, ReplayResult& res) {
+                            std::vector<Op> trace,
+                            ReplayConfig cfg, ReplayResult& res) {
   fsapi::FileSystemClient& fs = bed.client(0);
   ReplayState st;
   for (std::size_t i = 0; i < trace.size(); ++i) {

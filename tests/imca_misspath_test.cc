@@ -233,7 +233,7 @@ TEST(MissPath, SingleFlightSharesOneFetchAmongWaiters) {
     std::vector<Task<void>> readers;
     for (int i = 0; i < 4; ++i) {
       readers.push_back([](Rig& rr, fsapi::OpenFile fd,
-                           const Buffer& want) -> Task<void> {
+                           Buffer want) -> Task<void> {
         auto r = co_await rr.client->read(fd, 0, 2 * kBs);
         EXPECT_TRUE(r.has_value());
         if (r) { EXPECT_EQ(*r, want); }
@@ -258,7 +258,7 @@ TEST(MissPath, CoalesceOffFetchesIndependently) {
     std::vector<Task<void>> readers;
     for (int i = 0; i < 3; ++i) {
       readers.push_back([](Rig& rr, fsapi::OpenFile fd,
-                           const Buffer& want) -> Task<void> {
+                           Buffer want) -> Task<void> {
         auto r = co_await rr.client->read(fd, 0, 2 * kBs);
         EXPECT_TRUE(r.has_value());
         if (r) { EXPECT_EQ(*r, want); }

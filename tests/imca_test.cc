@@ -381,7 +381,7 @@ TEST(Imca, ThreadedWriteCheaperThanSyncWrite) {
     cfg.threaded_updates = threaded;
     Deployment d(1, cfg);
     SimDuration write_time = 0;
-    d.run([&write_time](Deployment& dd) -> Task<void> {
+    d.run([](Deployment& dd, SimDuration& out_write_time) -> Task<void> {
       auto f = co_await dd.client->create("/w");
       const SimTime t0 = dd.loop.now();
       for (int i = 0; i < 32; ++i) {
@@ -389,8 +389,8 @@ TEST(Imca, ThreadedWriteCheaperThanSyncWrite) {
             *f, static_cast<std::uint64_t>(i) * 2048,
             Buffer::take(std::vector<std::byte>(2048, std::byte{1})));
       }
-      write_time = dd.loop.now() - t0;
-    }(d));
+      out_write_time = dd.loop.now() - t0;
+    }(d, write_time));
     return write_time;
   };
   const SimDuration sync_t = measure(false);
@@ -482,8 +482,8 @@ TEST_P(ImcaIntegrityP, RandomOpsMatchReferenceModel) {
   cfg.block_size = block_size;
   Deployment d(n_mcds, cfg);
 
-  d.run([block_size = block_size](Deployment& dd) -> Task<void> {
-    Rng rng(0xC0FFEE ^ block_size);
+  d.run([](Deployment& dd, std::uint64_t bs) -> Task<void> {
+    Rng rng(0xC0FFEE ^ bs);
     std::map<std::string, std::string> model;  // ground truth
     std::map<std::string, fsapi::OpenFile> open_files;
     const std::vector<std::string> names = {"/p/a", "/p/b", "/p/c", "/p/d"};
@@ -588,7 +588,7 @@ TEST_P(ImcaIntegrityP, RandomOpsMatchReferenceModel) {
         }
       }
     }
-  }(d));
+  }(d, block_size));
 
   // The cache did real work during the run.
   EXPECT_GT(d.cmcache->stats().blocks_requested, 0u);

@@ -1,0 +1,19 @@
+// IMCA-BYTE-VEC corpus: payloads cross fop/protocol/cache signatures as
+// Buffer (refcounted iovec), never as std::vector<std::byte>. This check is
+// the old `lint-no-byte-vectors` grep gate folded into the analyzer; it is
+// path-scoped to src/ in normal runs and applies everywhere in --verify.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::Task<void> write_block(std::uint64_t off,
+                            std::vector<std::byte> data);  // EXPECT: IMCA-BYTE-VEC
+
+sim::Task<std::vector<std::byte>>  // EXPECT: IMCA-BYTE-VEC
+read_block(std::uint64_t off, std::uint64_t len);
+
+}  // namespace corpus

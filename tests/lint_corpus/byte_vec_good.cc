@@ -1,0 +1,15 @@
+// IMCA-BYTE-VEC good twin: Buffer on every payload-bearing signature. A
+// vector may still appear as private backing storage (the storage layer
+// adopts vectors into segments) — only signatures are policed.
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::Task<void> write_block(std::uint64_t off, Buffer data);
+
+sim::Task<Buffer> read_block(std::uint64_t off, std::uint64_t len);
+
+}  // namespace corpus

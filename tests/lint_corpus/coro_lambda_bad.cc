@@ -1,0 +1,26 @@
+// IMCA-CORO-LAMBDA corpus — the PR 1 bug class, reduced. A lambda
+// coroutine's captures live in the *lambda object*, not the coroutine
+// frame. Spawning the coroutine and letting the temporary lambda die (end
+// of the spawn statement) leaves the frame dereferencing a dead closure on
+// its first resume.
+#include <string>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+void spawn_leaky(sim::EventLoop& loop, std::string path) {
+  loop.spawn([&path]() -> sim::Task<void> {  // EXPECT: IMCA-CORO-LAMBDA
+    co_await suspend();
+    (void)path.size();  // reads through the destroyed lambda object
+  }());
+}
+
+void spawn_leaky_value_capture(sim::EventLoop& loop, int n) {
+  loop.spawn([n]() -> sim::Task<void> {  // EXPECT: IMCA-CORO-LAMBDA
+    co_await suspend();
+    (void)n;  // value captures dangle identically: they live in the closure
+  }());
+}
+
+}  // namespace corpus

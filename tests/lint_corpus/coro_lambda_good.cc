@@ -1,0 +1,25 @@
+// IMCA-CORO-LAMBDA good twin: a capture-free lambda coroutine takes its
+// state as explicit parameters (copied into the frame, nothing to dangle),
+// and a capturing lambda that merely *forwards* to a named member coroutine
+// is not itself a coroutine — the frame that suspends owns its own copies.
+#include <string>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+void spawn_safe(sim::EventLoop& loop, std::string path) {
+  loop.spawn([](std::string p) -> sim::Task<void> {
+    co_await suspend();
+    (void)p.size();
+  }(std::move(path)));
+}
+
+struct Client {
+  sim::Task<void> on_revoke(std::string path);
+  void hook() {
+    set_hook([this](std::string path) { return on_revoke(std::move(path)); });
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,33 @@
+// IMCA-CORO-REF corpus: coroutine parameters that can dangle across the
+// first suspension. A caller writing `fs.open("/tmp/" + name)` hands the
+// coroutine a reference to a temporary that dies at the end of the calling
+// full-expression — long before the lazy Task is even started.
+#include <string>
+#include <string_view>
+
+#include "common/buffer.h"
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::Task<int> open_by_ref(const std::string& path) {  // EXPECT: IMCA-CORO-REF
+  co_await suspend();
+  co_return static_cast<int>(path.size());
+}
+
+sim::Task<int> open_by_view(std::string_view path) {  // EXPECT: IMCA-CORO-REF
+  co_await suspend();
+  co_return static_cast<int>(path.size());
+}
+
+sim::Task<void> write_rvalue(std::string&& path) {  // EXPECT: IMCA-CORO-REF
+  co_await suspend();
+  (void)path;
+}
+
+sim::Task<void> publish(const Buffer& data) {  // EXPECT: IMCA-CORO-REF
+  co_await suspend();
+  (void)data.size();
+}
+
+}  // namespace corpus

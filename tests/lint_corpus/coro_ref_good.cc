@@ -1,0 +1,31 @@
+// IMCA-CORO-REF good twin: by-value parameters are copied into the
+// coroutine frame before the first suspension, so the caller's temporaries
+// can die freely. Non-const lvalue references are exempt by design: they
+// cannot bind temporaries, and the codebase uses them for long-lived
+// environment handles (EventLoop&, Fabric&) and for out-parameters.
+#include <string>
+
+#include "common/buffer.h"
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::Task<int> open_by_value(std::string path) {
+  co_await suspend();
+  co_return static_cast<int>(path.size());
+}
+
+sim::Task<void> publish_by_value(Buffer data) {
+  co_await suspend();
+  (void)data.size();
+}
+
+sim::Task<void> with_environment(sim::EventLoop& loop, SimDuration& out) {
+  co_await loop.sleep(1);
+  out = 2;
+}
+
+// A plain (non-coroutine) function may take const refs all it likes.
+int measure(const std::string& path) { return static_cast<int>(path.size()); }
+
+}  // namespace corpus

@@ -1,0 +1,22 @@
+// IMCA-CORO-THIS corpus — the PR 4 write-behind flusher, reduced. A
+// detached member coroutine suspends, the owning object is destroyed, and
+// the resume touches freed members. (The analyzer keys on the explicit
+// `this` token; the codebase convention is to spell lifetime-relevant
+// member access after a suspension as this->.) The fix (good twin) checks a liveness
+// token after every suspension.
+#include <cstdint>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Flusher {
+  std::uint64_t dirty_ = 0;
+
+  sim::Task<void> flush_loop() {
+    co_await suspend();
+    this->dirty_ = 0;  // EXPECT: IMCA-CORO-THIS
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,17 @@
+// IMCA-DETACH corpus: sim::Task is lazy — a created-and-dropped task never
+// runs. Calling a Task-returning function as if it were eager work is
+// silently a no-op (the [[nodiscard]] catches the bare statement case; the
+// analyzer also catches it in files compiled without warnings).
+#include <string>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::Task<void> flush_all();
+
+void forget_to_await() {
+  flush_all();  // EXPECT: IMCA-DETACH
+}
+
+}  // namespace corpus

@@ -1,0 +1,22 @@
+// IMCA-DETACH good twin: every Task is awaited, stored, or handed to the
+// loop — the three ways a lazy task actually runs.
+#include <utility>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::Task<void> flush_all();
+
+sim::Task<void> await_it() { co_await flush_all(); }
+
+void spawn_it(sim::EventLoop& loop) { loop.spawn(flush_all()); }
+
+void store_it(std::vector<sim::Task<void>>& pending) {
+  pending.push_back(flush_all());
+  auto t = flush_all();
+  pending.push_back(std::move(t));
+}
+
+}  // namespace corpus

@@ -1,0 +1,22 @@
+// IMCA-MOVED-BUF corpus — the PR 4 replay double-move, reduced: a Buffer
+// moved into the first send is empty by the time the retry path reads it,
+// so the replayed write silently persists zero bytes.
+#include <utility>
+
+#include "common/buffer.h"
+
+namespace corpus {
+
+void send(Buffer b);
+
+void replay_after_move(Buffer data) {
+  send(std::move(data));
+  send(std::move(data));  // EXPECT: IMCA-MOVED-BUF
+}
+
+void size_after_move(Buffer data) {
+  send(std::move(data));
+  (void)data.size();  // EXPECT: IMCA-MOVED-BUF
+}
+
+}  // namespace corpus

@@ -1,0 +1,34 @@
+// IMCA-MOVED-BUF good twin: keep a slice (refcounted, zero-copy) for the
+// retry before moving the original away, or reassign the moved-from buffer
+// before any further use.
+#include <utility>
+
+#include "common/buffer.h"
+
+namespace corpus {
+
+void send(Buffer b);
+
+void replay_with_slice(Buffer data) {
+  Buffer retry_copy = data.slice(0, data.size());
+  send(std::move(data));
+  send(std::move(retry_copy));
+}
+
+void reassign_then_use(Buffer data) {
+  send(std::move(data));
+  data = Buffer::zeros(16);  // moved-from state overwritten: valid again
+  send(std::move(data));
+}
+
+// Member access through another object is not a use of the moved local.
+struct Item {
+  Buffer data;
+};
+
+void member_is_not_local(Item item, Buffer data) {
+  send(std::move(data));
+  send(std::move(item.data));
+}
+
+}  // namespace corpus

@@ -1,0 +1,15 @@
+// IMCA-NOLINT-BARE corpus: the escape hatch demands a reason. A bare
+// imca suppression still silences its target (policy: one finding for the
+// missing justification, not two), but is itself a finding.
+#include <string>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::Task<int> f(const std::string& p) {  // NOLINT(imca-coro-ref) EXPECT: IMCA-NOLINT-BARE
+  co_await suspend();
+  co_return static_cast<int>(p.size());
+}
+
+}  // namespace corpus

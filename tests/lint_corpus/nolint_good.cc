@@ -1,0 +1,17 @@
+// IMCA-NOLINT-BARE good twin: a justified NOLINT suppresses its target and
+// is itself silent. Blanket clang-style NOLINT (no imca id) is ignored by
+// imca-lint entirely — it neither suppresses nor fires.
+#include <string>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+// clang-format off
+sim::Task<int> f(const std::string& p) {  // NOLINT(imca-coro-ref): caller guarantees p outlives the frame
+  // clang-format on
+  co_await suspend();
+  co_return static_cast<int>(p.size());
+}
+
+}  // namespace corpus

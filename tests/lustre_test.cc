@@ -134,20 +134,21 @@ TEST(Lustre, CreateWriteReadRoundTrip) {
 TEST(Lustre, WarmReadIsMuchCheaperThanCold) {
   LustreRig rig(4);
   SimDuration cold_t = 0, warm_t = 0;
-  rig.run([&cold_t, &warm_t](LustreRig& r) -> Task<void> {
+  rig.run([](LustreRig& r, SimDuration& out_cold_t,
+             SimDuration& out_warm_t) -> Task<void> {
     auto& fs = *r.clients[0];
     auto f = co_await fs.create("/lat");
     (void)co_await fs.write(*f, 0, Buffer::zeros(1 * kMiB));
     fs.cold();  // unmount/remount: reads stay remote
     SimTime t0 = r.loop.now();
     (void)co_await fs.read(*f, 0, 64 * kKiB);
-    cold_t = r.loop.now() - t0;
+    out_cold_t = r.loop.now() - t0;
     fs.warm();  // fresh mount allowed to cache again
     (void)co_await fs.read(*f, 0, 64 * kKiB);  // populates the client cache
     t0 = r.loop.now();
     (void)co_await fs.read(*f, 0, 64 * kKiB);  // now served locally
-    warm_t = r.loop.now() - t0;
-  }(rig));
+    out_warm_t = r.loop.now() - t0;
+  }(rig, cold_t, warm_t));
   EXPECT_GT(cold_t, 5 * warm_t);
   EXPECT_EQ(rig.clients[0]->cache_hits(), 1u);
   EXPECT_EQ(rig.clients[0]->cache_misses(), 2u);  // cold read + warming read
@@ -218,7 +219,7 @@ TEST(Lustre, MoreDataServersMoreStreamBandwidth) {
     dsp.raid_members = 2;
     LustreRig rig(n_ds, 1, dsp);
     SimDuration elapsed = 0;
-    rig.run([&elapsed](LustreRig& r) -> Task<void> {
+    rig.run([](LustreRig& r, SimDuration& out_elapsed) -> Task<void> {
       auto& fs = *r.clients[0];
       auto f = co_await fs.create("/stream");
       (void)co_await fs.write(*f, 0, Buffer::zeros(64 * kMiB));
@@ -228,8 +229,8 @@ TEST(Lustre, MoreDataServersMoreStreamBandwidth) {
       for (std::uint64_t off = 0; off < 64 * kMiB; off += 4 * kMiB) {
         (void)co_await fs.read(f.value(), off, 4 * kMiB);
       }
-      elapsed = r.loop.now() - t0;
-    }(rig));
+      out_elapsed = r.loop.now() - t0;
+    }(rig, elapsed));
     return elapsed;
   };
   const auto one = run(1);

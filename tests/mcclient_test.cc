@@ -175,7 +175,8 @@ TEST_F(McClientTest, MultiGetReportsPartialMisses) {
 }
 
 TEST_F(McClientTest, DeadDaemonBecomesMissNotError) {
-  run([this](McClient& c) -> sim::Task<void> {
+  run([](McClient& c,
+         std::vector<std::unique_ptr<McServer>>& servers) -> sim::Task<void> {
     // Find a key routed to daemon 1, store it, then kill daemon 1.
     std::string key;
     for (int i = 0;; ++i) {
@@ -183,7 +184,7 @@ TEST_F(McClientTest, DeadDaemonBecomesMissNotError) {
       if (c.selector().pick(key, std::nullopt, kServers) == 1) break;
     }
     EXPECT_TRUE((co_await c.set(key, to_buffer("v"))).has_value());
-    servers_[1]->stop();
+    servers[1]->stop();
     auto v = co_await c.get(key);
     EXPECT_EQ(v.error(), Errc::kNoEnt);  // read as a miss, not a failure
     EXPECT_TRUE(c.server_dead(1));
@@ -197,7 +198,7 @@ TEST_F(McClientTest, DeadDaemonBecomesMissNotError) {
     }
     EXPECT_TRUE((co_await c.set(other, to_buffer("w"))).has_value());
     EXPECT_TRUE((co_await c.get(other)).has_value());
-  }(*client_));
+  }(*client_, servers_));
   EXPECT_GT(client_->stats().dead_server_ops, 0u);
 }
 
@@ -234,14 +235,15 @@ TEST_F(McClientTest, FlushAllIsConcurrent) {
                std::make_unique<Crc32Selector>());
   SimDuration one_rt = 0;
   SimDuration three_rt = 0;
-  run([this, &one_rt, &three_rt](McClient& single) -> sim::Task<void> {
-    const SimTime t0 = loop_.now();
+  run([](McClient& single, McClient& all, sim::EventLoop& loop,
+         SimDuration& out_one_rt, SimDuration& out_three_rt) -> sim::Task<void> {
+    const SimTime t0 = loop.now();
     co_await single.flush_all();
-    one_rt = loop_.now() - t0;
-    const SimTime t1 = loop_.now();
-    co_await client_->flush_all();
-    three_rt = loop_.now() - t1;
-  }(one));
+    out_one_rt = loop.now() - t0;
+    const SimTime t1 = loop.now();
+    co_await all.flush_all();
+    out_three_rt = loop.now() - t1;
+  }(one, *client_, loop_, one_rt, three_rt));
   EXPECT_GT(one_rt, 0);
   EXPECT_LT(three_rt, 2 * one_rt);
 }
@@ -276,7 +278,7 @@ TEST_F(McClientTest, ValueTooBigSurfaces) {
 TEST_F(McClientTest, ModuloSelectorSpreadsBlocksOfOneFile) {
   McClient modulo_client(rpc_, client_node_, server_ids_,
                          std::make_unique<ModuloSelector>());
-  run([this](McClient& c) -> sim::Task<void> {
+  run([](McClient& c) -> sim::Task<void> {
     for (std::uint64_t block = 0; block < 9; ++block) {
       (void)co_await c.set("/data:" + std::to_string(block * 2048),
                            to_buffer("b"), block);

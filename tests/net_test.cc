@@ -186,6 +186,8 @@ TEST(Rpc, ShutdownMidFlightResets) {
   fab.add_node("client");
   RpcSystem rpc(fab);
   rpc.listen(0, kPortMemcached,
+             // Handler is stored in RpcSystem and outlives every frame.
+             // NOLINTNEXTLINE(imca-coro-lambda): captures are test locals.
              [&rpc, &loop](ByteBuf, NodeId) -> Task<ByteBuf> {
                co_await loop.sleep(100 * kMicro);
                rpc.shutdown(0, kPortMemcached);  // daemon dies mid-request
@@ -209,6 +211,8 @@ TEST(Rpc, HandlerRunsConcurrentlyForDifferentCallers) {
   fab.add_node("c1");
   fab.add_node("c2");
   RpcSystem rpc(fab);
+  // Handler is stored in RpcSystem and outlives every frame.
+  // NOLINTNEXTLINE(imca-coro-lambda): the captured loop is a test local.
   rpc.listen(0, kPortGluster, [&loop](ByteBuf, NodeId) -> Task<ByteBuf> {
     co_await loop.sleep(1 * kMilli);
     co_return ByteBuf{};

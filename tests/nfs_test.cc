@@ -72,14 +72,14 @@ TEST(Nfs, TransportOrderingRdmaFastest) {
   auto measure = [](net::TransportParams t) {
     NfsRig rig(std::move(t));
     SimDuration elapsed = 0;
-    rig.run([&elapsed](NfsRig& r) -> Task<void> {
+    rig.run([](NfsRig& r, SimDuration& out_elapsed) -> Task<void> {
       auto& fs = *r.client;
       auto f = co_await fs.create("/t");
       (void)co_await fs.write(*f, 0, Buffer::zeros(8 * kMiB));
       const SimTime t0 = r.loop.now();
       (void)co_await fs.read(*f, 0, 8 * kMiB);  // server cache is warm
-      elapsed = r.loop.now() - t0;
-    }(rig));
+      out_elapsed = r.loop.now() - t0;
+    }(rig, elapsed));
     return elapsed;
   };
   const auto rdma = measure(net::ib_rdma());
@@ -99,21 +99,22 @@ TEST(Nfs, BandwidthCollapsesPastServerMemory) {
     sp.page_cache_bytes = 64 * kMiB;
     NfsRig rig(net::ipoib_rc(), sp);
     SimDuration elapsed = 0;
-    rig.run([&elapsed, file_bytes](NfsRig& r) -> Task<void> {
+    rig.run([](NfsRig& r, SimDuration& out_elapsed,
+             std::uint64_t n_file_bytes) -> Task<void> {
       auto& fs = *r.client;
       auto f = co_await fs.create("/ws");
-      for (std::uint64_t off = 0; off < file_bytes; off += 4 * kMiB) {
+      for (std::uint64_t off = 0; off < n_file_bytes; off += 4 * kMiB) {
         (void)co_await fs.write(*f, off, Buffer::zeros(4 * kMiB));
       }
       // Two sequential re-read passes (IOzone re-read).
       const SimTime t0 = r.loop.now();
       for (int pass = 0; pass < 2; ++pass) {
-        for (std::uint64_t off = 0; off < file_bytes; off += 4 * kMiB) {
+        for (std::uint64_t off = 0; off < n_file_bytes; off += 4 * kMiB) {
           (void)co_await fs.read(*f, off, 4 * kMiB);
         }
       }
-      elapsed = r.loop.now() - t0;
-    }(rig));
+      out_elapsed = r.loop.now() - t0;
+    }(rig, elapsed, file_bytes));
     // MB/s over the two passes.
     return 2.0 * to_mib(file_bytes) / to_seconds(elapsed);
   };

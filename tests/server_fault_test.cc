@@ -192,7 +192,7 @@ class SlowShedXlator final : public gluster::Xlator {
   SlowShedXlator(EventLoop& loop, int shed_first, SimDuration hold)
       : loop_(loop), shed_left_(shed_first), hold_(hold) {}
   std::string_view name() const override { return "slow-shed"; }
-  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+  sim::Task<Expected<std::uint64_t>> write(std::string path,
                                            std::uint64_t offset,
                                            Buffer data) override {
     if (shed_left_ > 0) {

@@ -32,7 +32,7 @@ class FailingChild final : public Xlator {
 
   std::string_view name() const override { return "failing-child"; }
 
-  sim::Task<Expected<std::uint64_t>> write(const std::string& path,
+  sim::Task<Expected<std::uint64_t>> write(std::string path,
                                            std::uint64_t offset,
                                            Buffer data) override {
     log.push_back("write " + path + " @" + std::to_string(offset) + "+" +
@@ -45,7 +45,7 @@ class FailingChild final : public Xlator {
     s.replace(offset, bytes.size(), bytes);
     co_return bytes.size();
   }
-  sim::Task<Expected<Buffer>> read(const std::string& path,
+  sim::Task<Expected<Buffer>> read(std::string path,
                                    std::uint64_t offset,
                                    std::uint64_t len) override {
     log.push_back("read " + path);
@@ -54,7 +54,7 @@ class FailingChild final : public Xlator {
     if (offset >= it->second.size()) co_return Buffer{};
     co_return to_buffer(it->second.substr(offset, len));
   }
-  sim::Task<Expected<store::Attr>> stat(const std::string& path) override {
+  sim::Task<Expected<store::Attr>> stat(std::string path) override {
     log.push_back("stat " + path);
     const auto it = files_.find(path);
     if (it == files_.end()) co_return Errc::kNoEnt;
@@ -62,23 +62,23 @@ class FailingChild final : public Xlator {
     a.size = it->second.size();
     co_return a;
   }
-  sim::Task<Expected<void>> close(const std::string& path) override {
+  sim::Task<Expected<void>> close(std::string path) override {
     log.push_back("close " + path);
     co_return Expected<void>{};
   }
-  sim::Task<Expected<void>> unlink(const std::string& path) override {
+  sim::Task<Expected<void>> unlink(std::string path) override {
     log.push_back("unlink " + path);
     files_.erase(path);
     co_return Expected<void>{};
   }
-  sim::Task<Expected<void>> truncate(const std::string& path,
+  sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override {
     log.push_back("truncate " + path);
     files_[path].resize(size, '\0');
     co_return Expected<void>{};
   }
-  sim::Task<Expected<void>> rename(const std::string& from,
-                                   const std::string& to) override {
+  sim::Task<Expected<void>> rename(std::string from,
+                                   std::string to) override {
     log.push_back("rename " + from + "->" + to);
     files_[to] = files_[from];
     files_.erase(from);

@@ -1,0 +1,722 @@
+#include "analyzer.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string_view>
+
+namespace imca::lint {
+namespace {
+
+using std::size_t;
+
+constexpr std::string_view kCoroRef = "IMCA-CORO-REF";
+constexpr std::string_view kCoroLambda = "IMCA-CORO-LAMBDA";
+constexpr std::string_view kCoroThis = "IMCA-CORO-THIS";
+constexpr std::string_view kDetach = "IMCA-DETACH";
+constexpr std::string_view kMovedBuf = "IMCA-MOVED-BUF";
+constexpr std::string_view kByteVec = "IMCA-BYTE-VEC";
+constexpr std::string_view kNolintBare = "IMCA-NOLINT-BARE";
+
+// Identifiers that count as a liveness token for IMCA-CORO-THIS: holding
+// one means the coroutine re-checks object liveness after resuming (the
+// write_behind.cc alive_ pattern), so `this` use after a suspension is
+// deliberate.
+bool is_liveness_ident(std::string_view s) {
+  return s == "alive_" || s == "alive" || s == "self" || s == "self_" ||
+         s == "shared_from_this" || s == "weak_from_this";
+}
+
+bool is_coro_keyword(std::string_view s) {
+  return s == "co_await" || s == "co_return" || s == "co_yield";
+}
+
+// ---------------------------------------------------------------------------
+// Token-range helpers.
+
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<Token>& t) : t_(t) {}
+  const std::vector<Token>& t_;
+
+  size_t size() const { return t_.size(); }
+  const Token& at(size_t i) const { return t_[i]; }
+  bool is(size_t i, std::string_view s) const {
+    return i < t_.size() && t_[i].text == s;
+  }
+  bool is_ident(size_t i) const {
+    return i < t_.size() && t_[i].kind == Tok::kIdent;
+  }
+
+  // Index of the token matching the opener at `i` ('(', '{', '[' or '<'),
+  // or size() if unbalanced. Angle matching bails out on tokens that cannot
+  // occur in a template argument list, so expression '<' never matches.
+  size_t match(size_t i) const {
+    const std::string_view open = t_[i].text;
+    std::string_view close;
+    if (open == "(") close = ")";
+    else if (open == "{") close = "}";
+    else if (open == "[") close = "]";
+    else if (open == "<") close = ">";
+    else return size();
+    int depth = 0;
+    for (size_t j = i; j < t_.size(); ++j) {
+      const std::string_view s = t_[j].text;
+      if (open == "<" && (s == ";" || s == "{" || s == "}")) return size();
+      if (s == open) ++depth;
+      else if (s == close && --depth == 0) return j;
+    }
+    return size();
+  }
+
+ private:
+};
+
+// ---------------------------------------------------------------------------
+// Entity extraction: function-ish things with bodies.
+
+struct Entity {
+  int line = 0;            // signature start (reporting line for lambdas)
+  std::string name;        // last declarator identifier; "" for lambdas
+  bool is_lambda = false;
+  bool captures = false;   // lambda with a non-empty capture list
+  size_t start = 0;        // first token of the entity (capture '[' / ret type)
+  size_t params_lo = 0, params_hi = 0;  // tokens strictly inside ( ), 0/0 = none
+  size_t body_lo = 0, body_hi = 0;      // tokens strictly inside { }
+  std::vector<size_t> children;         // indices of directly nested entities
+  bool is_coro = false;    // own body (children excluded) has a co_* keyword
+};
+
+// True when a '[' at this position starts a lambda-introducer rather than a
+// subscript (prev token is a value) or an attribute (handled by caller).
+bool lambda_position(const std::vector<Token>& t, size_t i) {
+  if (i == 0) return true;
+  const Token& p = t[i - 1];
+  if (p.kind == Tok::kIdent) {
+    return p.text == "return" || is_coro_keyword(p.text) || p.text == "case" ||
+           p.text == "else" || p.text == "do";
+  }
+  if (p.kind != Tok::kPunct) return false;
+  return p.text != ")" && p.text != "]" && p.text != "}";
+}
+
+// Tries to parse a lambda whose introducer '[' is at `i`. Returns the
+// entity (without children/coro info) and the index just past its body.
+std::optional<std::pair<Entity, size_t>> parse_lambda(const Cursor& c,
+                                                      size_t i) {
+  Entity e;
+  e.is_lambda = true;
+  e.line = c.at(i).line;
+  e.start = i;
+  const size_t cap_end = c.match(i);
+  if (cap_end >= c.size()) return std::nullopt;
+  e.captures = cap_end > i + 1;
+  size_t j = cap_end + 1;
+  if (c.is(j, "<")) {  // template lambda
+    const size_t m = c.match(j);
+    if (m >= c.size()) return std::nullopt;
+    j = m + 1;
+  }
+  if (c.is(j, "(")) {
+    const size_t m = c.match(j);
+    if (m >= c.size()) return std::nullopt;
+    e.params_lo = j + 1;
+    e.params_hi = m;
+    j = m + 1;
+  }
+  // Specifiers / trailing return type, until the body. Anything that cannot
+  // belong to a lambda-declarator means this '[' was not a lambda after all.
+  for (int guard = 0; guard < 64 && j < c.size(); ++guard) {
+    const Token& tk = c.at(j);
+    if (tk.is("{")) {
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      e.body_lo = j + 1;
+      e.body_hi = m;
+      return std::make_pair(e, m + 1);
+    }
+    if (tk.is("(") || tk.is("<")) {  // noexcept(...), Task<...>
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      j = m + 1;
+      continue;
+    }
+    if (tk.kind == Tok::kIdent || tk.is("->") || tk.is("::") || tk.is("&") ||
+        tk.is("&&") || tk.is("*")) {
+      ++j;
+      continue;
+    }
+    return std::nullopt;  // ';' ',' ']' ... — a misparse, not a lambda
+  }
+  return std::nullopt;
+}
+
+// Tries to parse `Task<...> [qualified-]name ( params ) specifiers { body }`
+// with the 'Task' identifier at `i`. Declarations (ending ';' or '= 0;')
+// yield an entity with no body, used for name collection only.
+std::optional<std::pair<Entity, size_t>> parse_task_function(const Cursor& c,
+                                                             size_t i) {
+  if (!c.is(i + 1, "<")) return std::nullopt;
+  const size_t angle = c.match(i + 1);
+  if (angle >= c.size()) return std::nullopt;
+  size_t j = angle + 1;
+  if (c.is(j, "&") || c.is(j, "&&") || c.is(j, "*")) return std::nullopt;
+  if (!c.is_ident(j)) return std::nullopt;
+  Entity e;
+  e.start = i;
+  e.line = c.at(i).line;
+  e.name = c.at(j).text;
+  ++j;
+  while (c.is(j, "::") && c.is_ident(j + 1)) {
+    e.name = c.at(j + 1).text;
+    j += 2;
+  }
+  if (!c.is(j, "(")) return std::nullopt;  // a variable, not a function
+  const size_t close = c.match(j);
+  if (close >= c.size()) return std::nullopt;
+  e.params_lo = j + 1;
+  e.params_hi = close;
+  j = close + 1;
+  // const / noexcept / override / final / ref-qualifiers, then body or ';'.
+  for (int guard = 0; guard < 32 && j < c.size(); ++guard) {
+    const Token& tk = c.at(j);
+    if (tk.is("{")) {
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      e.body_lo = j + 1;
+      e.body_hi = m;
+      return std::make_pair(e, m + 1);
+    }
+    if (tk.is(";") || tk.is("=")) return std::make_pair(e, j + 1);  // decl
+    if (tk.is("(")) {  // noexcept(...)
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      j = m + 1;
+      continue;
+    }
+    if (tk.kind == Tok::kIdent || tk.is("&") || tk.is("&&")) {
+      ++j;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// One linear scan collecting every function/lambda with a body; nested
+// entities are found because the scan continues into bodies.
+std::vector<Entity> collect_entities(const Cursor& c) {
+  std::vector<Entity> out;
+  for (size_t i = 0; i < c.size(); ++i) {
+    const Token& tk = c.at(i);
+    if (tk.ident("Task")) {
+      if (auto r = parse_task_function(c, i)) {
+        out.push_back(r->first);
+        // Continue INSIDE the signature/body so nested lambdas are found.
+        continue;
+      }
+    }
+    if (tk.is("[") && !c.is(i + 1, "[") && lambda_position(c.t_, i)) {
+      if (auto r = parse_lambda(c, i)) {
+        out.push_back(r->first);
+        continue;
+      }
+    }
+    if (tk.is("[") && c.is(i + 1, "[")) {  // attribute: skip wholesale
+      const size_t m = c.match(i);
+      if (m < c.size()) i = m;
+    }
+  }
+  // Parent/child: an entity is a child of the innermost entity whose body
+  // strictly contains it.
+  for (size_t a = 0; a < out.size(); ++a) {
+    size_t parent = out.size();
+    for (size_t b = 0; b < out.size(); ++b) {
+      if (a == b || out[b].body_hi == 0) continue;
+      if (out[b].body_lo <= out[a].start && out[a].start < out[b].body_hi) {
+        if (parent == out.size() ||
+            out[b].body_lo > out[parent].body_lo) {
+          parent = b;
+        }
+      }
+    }
+    if (parent != out.size()) out[parent].children.push_back(a);
+  }
+  // Own-body coroutine-ness (children's extents excluded).
+  for (auto& e : out) {
+    if (e.body_hi == 0) continue;
+    size_t i = e.body_lo;
+    std::vector<std::pair<size_t, size_t>> skip;
+    skip.reserve(e.children.size());
+    for (size_t ci : e.children) {
+      skip.emplace_back(out[ci].start, out[ci].body_hi + 1);
+    }
+    std::sort(skip.begin(), skip.end());
+    size_t s = 0;
+    for (; i < e.body_hi; ++i) {
+      while (s < skip.size() && skip[s].second <= i) ++s;
+      if (s < skip.size() && skip[s].first <= i) {
+        i = skip[s].second - 1;
+        continue;
+      }
+      if (c.at(i).kind == Tok::kIdent && is_coro_keyword(c.at(i).text)) {
+        e.is_coro = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// Iterate an entity's own body tokens, skipping nested entities.
+template <typename F>
+void for_own_tokens([[maybe_unused]] const Cursor& c,
+                    const std::vector<Entity>& all, const Entity& e, F&& f) {
+  std::vector<std::pair<size_t, size_t>> skip;
+  skip.reserve(e.children.size());
+  for (size_t ci : e.children) {
+    skip.emplace_back(all[ci].start, all[ci].body_hi + 1);
+  }
+  std::sort(skip.begin(), skip.end());
+  size_t s = 0;
+  for (size_t i = e.body_lo; i < e.body_hi; ++i) {
+    while (s < skip.size() && skip[s].second <= i) ++s;
+    if (s < skip.size() && skip[s].first <= i) {
+      i = skip[s].second - 1;
+      continue;
+    }
+    if (!f(i)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NOLINT bookkeeping.
+
+struct Suppression {
+  std::set<std::string> ids;  // lowercase imca-* ids named in the comment
+  bool justified = false;
+  int comment_line = 0;
+};
+
+std::string lower(std::string s) {
+  for (char& ch : s) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return s;
+}
+
+// line -> suppression active on that line.
+std::map<int, Suppression> parse_nolints(const std::vector<Comment>& comments,
+                                         std::vector<Finding>* findings,
+                                         const std::string& file) {
+  std::map<int, Suppression> out;
+  for (const Comment& cm : comments) {
+    size_t pos = cm.text.find("NOLINT");
+    if (pos == std::string::npos) continue;
+    size_t after = pos + 6;
+    int target = cm.line;
+    if (cm.text.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = cm.line + 1;
+    }
+    if (after >= cm.text.size() || cm.text[after] != '(') continue;  // blanket
+    const size_t close = cm.text.find(')', after);
+    if (close == std::string::npos) continue;
+    Suppression sup;
+    sup.comment_line = cm.line;
+    std::string list = cm.text.substr(after + 1, close - after - 1);
+    size_t start = 0;
+    while (start <= list.size()) {
+      size_t comma = list.find(',', start);
+      if (comma == std::string::npos) comma = list.size();
+      std::string id = lower(list.substr(start, comma - start));
+      id.erase(0, id.find_first_not_of(" \t"));
+      id.erase(id.find_last_not_of(" \t") + 1);
+      if (id.rfind("imca-", 0) == 0) sup.ids.insert(id);
+      start = comma + 1;
+    }
+    if (sup.ids.empty()) continue;  // not ours (plain clang-tidy NOLINT)
+    // The escape hatch needs a reason: "NOLINT(imca-x): why".
+    size_t tail = close + 1;
+    while (tail < cm.text.size() && std::isspace(static_cast<unsigned char>(
+                                        cm.text[tail]))) {
+      ++tail;
+    }
+    if (tail < cm.text.size() && cm.text[tail] == ':' &&
+        cm.text.find_first_not_of(" \t", tail + 1) != std::string::npos) {
+      sup.justified = true;
+    } else {
+      findings->push_back({file, cm.line, std::string(kNolintBare),
+                           "NOLINT(imca-…) without a ': justification'"});
+    }
+    auto& slot = out[target];
+    slot.ids.insert(sup.ids.begin(), sup.ids.end());
+    slot.justified = sup.justified;
+    slot.comment_line = sup.comment_line;
+  }
+  return out;
+}
+
+bool suppressed(const std::map<int, Suppression>& nolints, int line,
+                std::string_view check) {
+  auto it = nolints.find(line);
+  if (it == nolints.end()) return false;
+  const std::string id = lower(std::string(check));
+  return it->second.ids.count(id) > 0 || it->second.ids.count("imca-*") > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Checks.
+
+struct Param {
+  size_t lo, hi;  // token range
+};
+
+std::vector<Param> split_params(const Cursor& c, size_t lo, size_t hi) {
+  std::vector<Param> out;
+  int depth = 0;
+  size_t start = lo;
+  for (size_t i = lo; i < hi; ++i) {
+    const std::string_view s = c.at(i).text;
+    if (s == "(" || s == "{" || s == "[" || s == "<") ++depth;
+    else if (s == ")" || s == "}" || s == "]" || s == ">") --depth;
+    else if (s == "," && depth == 0) {
+      if (i > start) out.push_back({start, i});
+      start = i + 1;
+    }
+  }
+  if (hi > start) out.push_back({start, hi});
+  return out;
+}
+
+std::string param_name(const Cursor& c, const Param& p) {
+  std::string name;
+  for (size_t i = p.lo; i < p.hi; ++i) {
+    if (c.is(i, "=")) break;
+    if (c.is_ident(i)) name = c.at(i).text;
+  }
+  return name;
+}
+
+void check_coro_ref(const Cursor& c, const Entity& e,
+                    std::vector<Finding>* out, const std::string& file) {
+  if (!e.is_coro || e.params_hi <= e.params_lo) return;
+  for (const Param& p : split_params(c, e.params_lo, e.params_hi)) {
+    bool has_const = false, has_lref = false, has_rref = false;
+    bool has_view = false, has_bufview = false;
+    for (size_t i = p.lo; i < p.hi; ++i) {
+      if (c.is(i, "=")) break;  // default argument: not part of the type
+      const Token& tk = c.at(i);
+      if (tk.ident("const")) has_const = true;
+      else if (tk.is("&")) has_lref = true;
+      else if (tk.is("&&")) has_rref = true;
+      else if (tk.ident("string_view")) has_view = true;
+      else if (tk.ident("BufView")) has_bufview = true;
+    }
+    const std::string name = param_name(c, p);
+    const int line = c.at(p.lo).line;
+    std::string why;
+    if (has_view) why = "std::string_view parameter";
+    else if (has_bufview) why = "BufView parameter";
+    else if (has_rref) why = "rvalue-reference parameter";
+    else if (has_const && has_lref) why = "const-reference parameter";
+    else continue;  // by-value, pointer, or mutable lvalue ref (exempt)
+    out->push_back(
+        {file, line, std::string(kCoroRef),
+         why + " '" + name +
+             "' can dangle across a suspension; pass by value (or Buffer)"});
+  }
+}
+
+void check_coro_lambda(const Entity& e, std::vector<Finding>* out,
+                       const std::string& file) {
+  if (!e.is_lambda || !e.captures || !e.is_coro) return;
+  out->push_back({file, e.line, std::string(kCoroLambda),
+                  "capturing lambda is a coroutine; the frame outlives the "
+                  "lambda object — use a named coroutine (or capture-free "
+                  "lambda) with explicit parameters"});
+}
+
+void check_coro_this(const Cursor& c, const std::vector<Entity>& all,
+                     const Entity& e, std::vector<Finding>* out,
+                     const std::string& file) {
+  if (!e.is_coro) return;
+  bool has_liveness = false;
+  for_own_tokens(c, all, e, [&](size_t i) {
+    if (c.is_ident(i) && is_liveness_ident(c.at(i).text)) {
+      has_liveness = true;
+      return false;
+    }
+    return true;
+  });
+  if (has_liveness) return;
+  bool awaited = false;
+  size_t this_at = 0;
+  for_own_tokens(c, all, e, [&](size_t i) {
+    if (c.at(i).ident("co_await")) awaited = true;
+    else if (awaited && c.at(i).ident("this")) {
+      this_at = i;
+      return false;
+    }
+    return true;
+  });
+  if (this_at != 0) {
+    out->push_back(
+        {file, c.at(this_at).line, std::string(kCoroThis),
+         "`this` used after a co_await with no liveness token (alive_ / "
+         "shared_from_this); the object may be destroyed while suspended"});
+  }
+}
+
+void check_detach(const Cursor& c, const NameIndex& names,
+                  std::vector<Finding>* out, const std::string& file) {
+  // Whole-file statement scan: after ';' '{' or '}', a statement that is
+  // exactly `chain(...);` or `(void) chain(...);` where the chain's last
+  // identifier names a Task-returning function drops a lazy task unrun.
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (i != 0 && !c.is(i - 1, ";") && !c.is(i - 1, "{") && !c.is(i - 1, "}")) {
+      continue;
+    }
+    size_t j = i;
+    bool void_cast = false;
+    if (c.is(j, "(") && c.is(j + 1, "void") && c.is(j + 2, ")")) {
+      void_cast = true;
+      j += 3;
+    }
+    if (!c.is_ident(j)) continue;
+    std::string last = c.at(j).text;
+    size_t k = j + 1;
+    while ((c.is(k, "::") || c.is(k, ".") || c.is(k, "->")) &&
+           c.is_ident(k + 1)) {
+      last = c.at(k + 1).text;
+      k += 2;
+    }
+    if (!c.is(k, "(")) continue;
+    const size_t close = c.match(k);
+    if (close >= c.size() || !c.is(close + 1, ";")) continue;
+    if (names.task_fns.count(last) == 0 ||
+        names.ambiguous_fns.count(last) != 0) {
+      continue;
+    }
+    out->push_back(
+        {file, c.at(j).line, std::string(kDetach),
+         std::string(void_cast ? "(void)-discarded" : "discarded") +
+             " call to Task-returning '" + last +
+             "' — a lazy task never runs; co_await it, store it, or "
+             "spawn() it"});
+  }
+}
+
+void check_moved_buf(const Cursor& c, std::vector<Finding>* out,
+                     const std::string& file) {
+  // Declarations of Buffer/ByteBuf variables seen so far: name -> live.
+  // A `std::move(name)` poisons the name until the end of the innermost
+  // block containing the move, or until `name =` reassigns it.
+  struct Decl {
+    bool moved = false;
+    int moved_line = 0;
+  };
+  std::map<std::string, Decl> vars;
+  std::vector<std::vector<std::string>> moved_stack;  // per brace depth
+  moved_stack.emplace_back();
+  for (size_t i = 0; i < c.size(); ++i) {
+    const Token& tk = c.at(i);
+    if (tk.is("{")) {
+      moved_stack.emplace_back();
+      continue;
+    }
+    if (tk.is("}")) {
+      // Leaving the block un-poisons moves made inside it (a new iteration
+      // or a sibling scope is a fresh start; cross-scope flow is beyond
+      // AST-lite).
+      for (const std::string& name : moved_stack.back()) {
+        auto it = vars.find(name);
+        if (it != vars.end()) it->second.moved = false;
+      }
+      moved_stack.pop_back();
+      if (moved_stack.empty()) moved_stack.emplace_back();
+      continue;
+    }
+    if ((tk.ident("Buffer") || tk.ident("ByteBuf")) && c.is_ident(i + 1) &&
+        (c.is(i + 2, ";") || c.is(i + 2, "=") || c.is(i + 2, "{") ||
+         c.is(i + 2, "(") || c.is(i + 2, ",") || c.is(i + 2, ")"))) {
+      vars[c.at(i + 1).text] = Decl{};  // declaration (local, member or param)
+      ++i;                              // don't treat the name as a use
+      continue;
+    }
+    if (tk.ident("std") && c.is(i + 1, "::") && c.is(i + 2, "move") &&
+        c.is(i + 3, "(") && c.is_ident(i + 4) && c.is(i + 5, ")")) {
+      auto it = vars.find(c.at(i + 4).text);
+      if (it != vars.end()) {
+        if (it->second.moved) {
+          out->push_back({file, c.at(i + 4).line, std::string(kMovedBuf),
+                          "'" + it->first + "' moved again after std::move "
+                          "on line " + std::to_string(it->second.moved_line)});
+        } else {
+          it->second.moved = true;
+          it->second.moved_line = c.at(i + 4).line;
+          moved_stack.back().push_back(it->first);
+        }
+      }
+      i += 5;
+      continue;
+    }
+    if (tk.kind == Tok::kIdent) {
+      // `other.data` / `ns::data` is not the tracked local `data`.
+      if (i > 0 && (c.is(i - 1, ".") || c.is(i - 1, "->") ||
+                    c.is(i - 1, "::"))) {
+        continue;
+      }
+      auto it = vars.find(tk.text);
+      if (it != vars.end() && it->second.moved) {
+        // Reassignment (or clear()) revives the variable.
+        if ((c.is(i + 1, "=") && !c.is(i + 1, "==")) ||
+            ((c.is(i + 1, ".") && (c.is(i + 2, "clear") ||
+                                   c.is(i + 2, "reset"))))) {
+          it->second.moved = false;
+          continue;
+        }
+        // Member access on the object or any other read is a use.
+        out->push_back({file, tk.line, std::string(kMovedBuf),
+                        "use of '" + tk.text + "' after std::move on line " +
+                            std::to_string(it->second.moved_line)});
+        it->second.moved = false;  // one finding per move
+      }
+    }
+  }
+}
+
+void check_byte_vec(const Cursor& c, const std::string& relpath,
+                    bool all_checks, std::vector<Finding>* out,
+                    const std::string& file) {
+  // Scope: the data path (src/) minus the storage layer itself, which
+  // legitimately adopts vectors into segments. The corpus opts in via
+  // all_checks.
+  if (!all_checks) {
+    if (relpath.rfind("src/", 0) != 0) return;
+    if (relpath.find("common/buffer.") != std::string::npos ||
+        relpath.find("common/bytebuf.") != std::string::npos) {
+      return;
+    }
+  }
+  for (size_t i = 0; i + 7 < c.size(); ++i) {
+    if (!(c.at(i).ident("std") && c.is(i + 1, "::") && c.is(i + 2, "vector") &&
+          c.is(i + 3, "<") && c.at(i + 4).ident("std") && c.is(i + 5, "::") &&
+          c.is(i + 6, "byte") && c.is(i + 7, ">"))) {
+      continue;
+    }
+    size_t after = i + 8;
+    if (c.is_ident(after)) ++after;  // optional parameter name
+    const bool param_pos = c.is(after, ",") || c.is(after, ")");
+    // Return-type position: Task< or Expected< within the last few tokens
+    // with the angle still open.
+    bool ret_pos = false;
+    for (size_t back = 1; back <= 6 && back <= i; ++back) {
+      if ((c.at(i - back).ident("Task") || c.at(i - back).ident("Expected")) &&
+          c.is(i - back + 1, "<")) {
+        ret_pos = true;
+        break;
+      }
+    }
+    if (param_pos || ret_pos) {
+      out->push_back({file, c.at(i).line, std::string(kByteVec),
+                      "payload-by-vector signature (use imca::Buffer on the "
+                      "data path)"});
+    }
+  }
+}
+
+}  // namespace
+
+NameIndex collect_names(const LexedFile& lexed) {
+  Cursor c(lexed.tokens);
+  NameIndex out;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (c.at(i).ident("Task")) {
+      if (auto r = parse_task_function(c, i)) {
+        if (!r->first.name.empty()) out.task_fns.insert(r->first.name);
+        continue;
+      }
+    }
+    // Non-Task declarations that reuse a fop name make that name ambiguous
+    // for IMCA-DETACH. Three shapes cover this codebase:
+    //   `void set(`   — two identifiers then '(' (skipping statement
+    //                   keywords, which precede calls, not declarations)
+    //   `Expected<X> stat(` — '>' then identifier then '(' where the
+    //                   matching '<' does not belong to Task
+    //   `auto stat = [` — a lambda bound to a name
+    if (c.is_ident(i) && c.is_ident(i + 1) && c.is(i + 2, "(")) {
+      static const std::set<std::string> kStmtKeywords = {
+          "return",   "co_return", "co_await", "co_yield", "case",
+          "goto",     "new",       "delete",   "throw",    "else",
+          "do",       "sizeof",    "typedef",  "using",    "typename",
+          "operator", "if",        "while",    "for",      "switch"};
+      if (kStmtKeywords.count(c.at(i).text) == 0 &&
+          kStmtKeywords.count(c.at(i + 1).text) == 0) {
+        out.ambiguous_fns.insert(c.at(i + 1).text);
+      }
+      continue;
+    }
+    if (c.is(i, ">") && c.is_ident(i + 1) && c.is(i + 2, "(")) {
+      // Walk back to the matching '<'; the identifier before it is the
+      // template being returned. Task<…> declarations were already taken by
+      // parse_task_function above, but re-classify defensively.
+      int depth = 1;
+      size_t j = i;
+      while (j > 0 && depth > 0) {
+        --j;
+        if (c.is(j, ">")) ++depth;
+        else if (c.is(j, "<")) --depth;
+      }
+      if (depth == 0 && j > 0 && c.is_ident(j - 1) &&
+          !c.at(j - 1).ident("Task")) {
+        out.ambiguous_fns.insert(c.at(i + 1).text);
+      }
+      continue;
+    }
+    if (c.at(i).ident("auto") && c.is_ident(i + 1) && c.is(i + 2, "=") &&
+        c.is(i + 3, "[")) {
+      out.ambiguous_fns.insert(c.at(i + 1).text);
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> analyze(const std::string& relpath,
+                             const LexedFile& lexed, const NameIndex& names,
+                             bool all_checks) {
+  Cursor c(lexed.tokens);
+  std::vector<Finding> raw;
+  std::map<int, Suppression> nolints =
+      parse_nolints(lexed.comments, &raw, relpath);
+
+  const std::vector<Entity> entities = collect_entities(c);
+  for (const Entity& e : entities) {
+    if (e.body_hi == 0) continue;
+    check_coro_ref(c, e, &raw, relpath);
+    check_coro_lambda(e, &raw, relpath);
+    check_coro_this(c, entities, e, &raw, relpath);
+  }
+  check_detach(c, names, &raw, relpath);
+  check_moved_buf(c, &raw, relpath);
+  check_byte_vec(c, relpath, all_checks, &raw, relpath);
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    if (f.check != kNolintBare && suppressed(nolints, f.line, f.check)) {
+      continue;
+    }
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.check == b.check && a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace imca::lint

@@ -1,0 +1,88 @@
+// The imca-lint checks: this codebase's coroutine-lifetime rules, encoded.
+//
+// Every check exists because a sanitizer caught the bug class at runtime in
+// an earlier PR and the rule is mechanical enough to enforce at build time
+// (DESIGN.md §5g records the contract each check enforces):
+//
+//   IMCA-CORO-REF     a coroutine taking a parameter whose referent can die
+//                     while the frame is suspended: const lvalue reference,
+//                     rvalue reference, std::string_view, or BufView.
+//                     Non-const lvalue references are exempt — they cannot
+//                     bind temporaries, and this codebase uses them only for
+//                     environment handles (EventLoop&, rigs) and out-params
+//                     that the caller keeps alive across the await.
+//   IMCA-CORO-LAMBDA  a capturing lambda that is itself a coroutine: the
+//                     frame holds a reference to the lambda object, which is
+//                     usually a dead temporary by the first resumption (the
+//                     PR 1 stack-use-after-scope class).
+//   IMCA-CORO-THIS    a coroutine that touches `this` after a co_await with
+//                     no liveness token in scope (the write-behind alive_
+//                     pattern); the object may be torn down while suspended.
+//   IMCA-DETACH       a statement that creates a Task and immediately drops
+//                     it (bare call or (void)-cast): lazy tasks never run
+//                     unless awaited, spawned, or started.
+//   IMCA-MOVED-BUF    use of a Buffer/ByteBuf after std::move in the same
+//                     scope (the PR 4 moved-from write-behind buffer class).
+//   IMCA-BYTE-VEC     std::vector<std::byte> in a payload signature under
+//                     src/ — Buffer is the one payload type on the data
+//                     path (folds the old lint-no-byte-vectors grep).
+//   IMCA-NOLINT-BARE  a NOLINT(imca-…) with no ": justification" text; the
+//                     escape hatch requires a reason and cannot itself be
+//                     suppressed.
+//
+// Suppression: `// NOLINT(imca-coro-ref): why` on the finding's line, or
+// `// NOLINTNEXTLINE(imca-coro-ref): why` on the line above. Blanket
+// clang-style NOLINT without an imca-* id does NOT silence imca-lint.
+//
+// AST-lite limitations (by design — no libclang in the build image): member
+// state reached implicitly (without `this->`) after a co_await is not seen
+// by IMCA-CORO-THIS, and IMCA-MOVED-BUF tracks only variables whose
+// Buffer/ByteBuf declaration is visible in the same file. The corpus under
+// tests/lint_corpus/ pins exactly what is and is not caught.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace imca::lint {
+
+struct Finding {
+  std::string file;  // path as given on the command line
+  int line = 0;
+  std::string check;    // "IMCA-CORO-REF", ...
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return check < o.check;
+  }
+};
+
+// Pass 1 result, merged across the whole file set before pass 2.
+struct NameIndex {
+  // Names of Task-returning functions (declared or defined anywhere).
+  std::set<std::string> task_fns;
+  // Names also declared with a non-Task return type (or bound to lambdas).
+  // IMCA-DETACH skips these: without real types, a name that means both
+  // "Task fop" and "void utility" (set, stat, create, …) cannot be
+  // attributed at the call site, and a false positive on every
+  // event.set() would bury the signal.
+  std::set<std::string> ambiguous_fns;
+};
+
+// Pass 1: collect function names declared or defined in this file (fed back
+// into every file's IMCA-DETACH pass so cross-file calls are seen).
+NameIndex collect_names(const LexedFile& lexed);
+
+// Pass 2: run every check over one file. `relpath` decides path-scoped
+// checks (IMCA-BYTE-VEC applies under src/ only, everywhere when
+// `all_checks` — used for the lint corpus). NOLINT suppression is applied
+// here; suppressed findings are dropped.
+std::vector<Finding> analyze(const std::string& relpath, const LexedFile& lexed,
+                             const NameIndex& names, bool all_checks);
+
+}  // namespace imca::lint

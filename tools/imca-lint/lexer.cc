@@ -1,0 +1,154 @@
+#include "lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace imca::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuation, longest first so maximal munch works by ordered
+// scan. Only operators the analyzer cares to see as single tokens matter;
+// the rest may split into single chars without harming any check.
+constexpr std::array<std::string_view, 12> kMultiPunct = {
+    "<<=", ">>=", "->*", "...", "::", "->", "&&", "||",
+    "==",  "!=",  "<=",  ">=",
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t start = i + 2;
+      std::size_t end = start;
+      while (end < n && src[end] != '\n') ++end;
+      out.comments.push_back(
+          {std::string(src.substr(start, end - start)), line});
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::size_t start = i + 2;
+      std::size_t end = start;
+      while (end + 1 < n && !(src[end] == '*' && src[end + 1] == '/')) {
+        if (src[end] == '\n') ++line;
+        ++end;
+      }
+      out.comments.push_back(
+          {std::string(src.substr(start, end - start)), start_line});
+      i = (end + 1 < n) ? end + 2 : n;
+      continue;
+    }
+    // Preprocessor line (only when '#' begins a logical line — close enough
+    // to check that the previous token is on an earlier line or absent).
+    if (c == '#' &&
+        (out.tokens.empty() || out.tokens.back().line < line)) {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && src[d] != '(') delim += src[d++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, d);
+      if (end == std::string_view::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.tokens.push_back({Tok::kString, "\"\"", line});
+      i = (end == n) ? n : end + closer.size();
+      continue;
+    }
+    // String / char literal (with escapes).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
+        ++j;
+      }
+      out.tokens.push_back({quote == '"' ? Tok::kString : Tok::kChar,
+                            quote == '"' ? "\"\"" : "''", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_cont(src[j])) ++j;
+      out.tokens.push_back({Tok::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Number (pp-number, loose: digits, idents, ', and exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_cont(src[j]) || src[j] == '\'' || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+      ++j;
+      }
+      out.tokens.push_back({Tok::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Punctuation, maximal munch over the multi-char table.
+    bool matched = false;
+    for (std::string_view op : kMultiPunct) {
+      if (src.substr(i, op.size()) == op) {
+        out.tokens.push_back({Tok::kPunct, std::string(op), line});
+        i += op.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace imca::lint

@@ -1,0 +1,52 @@
+// Token stream for the imca-lint AST-lite analyzer.
+//
+// imca-lint runs anywhere the build runs: it has no libclang dependency, so
+// it works from a hand-rolled C++ lexer plus a pattern-level "parser"
+// (analyzer.cc) instead of a real AST. The lexer's job is to make that
+// tractable: comments, string/char literals, raw strings and preprocessor
+// lines are consumed here so the analysis passes only ever see identifiers,
+// numbers and punctuation with accurate line numbers.
+//
+// Comments are not discarded: NOLINT / EXPECT markers live in them, so each
+// comment's text and line are surfaced separately from the token stream.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace imca::lint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords (co_await, const, ... stay raw text)
+  kNumber,  // numeric literal (pp-number, loosely)
+  kString,  // "..." or R"(...)" — text is a placeholder, contents dropped
+  kChar,    // '...'
+  kPunct,   // operators and punctuation, maximal munch for multi-char ops
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+
+  bool is(std::string_view s) const { return text == s; }
+  bool ident(std::string_view s) const { return kind == Tok::kIdent && text == s; }
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ delimiters
+  int line;          // line the comment starts on
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+// Tokenizes `source`. Never fails: anything unrecognized becomes a 1-char
+// punct token, which the analyzer simply won't match.
+LexedFile lex(std::string_view source);
+
+}  // namespace imca::lint

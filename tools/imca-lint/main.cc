@@ -1,0 +1,216 @@
+// imca-lint — coroutine-lifetime & suspension-safety analyzer (DESIGN.md §5g).
+//
+// Usage:
+//   imca-lint [--root DIR] PATH...        lint files / directories
+//   imca-lint --verify PATH...            corpus mode: findings must match
+//                                         `// EXPECT: IMCA-…` comments exactly
+//   imca-lint --list-checks               print the check catalogue
+//
+// Paths are made relative to --root (default: cwd) for path-scoped checks
+// (IMCA-BYTE-VEC applies under src/ only) and for stable output. Exit 0 iff
+// clean (or, in --verify mode, iff findings == expectations).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+#include "lexer.h"
+
+namespace fs = std::filesystem;
+using imca::lint::Finding;
+using imca::lint::LexedFile;
+
+namespace {
+
+constexpr const char* kChecks[][2] = {
+    {"IMCA-CORO-REF",
+     "coroutine parameter by const-ref, rvalue-ref, string_view or BufView"},
+    {"IMCA-CORO-LAMBDA", "capturing lambda that is itself a coroutine"},
+    {"IMCA-CORO-THIS",
+     "`this` used after co_await without a liveness token (alive_)"},
+    {"IMCA-DETACH", "Task created and dropped without await/store/spawn"},
+    {"IMCA-MOVED-BUF", "Buffer/ByteBuf used after std::move in the same scope"},
+    {"IMCA-BYTE-VEC",
+     "std::vector<std::byte> payload signature under src/ (use Buffer)"},
+    {"IMCA-NOLINT-BARE", "NOLINT(imca-…) without a ': justification'"},
+};
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+std::vector<fs::path> expand(const std::vector<std::string>& args,
+                             const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const std::string& a : args) {
+    fs::path p(a);
+    if (p.is_relative()) p = root / p;
+    if (fs::is_directory(p)) {
+      for (auto it = fs::recursive_directory_iterator(p);
+           it != fs::recursive_directory_iterator(); ++it) {
+        const std::string name = it->path().filename().string();
+        // lint_corpus holds deliberate violations for --verify; reach it by
+        // passing the directory (or its files) explicitly, never by sweep.
+        if (it->is_directory() &&
+            (name.rfind("build", 0) == 0 || name[0] == '.' ||
+             name == "lint_corpus")) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "imca-lint: no such path: " << a << "\n";
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string rel_to(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path r = fs::relative(p, root, ec);
+  if (ec || r.empty() || r.string().rfind("..", 0) == 0) {
+    return p.lexically_normal().string();
+  }
+  return r.string();
+}
+
+// `// EXPECT: IMCA-CORO-REF[, IMCA-…]` — expectations for --verify mode.
+std::set<Finding> parse_expectations(const std::string& relpath,
+                                     const LexedFile& lexed) {
+  std::set<Finding> out;
+  for (const auto& cm : lexed.comments) {
+    const size_t pos = cm.text.find("EXPECT:");
+    if (pos == std::string::npos) continue;
+    std::stringstream ss(cm.text.substr(pos + 7));
+    std::string id;
+    while (std::getline(ss, id, ',')) {
+      id.erase(0, id.find_first_not_of(" \t"));
+      id.erase(id.find_last_not_of(" \t\r") + 1);
+      if (id.rfind("IMCA-", 0) == 0) {
+        out.insert({relpath, cm.line, id, ""});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verify = false;
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--verify") {
+      verify = true;
+    } else if (a == "--root" && i + 1 < argc) {
+      root = fs::path(argv[++i]);
+    } else if (a.rfind("--root=", 0) == 0) {
+      root = fs::path(a.substr(7));
+    } else if (a == "--list-checks") {
+      for (const auto& c : kChecks) {
+        std::cout << c[0] << "  " << c[1] << "\n";
+      }
+      return 0;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: imca-lint [--root DIR] [--verify] PATH...\n";
+      return 0;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "imca-lint: no paths given (try --help)\n";
+    return 2;
+  }
+  root = fs::absolute(root).lexically_normal();
+
+  const std::vector<fs::path> files = expand(paths, root);
+  if (files.empty()) {
+    std::cerr << "imca-lint: nothing to lint\n";
+    return 2;
+  }
+
+  // Pass 1: lex everything, collect function names globally so IMCA-DETACH
+  // sees cross-file calls (and cross-file name collisions).
+  std::vector<std::pair<std::string, LexedFile>> lexed;
+  imca::lint::NameIndex names;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    lexed.emplace_back(rel_to(f, root), imca::lint::lex(ss.str()));
+    const imca::lint::NameIndex ni =
+        imca::lint::collect_names(lexed.back().second);
+    names.task_fns.insert(ni.task_fns.begin(), ni.task_fns.end());
+    names.ambiguous_fns.insert(ni.ambiguous_fns.begin(),
+                               ni.ambiguous_fns.end());
+  }
+
+  // Pass 2: analyze. In --verify mode every check applies to every file and
+  // findings are diffed against the corpus EXPECT annotations.
+  std::vector<Finding> findings;
+  std::set<Finding> expected;
+  for (const auto& [relpath, lx] : lexed) {
+    std::vector<Finding> fs_ =
+        imca::lint::analyze(relpath, lx, names, verify);
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+    if (verify) {
+      std::set<Finding> ex = parse_expectations(relpath, lx);
+      expected.insert(ex.begin(), ex.end());
+    }
+  }
+  std::sort(findings.begin(), findings.end());
+
+  if (!verify) {
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
+                << f.message << "\n";
+    }
+    if (findings.empty()) {
+      std::cout << "imca-lint: clean (" << files.size() << " files)\n";
+      return 0;
+    }
+    std::cout << "imca-lint: " << findings.size() << " finding(s) in "
+              << files.size() << " files\n";
+    return 1;
+  }
+
+  // --verify: exact (file, line, check) match, both directions.
+  std::set<Finding> actual;
+  for (const Finding& f : findings) actual.insert({f.file, f.line, f.check, ""});
+  int bad = 0;
+  for (const Finding& e : expected) {
+    if (actual.count(e) == 0) {
+      std::cout << "MISSING  " << e.file << ":" << e.line << ": expected ["
+                << e.check << "] did not fire\n";
+      ++bad;
+    }
+  }
+  for (const Finding& a : actual) {
+    if (expected.count(a) == 0) {
+      std::cout << "SPURIOUS " << a.file << ":" << a.line << ": [" << a.check
+                << "] fired with no EXPECT\n";
+      ++bad;
+    }
+  }
+  std::cout << "imca-lint --verify: " << expected.size() << " expected, "
+            << actual.size() << " actual, " << bad << " mismatch(es)\n";
+  return bad == 0 ? 0 : 1;
+}
