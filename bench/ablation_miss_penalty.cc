@@ -61,6 +61,10 @@ struct ReadMeasure {
   std::uint64_t gather_calls = 0;
 };
 
+// Kernel events processed across every testbed in the run — the perf
+// trajectory's events/sec denominator (--json, EXPERIMENTS.md).
+std::uint64_t g_events = 0;
+
 // Seed the file (the write path publishes every block via SMCache), evict
 // the tail so exactly k blocks stay cached, and time one whole-file read.
 // The copy ledger is snapshotted around the read (including the window in
@@ -88,6 +92,7 @@ ReadMeasure timed_read(bool partial_hit, std::size_t k, bool legacy = false) {
     out.gather_calls = buffer_stats().gather_calls - before.gather_calls;
   }(tb, k, m));
   set_legacy_copy_path(false);
+  g_events += tb.loop().events_processed();
   return m;
 }
 
@@ -129,13 +134,15 @@ WarmResult warm_reread() {
     out.warm_from_cache =
         t.cmcache(0).stats().reads_from_cache - from_cache_before;
   }(tb, r));
+  g_events += tb.loop().events_processed();
   return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)imca::bench::parse_args(argc, argv);
+  const auto args = imca::bench::parse_args(argc, argv);
+  const imca::bench::BenchTimer bench_timer;
 
   bool strictly_cheaper = true;
   std::printf("{\n  \"file_blocks\": %zu,\n  \"block_bytes\": %llu,\n",
@@ -194,5 +201,10 @@ int main(int argc, char** argv) {
 
   std::printf("  \"partial_hit_strictly_cheaper_for_k_ge_1\": %s\n}\n",
               strictly_cheaper ? "true" : "false");
+  if (!imca::bench::write_bench_json(
+          args.json_path,
+          {bench_timer.finish("ablation/miss_penalty", g_events)})) {
+    return 1;
+  }
   return strictly_cheaper && warm_is_full_hit && le_one_payload ? 0 : 1;
 }

@@ -24,6 +24,10 @@ using cluster::GlusterTestbedConfig;
 using cluster::LustreTestbed;
 using cluster::LustreTestbedConfig;
 
+// Kernel events processed across every testbed in the run — the perf
+// trajectory's events/sec denominator (--json, EXPERIMENTS.md).
+std::uint64_t g_events = 0;
+
 double run_gluster(std::size_t n_clients, std::size_t n_mcds,
                    std::size_t n_files, std::uint64_t& misses) {
   GlusterTestbedConfig cfg;
@@ -34,6 +38,7 @@ double run_gluster(std::size_t n_clients, std::size_t n_mcds,
   opt.n_files = n_files;
   const auto r = workload::run_stat_benchmark(tb.loop(), clients_of(tb), opt);
   misses = n_mcds > 0 ? tb.mcd_totals().get_misses : 0;
+  g_events += tb.loop().events_processed();
   return r.max_node_seconds;
 }
 
@@ -45,14 +50,17 @@ double run_lustre(std::size_t n_clients, std::size_t n_ds,
   LustreTestbed tb(cfg);
   workload::StatOptions opt;
   opt.n_files = n_files;
-  return workload::run_stat_benchmark(tb.loop(), clients_of(tb), opt)
-      .max_node_seconds;
+  const double s = workload::run_stat_benchmark(tb.loop(), clients_of(tb),
+                                                opt).max_node_seconds;
+  g_events += tb.loop().events_processed();
+  return s;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = parse_args(argc, argv);
+  const BenchTimer bench_timer;
   const auto n_files =
       static_cast<std::size_t>(8192 * args.scale);
 
@@ -107,5 +115,10 @@ int main(int argc, char** argv) {
     std::printf(" %zuMCD=%" PRIu64, mcd_counts[m], misses_by_mcds[m + 1]);
   }
   std::printf("\n");
+  if (!write_bench_json(args.json_path,
+                        {bench_timer.finish("fig05/stat_scaling",
+                                            g_events)})) {
+    return 1;
+  }
   return 0;
 }

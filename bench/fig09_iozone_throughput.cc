@@ -39,6 +39,10 @@ IozoneOptions options() {
   return opt;
 }
 
+// Kernel events processed across every testbed in the run — the perf
+// trajectory's events/sec denominator (--json, EXPERIMENTS.md).
+std::uint64_t g_events = 0;
+
 // Buffer-layer copy ledger for one run (delta across the whole iozone
 // write+read pass), reported in the JSON footer for the headline config.
 struct CopyLedger {
@@ -66,6 +70,7 @@ double run_gluster(std::size_t threads, std::size_t n_mcds,
     ledger->gather_calls = buffer_stats().gather_calls - before.gather_calls;
     ledger->bytes_read = threads * kFileBytes;  // the re-read phase volume
   }
+  g_events += tb.loop().events_processed();
   return mbps;
 }
 
@@ -79,6 +84,7 @@ double run_lustre(std::size_t threads) {
   // Cold client caches for the read phase (unmount/remount, paper §5.3).
   opt.before_read_phase = [&tb](std::size_t) { tb.cold_all(); };
   const auto r = workload::run_iozone(tb.loop(), clients_of(tb), opt);
+  g_events += tb.loop().events_processed();
   return r.aggregate_read_mbps;
 }
 
@@ -86,6 +92,7 @@ double run_lustre(std::size_t threads) {
 
 int main(int argc, char** argv) {
   const auto args = parse_args(argc, argv);
+  const BenchTimer bench_timer;
   std::printf("== Fig 9: IOzone read throughput (MB/s); %llu MB files, "
               "modulo hash, 2K IMCa blocks (paper: 1 GB files) ==\n",
               static_cast<unsigned long long>(kFileBytes / kMiB));
@@ -144,5 +151,10 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(ledger8x4.bytes_copied) /
                         static_cast<double>(ledger8x4.bytes_read)
                   : 0.0);
+  if (!write_bench_json(args.json_path,
+                        {bench_timer.finish("fig09/iozone_throughput",
+                                            g_events)})) {
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,98 @@
+// Slab arena for event-queue nodes.
+//
+// The timer wheel (event_loop.h) links one `EventNode` per scheduled resume
+// into intrusive per-slot lists. At "millions of simulated users" scale the
+// kernel schedules hundreds of millions of events per run, so nodes must not
+// cost a malloc each: the arena carves them out of fixed-size chunks and
+// recycles popped nodes through a free list. On the steady path (sleep ->
+// resume -> sleep) every allocation is served from the free list — the node
+// released by the resume that is currently executing — so `schedule_at` and
+// `SleepAwaiter` never touch the system allocator after warm-up.
+//
+// Ownership rules (DESIGN.md §5h):
+//   * The EventLoop is the only owner. Nodes are handed out by `alloc()`,
+//     threaded into exactly one wheel/overflow list, and returned by
+//     `release()` the moment they are popped.
+//   * A node must be released only AFTER its fields (`handle`, `at`, `seq`)
+//     have been copied out, and never while it is still linked into a slot
+//     list — a released node's `next` is repurposed as the free-list link,
+//     so releasing a queued node corrupts the wheel (the bug class encoded
+//     in tests/lint_corpus/node_freed_bad.cc).
+//   * Chunks are never returned to the OS while the arena lives; peak event
+//     concurrency bounds memory, and a drained loop reuses its chunks for
+//     the next run (tested by ArenaReuseAfterDrain).
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+
+namespace imca::sim {
+
+// One scheduled resume: timestamp, global FIFO tie-break, coroutine handle,
+// and the intrusive links for the wheel slot (or free) list it lives on.
+struct EventNode {
+  SimTime at = 0;
+  std::uint64_t seq = 0;
+  std::coroutine_handle<> handle;
+  EventNode* prev = nullptr;
+  EventNode* next = nullptr;
+};
+
+class EventArena {
+ public:
+  static constexpr std::size_t kChunkNodes = 4096;
+
+  EventArena() = default;
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+
+  EventNode* alloc(SimTime at, std::uint64_t seq,
+                   std::coroutine_handle<> handle) {
+    EventNode* n = free_;
+    if (n != nullptr) {
+      free_ = n->next;
+      ++reuse_;
+    } else {
+      if (next_in_chunk_ == kChunkNodes) {
+        chunks_.push_back(std::make_unique<EventNode[]>(kChunkNodes));
+        next_in_chunk_ = 0;
+      }
+      n = &chunks_.back()[next_in_chunk_++];
+    }
+    n->at = at;
+    n->seq = seq;
+    n->handle = handle;
+    n->prev = nullptr;
+    n->next = nullptr;
+    return n;
+  }
+
+  // Return a node to the free list. The caller must already have unlinked it
+  // from any slot list and copied out every field it still needs.
+  void release(EventNode* n) noexcept {
+    n->next = free_;
+    free_ = n;
+  }
+
+  // Total bytes held in chunks (monotone; recycling never grows this).
+  std::uint64_t bytes() const noexcept {
+    return static_cast<std::uint64_t>(chunks_.size()) * kChunkNodes *
+           sizeof(EventNode);
+  }
+
+  // Allocations served from the free list instead of a fresh chunk slot.
+  std::uint64_t reuse() const noexcept { return reuse_; }
+
+ private:
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  std::size_t next_in_chunk_ = kChunkNodes;  // forces the first chunk
+  EventNode* free_ = nullptr;
+  std::uint64_t reuse_ = 0;
+};
+
+}  // namespace imca::sim

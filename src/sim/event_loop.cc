@@ -6,6 +6,8 @@ namespace imca::sim {
 
 namespace {
 
+bool g_legacy_event_queue = false;
+
 // Wrapper coroutine that owns a spawned task for its whole lifetime. The
 // frame (and the Task parameter captured inside it) self-destroys at
 // completion because final_suspend() never suspends.
@@ -32,9 +34,33 @@ Detached detach_and_count(Task<void> task, std::size_t& live) {
 }
 }  // namespace
 
+void set_legacy_event_queue(bool legacy) noexcept {
+  g_legacy_event_queue = legacy;
+}
+bool legacy_event_queue() noexcept { return g_legacy_event_queue; }
+
 void EventLoop::schedule_at(SimTime at, std::coroutine_handle<> h) {
-  assert(at >= now_ && "cannot schedule into the simulated past");
-  queue_.push(Entry{at, seq_++, h});
+  if (at < now_) [[unlikely]] {
+    assert(at >= now_ && "cannot schedule into the simulated past");
+    at = now_;  // release builds clamp; stats().past_clamps records it
+    ++past_clamps_;
+  }
+  ++scheduled_;
+  if (impl_ == QueueImpl::kTimerWheel) {
+    // A near-term schedule (channel handoffs, schedule_now chains, short
+    // device-tick sleeps) resumes soon; its coroutine frame went cold while
+    // parked, so start the line fill now — by resume time it has at worst
+    // decayed to an outer-cache hit instead of a full memory stall. Longer
+    // sleeps are warmed later, by the level-1 cascade that precedes their
+    // resume (TimerWheel::cascade_slot).
+    constexpr SimTime kFramePrefetchHorizon = 4096;
+    if (at - now_ <= kFramePrefetchHorizon) {
+      detail::prefetch_frame(h.address());
+    }
+    wheel_.insert(arena_.alloc(at, seq_++, h));
+  } else {
+    heap_.push(HeapEntry{at, seq_++, h});
+  }
 }
 
 void EventLoop::spawn(Task<void> task) {
@@ -43,28 +69,61 @@ void EventLoop::spawn(Task<void> task) {
   schedule_now(d.handle);
 }
 
+std::coroutine_handle<> EventLoop::take_next() {
+  if (impl_ == QueueImpl::kTimerWheel) {
+    EventNode* e = wheel_.pop_min();
+    now_ = e->at;
+    if (trace_ != nullptr) trace_->emplace_back(e->at, e->seq);
+    const std::coroutine_handle<> h = e->handle;
+    // Copy-out complete and the node is unlinked: recycle it before the
+    // resume so the steady path's next schedule_at reuses it cache-hot.
+    arena_.release(e);
+    return h;
+  }
+  const HeapEntry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  if (trace_ != nullptr) trace_->emplace_back(e.at, e.seq);
+  return e.handle;
+}
+
 std::uint64_t EventLoop::run() {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    now_ = e.at;
-    ++n;
-    ++processed_;
-    e.handle.resume();
+  if (impl_ == QueueImpl::kTimerWheel) {
+    while (!wheel_.empty()) {
+      EventNode* e = wheel_.pop_min();
+      now_ = e->at;
+      if (trace_ != nullptr) [[unlikely]] trace_->emplace_back(e->at, e->seq);
+      const std::coroutine_handle<> h = e->handle;
+      // Copy-out complete and the node is unlinked: recycle it before the
+      // resume so the steady path's next schedule_at reuses it cache-hot.
+      arena_.release(e);
+      ++n;
+      ++processed_;
+      h.resume();
+    }
+  } else {
+    while (!heap_.empty()) {
+      const std::coroutine_handle<> h = take_next();
+      ++n;
+      ++processed_;
+      h.resume();
+    }
   }
   return n;
 }
 
 std::uint64_t EventLoop::run_until(SimTime deadline) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    Entry e = queue_.top();
-    queue_.pop();
-    now_ = e.at;
+  while (!idle()) {
+    const SimTime next = impl_ == QueueImpl::kTimerWheel
+                             ? wheel_.peek_min_time()
+                             : heap_.top().at;
+    if (next > deadline) break;
+    const std::coroutine_handle<> h = take_next();
     ++n;
     ++processed_;
-    e.handle.resume();
+    h.resume();
   }
   if (now_ < deadline) now_ = deadline;
   return n;

@@ -1,0 +1,40 @@
+# Runs a fault-matrix driver twice — timer-wheel default and
+# --legacy-queue — and requires byte-identical stdout. This is the
+# determinism pin at system scale: the whole seeded client/server fault
+# matrix must replay the same under both EventLoop queue implementations.
+#
+# Usage: cmake -D MATRIX=<driver> -D SEED=<n> -P compare_queue_impls.cmake
+foreach(var MATRIX SEED)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compare_queue_impls.cmake: -D ${var}=... required")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${MATRIX}" "--seed=${SEED}"
+                OUTPUT_VARIABLE wheel_out
+                ERROR_VARIABLE wheel_err
+                RESULT_VARIABLE wheel_rc)
+if(NOT wheel_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${MATRIX} --seed=${SEED} (timer wheel) failed rc=${wheel_rc}\n"
+          "${wheel_out}${wheel_err}")
+endif()
+
+execute_process(COMMAND "${MATRIX}" "--seed=${SEED}" "--legacy-queue"
+                OUTPUT_VARIABLE legacy_out
+                ERROR_VARIABLE legacy_err
+                RESULT_VARIABLE legacy_rc)
+if(NOT legacy_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${MATRIX} --seed=${SEED} --legacy-queue failed rc=${legacy_rc}\n"
+          "${legacy_out}${legacy_err}")
+endif()
+
+if(NOT wheel_out STREQUAL legacy_out)
+  message(FATAL_ERROR
+          "queue implementations diverged on ${MATRIX} --seed=${SEED}\n"
+          "--- timer wheel ---\n${wheel_out}\n"
+          "--- legacy heap ---\n${legacy_out}")
+endif()
+
+message(STATUS "queue impls byte-identical on ${MATRIX} --seed=${SEED}")

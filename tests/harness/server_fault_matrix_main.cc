@@ -27,6 +27,7 @@
 
 #include "common/units.h"
 #include "harness/workload_harness.h"
+#include "sim/event_loop.h"
 
 namespace {
 
@@ -68,8 +69,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--legacy-queue") == 0) {
+      // Determinism oracle hook: run the whole matrix on the legacy
+      // priority-queue EventLoop. tests/cmake/compare_queue_impls.cmake
+      // diffs this output byte-for-byte against the timer-wheel default.
+      imca::sim::set_legacy_event_queue(true);
     } else {
-      std::fprintf(stderr, "usage: %s [--seed=N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--seed=N] [--legacy-queue]\n",
+                   argv[0]);
       return 2;
     }
   }

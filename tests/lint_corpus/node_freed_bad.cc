@@ -1,0 +1,28 @@
+// IMCA-NODE-FREED corpus — the PR 6 wheel/arena lifetime bug, reduced: an
+// EventNode released back to the arena is live free-list storage (release()
+// overwrites n->next with the free-list link, and the very next alloc()
+// recycles the node for a different event), so reading it afterwards resumes
+// the wrong coroutine or walks the free list as if it were a slot list.
+#include "sim/event_arena.h"
+
+namespace corpus {
+
+using imca::sim::EventArena;
+using imca::sim::EventNode;
+
+void resume_after_release(EventArena& arena, EventNode* n) {
+  arena.release(n);
+  n->handle.resume();  // EXPECT: IMCA-NODE-FREED
+}
+
+void read_seq_after_release(EventArena& arena, EventNode* n) {
+  arena.release(n);
+  (void)n->seq;  // EXPECT: IMCA-NODE-FREED
+}
+
+void double_release(EventArena& arena, EventNode* n) {
+  arena.release(n);
+  arena.release(n);  // EXPECT: IMCA-NODE-FREED
+}
+
+}  // namespace corpus

@@ -1,0 +1,45 @@
+// IMCA-NODE-FREED good twin: the event_loop.cc idiom — copy (handle, seq)
+// out of the node and unlink it BEFORE releasing, or reassign the pointer
+// to a fresh allocation before any further use.
+#include <coroutine>
+
+#include "sim/event_arena.h"
+
+namespace corpus {
+
+using imca::sim::EventArena;
+using imca::sim::EventNode;
+
+void copy_out_then_release(EventArena& arena, EventNode* n) {
+  const std::coroutine_handle<> h = n->handle;
+  arena.release(n);
+  h.resume();  // resumes from the copy, not the recycled node
+}
+
+void reassign_then_use(EventArena& arena, EventNode* n) {
+  arena.release(n);
+  n = arena.alloc(0, 0, std::coroutine_handle<>{});  // fresh node: valid again
+  arena.release(n);
+}
+
+// A release inside a block revives the name at block exit (the analyzer has
+// no inter-block flow; the scope boundary is the conservative reset).
+void release_in_inner_scope(EventArena& arena, EventNode* n, bool drop) {
+  if (drop) {
+    arena.release(n);
+    return;
+  }
+  (void)n->seq;
+}
+
+// Member access through another object is not a use of the released local.
+struct Holder {
+  EventNode* n = nullptr;
+};
+
+void member_is_not_local(EventArena& arena, Holder& holder, EventNode* n) {
+  arena.release(n);
+  (void)holder.n;
+}
+
+}  // namespace corpus

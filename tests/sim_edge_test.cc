@@ -199,6 +199,49 @@ TEST(ResourceEdge, NextFreeReflectsBookings) {
   loop.run();
 }
 
+// Direct schedule_at with an explicit (possibly bogus) timestamp — the
+// public sleep/sleep_until awaiters always clamp, so reaching the kernel's
+// past-time guard needs a raw awaiter.
+struct ScheduleAtAwaiter {
+  EventLoop& loop;
+  SimTime at;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    loop.schedule_at(at, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+// Regression for schedule_at(at < now): debug builds assert; release builds
+// (the default RelWithDebInfo tier-1 tree defines NDEBUG) clamp to now(),
+// count the clamp in stats().past_clamps, and keep FIFO order behind events
+// already queued at the current timestamp.
+TEST(EventLoopEdge, ScheduleIntoPastAssertsOrClamps) {
+#ifdef NDEBUG
+  EventLoop loop;
+  SimTime resumed_at = 0;
+  loop.spawn([](EventLoop& l, SimTime& r) -> Task<void> {
+    co_await l.sleep(1000);
+    co_await ScheduleAtAwaiter{l, 250};  // 750 ns into the past
+    r = l.now();
+  }(loop, resumed_at));
+  loop.run();
+  EXPECT_EQ(resumed_at, 1000u);  // clamped to now, clock never rewound
+  EXPECT_EQ(loop.stats().past_clamps, 1u);
+#else
+  EXPECT_DEATH(
+      {
+        EventLoop loop;
+        loop.spawn([](EventLoop& l) -> Task<void> {
+          co_await l.sleep(1000);
+          co_await ScheduleAtAwaiter{l, 250};
+        }(loop));
+        loop.run();
+      },
+      "simulated past");
+#endif
+}
+
 TEST(ResourceEdge, ZeroServiceTimeStillFifo) {
   EventLoop loop;
   FifoResource r(loop, 1);

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the imca-bench/v1 schema.
+
+Usage: check_bench_schema.py FILE [FILE...]
+
+The file is one JSON object:
+
+    {"schema": "imca-bench/v1", "git_rev": "<rev>", "results": [
+        {"schema": ..., "git_rev": ..., "bench": ..., "events": ...,
+         "wall_ms": ..., "events_per_sec": ..., "peak_rss_kb": ...}, ...]}
+
+Every record repeats the schema + git_rev so any single line scraped out of
+a CI artifact is self-describing. Only shape and types are checked —
+absolute perf numbers are deliberately never gated (EXPERIMENTS.md "Perf
+trajectory"): the trajectory across PRs is the signal, not any one run on a
+shared CI runner. Exit 0 iff every file validates; stdlib only.
+"""
+
+import json
+import numbers
+import sys
+
+SCHEMA = "imca-bench/v1"
+
+# field -> (type check, human-readable expectation)
+RECORD_FIELDS = {
+    "schema": (lambda v: v == SCHEMA, f'"{SCHEMA}"'),
+    "git_rev": (lambda v: isinstance(v, str) and v, "non-empty string"),
+    "bench": (lambda v: isinstance(v, str) and v, "non-empty string"),
+    "events": (
+        lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+        "non-negative integer",
+    ),
+    "wall_ms": (
+        lambda v: isinstance(v, numbers.Real) and not isinstance(v, bool)
+        and v >= 0,
+        "non-negative number",
+    ),
+    "events_per_sec": (
+        lambda v: isinstance(v, numbers.Real) and not isinstance(v, bool)
+        and v >= 0,
+        "non-negative number",
+    ),
+    "peak_rss_kb": (
+        lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+        "non-negative integer",
+    ),
+}
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f'{path}: top-level "schema" must be "{SCHEMA}", '
+                      f"got {doc.get('schema')!r}")
+    if not (isinstance(doc.get("git_rev"), str) and doc.get("git_rev")):
+        errors.append(f'{path}: top-level "git_rev" must be a non-empty string')
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append(f'{path}: "results" must be a non-empty array')
+        return errors
+
+    for i, rec in enumerate(results):
+        where = f"{path}: results[{i}]"
+        if not isinstance(rec, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for field, (ok, want) in RECORD_FIELDS.items():
+            if field not in rec:
+                errors.append(f'{where}: missing "{field}"')
+            elif not ok(rec[field]):
+                errors.append(f'{where}: "{field}" must be {want}, '
+                              f"got {rec[field]!r}")
+        for extra in sorted(set(rec) - set(RECORD_FIELDS)):
+            errors.append(f'{where}: unknown field "{extra}" '
+                          "(bump the schema version to extend it)")
+        if rec.get("git_rev") != doc.get("git_rev"):
+            errors.append(f'{where}: record git_rev {rec.get("git_rev")!r} '
+                          f'disagrees with file git_rev {doc.get("git_rev")!r}')
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failures += 1
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            with open(path, encoding="utf-8") as f:
+                n = len(json.load(f)["results"])
+            print(f"{path}: OK ({n} record{'s' if n != 1 else ''}, {SCHEMA})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
