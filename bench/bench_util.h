@@ -46,6 +46,9 @@ struct BenchArgs {
   // --legacy-queue: run the EventLoop on the old std::priority_queue — the
   // perf baseline ablation (same style as --legacy-copy-path).
   bool legacy_queue = false;
+  // --bricks: run the bench's brick-scaling sweep (distribute groups) in
+  // addition to its headline figure. Only fig09 honours it today.
+  bool bricks = false;
 };
 
 [[noreturn]] inline void usage_and_exit(const char* argv0,
@@ -55,14 +58,15 @@ struct BenchArgs {
   }
   std::fprintf(stderr,
                "usage: %s [--csv] [--scale=<x>] [--json=<path>] [--seed=<n>]"
-               " [--reps=<n>] [--legacy-queue]\n"
+               " [--reps=<n>] [--legacy-queue] [--bricks]\n"
                "  --csv           print tables as CSV\n"
                "  --scale=<x>     multiply workload volume (default 1.0)\n"
                "  --json=<path>   append perf records (BENCH_*.json schema)\n"
                "  --seed=<n>      seed for randomized mixes (default 1)\n"
                "  --reps=<n>      timing reps per config, best wins"
                " (default 3)\n"
-               "  --legacy-queue  EventLoop on the legacy priority_queue\n",
+               "  --legacy-queue  EventLoop on the legacy priority_queue\n"
+               "  --bricks        also run the brick-scaling sweep\n",
                argv0);
   std::exit(2);
 }
@@ -86,6 +90,8 @@ inline BenchArgs parse_args(int argc, char** argv) {
       if (args.reps < 1) args.reps = 1;
     } else if (std::strcmp(argv[i], "--legacy-queue") == 0) {
       args.legacy_queue = true;
+    } else if (std::strcmp(argv[i], "--bricks") == 0) {
+      args.bricks = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage_and_exit(argv[0], nullptr);

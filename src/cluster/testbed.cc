@@ -4,8 +4,18 @@ namespace imca::cluster {
 
 GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
     : cfg_(std::move(cfg)), fabric_(loop_, cfg_.transport), rpc_(fabric_) {
-  const auto server_node =
-      fabric_.add_node("gluster-server", kCoresPerNode).id();
+  const std::size_t replicas = cfg_.n_replicas == 0 ? 1 : cfg_.n_replicas;
+  const std::size_t groups = cfg_.n_bricks == 0 ? 1 : cfg_.n_bricks;
+  const std::size_t n_servers = groups * replicas;
+  for (std::size_t b = 0; b < n_servers; ++b) {
+    // The single-server name is kept verbatim so 1x1 deployments reproduce
+    // the seed's fabric layout (and its event order) exactly.
+    const std::string name =
+        n_servers == 1 ? std::string("gluster-server")
+                       : "brick" + std::to_string(b / replicas) + "." +
+                             std::to_string(b % replicas);
+    brick_nodes_.push_back(fabric_.add_node(name, kCoresPerNode).id());
+  }
 
   for (std::size_t i = 0; i < cfg_.n_mcds; ++i) {
     const auto n =
@@ -24,8 +34,9 @@ GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
       }
     }
     if (cfg_.faults.server_spec.any()) {
-      injector_->set_spec(server_node, net::kPortGluster,
-                          cfg_.faults.server_spec);
+      for (const auto n : brick_nodes_) {
+        injector_->set_spec(n, net::kPortGluster, cfg_.faults.server_spec);
+      }
     }
     rpc_.set_fault_injector(injector_.get());
     for (const auto& crash : cfg_.faults.crashes) {
@@ -33,43 +44,78 @@ GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
     }
   }
 
-  server_ = std::make_unique<gluster::GlusterServer>(rpc_, server_node,
-                                                     cfg_.server);
-  if (!mcds_.empty() && cfg_.smcache) {
-    auto sm = std::make_unique<core::SmCacheXlator>(
-        loop_,
-        std::make_unique<mcclient::McClient>(
-            rpc_, server_node, mcd_nodes_, core::make_selector(cfg_.imca),
-            core::make_mcclient_params(cfg_.imca, core::McRole::kWriter)),
-        cfg_.imca);
-    smcache_ = sm.get();
-    server_->push_translator(std::move(sm));
+  for (std::size_t b = 0; b < n_servers; ++b) {
+    servers_.push_back(std::make_unique<gluster::GlusterServer>(
+        rpc_, brick_nodes_[b], cfg_.server));
+    if (!mcds_.empty() && cfg_.smcache) {
+      core::ImcaConfig icfg = cfg_.imca;
+      // With K > 1 this brick is one replica of a group and may be stale
+      // after a crash: switch its write hook to the replica-safe publish
+      // protocol (payload-covered blocks only, invalidate the rest).
+      icfg.replica_bricks = replicas > 1;
+      auto sm = std::make_unique<core::SmCacheXlator>(
+          loop_,
+          std::make_unique<mcclient::McClient>(
+              rpc_, brick_nodes_[b], mcd_nodes_, core::make_selector(icfg),
+              core::make_mcclient_params(icfg, core::McRole::kWriter)),
+          icfg);
+      smcaches_.push_back(sm.get());
+      servers_.back()->push_translator(std::move(sm));
+    }
+    servers_.back()->start();
   }
-  server_->start();
   // Brick crash windows are scheduled after start(): crash() is a no-op on
-  // a brick that is not up.
+  // a brick that is not up. Each event names its brick in the grid.
   for (const auto& crash : cfg_.faults.server_crashes) {
-    server_->schedule_crash(crash.at, crash.restart_at);
+    servers_.at(crash.brick)->schedule_crash(crash.at, crash.restart_at);
   }
 
   for (std::size_t c = 0; c < cfg_.n_clients; ++c) {
     const auto n =
         fabric_.add_node("client" + std::to_string(c), kCoresPerNode).id();
-    clients_.push_back(std::make_unique<gluster::GlusterClient>(
-        rpc_, n, server_node, cfg_.client));
+    if (n_servers == 1) {
+      clients_.push_back(std::make_unique<gluster::GlusterClient>(
+          rpc_, n, brick_nodes_.front(), cfg_.client));
+    } else {
+      gluster::GlusterTopology topo;
+      topo.bricks = brick_nodes_;
+      topo.replicas = replicas;
+      clients_.push_back(std::make_unique<gluster::GlusterClient>(
+          rpc_, n, topo, cfg_.client));
+    }
     if (!mcds_.empty()) {
       auto cm = std::make_unique<core::CmCacheXlator>(
           std::make_unique<mcclient::McClient>(
               rpc_, n, mcd_nodes_, core::make_selector(cfg_.imca),
               core::make_mcclient_params(cfg_.imca, core::McRole::kReader)),
           cfg_.imca);
-      // Brownout: this mount's CMCache watches its own protocol/client's
-      // view of the brick's health.
-      cm->set_server_health(&clients_.back()->protocol());
+      // Brownout: this mount's CMCache watches its own mount's view of the
+      // brick tier's health (the PC, or the cluster xlator on a grid).
+      cm->set_server_health(&clients_.back()->health());
       cmcaches_.push_back(cm.get());
       clients_.back()->push_translator(std::move(cm));
     }
   }
+}
+
+gluster::GlusterServerStats GlusterTestbed::server_totals() const {
+  gluster::GlusterServerStats total;
+  for (const auto& s : servers_) {
+    const auto st = s->stats();
+    total.fops += st.fops;
+    total.sheds_admission += st.sheds_admission;
+    total.sheds_expired += st.sheds_expired;
+    total.sheds_io += st.sheds_io;
+    total.replays_seen += st.replays_seen;
+    total.replays_deduped += st.replays_deduped;
+    total.replays_parked += st.replays_parked;
+    total.duplicate_applies += st.duplicate_applies;
+    total.crashes += st.crashes;
+    total.restarts += st.restarts;
+    total.wb_dropped_bytes += st.wb_dropped_bytes;
+    total.replies_lost_in_crash += st.replies_lost_in_crash;
+  }
+  return total;
 }
 
 memcache::CacheStats GlusterTestbed::mcd_totals() const {

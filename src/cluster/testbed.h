@@ -33,6 +33,11 @@ namespace imca::cluster {
 struct GlusterTestbedConfig {
   std::size_t n_clients = 1;
   std::size_t n_mcds = 0;  // 0 = plain GlusterFS ("NoCache")
+  // Brick grid: n_bricks distribute groups of n_replicas AFR replicas each
+  // (n_bricks * n_replicas brick servers total). 1 x 1 — the default — is
+  // the paper's single-server testbed and the seed behaviour.
+  std::size_t n_bricks = 1;
+  std::size_t n_replicas = 1;
   // Wire SMCache into the server stack. false isolates the client-side
   // machinery (partial hits, read-repair): nothing repopulates the MCDs
   // except the clients themselves.
@@ -62,9 +67,22 @@ class GlusterTestbed {
   gluster::GlusterClient& gluster_client(std::size_t i) {
     return *clients_.at(i);
   }
-  gluster::GlusterServer& server() noexcept { return *server_; }
+  // The first brick — the whole tier on classic 1x1 deployments.
+  gluster::GlusterServer& server() noexcept { return *servers_.front(); }
+  // Brick grid views (row-major: group g, replica r at g*replicas + r).
+  gluster::GlusterServer& brick(std::size_t i) { return *servers_.at(i); }
+  std::size_t n_brick_servers() const noexcept { return servers_.size(); }
+  // Aggregate brick counters (duplicate_applies et al. summed grid-wide).
+  gluster::GlusterServerStats server_totals() const;
   bool imca_enabled() const noexcept { return !mcds_.empty(); }
-  core::SmCacheXlator* smcache() noexcept { return smcache_; }
+  // The first brick's SMCache — the only one on 1x1 deployments.
+  core::SmCacheXlator* smcache() noexcept {
+    return smcaches_.empty() ? nullptr : smcaches_.front();
+  }
+  // Settle every brick's SMCache publish worker (grid-aware quiesce).
+  sim::Task<void> quiesce_smcaches() {
+    for (core::SmCacheXlator* sm : smcaches_) co_await sm->quiesce();
+  }
   core::CmCacheXlator& cmcache(std::size_t i) { return *cmcaches_.at(i); }
   memcache::McServer& mcd(std::size_t i) { return *mcds_.at(i); }
   std::size_t n_mcds() const noexcept { return mcds_.size(); }
@@ -91,8 +109,9 @@ class GlusterTestbed {
   std::unique_ptr<net::FaultInjector> injector_;
   std::vector<net::NodeId> mcd_nodes_;
   std::vector<std::unique_ptr<memcache::McServer>> mcds_;
-  std::unique_ptr<gluster::GlusterServer> server_;
-  core::SmCacheXlator* smcache_ = nullptr;
+  std::vector<net::NodeId> brick_nodes_;
+  std::vector<std::unique_ptr<gluster::GlusterServer>> servers_;
+  std::vector<core::SmCacheXlator*> smcaches_;
   std::vector<std::unique_ptr<gluster::GlusterClient>> clients_;
   std::vector<core::CmCacheXlator*> cmcaches_;
 };

@@ -1,5 +1,6 @@
 #include "gluster/client.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace imca::gluster {
@@ -7,8 +8,83 @@ namespace imca::gluster {
 GlusterClient::GlusterClient(net::RpcSystem& rpc, net::NodeId self,
                              net::NodeId server, GlusterClientParams params)
     : rpc_(rpc), self_(self), params_(params) {
-  stack_.push_back(
-      std::make_unique<ProtocolClient>(rpc, self, server, params_.protocol));
+  auto pc =
+      std::make_unique<ProtocolClient>(rpc, self, server, params_.protocol);
+  pcs_.push_back(pc.get());
+  health_ = pc.get();
+  stack_.push_back(std::move(pc));
+}
+
+GlusterClient::GlusterClient(net::RpcSystem& rpc, net::NodeId self,
+                             const GlusterTopology& topology,
+                             GlusterClientParams params)
+    : rpc_(rpc), self_(self), params_(params) {
+  const std::size_t k = topology.replicas == 0 ? 1 : topology.replicas;
+  assert(!topology.bricks.empty() && topology.bricks.size() % k == 0);
+  const std::size_t n_groups = topology.bricks.size() / k;
+
+  // One subvolume per group: a ReplicateXlator over K protocol/clients, or
+  // the bare protocol/client when K == 1.
+  std::vector<std::unique_ptr<Xlator>> subvols;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    std::vector<std::unique_ptr<ProtocolClient>> conns;
+    for (std::size_t r = 0; r < k; ++r) {
+      conns.push_back(std::make_unique<ProtocolClient>(
+          rpc, self, topology.bricks[g * k + r], params_.protocol));
+      pcs_.push_back(conns.back().get());
+    }
+    if (k == 1) {
+      subvols.push_back(std::move(conns.front()));
+    } else {
+      auto rep = std::make_unique<ReplicateXlator>(
+          rpc.fabric().loop(), std::move(conns), params_.replicate);
+      groups_.push_back(rep.get());
+      subvols.push_back(std::move(rep));
+    }
+  }
+
+  if (n_groups == 1) {
+    health_ = k == 1 ? static_cast<ServerHealth*>(pcs_.front())
+                     : static_cast<ServerHealth*>(groups_.front());
+    stack_.push_back(std::move(subvols.front()));
+  } else {
+    auto dht = std::make_unique<DistributeXlator>(std::move(subvols),
+                                                  params_.distribute);
+    dht_ = dht.get();
+    health_ = dht.get();
+    stack_.push_back(std::move(dht));
+  }
+}
+
+ProtocolClientStats GlusterClient::protocol_totals() const {
+  ProtocolClientStats total;
+  for (const ProtocolClient* pc : pcs_) {
+    const auto& s = pc->stats();
+    total.fops += s.fops;
+    total.retries += s.retries;
+    total.replays += s.replays;
+    total.timeouts += s.timeouts;
+    total.refusals += s.refusals;
+    total.resets += s.resets;
+    total.torn += s.torn;
+    total.sheds_seen += s.sheds_seen;
+    total.deadline_exhausted += s.deadline_exhausted;
+    total.fast_fails += s.fast_fails;
+    total.ejections += s.ejections;
+    total.rejoins += s.rejoins;
+    total.max_op_elapsed = std::max(total.max_op_elapsed, s.max_op_elapsed);
+  }
+  return total;
+}
+
+sim::Task<HealReport> GlusterClient::heal_all() {
+  HealReport total;
+  for (ReplicateXlator* g : groups_) {
+    const HealReport r = co_await g->heal_all();
+    total.healed += r.healed;
+    total.remaining += r.remaining;
+  }
+  co_return total;
 }
 
 void GlusterClient::push_translator(std::unique_ptr<Xlator> xlator) {

@@ -57,11 +57,13 @@ void GlusterServer::crash() {
   // Volatile state dies with the process; the ObjectStore is the disk.
   dev_.drop_caches();
   if (wb_) stats_.wb_dropped_bytes += wb_->drop_volatile();
+  for (auto& x : stack_) x->on_server_crash();
 }
 
 void GlusterServer::restart() {
   if (up_) return;
   ++stats_.restarts;
+  for (auto& x : stack_) x->on_server_restart();
   start();
 }
 

@@ -68,6 +68,13 @@ class Xlator {
   // A short name for diagnostics ("posix", "cmcache", ...).
   virtual std::string_view name() const = 0;
 
+  // Process-lifecycle notifications from the owning GlusterServer: crash()
+  // kills the brick process, restart() boots a new one. A translator holding
+  // volatile per-process state (queued cache updates, memoized sizes) loses
+  // it here, exactly as the real daemon would. Default: stateless.
+  virtual void on_server_crash() {}
+  virtual void on_server_restart() {}
+
  protected:
   Xlator* child_ = nullptr;
 };

@@ -30,6 +30,18 @@ struct ImcaConfig {
   // thread ... can reduce the cost", §4.3.2).
   bool threaded_updates = false;
 
+  // The brick running this SMCache is one replica of an AFR-style group
+  // (DESIGN.md §5i). A replica may be stale — it can miss committed writes
+  // while down — so its write hook must not publish anything derived from
+  // its local disk. Instead it publishes only the blocks fully covered by
+  // the write's own payload (byte-identical on every replica that applied
+  // the write) and *invalidates* edge blocks and the stat item, leaving a
+  // read through a fresh replica to repopulate them. false = the paper's
+  // single-brick protocol: read the aligned region back and republish it
+  // wholesale (§4.3.2), which is only safe when this brick is the sole
+  // authority for the file.
+  bool replica_bricks = false;
+
   // Upper bound on MCD daemons a deployment may use (sizes the consistent
   // hash ring).
   std::size_t max_mcds = 16;

@@ -29,14 +29,39 @@ sim::Task<void> SmCacheXlator::worker_loop() {
   // Runs until cancelled by ~SmCacheXlator (the owner destroys the frame).
   while (true) {
     Job job = co_await jobs_.recv();
-    ++stats_.worker_jobs;
-    co_await readback_and_publish(std::move(job.path), job.offset, job.length);
+    if (job.epoch != boot_epoch_) {
+      // Queued before a crash: the job died with the process. Executing it
+      // now would read the brick's post-crash disk — possibly behind its
+      // replica siblings — and publish stale bytes over their fresh ones.
+      ++stats_.jobs_dropped_in_crash;
+    } else if (job.from_payload) {
+      ++stats_.worker_jobs;
+      co_await publish_write_covered(std::move(job.path), job.write_offset,
+                                     std::move(job.payload));
+    } else {
+      ++stats_.worker_jobs;
+      co_await readback_and_publish(std::move(job.path), job.offset,
+                                    job.length, job.epoch);
+    }
     if (--jobs_pending_ == 0 && drained_ != nullptr) {
       drained_->set();
       drained_ = nullptr;
     }
   }
 }
+
+void SmCacheXlator::on_server_crash() {
+  down_ = true;
+  ++boot_epoch_;  // queued jobs carry the old epoch; the worker drops them
+  // Memoized sizes are process memory. The disk they described survives, so
+  // keeping them would be consistent — but a restarted daemon re-derives
+  // them from stats, and so do we. published_extent_ is deliberately KEPT:
+  // it only bounds purges, and an over-wide purge is harmless while an
+  // under-wide one could strand a stale block published before the crash.
+  known_size_.clear();
+}
+
+void SmCacheXlator::on_server_restart() { down_ = false; }
 
 sim::Task<void> SmCacheXlator::quiesce() {
   if (!cfg_.threaded_updates || jobs_pending_ == 0) co_return;
@@ -47,6 +72,10 @@ sim::Task<void> SmCacheXlator::quiesce() {
 
 sim::Task<void> SmCacheXlator::publish_stat(std::string path,
                                             store::Attr attr) {
+  if (down_) {
+    ++stats_.publishes_suppressed;
+    co_return;
+  }
   ByteBuf buf;
   attr.encode(buf);
   auto stored = co_await mcds_->set(stat_key(path), buf.buffer());
@@ -60,6 +89,10 @@ sim::Task<void> SmCacheXlator::publish_stat(std::string path,
 sim::Task<void> SmCacheXlator::publish_blocks(std::string path,
                                               std::uint64_t region_start,
                                               Buffer data) {
+  if (down_) {
+    ++stats_.publishes_suppressed;
+    co_return;
+  }
   const std::uint64_t bs = mapper_.block_size();
   std::uint64_t pos = 0;
   while (pos < data.size()) {
@@ -112,14 +145,64 @@ sim::Task<void> SmCacheXlator::purge(std::string path,
 
 sim::Task<void> SmCacheXlator::readback_and_publish(std::string path,
                                                     std::uint64_t start,
-                                                    std::uint64_t length) {
+                                                    std::uint64_t length,
+                                                    std::uint64_t epoch) {
   ++stats_.readbacks;
   auto data = co_await child_->read(path, start, length);
+  if (epoch != boot_epoch_) {
+    // The brick crashed while the readback was in flight: these bytes belong
+    // to a dead process and may already be behind the committed state.
+    ++stats_.publishes_suppressed;
+    co_return;
+  }
   if (!data) co_return;  // file vanished meanwhile; nothing to publish
   co_await publish_blocks(path, start, *data);
   // The write changed size/mtime: refresh the cached stat so pollers see it.
   auto attr = co_await child_->stat(path);
-  if (attr) co_await publish_stat(path, *attr);
+  if (attr && epoch == boot_epoch_) {
+    co_await publish_stat(path, *attr);
+  }
+}
+
+sim::Task<void> SmCacheXlator::publish_write_covered(std::string path,
+                                                     std::uint64_t write_offset,
+                                                     Buffer payload) {
+  if (down_) {
+    ++stats_.publishes_suppressed;
+    co_return;
+  }
+  const std::uint64_t bs = mapper_.block_size();
+  const std::uint64_t end = write_offset + payload.size();
+  const std::uint64_t first_full = mapper_.align_up(write_offset);
+  const std::uint64_t last_full = mapper_.align_down(end);
+  // Full blocks inside [write_offset, end): the payload itself, applied
+  // byte-identically by every replica that acked — safe from any of them.
+  for (std::uint64_t off = first_full; off + bs <= last_full; off += bs) {
+    Buffer block = payload.slice(off - write_offset, bs);
+    auto stored = co_await mcds_->set(data_key(path, off), std::move(block),
+                                      mapper_.index_of(off));
+    if (stored) {
+      ++stats_.blocks_published;
+    } else {
+      ++stats_.publish_drops;
+    }
+  }
+  if (last_full > first_full) {
+    auto& extent = published_extent_[path];
+    extent = std::max(extent, last_full);
+  }
+  // Partially-covered edge blocks would need completing from the local
+  // disk, which on a stale replica is behind the committed state: delete
+  // them (and the stat item) and let a read through a fresh replica — or
+  // the client's read-repair — put the true bytes back.
+  for (std::uint64_t off = mapper_.align_down(write_offset); off < end;
+       off += bs) {
+    if (off >= first_full && off + bs <= last_full) continue;
+    (void)co_await mcds_->del(data_key(path, off), mapper_.index_of(off));
+    ++stats_.write_invalidations;
+  }
+  (void)co_await mcds_->del(stat_key(path));
+  ++stats_.write_invalidations;
 }
 
 sim::Task<Expected<store::Attr>> SmCacheXlator::open(std::string path) {
@@ -157,12 +240,15 @@ sim::Task<Expected<Buffer>> SmCacheXlator::read(std::string path,
   auto data = co_await child_->read(path, start, length);
   if (!data) co_return data;
 
-  if (cfg_.threaded_updates) {
+  if (down_) {
+    ++stats_.publishes_suppressed;  // a dead daemon has no hooks to run
+  } else if (cfg_.threaded_updates) {
     ++jobs_pending_;
     Job job;
     job.path = path;
     job.offset = start;
     job.length = length;
+    job.epoch = boot_epoch_;
     jobs_.send(std::move(job));
   } else {
     co_await publish_blocks(path, start, *data);
@@ -191,6 +277,8 @@ sim::Task<Expected<std::uint64_t>> SmCacheXlator::write(
   // Persistence first: the write must be on the file system before any MCD
   // sees a byte of it (§4.3.2, §4.4).
   const std::uint64_t data_size = data.size();
+  Buffer payload;  // replica bricks publish from the payload, not the disk
+  if (cfg_.replica_bricks) payload = data;
   auto written = co_await child_->write(path, offset, std::move(data));
   if (!written) co_return written;
   known_size_[path] = std::max(old_size, offset + data_size);
@@ -204,15 +292,36 @@ sim::Task<Expected<std::uint64_t>> SmCacheXlator::write(
     co_await purge_range(path, old_size, start);
   }
 
-  if (cfg_.threaded_updates) {
+  if (down_) {
+    ++stats_.publishes_suppressed;  // invalidated above; warmth can wait
+  } else if (cfg_.replica_bricks) {
+    // This brick is one replica of a group and may hold stale bytes a
+    // sibling committed while it was down. A local read-back could publish
+    // that staleness into the shared array, so publish only the write's own
+    // payload (identical on every replica that acked) and invalidate the
+    // rest — see ImcaConfig::replica_bricks.
+    if (cfg_.threaded_updates) {
+      ++jobs_pending_;
+      Job job;
+      job.path = path;
+      job.epoch = boot_epoch_;
+      job.from_payload = true;
+      job.payload = std::move(payload);
+      job.write_offset = offset;
+      jobs_.send(std::move(job));
+    } else {
+      co_await publish_write_covered(path, offset, std::move(payload));
+    }
+  } else if (cfg_.threaded_updates) {
     ++jobs_pending_;
     Job job;
     job.path = path;
     job.offset = start;
     job.length = length;
+    job.epoch = boot_epoch_;
     jobs_.send(std::move(job));
   } else {
-    co_await readback_and_publish(path, start, length);
+    co_await readback_and_publish(path, start, length, boot_epoch_);
   }
   co_return written;
 }
@@ -276,8 +385,12 @@ sim::Task<Expected<void>> SmCacheXlator::rename(std::string from,
     known_size_[to] = sz->second;
     known_size_.erase(sz);
   }
-  auto attr = co_await child_->stat(to);
-  if (attr) co_await publish_stat(to, *attr);
+  // On a replica brick the local stat may be stale (the purge above already
+  // removed the cached item; a fresh replica's read path repopulates it).
+  if (!cfg_.replica_bricks) {
+    auto attr = co_await child_->stat(to);
+    if (attr) co_await publish_stat(to, *attr);
+  }
   co_return r;
 }
 

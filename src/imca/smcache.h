@@ -50,6 +50,16 @@ struct SmCacheStats {
   // budget. Nonzero only under sustained blackhole faults, which exceed the
   // failure model (DESIGN.md §5d) — tests assert this stays zero.
   std::uint64_t purge_drops = 0;
+  // Publishes skipped because the brick process was down: a dead daemon
+  // cannot push data, and a crashed brick's disk may be behind its replica
+  // siblings — publishing it would poison the shared MCD array.
+  std::uint64_t publishes_suppressed = 0;
+  // Queued update jobs that died with the process at crash().
+  std::uint64_t jobs_dropped_in_crash = 0;
+  // Replica-brick write path (ImcaConfig::replica_bricks): edge blocks and
+  // stat items deleted instead of republished, because their value would
+  // depend on this brick's possibly-stale local disk.
+  std::uint64_t write_invalidations = 0;
 };
 
 class SmCacheXlator final : public gluster::Xlator {
@@ -75,6 +85,13 @@ class SmCacheXlator final : public gluster::Xlator {
 
   std::string_view name() const override { return "smcache"; }
 
+  // Process death: queued publish jobs and memoized sizes die with the
+  // brick. Invalidations are NOT affected — purges stay coupled to the
+  // mutation itself (the same journal-entry modeling as the replay window),
+  // which is the correctness half; publishes are only warmth.
+  void on_server_crash() override;
+  void on_server_restart() override;
+
   const SmCacheStats& stats() const noexcept { return stats_; }
   mcclient::McClient& mcds() noexcept { return *mcds_; }
   const BlockMapper& mapper() const noexcept { return mapper_; }
@@ -88,6 +105,12 @@ class SmCacheXlator final : public gluster::Xlator {
     std::string path;
     std::uint64_t offset = 0;  // aligned region start
     std::uint64_t length = 0;  // aligned region length
+    std::uint64_t epoch = 0;   // boot epoch at enqueue; stale jobs are dropped
+    // Replica-brick write jobs publish from the write's own payload instead
+    // of a local read-back (see ImcaConfig::replica_bricks).
+    bool from_payload = false;
+    Buffer payload;                  // views of the write's segments
+    std::uint64_t write_offset = 0;  // absolute offset of payload[0]
   };
 
   // Publish every block of `data` (which starts at aligned `region_start`)
@@ -102,9 +125,17 @@ class SmCacheXlator final : public gluster::Xlator {
   // Delete blocks covering [from_byte, to_byte) — stale-EOF cleanup.
   sim::Task<void> purge_range(std::string path, std::uint64_t from_byte,
                               std::uint64_t to_byte);
-  // Read the aligned region back from the file system and publish it.
+  // Read the aligned region back from the file system and publish it —
+  // unless the brick crashed since `epoch` (the readback may span a crash).
   sim::Task<void> readback_and_publish(std::string path, std::uint64_t start,
-                                       std::uint64_t length);
+                                       std::uint64_t length,
+                                       std::uint64_t epoch);
+  // Replica-safe write publish: set every block fully covered by the
+  // write's payload, delete the partially-covered edge blocks and the stat
+  // item (their completion would come from possibly-stale local disk).
+  sim::Task<void> publish_write_covered(std::string path,
+                                        std::uint64_t write_offset,
+                                        Buffer payload);
   sim::Task<void> worker_loop();
 
   sim::EventLoop& loop_;
@@ -119,6 +150,12 @@ class SmCacheXlator final : public gluster::Xlator {
   // hole-creating writes (stale short block at the old EOF) without paying a
   // server stat on every write.
   std::unordered_map<std::string, std::uint64_t> known_size_;
+
+  // Brick process state, driven by on_server_crash()/on_server_restart().
+  // While down, every publish is suppressed: the daemon is dead, and after
+  // a restart the local disk may be stale until self-heal catches it up.
+  bool down_ = false;
+  std::uint64_t boot_epoch_ = 0;  // bumped at every crash
 
   sim::Channel<Job> jobs_;
   std::uint64_t jobs_pending_ = 0;

@@ -91,6 +91,10 @@ struct CrashEvent {
 struct ServerCrashEvent {
   SimTime at = 0;
   std::optional<SimTime> restart_at;
+  // Which brick dies, as an index into the deployment's brick grid
+  // (row-major: group g, replica r at g*replicas + r). 0 — the only brick —
+  // for classic single-server deployments.
+  std::size_t brick = 0;
 };
 
 // Everything a deployment needs to run under faults: the seed for the

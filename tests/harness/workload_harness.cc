@@ -238,6 +238,64 @@ sim::Task<void> apply_op(fsapi::FileSystemClient& fs, ReplayState& st,
   }
 }
 
+// Grid-mode epilogue: drive self-heal to convergence, then prove every
+// replica of every file byte-identical to the oracle (and deleted files
+// gone from every replica). This is the "kill any brick" guarantee: after
+// heal there is no observer — not even one reading a single brick directly —
+// that can see a quorum-acked write missing or stale bytes.
+sim::Task<void> verify_replicas(cluster::GlusterTestbed& bed, ReplayState& st,
+                                ReplayResult& res) {
+  gluster::GlusterClient& gc = bed.gluster_client(0);
+  res.heal = co_await gc.heal_all();
+  if (res.heal.remaining != 0) {
+    fail(res, "heal_all left " + std::to_string(res.heal.remaining) +
+                  " dirty (child, path) pairs with no reachable fresh source");
+    co_return;
+  }
+  for (std::uint32_t f = 0; f < kFiles; ++f) {
+    const std::string path = path_of(f);
+    gluster::ReplicateXlator* rep = gc.replica_group(gc.group_of(path));
+    if (rep == nullptr) co_return;  // replicas == 1: nothing extra to prove
+    for (std::size_t i = 0; i < rep->replica_count(); ++i) {
+      auto attr = co_await rep->stat_from(i, path);
+      if (!st.oracle[f]) {
+        if (attr.has_value() || attr.error() != Errc::kNoEnt) {
+          fail(res, "replica " + std::to_string(i) + " still serves deleted " +
+                        path);
+          co_return;
+        }
+        continue;
+      }
+      const std::string& expect = *st.oracle[f];
+      if (!attr) {
+        fail(res, "replica " + std::to_string(i) + " stat(" + path +
+                      ") failed: " + std::string(errc_name(attr.error())));
+        co_return;
+      }
+      if (attr->size != expect.size()) {
+        fail(res, "replica " + std::to_string(i) + " stat(" + path +
+                      ") size " + std::to_string(attr->size) + " != oracle " +
+                      std::to_string(expect.size()));
+        co_return;
+      }
+      auto got = co_await rep->read_from(i, path, 0, expect.size() + 64);
+      if (!got) {
+        fail(res, "replica " + std::to_string(i) + " read(" + path +
+                      ") failed: " + std::string(errc_name(got.error())));
+        co_return;
+      }
+      const std::string got_s = to_string(*got);
+      ++res.replica_reads_checked;
+      res.bytes_checked += got_s.size();
+      if (got_s != expect) {
+        fail(res, "replica " + std::to_string(i) + " of " + path +
+                      " diverges after heal: " + describe_bytes(expect, got_s));
+        co_return;
+      }
+    }
+  }
+}
+
 sim::Task<void> replay_body(cluster::GlusterTestbed& bed,
                             std::vector<Op> trace,
                             ReplayConfig cfg, ReplayResult& res) {
@@ -246,8 +304,8 @@ sim::Task<void> replay_body(cluster::GlusterTestbed& bed,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     co_await apply_op(fs, st, trace[i], res);
     if (res.ok && cfg.verify_every_op) {
-      // Threaded SMCache publishes asynchronously; settle before checking.
-      if (bed.smcache() != nullptr) co_await bed.smcache()->quiesce();
+      // Threaded SMCaches publish asynchronously; settle before checking.
+      co_await bed.quiesce_smcaches();
       co_await verify_all(fs, st, res);
     }
     if (!res.ok) {
@@ -255,8 +313,9 @@ sim::Task<void> replay_body(cluster::GlusterTestbed& bed,
       co_return;
     }
   }
-  if (bed.smcache() != nullptr) co_await bed.smcache()->quiesce();
+  co_await bed.quiesce_smcaches();
   co_await verify_all(fs, st, res);
+  if (res.ok && cfg.n_replicas > 1) co_await verify_replicas(bed, st, res);
   if (!res.ok) res.failed_op = trace.size();
 }
 
@@ -313,6 +372,8 @@ ReplayResult replay(const std::vector<Op>& trace, const ReplayConfig& cfg) {
   cluster::GlusterTestbedConfig tc;
   tc.n_clients = 1;
   tc.n_mcds = cfg.n_mcds;
+  tc.n_bricks = cfg.n_bricks;
+  tc.n_replicas = cfg.n_replicas;
   tc.smcache = cfg.smcache;
   tc.imca = cfg.imca;
   tc.faults = cfg.faults;
@@ -323,8 +384,24 @@ ReplayResult replay(const std::vector<Op>& trace, const ReplayConfig& cfg) {
   ReplayResult res;
   bed.run(replay_body(bed, trace, cfg, res));
 
-  res.server = bed.server().stats();
-  res.pc = bed.gluster_client(0).protocol().stats();
+  res.server = bed.server_totals();
+  gluster::GlusterClient& gc = bed.gluster_client(0);
+  res.pc = gc.protocol_totals();
+  for (std::size_t g = 0; g < gc.n_groups(); ++g) {
+    const gluster::ReplicateXlator* rep = gc.replica_group(g);
+    if (rep == nullptr) break;
+    const auto& s = rep->stats();
+    res.replicate.mutations += s.mutations;
+    res.replicate.quorum_short_writes += s.quorum_short_writes;
+    res.replicate.partial_acks += s.partial_acks;
+    res.replicate.reads += s.reads;
+    res.replicate.read_child_switches += s.read_child_switches;
+    res.replicate.reads_degraded += s.reads_degraded;
+    res.replicate.heals_scheduled += s.heals_scheduled;
+    res.replicate.heals_completed += s.heals_completed;
+    res.replicate.heal_bytes_copied += s.heal_bytes_copied;
+  }
+  if (gc.distribute() != nullptr) res.distribute = gc.distribute()->stats();
   if (bed.imca_enabled()) {
     res.cm = bed.cmcache(0).stats();
     res.cm_faults = bed.cmcache(0).fault_stats();

@@ -50,6 +50,14 @@ struct Op {
 
 struct ReplayConfig {
   std::size_t n_mcds = 3;
+  // Brick grid: n_bricks distribute groups of n_replicas AFR replicas. The
+  // 1x1 default is the seed's single-server testbed. With n_replicas > 1 the
+  // final sweep additionally drives self-heal to convergence and byte-checks
+  // EVERY replica of every file against the oracle (deleted files must be
+  // kNoEnt on every replica) — so grid fault plans must restart what they
+  // crash, or the sweep rightly fails.
+  std::size_t n_bricks = 1;
+  std::size_t n_replicas = 1;
   bool smcache = true;
   core::ImcaConfig imca;
   net::FaultPlan faults;
@@ -77,8 +85,13 @@ struct ReplayResult {
   mcclient::ClientStats cm_client;
   core::SmCacheStats sm;
   mcclient::ClientStats sm_client;
+  // Grid-wide aggregates (server and pc sum over every brick / connection).
   gluster::GlusterServerStats server;
   gluster::ProtocolClientStats pc;
+  gluster::ReplicateStats replicate;    // summed over replicate groups
+  gluster::DistributeStats distribute;  // zero on single-group mounts
+  gluster::HealReport heal;             // final heal_all sweep (grid mode)
+  std::uint64_t replica_reads_checked = 0;  // per-replica byte checks
 };
 
 // Deterministic payload for a write op: `n` bytes drawn from `payload_seed`.

@@ -33,6 +33,8 @@ struct Options {
   std::string transport = "ipoib";   // ipoib | rdma | gige (fabric-wide)
   std::size_t clients = 4;
   std::size_t mcds = 2;           // imca only
+  std::size_t bricks = 1;         // imca/gluster: distribute groups
+  std::size_t replicas = 1;       // imca/gluster: AFR replicas per group
   std::size_t ds = 1;             // lustre only
   std::uint64_t block = 2 * kKiB; // IMCa block size
   std::string hash = "crc32";     // crc32 | modulo | consistent
@@ -87,6 +89,9 @@ struct Options {
       "  --transport=ipoib|rdma|gige        fabric transport (default ipoib)\n"
       "  --clients=N                        client nodes (default 4)\n"
       "  --mcds=N          cache daemons (imca; default 2)\n"
+      "  --bricks=N        distribute groups (imca/gluster; default 1)\n"
+      "  --replicas=K      AFR replicas per group (imca/gluster; default 1;\n"
+      "                    the grid runs N*K brick servers)\n"
       "  --ds=N            data servers (lustre; default 1)\n"
       "  --block=BYTES     IMCa block size (default 2048)\n"
       "  --hash=crc32|modulo|consistent     key->MCD placement\n"
@@ -121,6 +126,9 @@ struct Options {
       "  --crash-server=ms[:ms]  kill the brick at `ms`, optionally restart\n"
       "                      at the second `ms` (repeatable); arms the\n"
       "                      client deadline/retry/replay machinery\n"
+      "  --crash-brick=i@ms[:ms]  kill brick i of the grid (row-major:\n"
+      "                      group g, replica r is i = g*K + r) at `ms`,\n"
+      "                      optionally restart (repeatable)\n"
       "  --server-slow=MS    ~35%% of brick replies crawl in MS late —\n"
       "                      forces attempt timeouts and replay dedup\n"
       "  --wb-flush-deadline=MS  server-side write-behind in flush_before_ack\n"
@@ -193,6 +201,26 @@ Options parse(int argc, char** argv) {
       o.crashes.push_back(ev);
       continue;
     }
+    if (auto v = flag_value(a, "--crash-brick")) {
+      // i@ms or i@ms:ms
+      char* end = nullptr;
+      net::ServerCrashEvent ev;
+      ev.brick = std::strtoull(v->c_str(), &end, 10);
+      if (*end != '@') {
+        std::fprintf(stderr, "--crash-brick wants i@ms[:ms]\n");
+        usage(2);
+      }
+      ev.at = std::strtoull(end + 1, &end, 10) * kMilli;
+      if (*end == ':') {
+        ev.restart_at = std::strtoull(end + 1, &end, 10) * kMilli;
+      }
+      if (*end != '\0') {
+        std::fprintf(stderr, "--crash-brick wants i@ms[:ms]\n");
+        usage(2);
+      }
+      o.server_crashes.push_back(ev);
+      continue;
+    }
     if (auto v = flag_value(a, "--crash-server")) {
       // ms or ms:ms
       char* end = nullptr;
@@ -214,6 +242,8 @@ Options parse(int argc, char** argv) {
     str("--hash", o.hash);
     num("--clients", o.clients);
     num("--mcds", o.mcds);
+    num("--bricks", o.bricks);
+    num("--replicas", o.replicas);
     num("--ds", o.ds);
     num("--block", o.block);
     num("--max-record", o.max_record);
@@ -287,6 +317,12 @@ Rig build(const Options& o) {
     cluster::GlusterTestbedConfig cfg;
     cfg.n_clients = o.clients;
     cfg.n_mcds = o.system == "imca" ? o.mcds : 0;
+    if (o.bricks == 0 || o.replicas == 0) {
+      std::fprintf(stderr, "--bricks/--replicas want values >= 1\n");
+      usage(2);
+    }
+    cfg.n_bricks = o.bricks;
+    cfg.n_replicas = o.replicas;
     cfg.transport = transport_of(o);
     cfg.imca.block_size = o.block;
     cfg.imca.hash = hash_of(o);
@@ -313,6 +349,14 @@ Rig build(const Options& o) {
     cfg.faults.spec.short_read = o.fault_short;
     cfg.faults.spec.slow_delay = o.fault_slow_ms * kMilli;
     cfg.faults.crashes = o.crashes;
+    for (const auto& c : o.server_crashes) {
+      if (c.brick >= o.bricks * o.replicas) {
+        std::fprintf(stderr,
+                     "--crash-brick: brick %zu out of range (%zux%zu grid)\n",
+                     c.brick, o.bricks, o.replicas);
+        usage(2);
+      }
+    }
     cfg.faults.server_crashes = o.server_crashes;
     if (o.server_slow_ms > 0) {
       cfg.faults.server_spec.slow_reply = 0.35;
@@ -327,8 +371,13 @@ Rig build(const Options& o) {
       // Brick faults without retries surface as hard workload errors; arm
       // the deadline/retry/replay machinery with the fault-matrix policy.
       // The attempt timeout must clear one cold disk access (~12 ms).
-      cfg.client.protocol.op_deadline = 400 * kMilli;
-      cfg.client.protocol.attempt_timeout = 40 * kMilli;
+      // A replicated mount is SUPPOSED to give up on a dead minority and
+      // commit on the survivors, so it runs the brick-matrix deadline
+      // instead of riding whole crash windows out on retries.
+      cfg.client.protocol.op_deadline =
+          o.replicas > 1 ? 60 * kMilli : 400 * kMilli;
+      cfg.client.protocol.attempt_timeout =
+          o.replicas > 1 ? 20 * kMilli : 40 * kMilli;
       cfg.client.protocol.backoff_base = 1 * kMilli;
       cfg.client.protocol.backoff_cap = 8 * kMilli;
       cfg.client.protocol.eject_after = 3;
@@ -516,7 +565,7 @@ void print_cache_report(Rig& rig) {
 // machinery did about it. Printed only when a server-fault flag armed it.
 void print_server_fault_report(Rig& rig, const Options& o) {
   if (!rig.gluster || !o.any_server_fault()) return;
-  const auto ss = rig.gluster->server().stats();
+  const auto ss = rig.gluster->server_totals();
   std::printf("# brick faults: crashes=%llu restarts=%llu replies_lost=%llu"
               " sheds=%llu (admission=%llu expired=%llu io=%llu)"
               " wb_dropped_bytes=%llu\n",
@@ -531,7 +580,7 @@ void print_server_fault_report(Rig& rig, const Options& o) {
               static_cast<unsigned long long>(ss.wb_dropped_bytes));
   gluster::ProtocolClientStats pc;
   for (std::size_t i = 0; i < rig.gluster->n_clients(); ++i) {
-    const auto& s = rig.gluster->gluster_client(i).protocol().stats();
+    const auto s = rig.gluster->gluster_client(i).protocol_totals();
     pc.retries += s.retries;
     pc.replays += s.replays;
     pc.timeouts += s.timeouts;
@@ -564,6 +613,50 @@ void print_server_fault_report(Rig& rig, const Options& o) {
   }
 }
 
+// Grid drills (--bricks/--replicas > 1): what the cluster translators did —
+// quorum commits, read-child failover, self-heal traffic — summed over every
+// mount's replicate groups, plus a per-brick fop/crash breakdown.
+void print_grid_report(Rig& rig, const Options& o) {
+  if (!rig.gluster || (o.bricks == 1 && o.replicas == 1)) return;
+  if (o.replicas > 1) {
+    gluster::ReplicateStats rs;
+    for (std::size_t c = 0; c < rig.gluster->n_clients(); ++c) {
+      auto& mount = rig.gluster->gluster_client(c);
+      for (std::size_t g = 0; g < mount.n_groups(); ++g) {
+        if (const auto* grp = mount.replica_group(g)) {
+          const auto& s = grp->stats();
+          rs.mutations += s.mutations;
+          rs.quorum_short_writes += s.quorum_short_writes;
+          rs.partial_acks += s.partial_acks;
+          rs.read_child_switches += s.read_child_switches;
+          rs.reads_degraded += s.reads_degraded;
+          rs.heals_scheduled += s.heals_scheduled;
+          rs.heals_completed += s.heals_completed;
+          rs.heal_bytes_copied += s.heal_bytes_copied;
+        }
+      }
+    }
+    std::printf("# replicate: mutations=%llu short_writes=%llu"
+                " partial_acks=%llu switches=%llu degraded=%llu"
+                " heals=%llu heal_bytes=%llu\n",
+                static_cast<unsigned long long>(rs.mutations),
+                static_cast<unsigned long long>(rs.quorum_short_writes),
+                static_cast<unsigned long long>(rs.partial_acks),
+                static_cast<unsigned long long>(rs.read_child_switches),
+                static_cast<unsigned long long>(rs.reads_degraded),
+                static_cast<unsigned long long>(rs.heals_completed),
+                static_cast<unsigned long long>(rs.heal_bytes_copied));
+  }
+  for (std::size_t b = 0; b < rig.gluster->n_brick_servers(); ++b) {
+    const auto s = rig.gluster->brick(b).stats();
+    std::printf("# brick %zu.%zu: fops=%llu crashes=%llu restarts=%llu\n",
+                b / o.replicas, b % o.replicas,
+                static_cast<unsigned long long>(s.fops),
+                static_cast<unsigned long long>(s.crashes),
+                static_cast<unsigned long long>(s.restarts));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -583,6 +676,10 @@ int main(int argc, char** argv) {
   if (o.system == "lustre") {
     std::printf(" ds=%zu%s", o.ds, o.cold ? " cold" : "");
   }
+  if ((o.system == "imca" || o.system == "gluster") &&
+      (o.bricks > 1 || o.replicas > 1)) {
+    std::printf(" bricks=%zux%zu", o.bricks, o.replicas);
+  }
   std::printf("\n");
 
   int rc = 2;
@@ -600,6 +697,7 @@ int main(int argc, char** argv) {
   }
   print_cache_report(rig);
   print_server_fault_report(rig, o);
+  print_grid_report(rig, o);
   const BufferStats& bs = buffer_stats();
   std::printf("# copy_ledger%s: segments=%llu segment_bytes=%llu"
               " bytes_copied=%llu gathers=%llu slices=%llu\n",
