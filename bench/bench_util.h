@@ -49,6 +49,9 @@ struct BenchArgs {
   // --bricks: run the bench's brick-scaling sweep (distribute groups) in
   // addition to its headline figure. Only fig09 honours it today.
   bool bricks = false;
+  // --writeback: run the durable write-back ablation (write-through vs
+  // K-way dirty absorb into the MCD tier). Only fig09 honours it today.
+  bool writeback = false;
 };
 
 [[noreturn]] inline void usage_and_exit(const char* argv0,
@@ -58,7 +61,7 @@ struct BenchArgs {
   }
   std::fprintf(stderr,
                "usage: %s [--csv] [--scale=<x>] [--json=<path>] [--seed=<n>]"
-               " [--reps=<n>] [--legacy-queue] [--bricks]\n"
+               " [--reps=<n>] [--legacy-queue] [--bricks] [--writeback]\n"
                "  --csv           print tables as CSV\n"
                "  --scale=<x>     multiply workload volume (default 1.0)\n"
                "  --json=<path>   append perf records (BENCH_*.json schema)\n"
@@ -66,7 +69,8 @@ struct BenchArgs {
                "  --reps=<n>      timing reps per config, best wins"
                " (default 3)\n"
                "  --legacy-queue  EventLoop on the legacy priority_queue\n"
-               "  --bricks        also run the brick-scaling sweep\n",
+               "  --bricks        also run the brick-scaling sweep\n"
+               "  --writeback     also run the write-back ablation\n",
                argv0);
   std::exit(2);
 }
@@ -92,6 +96,8 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.legacy_queue = true;
     } else if (std::strcmp(argv[i], "--bricks") == 0) {
       args.bricks = true;
+    } else if (std::strcmp(argv[i], "--writeback") == 0) {
+      args.writeback = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       usage_and_exit(argv[0], nullptr);

@@ -121,6 +121,73 @@ bool run_brick_sweep(const imca::bench::BenchArgs& args,
   return ok;
 }
 
+// --writeback: the durable write-back ablation (DESIGN.md §5j). Same
+// 8-thread / 4-MCD deployment as the headline row; writes either go through
+// to the brick (baseline) or are absorbed as K=2 dirty replicas in the MCD
+// bank and flushed to the brick in the background. Absorbing costs the wire
+// the payload twice, so this is not a throughput win on a fast brick — the
+// rows exist to version the trade-off. The GATE is the durability ledger,
+// which is deterministic: every acked byte drains (iozone's close barriers
+// force it), nothing is lost, degraded, or double-applied.
+bool run_writeback_ablation(const imca::bench::BenchArgs& args,
+                            std::vector<BenchRecord>* records) {
+  constexpr std::size_t kThreads = 8;
+  std::printf("\n== Fig 9 write-back ablation: %zu threads, 4 MCDs,"
+              " K=2 dirty replicas ==\n",
+              kThreads);
+  Table table({"mode", "write-MBps", "read-MBps", "absorbed", "flushed",
+               "lost", "degraded"});
+  bool ok = true;
+  for (int wb = 0; wb < 2; ++wb) {
+    const BenchTimer timer;
+    const std::uint64_t events0 = g_events;
+    GlusterTestbedConfig cfg;
+    cfg.n_clients = kThreads;
+    cfg.n_mcds = 4;
+    cfg.imca.hash = core::HashScheme::kModulo;
+    cfg.imca.block_size = 2 * kKiB;
+    cfg.mcd_memory = kMcdMemory;
+    cfg.server.page_cache_bytes = kServerCache;
+    if (wb != 0) {
+      cfg.imca.writeback = true;
+      cfg.imca.wb_replicas = 2;
+      cfg.imca.wb_quorum = 2;
+      cfg.imca.mcd_op_timeout = 2 * kMilli;
+    }
+    GlusterTestbed tb(cfg);
+    const auto res =
+        workload::run_iozone(tb.loop(), clients_of(tb), options());
+    g_events += tb.loop().events_processed();
+    const auto wbs = tb.writeback_totals();
+    table.add_row({std::string(wb != 0 ? "write-back" : "write-through"),
+                   Table::cell(res.aggregate_write_mbps, 1),
+                   Table::cell(res.aggregate_read_mbps, 1),
+                   Table::cell(wbs.absorbed), Table::cell(wbs.flushed_extents),
+                   Table::cell(wbs.lost_extents),
+                   Table::cell(wbs.degraded_writes)});
+    if (wb != 0) {
+      if (wbs.absorbed == 0) ok = false;  // the ablation never engaged
+      // degraded_writes stays in the table but not the gate: under memory
+      // pressure the bank refuses dirty stores (dirty items are pinned, so
+      // an overfull daemon cannot evict its way clear) and the write rides
+      // the designed ladder down to write-through. Loss is the violation.
+      if (wbs.lost_extents != 0) ok = false;
+      for (std::size_t i = 0; i < tb.n_clients(); ++i) {
+        if (tb.cmcache(i).writeback()->dirty_bytes() != 0) ok = false;
+      }
+    }
+    if (tb.server_totals().duplicate_applies != 0) ok = false;
+    records->push_back(timer.finish(
+        std::string("fig09/writeback/") + (wb != 0 ? "wb" : "wt"),
+        g_events - events0));
+  }
+  print_table(table, args);
+  std::printf("# write-back ledger: %s\n",
+              ok ? "drained, zero loss, exactly-once"
+                 : "VIOLATED (loss, leftover dirty bytes, or dup applies)");
+  return ok;
+}
+
 double run_lustre(std::size_t threads) {
   LustreTestbedConfig cfg;
   cfg.n_clients = threads;
@@ -203,9 +270,13 @@ int main(int argc, char** argv) {
   if (args.bricks) {
     bricks_ok = run_brick_sweep(args, &records);
   }
+  bool writeback_ok = true;
+  if (args.writeback) {
+    writeback_ok = run_writeback_ablation(args, &records);
+  }
   records.push_back(bench_timer.finish("fig09/iozone_throughput", g_events));
   if (!write_bench_json(args.json_path, records)) {
     return 1;
   }
-  return bricks_ok ? 0 : 1;
+  return (bricks_ok && writeback_ok) ? 0 : 1;
 }

@@ -92,6 +92,17 @@ GlusterTestbed::GlusterTestbed(GlusterTestbedConfig cfg)
       // Brownout: this mount's CMCache watches its own mount's view of the
       // brick tier's health (the PC, or the cluster xlator on a grid).
       cm->set_server_health(&clients_.back()->health());
+      if (cfg_.imca.writeback) {
+        // Durable write-back (DESIGN.md §5j): a writer-role connection set
+        // of its own — dirty payloads must survive rejoin purges and their
+        // mutations must reach clean outcomes. writer_id is the fabric node
+        // id: unique per client by construction.
+        cm->set_writeback(std::make_unique<core::WritebackTier>(
+            std::make_unique<mcclient::McClient>(
+                rpc_, n, mcd_nodes_, core::make_selector(cfg_.imca),
+                core::make_mcclient_params(cfg_.imca, core::McRole::kWriter)),
+            static_cast<std::uint64_t>(n), cfg_.imca));
+      }
       cmcaches_.push_back(cm.get());
       clients_.back()->push_translator(std::move(cm));
     }
@@ -116,6 +127,43 @@ gluster::GlusterServerStats GlusterTestbed::server_totals() const {
     total.replies_lost_in_crash += st.replies_lost_in_crash;
   }
   return total;
+}
+
+core::WritebackStats GlusterTestbed::writeback_totals() {
+  core::WritebackStats total;
+  for (core::CmCacheXlator* cm : cmcaches_) {
+    const core::WritebackTier* wb = cm->writeback();
+    if (wb == nullptr) continue;
+    const auto& s = wb->stats();
+    total.absorbed += s.absorbed;
+    total.absorbed_bytes += s.absorbed_bytes;
+    total.degraded_writes += s.degraded_writes;
+    total.backpressure_sheds += s.backpressure_sheds;
+    total.rollbacks += s.rollbacks;
+    total.flushed_extents += s.flushed_extents;
+    total.flushed_bytes += s.flushed_bytes;
+    total.flush_retries += s.flush_retries;
+    total.flush_requeues += s.flush_requeues;
+    total.lost_extents += s.lost_extents;
+    total.lost_bytes += s.lost_bytes;
+    total.cas_conflicts += s.cas_conflicts;
+    total.index_reinstalls += s.index_reinstalls;
+    total.barrier_timeouts += s.barrier_timeouts;
+    total.overlay_reads += s.overlay_reads;
+    total.overlay_stats += s.overlay_stats;
+    total.replica_drops += s.replica_drops;
+  }
+  return total;
+}
+
+std::vector<core::WbLostExtent> GlusterTestbed::writeback_losses() {
+  std::vector<core::WbLostExtent> all;
+  for (core::CmCacheXlator* cm : cmcaches_) {
+    const core::WritebackTier* wb = cm->writeback();
+    if (wb == nullptr) continue;
+    all.insert(all.end(), wb->lost().begin(), wb->lost().end());
+  }
+  return all;
 }
 
 memcache::CacheStats GlusterTestbed::mcd_totals() const {

@@ -84,6 +84,19 @@ class GlusterTestbed {
     for (core::SmCacheXlator* sm : smcaches_) co_await sm->quiesce();
   }
   core::CmCacheXlator& cmcache(std::size_t i) { return *cmcaches_.at(i); }
+  // Barrier every client's write-back tier (no-op when write-back is off).
+  // Outcomes are deliberately ignored: a path whose extents were *lost* (all
+  // dirty replicas died) still drains — the loss lands in writeback_losses().
+  sim::Task<void> sync_writebacks() {
+    for (core::CmCacheXlator* cm : cmcaches_) {
+      if (cm->writeback() != nullptr) {
+        (void)co_await cm->writeback()->sync_all();
+      }
+    }
+  }
+  // Aggregate write-back counters / accounted losses across every client.
+  core::WritebackStats writeback_totals();
+  std::vector<core::WbLostExtent> writeback_losses();
   memcache::McServer& mcd(std::size_t i) { return *mcds_.at(i); }
   std::size_t n_mcds() const noexcept { return mcds_.size(); }
   net::RpcSystem& rpc() noexcept { return rpc_; }

@@ -61,6 +61,14 @@ class FileSystemClient {
   // handles follow the file to its new name.
   virtual sim::Task<Expected<void>> rename(std::string from,
                                            std::string to) = 0;
+
+  // Durability barrier: acked writes on `file` are on stable storage when
+  // this returns. Default is a no-op — meaningful only for clients with a
+  // volatile write path (GlusterFS write-behind, IMCa write-back).
+  virtual sim::Task<Expected<void>> fsync(OpenFile file) {
+    (void)file;
+    co_return Expected<void>{};
+  }
 };
 
 }  // namespace imca::fsapi

@@ -128,6 +128,13 @@ sim::Task<Expected<void>> GlusterClient::close(fsapi::OpenFile file) {
   co_return co_await top().close(*path);
 }
 
+sim::Task<Expected<void>> GlusterClient::fsync(fsapi::OpenFile file) {
+  auto path = path_of(file);
+  if (!path) co_return path.error();
+  co_await fuse_charge();
+  co_return co_await top().fsync(*path);
+}
+
 sim::Task<Expected<store::Attr>> GlusterClient::stat(std::string path) {
   co_await fuse_charge();
   co_return co_await top().stat(path);

@@ -72,6 +72,7 @@ class GlusterClient final : public fsapi::FileSystemClient {
   sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override;
   sim::Task<Expected<void>> rename(std::string from, std::string to) override;
+  sim::Task<Expected<void>> fsync(fsapi::OpenFile file) override;
 
   net::NodeId node() const noexcept { return self_; }
   Xlator& top() noexcept { return *stack_.back(); }

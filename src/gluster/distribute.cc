@@ -161,6 +161,14 @@ sim::Task<Expected<void>> DistributeXlator::truncate(std::string path,
   co_return co_await owner(path).truncate(path, size);
 }
 
+sim::Task<Expected<void>> DistributeXlator::fsync(std::string path) {
+  if (pending_unlinks_.count(path) != 0) {
+    (void)co_await sweep_pending(path);
+    co_return Errc::kNoEnt;
+  }
+  co_return co_await owner(path).fsync(path);
+}
+
 // --- rename ----------------------------------------------------------------
 
 sim::Task<Expected<void>> DistributeXlator::stage_commit(Xlator* dst,

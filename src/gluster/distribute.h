@@ -77,6 +77,7 @@ class DistributeXlator final : public Xlator, public ServerHealth {
   sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override;
   sim::Task<Expected<void>> rename(std::string from, std::string to) override;
+  sim::Task<Expected<void>> fsync(std::string path) override;
 
   std::string_view name() const override { return "distribute"; }
 

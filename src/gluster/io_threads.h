@@ -113,6 +113,13 @@ class IoThreadsXlator final : public Xlator {
     sem_.release();
     co_return r;
   }
+  sim::Task<Expected<void>> fsync(std::string path) override {
+    if (shed()) co_return Errc::kBusy;
+    co_await enter();
+    auto r = co_await child_->fsync(path);
+    sem_.release();
+    co_return r;
+  }
 
   std::string_view name() const override { return "io-threads"; }
 

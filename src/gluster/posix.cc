@@ -82,6 +82,17 @@ sim::Task<Expected<void>> PosixXlator::truncate(std::string path,
   co_return r;
 }
 
+sim::Task<Expected<void>> PosixXlator::fsync(std::string path) {
+  // The ObjectStore is already the durable ground truth (posix writes are
+  // synchronous in this model); fsync costs a syscall plus a barrier pass
+  // over the inode's dirty pages.
+  co_await node_.cpu().use(params_.meta_op_cpu / 2);
+  auto attr = os_.stat(path);
+  if (!attr) co_return attr.error();
+  co_await dev_.meta(attr->inode);
+  co_return Expected<void>{};
+}
+
 sim::Task<Expected<void>> PosixXlator::rename(std::string from,
                                               std::string to) {
   co_await node_.cpu().use(params_.meta_op_cpu);

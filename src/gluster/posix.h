@@ -45,6 +45,7 @@ class PosixXlator final : public Xlator {
                                      std::uint64_t size) override;
   sim::Task<Expected<void>> rename(std::string from,
                                    std::string to) override;
+  sim::Task<Expected<void>> fsync(std::string path) override;
 
   std::string_view name() const override { return "posix"; }
 

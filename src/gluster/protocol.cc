@@ -22,7 +22,7 @@ Expected<FopRequest> FopRequest::decode(ByteBuf& in) {
   FopRequest req;
   auto type_raw = in.get_u8();
   if (!type_raw) return type_raw.error();
-  if (*type_raw < 1 || *type_raw > 9) return Errc::kProto;
+  if (*type_raw < 1 || *type_raw > 10) return Errc::kProto;
   req.type = static_cast<FopType>(*type_raw);
   auto path = in.get_string();
   if (!path) return path.error();

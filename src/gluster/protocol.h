@@ -28,6 +28,7 @@ enum class FopType : std::uint8_t {
   kUnlink = 7,
   kTruncate = 8,
   kRename = 9,
+  kFsync = 10,
 };
 
 struct FopRequest {

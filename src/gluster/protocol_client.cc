@@ -250,6 +250,15 @@ sim::Task<Expected<void>> ProtocolClient::truncate(std::string path,
   co_return rep->errc == Errc::kOk ? Expected<void>{} : rep->errc;
 }
 
+sim::Task<Expected<void>> ProtocolClient::fsync(std::string path) {
+  FopRequest req;
+  req.type = FopType::kFsync;
+  req.path = path;
+  auto rep = co_await roundtrip(std::move(req));
+  if (!rep) co_return rep.error();
+  co_return rep->errc == Errc::kOk ? Expected<void>{} : rep->errc;
+}
+
 sim::Task<Expected<void>> ProtocolClient::rename(std::string from,
                                                  std::string to) {
   FopRequest req;

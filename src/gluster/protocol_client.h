@@ -74,6 +74,9 @@ class ProtocolClient final : public Xlator, public ServerHealth {
                                      std::uint64_t size) override;
   sim::Task<Expected<void>> rename(std::string from,
                                    std::string to) override;
+  // Idempotent barrier: not numbered (replaying a completed fsync is
+  // harmless), retried like the read-shaped fops.
+  sim::Task<Expected<void>> fsync(std::string path) override;
 
   std::string_view name() const override { return "protocol/client"; }
 

@@ -44,6 +44,13 @@ sim::Task<void> leg_truncate(ProtocolClient* child,
   (*errs)[i] = r ? Errc::kOk : r.error();
 }
 
+sim::Task<void> leg_fsync(ProtocolClient* child,
+                          std::shared_ptr<std::vector<Errc>> errs,
+                          std::size_t i, std::string path) {
+  auto r = co_await child->fsync(std::move(path));
+  (*errs)[i] = r ? Errc::kOk : r.error();
+}
+
 sim::Task<void> leg_rename(ProtocolClient* child,
                            std::shared_ptr<std::vector<Errc>> errs,
                            std::size_t i, std::string from, std::string to) {
@@ -505,6 +512,34 @@ sim::Task<Expected<void>> ReplicateXlator::truncate(std::string path,
   mu.unlock();
   if (!q.committed) co_return q.err;
   co_return Expected<void>{};
+}
+
+sim::Task<Expected<void>> ReplicateXlator::fsync(std::string path) {
+  poll_rejoins();
+  // Barrier, not a mutation: fan out to every child, succeed on a quorum of
+  // acks. No commit() — fsync changes no replica state, so a child that
+  // missed it is not dirty and no epoch moves.
+  const std::size_t k = replicas_.size();
+  auto errs = std::make_shared<std::vector<Errc>>(k, Errc::kTimedOut);
+  std::vector<sim::Task<void>> legs;
+  legs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    legs.push_back(leg_fsync(replicas_[i].get(), errs, i, path));
+  }
+  co_await sim::when_all(loop_, std::move(legs));
+  std::size_t acks = 0;
+  Errc err = Errc::kTimedOut;
+  for (const Errc e : *errs) {
+    if (e == Errc::kOk) {
+      ++acks;
+    } else if (!retryable(e)) {
+      err = e;  // a definite answer (e.g. kNoEnt) beats a transport guess
+    } else if (err == Errc::kTimedOut) {
+      err = e;
+    }
+  }
+  if (acks >= quorum_) co_return Expected<void>{};
+  co_return err;
 }
 
 sim::Task<Expected<void>> ReplicateXlator::rename(std::string from,

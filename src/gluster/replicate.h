@@ -89,6 +89,9 @@ class ReplicateXlator final : public Xlator, public ServerHealth {
   sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override;
   sim::Task<Expected<void>> rename(std::string from, std::string to) override;
+  // Durability barrier: fanned out to every reachable child, succeeds on a
+  // quorum of acks. Changes no replica state, so no epoch bump / dirty marks.
+  sim::Task<Expected<void>> fsync(std::string path) override;
 
   std::string_view name() const override { return "replicate"; }
 

@@ -250,6 +250,10 @@ sim::Task<FopReply> GlusterServer::dispatch(FopRequest req) {
       rep.errc = (co_await x.rename(req.path, req.path2)).error();
       break;
     }
+    case FopType::kFsync: {
+      rep.errc = (co_await x.fsync(req.path)).error();
+      break;
+    }
   }
   co_return rep;
 }

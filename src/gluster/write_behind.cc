@@ -179,6 +179,18 @@ sim::Task<Expected<void>> WriteBehindXlator::truncate(std::string path,
   co_return co_await child_->truncate(path, size);
 }
 
+sim::Task<Expected<void>> WriteBehindXlator::fsync(std::string path) {
+  // The durability barrier: whatever is buffered for the path must be on the
+  // child before fsync returns (flush-before-dependent-op, same as close).
+  if (const Errc stuck = take_stuck_error(path); stuck != Errc::kOk) {
+    co_return stuck;
+  }
+  if (buffering(path)) {
+    if (auto r = co_await flush(); !r) co_return r.error();
+  }
+  co_return co_await child_->fsync(path);
+}
+
 sim::Task<Expected<void>> WriteBehindXlator::rename(std::string from,
                                                     std::string to) {
   if (const Errc stuck = take_stuck_error(from); stuck != Errc::kOk) {

@@ -59,6 +59,7 @@ class WriteBehindXlator final : public Xlator {
   sim::Task<Expected<store::Attr>> stat(std::string path) override;
   sim::Task<Expected<void>> close(std::string path) override;
   sim::Task<Expected<void>> unlink(std::string path) override;
+  sim::Task<Expected<void>> fsync(std::string path) override;
   sim::Task<Expected<void>> truncate(std::string path,
                                      std::uint64_t size) override;
   sim::Task<Expected<void>> rename(std::string from,

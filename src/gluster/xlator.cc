@@ -48,6 +48,11 @@ sim::Task<Expected<void>> Xlator::unlink(std::string path) {
   co_return co_await child_->unlink(path);
 }
 
+sim::Task<Expected<void>> Xlator::fsync(std::string path) {
+  assert(child_ != nullptr);
+  co_return co_await child_->fsync(path);
+}
+
 sim::Task<Expected<void>> Xlator::truncate(std::string path,
                                            std::uint64_t size) {
   assert(child_ != nullptr);

@@ -60,6 +60,10 @@ class Xlator {
                                                    std::uint64_t offset,
                                                    Buffer data);
   virtual sim::Task<Expected<void>> unlink(std::string path);
+  // Durability barrier: flush anything buffered for `path` to stable
+  // storage. Idempotent and state-free at the posix layer; write-behind and
+  // the write-back tier override it to drain their buffers.
+  virtual sim::Task<Expected<void>> fsync(std::string path);
   virtual sim::Task<Expected<void>> truncate(std::string path,
                                              std::uint64_t size);
   virtual sim::Task<Expected<void>> rename(std::string from,

@@ -24,6 +24,18 @@ CmCacheXlator::Brownout CmCacheXlator::brownout_state() const {
 }
 
 sim::Task<Expected<store::Attr>> CmCacheXlator::stat(std::string path) {
+  auto attr = co_await stat_base(path);
+  if (attr && wb_ && wb_->enabled()) {
+    // Absorbed-but-unflushed extents may extend the file past what the brick
+    // (or the cached stat item) reports: raise the size to the dirty floor
+    // so pollers observe acked growth (read-your-writes for stat).
+    auto floor = co_await wb_->dirty_size_floor(path);
+    if (floor && attr->size < *floor) attr->size = *floor;
+  }
+  co_return attr;
+}
+
+sim::Task<Expected<store::Attr>> CmCacheXlator::stat_base(std::string path) {
   const Brownout bo = brownout_state();
   if (bo == Brownout::kBypass) {
     // The outage outlived the staleness bound: a cached answer could be
@@ -52,6 +64,14 @@ sim::Task<Expected<Buffer>> CmCacheXlator::read(std::string path,
                                                 std::uint64_t offset,
                                                 std::uint64_t len) {
   if (len == 0) co_return Buffer{};
+
+  if (wb_ && wb_->enabled()) {
+    // Read-your-writes across clients: the shared dirty index is consulted
+    // before any cache block or brick byte. Engaged = some dirty extent
+    // overlaps the range and the overlay is the complete answer.
+    auto overlaid = co_await wb_->overlay_read(path, offset, len);
+    if (overlaid) co_return std::move(*overlaid);
+  }
 
   const Brownout bo = brownout_state();
   if (bo == Brownout::kBypass) {
@@ -89,17 +109,38 @@ sim::Task<Expected<Buffer>> CmCacheXlator::read(std::string path,
 sim::Task<Expected<std::uint64_t>> CmCacheXlator::write(
     std::string path, std::uint64_t offset, Buffer data) {
   bump_epoch(path);  // before forwarding: no repair captured earlier may land
+  if (wb_ && wb_->enabled()) {
+    const std::uint64_t n = data.size();
+    // absorb() acks from the MCD tier (payload + index on >= wb_quorum
+    // daemons) or returns false after draining the path, in which case the
+    // write-through below lands after every older dirty epoch.
+    if (co_await wb_->absorb(path, offset, data)) co_return n;
+  }
   co_return co_await child_->write(path, offset, std::move(data));
 }
 
 sim::Task<Expected<void>> CmCacheXlator::unlink(std::string path) {
   bump_epoch(path);
+  // Dependent-op barrier (write-behind's flush-before-unlink contract,
+  // lifted to the shared tier): dirty extents must reach the brick before
+  // the name disappears, or a flush could recreate the file. A barrier
+  // timeout fails the op — never silently reordered.
+  if (wb_ && wb_->enabled()) {
+    auto drained = co_await wb_->sync_path(path);
+    if (!drained) co_return drained.error();
+  }
   co_return co_await child_->unlink(path);
 }
 
 sim::Task<Expected<void>> CmCacheXlator::truncate(std::string path,
                                                   std::uint64_t size) {
   bump_epoch(path);
+  if (wb_ && wb_->enabled()) {
+    // Same barrier as unlink: a dirty extent flushing after the truncate
+    // would resurrect truncated bytes.
+    auto drained = co_await wb_->sync_path(path);
+    if (!drained) co_return drained.error();
+  }
   co_return co_await child_->truncate(path, size);
 }
 
@@ -107,7 +148,35 @@ sim::Task<Expected<void>> CmCacheXlator::rename(std::string from,
                                                 std::string to) {
   bump_epoch(from);
   bump_epoch(to);
-  co_return co_await child_->rename(from, to);
+  if (wb_ && wb_->enabled()) {
+    // Extents are keyed by path: they must land under the old name before
+    // it moves (and the target's before it is replaced).
+    auto drained = co_await wb_->sync_path(from);
+    if (!drained) co_return drained.error();
+    drained = co_await wb_->sync_path(to);
+    if (!drained) co_return drained.error();
+  }
+  auto renamed = co_await child_->rename(from, to);
+  if (renamed && wb_ && wb_->enabled()) wb_->note_rename(from, to);
+  co_return renamed;
+}
+
+sim::Task<Expected<void>> CmCacheXlator::fsync(std::string path) {
+  if (wb_ && wb_->enabled()) {
+    auto drained = co_await wb_->sync_path(path);
+    if (!drained) co_return drained.error();
+  }
+  co_return co_await child_->fsync(path);
+}
+
+sim::Task<Expected<void>> CmCacheXlator::close(std::string path) {
+  // close-to-open consistency: the writer's dirty extents are on the brick
+  // before close returns, so the next open anywhere reads them back.
+  if (wb_ && wb_->enabled()) {
+    auto drained = co_await wb_->sync_path(path);
+    if (!drained) co_return drained.error();
+  }
+  co_return co_await child_->close(path);
 }
 
 sim::Task<Expected<Buffer>> CmCacheXlator::read_forward_on_miss(

@@ -36,6 +36,7 @@
 #include "imca/config.h"
 #include "imca/keys.h"
 #include "imca/singleflight.h"
+#include "imca/writeback.h"
 #include "mcclient/client.h"
 
 namespace imca::core {
@@ -87,7 +88,10 @@ class CmCacheXlator final : public gluster::Xlator {
 
   // Mutations pass through to the server, but each bumps the path's write
   // epoch *before* forwarding so an in-flight read-repair captured under the
-  // old contents can never land after the change (see repair_blocks).
+  // old contents can never land after the change (see repair_blocks). In
+  // write-back mode (set_writeback) a write is absorbed into the MCD tier
+  // instead, and the structural mutations barrier on the path's dirty
+  // extents first — flush-before-dependent-op, lifted to the shared tier.
   sim::Task<Expected<std::uint64_t>> write(std::string path,
                                            std::uint64_t offset,
                                            Buffer data) override;
@@ -96,6 +100,10 @@ class CmCacheXlator final : public gluster::Xlator {
                                      std::uint64_t size) override;
   sim::Task<Expected<void>> rename(std::string from,
                                    std::string to) override;
+  // Durability barriers: drain the path's dirty write-back extents (ours by
+  // flushing, foreign by waiting for their owner) before forwarding.
+  sim::Task<Expected<void>> fsync(std::string path) override;
+  sim::Task<Expected<void>> close(std::string path) override;
 
   std::string_view name() const override { return "cmcache"; }
 
@@ -106,6 +114,15 @@ class CmCacheXlator final : public gluster::Xlator {
   void set_server_health(const gluster::ServerHealth* health) noexcept {
     health_ = health;
   }
+
+  // Wire the durable write-back tier (DESIGN.md §5j). Must precede the first
+  // fop; the tier flushes through whatever ends up below this translator, so
+  // it binds to the child *slot*, which set_child may still retarget.
+  void set_writeback(std::unique_ptr<WritebackTier> wb) {
+    wb_ = std::move(wb);
+    if (wb_) wb_->attach(&child_);
+  }
+  WritebackTier* writeback() noexcept { return wb_.get(); }
 
   const CmCacheStats& stats() const noexcept { return stats_; }
   const FaultStats& fault_stats() const noexcept { return fault_stats_; }
@@ -124,6 +141,8 @@ class CmCacheXlator final : public gluster::Xlator {
     Buffer bytes;
   };
 
+  // stat() minus the dirty-size floor: the cache/brownout/server pipeline.
+  sim::Task<Expected<store::Attr>> stat_base(std::string path);
   // The paper's path: any miss discards the hits and forwards the whole read.
   sim::Task<Expected<Buffer>> read_forward_on_miss(std::string path,
                                                    std::uint64_t offset,
@@ -159,6 +178,7 @@ class CmCacheXlator final : public gluster::Xlator {
   Brownout brownout_state() const;
 
   std::unique_ptr<mcclient::McClient> mcds_;
+  std::unique_ptr<WritebackTier> wb_;  // null = write-through (the paper)
   BlockMapper mapper_;
   ImcaConfig cfg_;
   const gluster::ServerHealth* health_ = nullptr;

@@ -102,6 +102,39 @@ struct ImcaConfig {
   // Beyond this, CMCache bypasses the cache so the caller sees the outage
   // instead of unboundedly stale data.
   SimDuration brownout_max_staleness = 2000 * kMilli;
+
+  // --- durable write-back into the MCD tier (DESIGN.md §5j) ---
+
+  // Absorb writes into the shared MCD bank instead of forwarding them:
+  // payload + dirty-index entry are stored on wb_replicas distinct daemons,
+  // the write acks once wb_quorum replicas confirmed, and a background
+  // flusher drains dirty epochs to the brick. false = the paper's strictly
+  // write-through behaviour (every other knob below is then ignored).
+  bool writeback = false;
+  // K: distinct daemons each dirty payload/index entry is replicated to
+  // (clamped to the deployment's daemon count).
+  std::size_t wb_replicas = 2;
+  // K_dirty: replicas that must confirm before the write acks. Fewer healthy
+  // replicas than this degrades the write to write-through (accounted, never
+  // silent).
+  std::size_t wb_quorum = 2;
+  // Per-client bound on absorbed-but-unflushed bytes; beyond it writes shed
+  // to write-through (backpressure, accounted).
+  std::uint64_t wb_dirty_limit = 8 * kMiB;
+  // Flusher retry schedule for brick writes and index/payload cleanup. The
+  // per-pass attempts ride out transient kBusy/crash windows; a pass that
+  // still fails re-queues the path.
+  std::size_t wb_flush_attempts = 6;
+  SimDuration wb_flush_backoff = 1 * kMilli;
+  // Coalescing window: how long the background flusher lets a path's dirty
+  // extents settle before its first brick pass (0 = flush immediately).
+  // Barriers (fsync/close/unlink/...) drain inline and ignore it.
+  SimDuration wb_flush_delay = 0;
+  // Barrier patience: how many poll rounds (with wb_flush_backoff spacing,
+  // doubling up to 16x) an fsync/close/dependent-op waits for *other*
+  // writers' dirty extents on the path to drain before giving up with
+  // kTimedOut. Bounded so a wedged peer cannot hang a barrier forever.
+  std::size_t wb_barrier_rounds = 4000;
 };
 
 // Which side of the IMCa protocol a client serves. The reader (CMCache)

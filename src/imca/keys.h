@@ -29,4 +29,34 @@ inline std::string stat_key(std::string_view path) {
   return key;
 }
 
+// --- write-back tier keys (DESIGN.md §5j) ---
+//
+// Both collide with nothing above: data keys end in a decimal offset and the
+// stat key in ":stat". The *same* key string is stored on K distinct daemons
+// (replica r of a key lives at (primary_of(key) + r) % n), so replicas are
+// addressed by pinning the server index, not by varying the key.
+
+// Per-path dirty-extent index: a serialized list of {epoch, writer, seq,
+// offset, length} entries, CAS-maintained.
+inline std::string wb_index_key(std::string_view path) {
+  std::string key;
+  key.reserve(path.size() + 6);
+  key.append(path);
+  key.append(":wbidx");
+  return key;
+}
+
+// One absorbed write's payload, immutable per (writer, seq).
+inline std::string wb_payload_key(std::string_view path, std::uint64_t writer,
+                                  std::uint64_t seq) {
+  std::string key;
+  key.reserve(path.size() + 48);
+  key.append(path);
+  key.append(":wb:");
+  key.append(std::to_string(writer));
+  key.push_back(':');
+  key.append(std::to_string(seq));
+  return key;
+}
+
 }  // namespace imca::core

@@ -85,8 +85,11 @@ sim::Task<Expected<ByteBuf>> McClient::call_once(std::size_t server,
 sim::Task<bool> McClient::try_rejoin(std::size_t server) {
   // Mandatory purge-on-rejoin: flush the daemon *before* taking it back, so
   // a revived daemon can never serve an item from before its crash window or
-  // a repair that raced the restart (DESIGN.md §5d).
-  auto resp = co_await call_once(server, memcache::encode_flush_all());
+  // a repair that raced the restart (DESIGN.md §5d). The flush is the clean
+  // variant: write-back dirty items are the only copy of acked bytes, so a
+  // probe may never wipe them from a daemon that stayed up while this client
+  // merely thought it dead (a crashed daemon restarts empty either way).
+  auto resp = co_await call_once(server, memcache::encode_flush_clean());
   if (resp && reply_intact(*resp, ReplyShape::kLine)) {
     dead_[server] = false;
     unclean_streak_[server] = 0;
@@ -436,6 +439,128 @@ sim::Task<Expected<void>> McClient::del(std::string key,
   auto parsed = memcache::parse_delete_response(*resp);
   if (!parsed) co_return parsed.error();
   co_return Expected<void>{};  // DELETED and NOT_FOUND both fine for purges
+}
+
+sim::Task<Expected<memcache::Value>> McClient::get_at(std::size_t server,
+                                                      std::string key) {
+  ++stats_.gets;
+  co_await rpc_.fabric().node(self_).cpu().use(params_.per_key_cpu);
+  const std::string keys[] = {key};
+  auto resp = co_await call(server, memcache::encode_get(keys), OpKind::kGet,
+                            ReplyShape::kTerminated);
+  if (!resp) {
+    ++stats_.misses;
+    co_return resp.error();  // dead/unreachable: caller tells miss from down
+  }
+  auto parsed = memcache::parse_get_response(*resp);
+  if (!parsed) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;
+  }
+  auto it = parsed->find(key);
+  if (it == parsed->end()) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;
+  }
+  ++stats_.hits;
+  co_return std::move(it->second);
+}
+
+sim::Task<Expected<memcache::Value>> McClient::gets_at(std::size_t server,
+                                                       std::string key) {
+  ++stats_.gets;
+  co_await rpc_.fabric().node(self_).cpu().use(params_.per_key_cpu);
+  const std::string keys[] = {key};
+  auto resp = co_await call(server, memcache::encode_gets(keys), OpKind::kGet,
+                            ReplyShape::kTerminated);
+  if (!resp) {
+    ++stats_.misses;
+    co_return resp.error();
+  }
+  auto parsed = memcache::parse_get_response(*resp);
+  if (!parsed) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;
+  }
+  auto it = parsed->find(key);
+  if (it == parsed->end()) {
+    ++stats_.misses;
+    co_return Errc::kNoEnt;
+  }
+  ++stats_.hits;
+  co_return std::move(it->second);
+}
+
+sim::Task<Expected<void>> McClient::set_at(std::size_t server, std::string key,
+                                           Buffer data, std::uint32_t flags) {
+  ++stats_.sets;
+  auto resp = co_await call(
+      server, memcache::encode_store(StoreVerb::kSet, key, flags, 0, data),
+      OpKind::kMutation, ReplyShape::kLine);
+  if (!resp) co_return resp.error();
+  auto parsed = memcache::parse_store_response(*resp);
+  if (!parsed) co_return parsed.error();
+  switch (*parsed) {
+    case StoreReply::kStored:
+      co_return Expected<void>{};
+    case StoreReply::kNotStored:
+      co_return Errc::kNotStored;
+    case StoreReply::kServerError:
+      co_return Errc::kTooBig;
+  }
+  co_return Errc::kProto;
+}
+
+sim::Task<Expected<void>> McClient::add_at(std::size_t server, std::string key,
+                                           Buffer data, std::uint32_t flags) {
+  ++stats_.sets;
+  auto resp = co_await call(
+      server, memcache::encode_store(StoreVerb::kAdd, key, flags, 0, data),
+      OpKind::kMutation, ReplyShape::kLine);
+  if (!resp) co_return resp.error();
+  auto parsed = memcache::parse_store_response(*resp);
+  if (!parsed) co_return parsed.error();
+  switch (*parsed) {
+    case StoreReply::kStored:
+      co_return Expected<void>{};
+    case StoreReply::kNotStored:
+      co_return Errc::kNotStored;
+    case StoreReply::kServerError:
+      co_return Errc::kTooBig;
+  }
+  co_return Errc::kProto;
+}
+
+sim::Task<Expected<void>> McClient::cas_at(std::size_t server, std::string key,
+                                           Buffer data, std::uint64_t cas_id,
+                                           std::uint32_t flags) {
+  ++stats_.sets;
+  auto resp =
+      co_await call(server, memcache::encode_cas(key, flags, 0, data, cas_id),
+                    OpKind::kMutation, ReplyShape::kLine);
+  if (!resp) co_return resp.error();
+  auto parsed = memcache::parse_cas_response(*resp);
+  if (!parsed) co_return parsed.error();
+  switch (*parsed) {
+    case memcache::CasReply::kStored:
+      co_return Expected<void>{};
+    case memcache::CasReply::kExists:
+      co_return Errc::kBusy;
+    case memcache::CasReply::kNotFound:
+      co_return Errc::kNoEnt;
+  }
+  co_return Errc::kProto;
+}
+
+sim::Task<Expected<void>> McClient::del_at(std::size_t server,
+                                           std::string key) {
+  ++stats_.deletes;
+  auto resp = co_await call(server, memcache::encode_delete(key),
+                            OpKind::kDelete, ReplyShape::kLine);
+  if (!resp) co_return resp.error();
+  auto parsed = memcache::parse_delete_response(*resp);
+  if (!parsed) co_return parsed.error();
+  co_return Expected<void>{};  // DELETED and NOT_FOUND both fine
 }
 
 sim::Task<Expected<std::map<std::string, std::string>>>

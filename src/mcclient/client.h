@@ -172,6 +172,28 @@ class McClient {
   sim::Task<Expected<void>> del(std::string key,
                                 std::optional<std::uint64_t> hint = std::nullopt);
 
+  // --- pinned-server ops (write-back replication, DESIGN.md §5j) ---
+  //
+  // The write-back tier stores the same key on K *distinct* daemons, which
+  // key hashing cannot guarantee; these variants address a daemon by index
+  // (replica r of a key lives at (primary_of(key) + r) % server_count())
+  // and otherwise run the full failover path of their routed twins.
+  std::size_t primary_of(std::string_view key) const {
+    return route(key, std::nullopt);
+  }
+  sim::Task<Expected<memcache::Value>> get_at(std::size_t server,
+                                              std::string key);
+  sim::Task<Expected<memcache::Value>> gets_at(std::size_t server,
+                                               std::string key);
+  sim::Task<Expected<void>> set_at(std::size_t server, std::string key,
+                                   Buffer data, std::uint32_t flags = 0);
+  sim::Task<Expected<void>> add_at(std::size_t server, std::string key,
+                                   Buffer data, std::uint32_t flags = 0);
+  sim::Task<Expected<void>> cas_at(std::size_t server, std::string key,
+                                   Buffer data, std::uint64_t cas_id,
+                                   std::uint32_t flags = 0);
+  sim::Task<Expected<void>> del_at(std::size_t server, std::string key);
+
   // Per-daemon "stats" (the paper reads MCD miss/eviction counters).
   sim::Task<Expected<std::map<std::string, std::string>>> server_stats(
       std::size_t server_index);

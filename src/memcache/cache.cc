@@ -185,4 +185,14 @@ void McCache::flush_all() {
   }
 }
 
+void McCache::flush_clean(std::uint32_t keep_mask) {
+  for (auto it = items_.begin(); it != items_.end();) {
+    if (it->second.flags & keep_mask) {
+      ++it;
+    } else {
+      erase(it++, false, false);
+    }
+  }
+}
+
 }  // namespace imca::memcache

@@ -29,6 +29,14 @@ namespace imca::memcache {
 
 inline constexpr std::uint64_t kMaxKeyLen = 250;
 
+// Reserved item-flags bit marking write-back dirty data (DESIGN.md §5j).
+// Items carrying it survive a clean flush ("flush_all clean"), which is what
+// a rejoin purge issues: a revived daemon must drop every cacheable copy it
+// could serve stale, but dirty items are the *only* copy of acked bytes and
+// may never be purged by a reader's probe. A crashed daemon restarts empty
+// regardless, so the bit only matters on daemons that stayed up.
+inline constexpr std::uint32_t kWbDirtyFlag = 0x40000000u;
+
 struct Value {
   std::uint32_t flags = 0;
   // Shared segments: a get hands back views of the stored item, and a store
@@ -93,6 +101,10 @@ class McCache {
 
   // Drop everything (memcached's flush_all).
   void flush_all();
+
+  // Drop every item except those whose flags carry `keep_mask` bits — the
+  // clean flush a rejoin purge uses so write-back dirty replicas survive.
+  void flush_clean(std::uint32_t keep_mask = kWbDirtyFlag);
 
   const CacheStats& stats() const noexcept { return stats_; }
   const SlabAllocator& slabs() const noexcept { return slabs_; }

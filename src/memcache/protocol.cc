@@ -168,6 +168,12 @@ ByteBuf encode_flush_all() {
   return out;
 }
 
+ByteBuf encode_flush_clean() {
+  ByteBuf out;
+  put_line(out, "flush_all clean");
+  return out;
+}
+
 ByteBuf encode_stats() {
   ByteBuf out;
   put_line(out, "stats");
@@ -446,7 +452,13 @@ ByteBuf handle_request(McCache& cache, ByteBuf request, SimTime now) {
   if (cmd == "delete") return do_delete(cache, tok);
   if (cmd == "stats") return do_stats(cache);
   if (cmd == "flush_all") {
-    cache.flush_all();
+    // "flush_all clean" spares items flagged write-back dirty: the rejoin
+    // purge must never destroy the only surviving replica of acked bytes.
+    if (tok.size() >= 2 && tok[1] == "clean") {
+      cache.flush_clean();
+    } else {
+      cache.flush_all();
+    }
     ByteBuf out;
     put_line(out, "OK");
     return out;

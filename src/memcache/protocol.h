@@ -40,6 +40,8 @@ ByteBuf encode_incr(std::string_view key, std::uint64_t delta);
 ByteBuf encode_decr(std::string_view key, std::uint64_t delta);
 ByteBuf encode_delete(std::string_view key);
 ByteBuf encode_flush_all();
+// flush_all clean: drop everything except write-back dirty items.
+ByteBuf encode_flush_clean();
 ByteBuf encode_stats();
 
 // --- client-side response parsing ---

@@ -61,21 +61,30 @@ sim::Task<void> ensure_open(fsapi::FileSystemClient& fs, ReplayState& st,
 }
 
 // The invariant proper: every live file's stat size and full contents, read
-// through the CMCache stack, must byte-match the oracle.
+// through the CMCache stack, must byte-match the oracle. `losses` (null =
+// strict) is the write-back tier's accounted-loss ledger: a file may diverge
+// only if an acked extent on that exact path was recorded lost — divergence
+// with no matching ledger entry is a correctness bug either way.
 sim::Task<void> verify_all(fsapi::FileSystemClient& fs, ReplayState& st,
-                           ReplayResult& res) {
+                           ReplayResult& res,
+                           const std::vector<core::WbLostExtent>* losses) {
   for (std::uint32_t f = 0; f < kFiles; ++f) {
     if (!st.oracle[f]) continue;
     const std::string& expect = *st.oracle[f];
+    const std::string path = path_of(f);
+    const bool lossy =
+        losses != nullptr &&
+        std::any_of(losses->begin(), losses->end(),
+                    [&](const core::WbLostExtent& l) { return l.path == path; });
 
-    auto attr = co_await fs.stat(path_of(f));
+    auto attr = co_await fs.stat(path);
     if (!attr) {
-      fail(res, "stat(" + path_of(f) + ") failed: " +
+      fail(res, "stat(" + path + ") failed: " +
                     std::string(errc_name(attr.error())));
       co_return;
     }
-    if (attr->size != expect.size()) {
-      fail(res, "stat(" + path_of(f) + ") size " +
+    if (attr->size != expect.size() && !lossy) {
+      fail(res, "stat(" + path + ") size " +
                     std::to_string(attr->size) + " != oracle " +
                     std::to_string(expect.size()));
       co_return;
@@ -87,7 +96,7 @@ sim::Task<void> verify_all(fsapi::FileSystemClient& fs, ReplayState& st,
     // otherwise go unnoticed until the file grows back over it.
     auto got = co_await fs.read(*st.handle[f], 0, expect.size() + 64);
     if (!got) {
-      fail(res, "verify read(" + path_of(f) + ") failed: " +
+      fail(res, "verify read(" + path + ") failed: " +
                     std::string(errc_name(got.error())));
       co_return;
     }
@@ -95,15 +104,33 @@ sim::Task<void> verify_all(fsapi::FileSystemClient& fs, ReplayState& st,
     ++res.reads_checked;
     res.bytes_checked += got_s.size();
     if (got_s != expect) {
-      fail(res, "verify read(" + path_of(f) + "): " +
+      if (lossy) {
+        ++res.wb_tolerated_divergences;
+        continue;
+      }
+      fail(res, "verify read(" + path + "): " +
                     describe_bytes(expect, got_s));
       co_return;
     }
   }
 }
 
-sim::Task<void> apply_op(fsapi::FileSystemClient& fs, ReplayState& st,
-                         Op op, ReplayResult& res) {
+// A mid-trace divergence may be a genuine, accounted write-back loss whose
+// discovery the flusher has not reached yet (losses surface when a flush
+// finds every dirty replica gone): drain the tier, then consult the loss
+// ledger. true = this exact path has an accounted loss, so the divergence
+// is the loss the plan engineered, not a correctness bug.
+sim::Task<bool> path_lost(cluster::GlusterTestbed* bed, std::string path) {
+  co_await bed->sync_writebacks();
+  for (const auto& l : bed->writeback_losses()) {
+    if (l.path == path) co_return true;
+  }
+  co_return false;
+}
+
+sim::Task<void> apply_op(cluster::GlusterTestbed& bed,
+                         fsapi::FileSystemClient& fs, ReplayState& st, Op op,
+                         ReplayResult& res, bool tolerate_wb_loss) {
   const std::uint32_t f = op.file % kFiles;
   switch (op.kind) {
     case Op::Kind::kWrite: {
@@ -160,6 +187,10 @@ sim::Task<void> apply_op(fsapi::FileSystemClient& fs, ReplayState& st,
       ++res.reads_checked;
       res.bytes_checked += got_s.size();
       if (got_s != expect) {
+        if (tolerate_wb_loss && co_await path_lost(&bed, path_of(f))) {
+          ++res.wb_tolerated_divergences;
+          co_return;
+        }
         fail(res, "read(" + path_of(f) + " @" + std::to_string(op.offset) +
                       "+" + std::to_string(op.length) + "): " +
                       describe_bytes(expect, got_s));
@@ -173,6 +204,10 @@ sim::Task<void> apply_op(fsapi::FileSystemClient& fs, ReplayState& st,
         fail(res, "stat(" + path_of(f) + ") failed: " +
                       std::string(errc_name(attr.error())));
       } else if (attr->size != st.oracle[f]->size()) {
+        if (tolerate_wb_loss && co_await path_lost(&bed, path_of(f))) {
+          ++res.wb_tolerated_divergences;
+          co_return;
+        }
         fail(res, "stat(" + path_of(f) + ") size " +
                       std::to_string(attr->size) + " != oracle " +
                       std::to_string(st.oracle[f]->size()));
@@ -302,19 +337,27 @@ sim::Task<void> replay_body(cluster::GlusterTestbed& bed,
   fsapi::FileSystemClient& fs = bed.client(0);
   ReplayState st;
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    co_await apply_op(fs, st, trace[i], res);
+    co_await apply_op(bed, fs, st, trace[i], res, cfg.tolerate_wb_loss);
     if (res.ok && cfg.verify_every_op) {
       // Threaded SMCaches publish asynchronously; settle before checking.
+      // Write-back extents deliberately stay dirty: the per-op check reads
+      // THROUGH the overlay, proving read-your-writes before any flush.
       co_await bed.quiesce_smcaches();
-      co_await verify_all(fs, st, res);
+      co_await verify_all(fs, st, res, nullptr);
     }
     if (!res.ok) {
       res.failed_op = i;
       co_return;
     }
   }
+  // Final sweep: drain the write-back tier first — replica verification
+  // reads bricks directly, beneath the overlay. Losses recorded during the
+  // drain feed the (optionally tolerant) byte-check below.
+  co_await bed.sync_writebacks();
   co_await bed.quiesce_smcaches();
-  co_await verify_all(fs, st, res);
+  const std::vector<core::WbLostExtent> losses = bed.writeback_losses();
+  co_await verify_all(fs, st, res,
+                      cfg.tolerate_wb_loss ? &losses : nullptr);
   if (res.ok && cfg.n_replicas > 1) co_await verify_replicas(bed, st, res);
   if (!res.ok) res.failed_op = trace.size();
 }
@@ -410,6 +453,8 @@ ReplayResult replay(const std::vector<Op>& trace, const ReplayConfig& cfg) {
       res.sm = bed.smcache()->stats();
       res.sm_client = bed.smcache()->mcds().stats();
     }
+    res.wb = bed.writeback_totals();
+    res.wb_lost = bed.writeback_losses();
   }
   return res;
 }

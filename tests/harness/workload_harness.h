@@ -70,6 +70,13 @@ struct ReplayConfig {
   // Byte-check every live file after every op (the invariant proper). Off =
   // only the read ops and the final sweep check.
   bool verify_every_op = true;
+  // Write-back loss tolerance (DESIGN.md §5j): when a fault plan kills every
+  // replica of a dirty extent, the bytes are genuinely gone and the final
+  // sweep would rightly diverge from the oracle. With this set, a file's
+  // divergence is tolerated if — and only if — the write-back tier recorded
+  // an accounted loss on that exact path; divergence anywhere else still
+  // fails. Leave false (the default) to prove the zero-loss invariant.
+  bool tolerate_wb_loss = false;
 };
 
 struct ReplayResult {
@@ -92,6 +99,10 @@ struct ReplayResult {
   gluster::DistributeStats distribute;  // zero on single-group mounts
   gluster::HealReport heal;             // final heal_all sweep (grid mode)
   std::uint64_t replica_reads_checked = 0;  // per-replica byte checks
+  // Write-back tier aggregates (all clients; zero when write-back is off).
+  core::WritebackStats wb;
+  std::vector<core::WbLostExtent> wb_lost;  // accounted losses, per path
+  std::uint64_t wb_tolerated_divergences = 0;  // files excused by a loss
 };
 
 // Deterministic payload for a write op: `n` bytes drawn from `payload_seed`.

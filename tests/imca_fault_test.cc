@@ -252,5 +252,106 @@ TEST(ImcaFault, NoFaultPlanLeavesCountersZero) {
   EXPECT_EQ(res.sm.purge_drops, 0u);
 }
 
+// Replica-brick regression: publish_write_covered runs as several MCD
+// round-trips — full-block sets, then edge-block deletes, then the stat
+// delete. A brick crash landing BETWEEN the edge delete and the stat delete
+// leaves a half-invalidated bank (edge block gone, stale stat item still
+// up); a crash one round-trip earlier leaves a stale edge block with a
+// stale stat vouching for it. Neither may let a later read resurrect
+// pre-write bytes. The DES is deterministic, so sweeping the crash instant
+// in 2 µs steps across the write+publish window pins every interleaving,
+// including exactly that one.
+TEST(ImcaFault, BrickCrashInsideCoveredPublishWindow) {
+  constexpr std::uint64_t bs = 2 * kKiB;  // ImcaConfig::block_size default
+
+  std::vector<std::byte> old_bytes(2 * bs);
+  std::vector<std::byte> expected(2 * bs);
+  for (std::size_t i = 0; i < 2 * bs; ++i) {
+    old_bytes[i] = static_cast<std::byte>((i * 31 + 6) & 0xFF);
+    expected[i] = old_bytes[i];
+  }
+  for (std::size_t i = 0; i < bs; ++i) {
+    // The overwrite: one full payload block's worth, block-straddling so
+    // both its head and tail land as partially-covered edge blocks.
+    expected[bs / 2 + i] = static_cast<std::byte>((i * 31 + 7) & 0xFF);
+  }
+
+  std::uint64_t disturbed = 0;  // sweep steps that interrupted the fop
+  for (std::uint64_t dt = 40; dt <= 340; dt += 10) {
+    GlusterTestbedConfig tc;
+    tc.n_mcds = 2;
+    tc.n_replicas = 2;  // replica bricks -> the covered-publish protocol
+    tc.imca = failover_imca();
+    // Ride out the crash window: the protocol layer retries the in-flight
+    // write past the restart, and the replay window dedups the re-send.
+    tc.client.protocol.op_deadline = 400 * kMilli;
+    tc.client.protocol.attempt_timeout = 40 * kMilli;
+    tc.client.protocol.backoff_base = 1 * kMilli;
+    tc.client.protocol.backoff_cap = 8 * kMilli;
+    tc.client.protocol.eject_after = 3;
+    tc.client.protocol.probe_interval = 5 * kMilli;
+    GlusterTestbed bed(std::move(tc));
+
+    bed.run([](GlusterTestbed& b, std::uint64_t at,
+               const std::vector<std::byte>* oldb,
+               const std::vector<std::byte>* want) -> Task<void> {
+      auto f = co_await b.client(0).create("/edge");
+      EXPECT_TRUE(f.has_value());
+      if (!f) co_return;
+      Buffer old_buf = Buffer::take(std::vector<std::byte>(*oldb));
+      (void)co_await b.client(0).write(*f, 0, old_buf);
+      // Warm the bank: blocks via read-repair, the stat item via stat.
+      auto warm = co_await b.client(0).read(*f, 0, 2 * bs);
+      EXPECT_TRUE(warm.has_value());
+      (void)co_await b.client(0).stat("/edge");
+
+      // Both replicas die at t0+dt — in lockstep, since their publish
+      // round-trips interleave on the same clock — so no sibling's full
+      // publish can close the half-invalidated window for us.
+      const SimTime t0 = b.loop().now();
+      b.brick(0).schedule_crash(t0 + at * kMicro, t0 + 3 * kMilli);
+      b.brick(1).schedule_crash(t0 + at * kMicro, t0 + 3 * kMilli);
+
+      std::vector<std::byte> np(want->begin() + bs / 2,
+                                want->begin() + bs / 2 + bs);
+      auto w = co_await b.client(0).write(*f, bs / 2, Buffer::take(std::move(np)));
+      // A full-outage write may fail per-op — the designed surface for
+      // replica-set unavailability is a quorum error, not a hang — so the
+      // application retries once the replicas return. The half-finished
+      // invalidation from the crashed attempt sits in the bank until a
+      // retry's publish cleans it; that is the state under test.
+      for (int tries = 0; !w && tries < 50; ++tries) {
+        co_await b.loop().sleep(5 * kMilli);
+        std::vector<std::byte> again(want->begin() + bs / 2,
+                                     want->begin() + bs / 2 + bs);
+        w = co_await b.client(0).write(*f, bs / 2,
+                                       Buffer::take(std::move(again)));
+      }
+      EXPECT_TRUE(w.has_value()) << "dt=" << at;
+
+      // The later reads: whatever the crash interrupted, nobody may serve
+      // pre-write bytes for the overwritten range, and the stat item may
+      // not resurrect a stale view.
+      co_await b.quiesce_smcaches();
+      auto r = co_await b.client(0).read(*f, 0, 2 * bs);
+      EXPECT_TRUE(r.has_value()) << "dt=" << at;
+      if (r) {
+        EXPECT_EQ(*r, Buffer::take(std::vector<std::byte>(*want)))
+            << "dt=" << at;
+      }
+      auto st = co_await b.client(0).stat("/edge");
+      EXPECT_TRUE(st.has_value()) << "dt=" << at;
+      if (st) { EXPECT_EQ(st->size, 2 * bs) << "dt=" << at; }
+    }(bed, dt, &old_bytes, &expected));
+
+    EXPECT_EQ(bed.server_totals().duplicate_applies, 0u) << "dt=" << dt;
+    disturbed += bed.server_totals().replies_lost_in_crash;
+    disturbed += bed.smcache()->stats().publishes_suppressed;
+  }
+  // Non-vacuity: if no step ever caught the write/publish in flight, the
+  // sweep has drifted off the window and stopped testing anything.
+  EXPECT_GT(disturbed, 0u);
+}
+
 }  // namespace
 }  // namespace imca

@@ -64,6 +64,12 @@ struct Options {
   // ~0 = auto: 2 ms whenever any fault flag is present, otherwise off.
   std::uint64_t mcd_timeout_ms = ~0ull;
 
+  // --- durable write-back (imca only; DESIGN.md §5j) ---
+  bool writeback = false;          // absorb writes into the MCD tier
+  std::size_t wb_replicas = 2;     // K dirty copies per absorbed write
+  std::size_t wb_quorum = 2;       // MCD acks required before the write acks
+  std::uint64_t wb_flush_delay_ms = 0;  // coalescing window (--wb-flush-delay)
+
   // --- file-server fault plan (imca/gluster; DESIGN.md §5f) ---
   std::vector<net::ServerCrashEvent> server_crashes;  // --crash-server=ms[:ms]
   std::uint64_t server_slow_ms = 0;        // --server-slow=MS
@@ -132,7 +138,16 @@ struct Options {
       "  --server-slow=MS    ~35%% of brick replies crawl in MS late —\n"
       "                      forces attempt timeouts and replay dedup\n"
       "  --wb-flush-deadline=MS  server-side write-behind in flush_before_ack\n"
-      "                      mode with an MS flush deadline\n");
+      "                      mode with an MS flush deadline\n"
+      "  --writeback         absorb writes into the MCD tier: K-way dirty\n"
+      "                      replication, epoch-ordered background flush\n"
+      "                      (imca; arms the 2 ms MCD deadline by default)\n"
+      "  --wb-replicas=K     dirty copies per absorbed write (default 2)\n"
+      "  --wb-quorum=K       MCD acks required before a write acks\n"
+      "                      (default 2; short of it, writes degrade to\n"
+      "                      write-through and are counted)\n"
+      "  --wb-flush-delay=MS coalescing window before a path's first flush\n"
+      "                      pass (barriers bypass it; default 0)\n");
   std::exit(code);
 }
 
@@ -158,6 +173,7 @@ Options parse(int argc, char** argv) {
       o.legacy_copy_path = true;
       continue;
     }
+    if (!std::strcmp(a, "--writeback")) { o.writeback = true; continue; }
     if (!std::strcmp(a, "--cold")) { o.cold = true; continue; }
     if (!std::strcmp(a, "--csv")) { o.csv = true; continue; }
     bool matched = false;
@@ -256,6 +272,9 @@ Options parse(int argc, char** argv) {
     num("--fault-slow-ms", o.fault_slow_ms);
     num("--mcd-timeout-ms", o.mcd_timeout_ms);
     num("--server-slow", o.server_slow_ms);
+    num("--wb-replicas", o.wb_replicas);
+    num("--wb-quorum", o.wb_quorum);
+    num("--wb-flush-delay", o.wb_flush_delay_ms);
     num("--wb-flush-deadline", o.wb_flush_deadline_ms);
     prob("--fault-drop", o.fault_drop);
     prob("--fault-timeout", o.fault_timeout);
@@ -331,6 +350,16 @@ Rig build(const Options& o) {
     cfg.imca.partial_hit_reads = !o.no_partial_hit;
     cfg.imca.client_read_repair = !o.no_read_repair;
     cfg.imca.coalesce_reads = !o.no_coalesce;
+    if (o.writeback) {
+      if (o.system != "imca" || o.mcds == 0) {
+        std::fprintf(stderr, "--writeback needs --system=imca with MCDs\n");
+        usage(2);
+      }
+      cfg.imca.writeback = true;
+      cfg.imca.wb_replicas = o.wb_replicas;
+      cfg.imca.wb_quorum = o.wb_quorum;
+      cfg.imca.wb_flush_delay = o.wb_flush_delay_ms * kMilli;
+    }
     if (o.mcd_mb) cfg.mcd_memory = o.mcd_mb * kMiB;
     if (o.server_cache_mb) {
       cfg.server.page_cache_bytes = o.server_cache_mb * kMiB;
@@ -385,7 +414,7 @@ Rig build(const Options& o) {
     }
     if (o.mcd_timeout_ms != ~0ull) {
       cfg.imca.mcd_op_timeout = o.mcd_timeout_ms * kMilli;
-    } else if (cfg.faults.active()) {
+    } else if (cfg.faults.active() || o.writeback) {
       // Faults without a deadline would ride the transport's 200 ms give-up;
       // arm the failover machinery with a sane default instead.
       cfg.imca.mcd_op_timeout = 2 * kMilli;
@@ -659,6 +688,23 @@ void print_grid_report(Rig& rig, const Options& o) {
 
 }  // namespace
 
+void print_writeback_report(Rig& rig, const Options& o) {
+  if (!o.writeback || !rig.gluster) return;
+  const auto wb = rig.gluster->writeback_totals();
+  std::printf("# writeback: absorbed=%llu absorbed_bytes=%llu flushed=%llu"
+              " lost=%llu degraded=%llu sheds=%llu retries=%llu"
+              " requeues=%llu overlay_reads=%llu\n",
+              static_cast<unsigned long long>(wb.absorbed),
+              static_cast<unsigned long long>(wb.absorbed_bytes),
+              static_cast<unsigned long long>(wb.flushed_extents),
+              static_cast<unsigned long long>(wb.lost_extents),
+              static_cast<unsigned long long>(wb.degraded_writes),
+              static_cast<unsigned long long>(wb.backpressure_sheds),
+              static_cast<unsigned long long>(wb.flush_retries),
+              static_cast<unsigned long long>(wb.flush_requeues),
+              static_cast<unsigned long long>(wb.overlay_reads));
+}
+
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   set_legacy_copy_path(o.legacy_copy_path);
@@ -696,6 +742,7 @@ int main(int argc, char** argv) {
     usage(2);
   }
   print_cache_report(rig);
+  print_writeback_report(rig, o);
   print_server_fault_report(rig, o);
   print_grid_report(rig, o);
   const BufferStats& bs = buffer_stats();
