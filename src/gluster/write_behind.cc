@@ -120,6 +120,9 @@ sim::Task<Expected<std::uint64_t>> WriteBehindXlator::write(
   if (params_.flush_before_ack || buf_.size() >= params_.flush_threshold) {
     if (auto r = co_await flush(); !r) co_return r.error();
   } else {
+    // This write() frame is awaited by the client call chain, which owns
+    // the xlator stack — no destruction mid-suspension.
+    // NOLINTNEXTLINE(imca-coro-this): frame awaited by the stack's owner
     arm_deadline_flush();
   }
   co_return written;

@@ -238,6 +238,9 @@ sim::Task<bool> WritebackTier::absorb(std::string path, std::uint64_t offset,
   }
   if (dirty_bytes_ + data.size() > cfg_.wb_dirty_limit) {
     ++stats_.backpressure_sheds;
+    // absorb() is awaited by the front-end request path, which owns the
+    // tier — no destruction mid-suspension.
+    // NOLINTNEXTLINE(imca-coro-this): frame awaited by the tier's owner
     co_await ordered_fallback(path);
     co_return false;
   }
@@ -455,6 +458,9 @@ sim::Task<void> WritebackTier::worker_loop() {
     }
     sim::SimMutex& mu = path_lock(path);
     co_await mu.lock();
+    // ~WritebackTier destroys this worker frame while suspended — it
+    // never resumes on a dead object.
+    // NOLINTNEXTLINE(imca-coro-this): frame owned and destroyed by the tier
     const bool done = co_await flush_path_locked(path);
     mu.unlock();
     if (done) {
@@ -491,6 +497,9 @@ sim::Task<Expected<void>> WritebackTier::sync_path(std::string path) {
   for (std::size_t round = 0; round < rounds; ++round) {
     sim::SimMutex& mu = path_lock(path);
     co_await mu.lock();
+    // sync_path() is awaited by the barrier caller, which owns the tier —
+    // no destruction mid-suspension.
+    // NOLINTNEXTLINE(imca-coro-this): frame awaited by the tier's owner
     const bool own_clear = co_await flush_path_locked(path);
     mu.unlock();
     if (own_clear) {

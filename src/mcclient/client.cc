@@ -140,6 +140,9 @@ sim::Task<Expected<ByteBuf>> McClient::call(std::size_t server,
       co_await loop().sleep(backoff_delay(attempt - 1));
     }
     ByteBuf wire = request;  // the RPC consumes its argument; retries re-copy
+    // call() is awaited end-to-end by the front-end, which owns the
+    // client — no destruction mid-suspension.
+    // NOLINTNEXTLINE(imca-coro-this): frame awaited by the client's owner
     auto resp = co_await call_once(server, std::move(wire));
 
     if (resp && !reply_intact(*resp, shape)) {

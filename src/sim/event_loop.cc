@@ -7,6 +7,7 @@ namespace imca::sim {
 namespace {
 
 bool g_legacy_event_queue = false;
+std::uint64_t g_default_tie_shake = 0;
 
 // Wrapper coroutine that owns a spawned task for its whole lifetime. The
 // frame (and the Task parameter captured inside it) self-destroys at
@@ -39,6 +40,11 @@ void set_legacy_event_queue(bool legacy) noexcept {
 }
 bool legacy_event_queue() noexcept { return g_legacy_event_queue; }
 
+void set_default_tie_shake(std::uint64_t seed) noexcept {
+  g_default_tie_shake = seed;
+}
+std::uint64_t default_tie_shake() noexcept { return g_default_tie_shake; }
+
 void EventLoop::schedule_at(SimTime at, std::coroutine_handle<> h) {
   if (at < now_) [[unlikely]] {
     assert(at >= now_ && "cannot schedule into the simulated past");
@@ -59,7 +65,9 @@ void EventLoop::schedule_at(SimTime at, std::coroutine_handle<> h) {
     }
     wheel_.insert(arena_.alloc(at, seq_++, h));
   } else {
-    heap_.push(HeapEntry{at, seq_++, h});
+    const std::uint64_t key =
+        shake_seed_ != 0 ? detail::shake_key(shake_seed_, seq_) : seq_;
+    heap_.push(HeapEntry{at, key, seq_++, h});
   }
 }
 

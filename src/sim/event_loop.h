@@ -46,6 +46,10 @@ struct EventLoopStats {
   std::uint64_t arena_bytes = 0;
   std::uint64_t arena_reuse = 0;
   std::uint64_t past_clamps = 0;
+  // Pops where schedule-shake picked a different event than FIFO would
+  // have (timer wheel only): the anti-vacuity signal that a shaken run
+  // actually explored a new interleaving. Always 0 with tie_shake == 0.
+  std::uint64_t tie_shaken = 0;
 };
 
 enum class QueueImpl { kTimerWheel, kLegacyHeap };
@@ -55,6 +59,33 @@ enum class QueueImpl { kTimerWheel, kLegacyHeap };
 // set_legacy_copy_path works for the buffer layer).
 void set_legacy_event_queue(bool legacy) noexcept;
 bool legacy_event_queue() noexcept;
+
+// Process-wide default tie-shake seed, consumed by EventLoop's default
+// constructor (same pattern as set_legacy_event_queue): harness drivers set
+// it from --shake=SEED before building a testbed they never construct the
+// loop of. 0 = plain FIFO tie-break (bit-for-bit today's schedules).
+void set_default_tie_shake(std::uint64_t seed) noexcept;
+std::uint64_t default_tie_shake() noexcept;
+
+namespace detail {
+
+// Deterministic per-event shake key (splitmix64 over seed ^ seq). Under
+// schedule-shake, equal-timestamp events resume in ascending (key, seq)
+// order instead of plain seq order: a seeded, reproducible permutation of
+// every FIFO tie the kernel would otherwise pin. Both queue implementations
+// derive the key from the same (seed, seq) pair, so wheel and legacy heap
+// produce identical shaken traces.
+inline std::uint64_t shake_key(std::uint64_t seed, std::uint64_t seq) noexcept {
+  std::uint64_t x = seed ^ (seq + 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace detail
 
 namespace detail {
 
@@ -93,6 +124,13 @@ class TimerWheel {
   bool empty() const noexcept { return size_ == 0; }
   std::size_t size() const noexcept { return size_; }
   std::uint64_t cascades() const noexcept { return cascades_; }
+  std::uint64_t tie_shaken() const noexcept { return tie_shaken_; }
+
+  // Schedule-shake (DESIGN.md §5k): non-zero seed makes pop_min pick the
+  // minimum (shake_key, seq) node from the slot instead of the list head.
+  // Timestamp order is untouched — only FIFO ties are permuted — so every
+  // shaken run is still a legal schedule of the same simulation.
+  void set_tie_shake(std::uint64_t seed) noexcept { shake_seed_ = seed; }
 
   // Pre: n->at >= the last popped timestamp (enforced by EventLoop's clamp).
   void insert(EventNode* n) noexcept {
@@ -132,6 +170,9 @@ class TimerWheel {
       const int s = find_from(0, static_cast<unsigned>(cursor_ & (kSlots - 1)));
       if (s >= 0) {
         List& slot = slots_[0][static_cast<std::size_t>(s)];
+        if (shake_seed_ != 0 && slot.head->next != nullptr) [[unlikely]] {
+          return pop_shaken(slot, static_cast<unsigned>(s));
+        }
         EventNode* n = slot.head;
         slot.head = n->next;
         if (slot.head != nullptr) {
@@ -164,6 +205,40 @@ class TimerWheel {
     EventNode* head = nullptr;
     EventNode* tail = nullptr;
   };
+
+  // Shaken pop: all nodes in a level-0 slot share one exact timestamp (the
+  // slot spans 1 ns of the cursor's 256 ns window), so picking the minimum
+  // (shake_key, seq) node permutes exactly the FIFO tie and nothing else.
+  // Pre: slot has >= 2 nodes and shake_seed_ != 0. O(slot length) — shake
+  // mode is a validator, not the perf path.
+  EventNode* pop_shaken(List& slot, unsigned s) noexcept {
+    EventNode* best = slot.head;
+    std::uint64_t best_key = shake_key(shake_seed_, best->seq);
+    for (EventNode* n = best->next; n != nullptr; n = n->next) {
+      assert(n->at == best->at && "level-0 slot mixes timestamps");
+      const std::uint64_t k = shake_key(shake_seed_, n->seq);
+      if (k < best_key || (k == best_key && n->seq < best->seq)) {
+        best = n;
+        best_key = k;
+      }
+    }
+    if (best != slot.head) ++tie_shaken_;
+    if (best->prev != nullptr) best->prev->next = best->next;
+    else slot.head = best->next;
+    if (best->next != nullptr) best->next->prev = best->prev;
+    else slot.tail = best->prev;
+    if (slot.head == nullptr) {
+      clear_bit(0, s);
+    } else {
+      slot.head->prev = nullptr;
+      prefetch_frame(slot.head->handle.address());
+    }
+    best->next = nullptr;
+    best->prev = nullptr;
+    cursor_ = best->at;
+    --size_;
+    return best;
+  }
 
   static void append(List& l, EventNode* n) noexcept {
     n->prev = l.tail;
@@ -335,6 +410,8 @@ class TimerWheel {
   SimTime cursor_ = 0;
   std::size_t size_ = 0;
   std::uint64_t cascades_ = 0;
+  std::uint64_t shake_seed_ = 0;
+  std::uint64_t tie_shaken_ = 0;
 };
 
 }  // namespace detail
@@ -344,7 +421,9 @@ class EventLoop {
   EventLoop()
       : EventLoop(legacy_event_queue() ? QueueImpl::kLegacyHeap
                                        : QueueImpl::kTimerWheel) {}
-  explicit EventLoop(QueueImpl impl) noexcept : impl_(impl) {}
+  explicit EventLoop(QueueImpl impl) noexcept : impl_(impl) {
+    set_tie_shake(default_tie_shake());
+  }
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -396,8 +475,22 @@ class EventLoop {
 
   EventLoopStats stats() const noexcept {
     return EventLoopStats{scheduled_, wheel_.cascades(), arena_.bytes(),
-                          arena_.reuse(), past_clamps_};
+                          arena_.reuse(), past_clamps_, wheel_.tie_shaken()};
   }
+
+  // Schedule-shake (DESIGN.md §5k): a non-zero seed deterministically
+  // permutes the resume order of equal-timestamp events — every FIFO tie
+  // becomes a seeded draw — so code whose correctness silently leans on the
+  // kernel's FIFO tie-break fails loudly under an executable interleaving
+  // search. 0 restores plain FIFO, bit-for-bit identical to an unshaken
+  // run. Call before the first schedule_at: the legacy heap keys entries at
+  // push time, the wheel at pop time, so a mid-run change would let the two
+  // implementations diverge.
+  void set_tie_shake(std::uint64_t seed) noexcept {
+    shake_seed_ = seed;
+    wheel_.set_tie_shake(seed);
+  }
+  std::uint64_t tie_shake() const noexcept { return shake_seed_; }
 
   // Test hook: record every resume as a (time, seq) pair — the determinism
   // pin compares these traces across queue implementations. Null disables.
@@ -419,10 +512,16 @@ class EventLoop {
 
   struct HeapEntry {
     SimTime at;
+    // Tie-break among equal timestamps: (key, seq). Unshaken runs push
+    // key == seq so the pair degenerates to plain FIFO; shaken runs push
+    // detail::shake_key(seed, seq), matching the wheel's pop-time draw.
+    std::uint64_t key;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
     bool operator>(const HeapEntry& other) const noexcept {
-      return at != other.at ? at > other.at : seq > other.seq;
+      if (at != other.at) return at > other.at;
+      if (key != other.key) return key > other.key;
+      return seq > other.seq;
     }
   };
 
@@ -438,6 +537,7 @@ class EventLoop {
   std::vector<std::pair<SimTime, std::uint64_t>>* trace_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t shake_seed_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t past_clamps_ = 0;

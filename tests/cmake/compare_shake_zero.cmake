@@ -1,0 +1,40 @@
+# Runs a fault-matrix driver twice — plain, and with --shake=0 — and
+# requires byte-identical stdout. This pins the schedule-shake off switch:
+# a zero seed must reproduce today's FIFO tie-break bit-for-bit, so turning
+# the validator off can never itself change a schedule (DESIGN.md §5k).
+#
+# Usage: cmake -D MATRIX=<driver> -D SEED=<n> -P compare_shake_zero.cmake
+foreach(var MATRIX SEED)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compare_shake_zero.cmake: -D ${var}=... required")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${MATRIX}" "--seed=${SEED}"
+                OUTPUT_VARIABLE plain_out
+                ERROR_VARIABLE plain_err
+                RESULT_VARIABLE plain_rc)
+if(NOT plain_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${MATRIX} --seed=${SEED} (plain) failed rc=${plain_rc}\n"
+          "${plain_out}${plain_err}")
+endif()
+
+execute_process(COMMAND "${MATRIX}" "--seed=${SEED}" "--shake=0"
+                OUTPUT_VARIABLE shake0_out
+                ERROR_VARIABLE shake0_err
+                RESULT_VARIABLE shake0_rc)
+if(NOT shake0_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${MATRIX} --seed=${SEED} --shake=0 failed rc=${shake0_rc}\n"
+          "${shake0_out}${shake0_err}")
+endif()
+
+if(NOT plain_out STREQUAL shake0_out)
+  message(FATAL_ERROR
+          "--shake=0 diverged from the plain run on ${MATRIX} --seed=${SEED}\n"
+          "--- plain ---\n${plain_out}\n"
+          "--- shake=0 ---\n${shake0_out}")
+endif()
+
+message(STATUS "--shake=0 byte-identical on ${MATRIX} --seed=${SEED}")

@@ -124,8 +124,16 @@ int main(int argc, char** argv) {
       // priority-queue EventLoop. tests/cmake/compare_queue_impls.cmake
       // diffs this output byte-for-byte against the timer-wheel default.
       imca::sim::set_legacy_event_queue(true);
+    } else if (std::strncmp(argv[i], "--shake=", 8) == 0) {
+      // Schedule-shake validator hook (DESIGN.md Â§5k): deterministically
+      // permute equal-timestamp resume order for every EventLoop this
+      // matrix builds. 0 is bit-for-bit the plain FIFO run (pinned by the
+      // *_shake_zero_diff ctests); non-zero seeds are the interleaving
+      // search the imca_shake_matrix suite sweeps.
+      imca::sim::set_default_tie_shake(
+          std::strtoull(argv[i] + 8, nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--seed=N] [--legacy-queue]\n",
+      std::fprintf(stderr, "usage: %s [--seed=N] [--legacy-queue] [--shake=N]\n",
                    argv[0]);
       return 2;
     }

@@ -1,0 +1,26 @@
+// IMCA-ITER-AWAIT corpus — the PR 4 handler-map class, reduced: a
+// coroutine iterates a member container and suspends inside the loop body,
+// while another method of the same class can mutate that container. Any
+// interleaved coroutine that lands on the mutator invalidates the iterator
+// mid-loop (heap-use-after-free on the next ++it).
+#include <vector>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Handler;
+
+struct Registry {
+  std::vector<Handler*> handlers_;
+
+  void clear_all() { handlers_.clear(); }  // the interleavable mutator
+
+  sim::Task<void> broadcast() {
+    for (Handler* h : handlers_) {  // EXPECT: IMCA-ITER-AWAIT
+      co_await h->notify();
+    }
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,37 @@
+// IMCA-ITER-AWAIT good twin: the two sanctioned ways to suspend inside a
+// loop over member state — iterate a snapshot (a local copy an interleaved
+// mutator cannot invalidate), or iterate fixed-at-construction topology
+// that no method ever mutates (the distribute/replicate children_ shape).
+#include <vector>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Route;
+
+struct Mux {
+  std::vector<Route*> routes_;    // mutable registration table
+  std::vector<Route*> children_;  // fixed topology: set in the ctor only
+
+  explicit Mux(std::vector<Route*> kids) { children_ = std::move(kids); }
+
+  void drop_all() { routes_.clear(); }
+
+  sim::Task<void> broadcast_routes() {
+    auto snapshot = routes_;  // interleaved drop_all() can't touch the copy
+    for (Route* r : snapshot) {
+      co_await r->push();
+    }
+  }
+
+  sim::Task<void> broadcast_children() {
+    // Nothing mutates children_ after construction — iterating the member
+    // directly across a suspension is fine.
+    for (Route* r : children_) {
+      co_await r->push();
+    }
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,35 @@
+// IMCA-LOCK-AWAIT corpus: sim::Mutex is NOT reentrant — a frame that
+// suspends on lock() while already holding the mutex parks forever (the
+// unlock that would wake it is below the await that never returns). Both
+// shapes: a literal double lock, and re-entry hidden behind a callee whose
+// lock summary (index.cc fn_locks fixpoint) includes the held mutex.
+#include <cstdint>
+
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Ledger {
+  sim::SimMutex mu_;
+  std::uint64_t balance_ = 0;
+
+  sim::Task<void> add(std::uint64_t n) {
+    co_await mu_.lock();
+    balance_ += n;
+    mu_.unlock();
+  }
+
+  sim::Task<void> add_twice(std::uint64_t n) {
+    co_await mu_.lock();
+    co_await add(n);  // EXPECT: IMCA-LOCK-AWAIT
+    mu_.unlock();
+  }
+
+  sim::Task<void> double_lock() {
+    co_await mu_.lock();
+    co_await mu_.lock();  // EXPECT: IMCA-LOCK-AWAIT
+  }
+};
+
+}  // namespace corpus

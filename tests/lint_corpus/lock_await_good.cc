@@ -1,0 +1,38 @@
+// IMCA-LOCK-AWAIT good twin: the sanctioned shapes. A `_locked` helper that
+// expects the caller's mutex (its own summary acquires nothing, so awaiting
+// it under the guard is re-entry-free), and a read-modify-write whose whole
+// window — capture, suspension, write-back — runs under the held guard, so
+// no interleaved writer can slip in.
+#include <cstdint>
+
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Vault {
+  sim::SimMutex mu_;
+  std::uint64_t balance_ = 0;
+
+  sim::Task<void> deposit_locked(std::uint64_t n) {  // caller holds mu_
+    balance_ += n;
+    co_return;
+  }
+
+  sim::Task<void> deposit_twice(std::uint64_t n) {
+    co_await mu_.lock();
+    co_await deposit_locked(n);  // callee's lock summary is empty: no re-entry
+    co_await deposit_locked(n);
+    mu_.unlock();
+  }
+
+  sim::Task<void> guarded_rmw() {
+    co_await mu_.lock();
+    const std::uint64_t snap = balance_;
+    co_await deposit_locked(0);
+    balance_ = snap + 1;  // guard held across the whole window: no lost update
+    mu_.unlock();
+  }
+};
+
+}  // namespace corpus

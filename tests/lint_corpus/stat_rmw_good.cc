@@ -1,0 +1,32 @@
+// IMCA-STAT-RMW good twin: the two sanctioned counter-update shapes. Apply
+// a delta to the LIVE value after resuming (`+=` of something that is not a
+// stale snapshot of the counter), or capture an epoch alongside the
+// snapshot and bail if it moved while the frame was suspended — the
+// writeback flush ledger idiom.
+#include <cstdint>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct DeltaStats {
+  std::uint64_t drained_total_ = 0;
+  std::uint64_t drain_epoch_ = 0;
+
+  sim::Task<std::uint64_t> sample();  // real coroutine: may suspend
+
+  sim::Task<void> apply_delta() {
+    const std::uint64_t n = co_await sample();
+    drained_total_ += n;  // delta onto the live value: nothing is lost
+  }
+
+  sim::Task<void> apply_epoch() {
+    const std::uint64_t seen = drained_total_;
+    const std::uint64_t mark = drain_epoch_;
+    const std::uint64_t n = co_await sample();
+    if (drain_epoch_ != mark) co_return;  // someone interleaved: drop ours
+    drained_total_ = seen + n;
+  }
+};
+
+}  // namespace corpus

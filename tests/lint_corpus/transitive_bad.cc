@@ -1,0 +1,27 @@
+// Interprocedural IMCA-CORO-THIS corpus: the suspension AND the `this`
+// touch are both indirect. `relay()` is a plain forwarder whose call chain
+// bottoms out in a real coroutine two calls deep, so `co_await relay()` is
+// a genuine suspension; `account()` never spells `this` at the call site,
+// but its body does. The per-function summaries (index.cc) carry both facts
+// to the call sites.
+#include <cstdint>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Drainer {
+  std::uint64_t pending_ = 0;
+
+  void account() { this->pending_ += 1; }
+
+  sim::Task<void> leaf();          // real coroutine: may suspend
+  auto relay() { return leaf(); }  // forwarder, not a coroutine itself
+
+  sim::Task<void> drain() {
+    co_await relay();  // suspends: relay forwards to a suspending Task
+    account();         // EXPECT: IMCA-CORO-THIS
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,33 @@
+// Interprocedural IMCA-CORO-THIS good twin: the same shape as
+// transitive_bad.cc, but the forwarder bottoms out in an awaitable whose
+// await_ready() is constant-true — awaiting it can never actually suspend,
+// so the member call after the co_await is not a use-after-suspension and
+// the index (known_ready fixpoint) proves it.
+#include <cstdint>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Poller {
+  std::uint64_t pending_ = 0;
+
+  struct Ready {
+    bool await_ready() { return true; }
+    void await_suspend() {}
+    void await_resume() {}
+  };
+
+  void tally() { this->pending_ += 1; }
+
+  Ready poll();                     // always-ready awaitable
+  auto bridge() { return poll(); }  // forwarder to a proven-ready chain
+
+  sim::Task<void> sweep() {
+    co_await bridge();  // proven non-suspending: Ready::await_ready is true
+    tally();            // safe — the frame never actually suspended
+    co_return;
+  }
+};
+
+}  // namespace corpus

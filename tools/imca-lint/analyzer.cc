@@ -1,10 +1,14 @@
 #include "analyzer.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstddef>
 #include <map>
 #include <optional>
+#include <set>
 #include <string_view>
+
+#include "index.h"
 
 namespace imca::lint {
 namespace {
@@ -14,281 +18,35 @@ using std::size_t;
 constexpr std::string_view kCoroRef = "IMCA-CORO-REF";
 constexpr std::string_view kCoroLambda = "IMCA-CORO-LAMBDA";
 constexpr std::string_view kCoroThis = "IMCA-CORO-THIS";
+constexpr std::string_view kIterAwait = "IMCA-ITER-AWAIT";
+constexpr std::string_view kLockAwait = "IMCA-LOCK-AWAIT";
+constexpr std::string_view kStatRmw = "IMCA-STAT-RMW";
 constexpr std::string_view kDetach = "IMCA-DETACH";
 constexpr std::string_view kMovedBuf = "IMCA-MOVED-BUF";
 constexpr std::string_view kByteVec = "IMCA-BYTE-VEC";
 constexpr std::string_view kNodeFreed = "IMCA-NODE-FREED";
 constexpr std::string_view kNolintBare = "IMCA-NOLINT-BARE";
 
-// Identifiers that count as a liveness token for IMCA-CORO-THIS: holding
-// one means the coroutine re-checks object liveness after resuming (the
-// write_behind.cc alive_ pattern), so `this` use after a suspension is
-// deliberate.
+// Identifiers that count as a liveness token for IMCA-CORO-THIS and the
+// RMW checks: holding one means the coroutine re-checks object liveness
+// after resuming (the write_behind.cc alive_ pattern), so state use after
+// a suspension is deliberate.
 bool is_liveness_ident(std::string_view s) {
   return s == "alive_" || s == "alive" || s == "self" || s == "self_" ||
          s == "shared_from_this" || s == "weak_from_this";
 }
 
-bool is_coro_keyword(std::string_view s) {
-  return s == "co_await" || s == "co_return" || s == "co_yield";
+bool trailing_underscore(std::string_view s) {
+  return s.size() > 1 && s.back() == '_';
 }
 
-// ---------------------------------------------------------------------------
-// Token-range helpers.
-
-class Cursor {
- public:
-  explicit Cursor(const std::vector<Token>& t) : t_(t) {}
-  const std::vector<Token>& t_;
-
-  size_t size() const { return t_.size(); }
-  const Token& at(size_t i) const { return t_[i]; }
-  bool is(size_t i, std::string_view s) const {
-    return i < t_.size() && t_[i].text == s;
-  }
-  bool is_ident(size_t i) const {
-    return i < t_.size() && t_[i].kind == Tok::kIdent;
-  }
-
-  // Index of the token matching the opener at `i` ('(', '{', '[' or '<'),
-  // or size() if unbalanced. Angle matching bails out on tokens that cannot
-  // occur in a template argument list, so expression '<' never matches.
-  size_t match(size_t i) const {
-    const std::string_view open = t_[i].text;
-    std::string_view close;
-    if (open == "(") close = ")";
-    else if (open == "{") close = "}";
-    else if (open == "[") close = "]";
-    else if (open == "<") close = ">";
-    else return size();
-    int depth = 0;
-    for (size_t j = i; j < t_.size(); ++j) {
-      const std::string_view s = t_[j].text;
-      if (open == "<" && (s == ";" || s == "{" || s == "}")) return size();
-      if (s == open) ++depth;
-      else if (s == close && --depth == 0) return j;
-    }
-    return size();
-  }
-
- private:
-};
-
-// ---------------------------------------------------------------------------
-// Entity extraction: function-ish things with bodies.
-
-struct Entity {
-  int line = 0;            // signature start (reporting line for lambdas)
-  std::string name;        // last declarator identifier; "" for lambdas
-  bool is_lambda = false;
-  bool captures = false;   // lambda with a non-empty capture list
-  size_t start = 0;        // first token of the entity (capture '[' / ret type)
-  size_t params_lo = 0, params_hi = 0;  // tokens strictly inside ( ), 0/0 = none
-  size_t body_lo = 0, body_hi = 0;      // tokens strictly inside { }
-  std::vector<size_t> children;         // indices of directly nested entities
-  bool is_coro = false;    // own body (children excluded) has a co_* keyword
-};
-
-// True when a '[' at this position starts a lambda-introducer rather than a
-// subscript (prev token is a value) or an attribute (handled by caller).
-bool lambda_position(const std::vector<Token>& t, size_t i) {
-  if (i == 0) return true;
-  const Token& p = t[i - 1];
-  if (p.kind == Tok::kIdent) {
-    return p.text == "return" || is_coro_keyword(p.text) || p.text == "case" ||
-           p.text == "else" || p.text == "do";
-  }
-  if (p.kind != Tok::kPunct) return false;
-  return p.text != ")" && p.text != "]" && p.text != "}";
-}
-
-// Tries to parse a lambda whose introducer '[' is at `i`. Returns the
-// entity (without children/coro info) and the index just past its body.
-std::optional<std::pair<Entity, size_t>> parse_lambda(const Cursor& c,
-                                                      size_t i) {
-  Entity e;
-  e.is_lambda = true;
-  e.line = c.at(i).line;
-  e.start = i;
-  const size_t cap_end = c.match(i);
-  if (cap_end >= c.size()) return std::nullopt;
-  e.captures = cap_end > i + 1;
-  size_t j = cap_end + 1;
-  if (c.is(j, "<")) {  // template lambda
-    const size_t m = c.match(j);
-    if (m >= c.size()) return std::nullopt;
-    j = m + 1;
-  }
-  if (c.is(j, "(")) {
-    const size_t m = c.match(j);
-    if (m >= c.size()) return std::nullopt;
-    e.params_lo = j + 1;
-    e.params_hi = m;
-    j = m + 1;
-  }
-  // Specifiers / trailing return type, until the body. Anything that cannot
-  // belong to a lambda-declarator means this '[' was not a lambda after all.
-  for (int guard = 0; guard < 64 && j < c.size(); ++guard) {
-    const Token& tk = c.at(j);
-    if (tk.is("{")) {
-      const size_t m = c.match(j);
-      if (m >= c.size()) return std::nullopt;
-      e.body_lo = j + 1;
-      e.body_hi = m;
-      return std::make_pair(e, m + 1);
-    }
-    if (tk.is("(") || tk.is("<")) {  // noexcept(...), Task<...>
-      const size_t m = c.match(j);
-      if (m >= c.size()) return std::nullopt;
-      j = m + 1;
-      continue;
-    }
-    if (tk.kind == Tok::kIdent || tk.is("->") || tk.is("::") || tk.is("&") ||
-        tk.is("&&") || tk.is("*")) {
-      ++j;
-      continue;
-    }
-    return std::nullopt;  // ';' ',' ']' ... — a misparse, not a lambda
-  }
-  return std::nullopt;
-}
-
-// Tries to parse `Task<...> [qualified-]name ( params ) specifiers { body }`
-// with the 'Task' identifier at `i`. Declarations (ending ';' or '= 0;')
-// yield an entity with no body, used for name collection only.
-std::optional<std::pair<Entity, size_t>> parse_task_function(const Cursor& c,
-                                                             size_t i) {
-  if (!c.is(i + 1, "<")) return std::nullopt;
-  const size_t angle = c.match(i + 1);
-  if (angle >= c.size()) return std::nullopt;
-  size_t j = angle + 1;
-  if (c.is(j, "&") || c.is(j, "&&") || c.is(j, "*")) return std::nullopt;
-  if (!c.is_ident(j)) return std::nullopt;
-  Entity e;
-  e.start = i;
-  e.line = c.at(i).line;
-  e.name = c.at(j).text;
-  ++j;
-  while (c.is(j, "::") && c.is_ident(j + 1)) {
-    e.name = c.at(j + 1).text;
-    j += 2;
-  }
-  if (!c.is(j, "(")) return std::nullopt;  // a variable, not a function
-  const size_t close = c.match(j);
-  if (close >= c.size()) return std::nullopt;
-  e.params_lo = j + 1;
-  e.params_hi = close;
-  j = close + 1;
-  // const / noexcept / override / final / ref-qualifiers, then body or ';'.
-  for (int guard = 0; guard < 32 && j < c.size(); ++guard) {
-    const Token& tk = c.at(j);
-    if (tk.is("{")) {
-      const size_t m = c.match(j);
-      if (m >= c.size()) return std::nullopt;
-      e.body_lo = j + 1;
-      e.body_hi = m;
-      return std::make_pair(e, m + 1);
-    }
-    if (tk.is(";") || tk.is("=")) return std::make_pair(e, j + 1);  // decl
-    if (tk.is("(")) {  // noexcept(...)
-      const size_t m = c.match(j);
-      if (m >= c.size()) return std::nullopt;
-      j = m + 1;
-      continue;
-    }
-    if (tk.kind == Tok::kIdent || tk.is("&") || tk.is("&&")) {
-      ++j;
-      continue;
-    }
-    return std::nullopt;
-  }
-  return std::nullopt;
-}
-
-// One linear scan collecting every function/lambda with a body; nested
-// entities are found because the scan continues into bodies.
-std::vector<Entity> collect_entities(const Cursor& c) {
-  std::vector<Entity> out;
-  for (size_t i = 0; i < c.size(); ++i) {
-    const Token& tk = c.at(i);
-    if (tk.ident("Task")) {
-      if (auto r = parse_task_function(c, i)) {
-        out.push_back(r->first);
-        // Continue INSIDE the signature/body so nested lambdas are found.
-        continue;
-      }
-    }
-    if (tk.is("[") && !c.is(i + 1, "[") && lambda_position(c.t_, i)) {
-      if (auto r = parse_lambda(c, i)) {
-        out.push_back(r->first);
-        continue;
-      }
-    }
-    if (tk.is("[") && c.is(i + 1, "[")) {  // attribute: skip wholesale
-      const size_t m = c.match(i);
-      if (m < c.size()) i = m;
-    }
-  }
-  // Parent/child: an entity is a child of the innermost entity whose body
-  // strictly contains it.
-  for (size_t a = 0; a < out.size(); ++a) {
-    size_t parent = out.size();
-    for (size_t b = 0; b < out.size(); ++b) {
-      if (a == b || out[b].body_hi == 0) continue;
-      if (out[b].body_lo <= out[a].start && out[a].start < out[b].body_hi) {
-        if (parent == out.size() ||
-            out[b].body_lo > out[parent].body_lo) {
-          parent = b;
-        }
-      }
-    }
-    if (parent != out.size()) out[parent].children.push_back(a);
-  }
-  // Own-body coroutine-ness (children's extents excluded).
-  for (auto& e : out) {
-    if (e.body_hi == 0) continue;
-    size_t i = e.body_lo;
-    std::vector<std::pair<size_t, size_t>> skip;
-    skip.reserve(e.children.size());
-    for (size_t ci : e.children) {
-      skip.emplace_back(out[ci].start, out[ci].body_hi + 1);
-    }
-    std::sort(skip.begin(), skip.end());
-    size_t s = 0;
-    for (; i < e.body_hi; ++i) {
-      while (s < skip.size() && skip[s].second <= i) ++s;
-      if (s < skip.size() && skip[s].first <= i) {
-        i = skip[s].second - 1;
-        continue;
-      }
-      if (c.at(i).kind == Tok::kIdent && is_coro_keyword(c.at(i).text)) {
-        e.is_coro = true;
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-// Iterate an entity's own body tokens, skipping nested entities.
-template <typename F>
-void for_own_tokens([[maybe_unused]] const Cursor& c,
-                    const std::vector<Entity>& all, const Entity& e, F&& f) {
-  std::vector<std::pair<size_t, size_t>> skip;
-  skip.reserve(e.children.size());
-  for (size_t ci : e.children) {
-    skip.emplace_back(all[ci].start, all[ci].body_hi + 1);
-  }
-  std::sort(skip.begin(), skip.end());
-  size_t s = 0;
-  for (size_t i = e.body_lo; i < e.body_hi; ++i) {
-    while (s < skip.size() && skip[s].second <= i) ++s;
-    if (s < skip.size() && skip[s].first <= i) {
-      i = skip[s].second - 1;
-      continue;
-    }
-    if (!f(i)) return;
-  }
+// Stats-ish member names route the RMW-across-await finding to
+// IMCA-STAT-RMW (counter lost-update) instead of IMCA-LOCK-AWAIT.
+bool statsish(const std::string& key) {
+  return key.find("stats") != std::string::npos ||
+         key.find("ledger") != std::string::npos ||
+         key.find("total") != std::string::npos ||
+         key.find("count") != std::string::npos;
 }
 
 // ---------------------------------------------------------------------------
@@ -400,7 +158,7 @@ std::string param_name(const Cursor& c, const Param& p) {
   return name;
 }
 
-void check_coro_ref(const Cursor& c, const Entity& e,
+void check_coro_ref(const Cursor& c, const FnEntity& e,
                     std::vector<Finding>* out, const std::string& file) {
   if (!e.is_coro || e.params_hi <= e.params_lo) return;
   for (const Param& p : split_params(c, e.params_lo, e.params_hi)) {
@@ -430,7 +188,7 @@ void check_coro_ref(const Cursor& c, const Entity& e,
   }
 }
 
-void check_coro_lambda(const Entity& e, std::vector<Finding>* out,
+void check_coro_lambda(const FnEntity& e, std::vector<Finding>* out,
                        const std::string& file) {
   if (!e.is_lambda || !e.captures || !e.is_coro) return;
   out->push_back({file, e.line, std::string(kCoroLambda),
@@ -439,42 +197,374 @@ void check_coro_lambda(const Entity& e, std::vector<Finding>* out,
                   "lambda) with explicit parameters"});
 }
 
-void check_coro_this(const Cursor& c, const std::vector<Entity>& all,
-                     const Entity& e, std::vector<Finding>* out,
-                     const std::string& file) {
-  if (!e.is_coro) return;
-  bool has_liveness = false;
-  for_own_tokens(c, all, e, [&](size_t i) {
+bool entity_has_liveness(const Cursor& c, const std::vector<FnEntity>& all,
+                         const FnEntity& e) {
+  bool has = false;
+  for_own_tokens(all, e, [&](size_t i) {
     if (c.is_ident(i) && is_liveness_ident(c.at(i).text)) {
-      has_liveness = true;
+      has = true;
       return false;
     }
     return true;
   });
-  if (has_liveness) return;
-  bool awaited = false;
-  size_t this_at = 0;
-  for_own_tokens(c, all, e, [&](size_t i) {
-    if (c.at(i).ident("co_await")) awaited = true;
-    else if (awaited && c.at(i).ident("this")) {
-      this_at = i;
+  return has;
+}
+
+// IMCA-CORO-THIS, interprocedural on both sides: a suspension is a
+// co_await whose operand may actually suspend (per the index), and a
+// `this` touch is a literal `this` OR a bare call to a same-class method
+// that (transitively) uses `this`. One finding per entity, at the first
+// offending use.
+void check_coro_this(const Cursor& c, const std::vector<FnEntity>& all,
+                     const FnEntity& e, const SymbolIndex& idx,
+                     std::vector<Finding>* out, const std::string& file) {
+  if (!e.is_coro) return;
+  if (entity_has_liveness(c, all, e)) return;
+  bool suspended = false;
+  size_t skip_until = 0;
+  size_t hit = 0;
+  std::string via;  // non-empty: transitive, through this member call
+  for_own_tokens(all, e, [&](size_t i) {
+    if (i < skip_until) return true;
+    if (c.at(i).ident("co_await")) {
+      const AwaitedCall ac = awaited_call(c, i);
+      // The awaited callee is invoked before this await completes; if an
+      // EARLIER await already suspended, creating a this-touching member
+      // task here is already a touch.
+      if (suspended && !e.cls.empty() && c.is_ident(i + 1) &&
+          c.is(i + 2, "(") && idx.touches_this(e.cls, c.at(i + 1).text)) {
+        hit = i + 1;
+        via = c.at(i + 1).text;
+        return false;
+      }
+      if (idx.may_suspend(ac.callee)) suspended = true;
+      // Arguments of the awaited call evaluate before the suspension they
+      // feed — skip the operand expression.
+      skip_until = ac.past;
+      return true;
+    }
+    if (!suspended) return true;
+    if (c.at(i).ident("this")) {
+      hit = i;
+      return false;
+    }
+    if (c.is_ident(i) && c.is(i + 1, "(") && !e.cls.empty() &&
+        !(i > 0 && (c.is(i - 1, ".") || c.is(i - 1, "->") ||
+                    c.is(i - 1, "::"))) &&
+        idx.touches_this(e.cls, c.at(i).text)) {
+      hit = i;
+      via = c.at(i).text;
       return false;
     }
     return true;
   });
-  if (this_at != 0) {
+  if (hit == 0) return;
+  if (via.empty()) {
     out->push_back(
-        {file, c.at(this_at).line, std::string(kCoroThis),
+        {file, c.at(hit).line, std::string(kCoroThis),
          "`this` used after a co_await with no liveness token (alive_ / "
          "shared_from_this); the object may be destroyed while suspended"});
+  } else {
+    out->push_back(
+        {file, c.at(hit).line, std::string(kCoroThis),
+         "member call '" + via + "' reaches `this` (per the suspension "
+         "summary) after a co_await with no liveness token; the object may "
+         "be destroyed while suspended"});
   }
 }
 
-void check_detach(const Cursor& c, const NameIndex& names,
+std::vector<size_t> own_tokens(const std::vector<FnEntity>& all,
+                               const FnEntity& e) {
+  std::vector<size_t> v;
+  for_own_tokens(all, e, [&](size_t i) {
+    v.push_back(i);
+    return true;
+  });
+  return v;
+}
+
+// IMCA-ITER-AWAIT: a loop over a member container with a possibly-
+// suspending await in its body, where some same-class method mutates that
+// container — the interleaved mutator invalidates the iterator mid-loop.
+void check_iter_await(const Cursor& c, const std::vector<FnEntity>& all,
+                      const FnEntity& e, const SymbolIndex& idx,
+                      std::vector<Finding>* out, const std::string& file) {
+  if (!e.is_coro || e.cls.empty()) return;
+  const std::vector<size_t> own = own_tokens(all, e);
+  for (size_t oi = 0; oi < own.size(); ++oi) {
+    const size_t i = own[oi];
+    if (!(c.at(i).ident("for") && c.is(i + 1, "("))) continue;
+    const size_t h_close = c.match(i + 1);
+    if (h_close >= c.size()) continue;
+    // The iterated member, if any.
+    std::string member;
+    int depth = 0;
+    size_t colon = 0;
+    for (size_t j = i + 2; j < h_close; ++j) {
+      const std::string_view s = c.at(j).text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      else if (s == ")" || s == "]" || s == "}") --depth;
+      else if (s == ":" && depth == 0) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon != 0) {  // range-for: the expression after ':'
+      size_t p = colon + 1;
+      if (c.is(p, "this") && c.is(p + 1, "->")) ++p;  // lands on '->' + 1 below
+      if (c.is(p, "this")) p += 2;
+      std::string last;
+      if (c.is_ident(p)) {
+        last = c.at(p).text;
+        while ((c.is(p + 1, ".") || c.is(p + 1, "->")) && c.is_ident(p + 2)) {
+          last = c.at(p + 2).text;
+          p += 2;
+        }
+        if (c.is(p + 1, "(")) last.clear();  // snapshot() temporary: safe
+      }
+      if (trailing_underscore(last)) member = last;
+    } else {  // classic for: look for member_.begin()
+      for (size_t j = i + 2; j + 2 < h_close; ++j) {
+        if (c.is_ident(j) && trailing_underscore(c.at(j).text) &&
+            (c.is(j + 1, ".") || c.is(j + 1, "->")) &&
+            (c.is(j + 2, "begin") || c.is(j + 2, "cbegin"))) {
+          member = c.at(j).text;
+          break;
+        }
+      }
+    }
+    if (member.empty() || !idx.mutated(e.cls, member)) continue;
+    // Loop body extent: braced block or single statement.
+    size_t b_lo = h_close + 1;
+    size_t b_hi;
+    if (c.is(b_lo, "{")) {
+      b_hi = c.match(b_lo);
+      ++b_lo;
+    } else {
+      b_hi = b_lo;
+      int d2 = 0;
+      while (b_hi < c.size()) {
+        const std::string_view s = c.at(b_hi).text;
+        if (s == "(" || s == "[" || s == "{") ++d2;
+        else if (s == ")" || s == "]" || s == "}") --d2;
+        else if (s == ";" && d2 == 0) break;
+        ++b_hi;
+      }
+    }
+    if (b_hi >= c.size()) continue;
+    bool suspends = false;
+    for (size_t oj = oi; oj < own.size() && own[oj] < b_hi; ++oj) {
+      const size_t k = own[oj];
+      if (k < b_lo || !c.at(k).ident("co_await")) continue;
+      if (lock_acquire(c, k) ||
+          idx.may_suspend(awaited_call(c, k).callee)) {
+        suspends = true;
+        break;
+      }
+    }
+    if (suspends) {
+      out->push_back(
+          {file, c.at(i).line, std::string(kIterAwait),
+           "iterating member '" + member + "' across a suspension while " +
+               e.cls + " methods can mutate it — an interleaved coroutine "
+               "invalidates the iterator; iterate a snapshot (copy or "
+               "collected keys) instead"});
+    }
+  }
+}
+
+// A member expression at token i: `m_` / `this->m` with an optional single
+// `.field` (not a call). Returns the key ("stats_.hits") and the index
+// just past it.
+struct MemberExpr {
+  std::string key;
+  size_t past;
+};
+std::optional<MemberExpr> member_expr(const Cursor& c, size_t i) {
+  size_t p = i;
+  if (c.is(p, "this") && c.is(p + 1, "->") && c.is_ident(p + 2)) {
+    p += 2;
+  } else {
+    if (!(c.is_ident(p) && trailing_underscore(c.at(p).text))) {
+      return std::nullopt;
+    }
+    if (p > 0 && (c.is(p - 1, ".") || c.is(p - 1, "->") || c.is(p - 1, "::"))) {
+      return std::nullopt;  // someone else's member
+    }
+  }
+  std::string key = c.at(p).text;
+  size_t q = p + 1;
+  if (c.is(q, ".") && c.is_ident(q + 1) && !c.is(q + 2, "(")) {
+    key += "." + c.at(q + 1).text;
+    q += 2;
+  }
+  return MemberExpr{key, q};
+}
+
+// IMCA-LOCK-AWAIT (both shapes) + IMCA-STAT-RMW, one pass per coroutine:
+//  (a) held-guard tracking: `co_await m_.lock()` / ScopedLock::acquire(m_)
+//      marks m_ held until its block closes; a later co_await whose
+//      callee's lock summary includes a held mutex (or a direct re-lock)
+//      is a SimMutex re-entry deadlock.
+//  (b) RMW-across-await: a member read into a local, a suspension, then
+//      the same member assigned from that stale local — with no guard
+//      held, and no epoch/liveness re-check between the resume and the
+//      write. Stats-ish members report as IMCA-STAT-RMW.
+void check_lock_rmw(const Cursor& c, const std::vector<FnEntity>& all,
+                    const FnEntity& e, const SymbolIndex& idx,
+                    std::vector<Finding>* out, const std::string& file) {
+  if (!e.is_coro) return;
+  const std::vector<size_t> own = own_tokens(all, e);
+  int depth = 0;
+  std::map<std::string, int> held;  // mutex -> brace depth at acquisition
+  std::map<std::string, int> held_line;
+  struct Cap {
+    std::string key;
+    int line;
+    std::uint64_t susp;
+  };
+  std::map<std::string, Cap> caps;  // local -> capture info
+  std::uint64_t susp_count = 0;
+  size_t last_susp_tok = 0;
+  int last_susp_line = 0;
+  size_t skip_until = 0;
+  for (size_t oi = 0; oi < own.size(); ++oi) {
+    const size_t i = own[oi];
+    if (i < skip_until) continue;
+    const Token& tk = c.at(i);
+    if (tk.is("{")) {
+      ++depth;
+      continue;
+    }
+    if (tk.is("}")) {
+      --depth;
+      for (auto it = held.begin(); it != held.end();) {
+        it = it->second > depth ? held.erase(it) : std::next(it);
+      }
+      continue;
+    }
+    if (tk.ident("co_await")) {
+      if (auto la = lock_acquire(c, i)) {
+        if (held.count(la->mutex) != 0) {
+          out->push_back(
+              {file, tk.line, std::string(kLockAwait),
+               "re-acquiring mutex '" + la->mutex + "' already held since "
+               "line " + std::to_string(held_line[la->mutex]) +
+               " — sim::Mutex is not reentrant; this deadlocks"});
+        } else {
+          held[la->mutex] = depth;
+          held_line[la->mutex] = tk.line;
+        }
+        ++susp_count;  // waiting for the lock is itself a suspension
+        last_susp_tok = i;
+        last_susp_line = tk.line;
+        skip_until = la->past;
+        continue;
+      }
+      const AwaitedCall ac = awaited_call(c, i);
+      if (!ac.callee.empty() && !held.empty()) {
+        if (const std::set<std::string>* locks = idx.locks_of(ac.callee)) {
+          for (const std::string& m : *locks) {
+            auto h = held.find(m);
+            if (h != held.end()) {
+              out->push_back(
+                  {file, tk.line, std::string(kLockAwait),
+                   "co_await '" + ac.callee + "' can re-acquire mutex '" +
+                       m + "' held since line " +
+                       std::to_string(held_line[m]) +
+                       " (per its lock summary) — sim::Mutex is not "
+                       "reentrant; this deadlocks"});
+              break;
+            }
+          }
+        }
+      }
+      if (idx.may_suspend(ac.callee)) {
+        ++susp_count;
+        last_susp_tok = i;
+        last_susp_line = tk.line;
+      }
+      continue;
+    }
+    // Manual unlock releases the guard early.
+    if (tk.ident("unlock") && c.is(i + 1, "(") && i >= 2 &&
+        (c.is(i - 1, ".") || c.is(i - 1, "->")) && c.is_ident(i - 2)) {
+      held.erase(c.at(i - 2).text);
+      continue;
+    }
+    // Member write: `key <op>= ... local ...` after a suspension since the
+    // capture of `local` from the same key.
+    if (auto me = member_expr(c, i)) {
+      size_t after = me->past;
+      if (c.is(after, "[")) {
+        const size_t m = c.match(after);
+        if (m < c.size()) after = m + 1;
+      }
+      const std::string_view op =
+          after < c.size() ? std::string_view(c.at(after).text) : "";
+      if (op == "=" || op == "+=" || op == "-=" || op == "|=" || op == "&=" ||
+          op == "^=") {
+        for (size_t j = after + 1; j < c.size() && !c.is(j, ";"); ++j) {
+          if (!c.is_ident(j)) continue;
+          auto cap = caps.find(c.at(j).text);
+          if (cap == caps.end() || cap->second.key != me->key ||
+              cap->second.susp >= susp_count) {
+            continue;
+          }
+          if (!held.empty()) break;  // guarded across the window
+          bool rechecked = false;
+          for (size_t k = last_susp_tok; k < i; ++k) {
+            if (c.is_ident(k) &&
+                (is_liveness_ident(c.at(k).text) ||
+                 c.at(k).text.find("epoch") != std::string::npos)) {
+              rechecked = true;
+              break;
+            }
+          }
+          if (rechecked) break;
+          const bool stat = statsish(me->key);
+          out->push_back(
+              {file, tk.line, std::string(stat ? kStatRmw : kLockAwait),
+               std::string(stat ? "counter '" : "member '") + me->key +
+                   "' written from '" + cap->first +
+                   "' captured on line " + std::to_string(cap->second.line) +
+                   ", across the suspension on line " +
+                   std::to_string(last_susp_line) +
+                   " — an interleaved update is lost; re-read after "
+                   "resuming, apply a delta, or hold the guard across "
+                   "the window"});
+          caps.erase(cap);
+          break;
+        }
+        continue;
+      }
+    }
+    // Local capture: `v = ...member...;` (declaration or assignment).
+    if (c.is_ident(i) && !trailing_underscore(tk.text) && c.is(i + 1, "=") &&
+        !(i > 0 &&
+          (c.is(i - 1, ".") || c.is(i - 1, "->") || c.is(i - 1, "::")))) {
+      std::optional<MemberExpr> src;
+      for (size_t j = i + 2; j < c.size() && !c.is(j, ";"); ++j) {
+        if ((src = member_expr(c, j))) break;
+      }
+      if (src) {
+        caps[tk.text] = Cap{src->key, tk.line, susp_count};
+      } else {
+        caps.erase(tk.text);  // reassigned from something fresh
+      }
+    }
+  }
+}
+
+void check_detach(const Cursor& c, const SymbolIndex& idx,
                   std::vector<Finding>* out, const std::string& file) {
   // Whole-file statement scan: after ';' '{' or '}', a statement that is
   // exactly `chain(...);` or `(void) chain(...);` where the chain's last
   // identifier names a Task-returning function drops a lazy task unrun.
+  // Resolution is per-file first: the file's own declarations beat the
+  // global (cross-file, name-widened) fallback.
+  const auto ft = idx.file_task.find(file);
+  const auto fn = idx.file_nontask.find(file);
   for (size_t i = 0; i < c.size(); ++i) {
     if (i != 0 && !c.is(i - 1, ";") && !c.is(i - 1, "{") && !c.is(i - 1, "}")) {
       continue;
@@ -488,17 +578,32 @@ void check_detach(const Cursor& c, const NameIndex& names,
     if (!c.is_ident(j)) continue;
     std::string last = c.at(j).text;
     size_t k = j + 1;
+    bool through_receiver = false;  // x.f() / x->f() / ns::f(): not plain lookup
+    if (c.at(j).ident("this") && c.is(k, "->") && c.is_ident(k + 1)) {
+      last = c.at(k + 1).text;  // this-> stays in-file: treat as a bare call
+      k += 2;
+    }
     while ((c.is(k, "::") || c.is(k, ".") || c.is(k, "->")) &&
            c.is_ident(k + 1)) {
+      through_receiver = true;
       last = c.at(k + 1).text;
       k += 2;
     }
     if (!c.is(k, "(")) continue;
     const size_t close = c.match(k);
     if (close >= c.size() || !c.is(close + 1, ";")) continue;
-    if (names.task_fns.count(last) == 0 ||
-        names.ambiguous_fns.count(last) != 0) {
-      continue;
+    // A bare call (or this->) resolves by ordinary lookup, so the file's
+    // own declarations are authoritative; a call through a receiver or a
+    // qualifier resolves in a class/namespace AST-lite cannot see, so only
+    // the conservative global rule applies there.
+    const bool local_task = !through_receiver &&
+        ft != idx.file_task.end() && ft->second.count(last) != 0;
+    const bool local_non = !through_receiver &&
+        fn != idx.file_nontask.end() && fn->second.count(last) != 0;
+    if (local_non) continue;  // the file's own decls say non-Task/ambiguous
+    if (!local_task && (idx.task_fns.count(last) == 0 ||
+                        idx.ambiguous_fns.count(last) != 0)) {
+      continue;  // cross-file fallback: unknown or globally ambiguous
     }
     out->push_back(
         {file, c.at(j).line, std::string(kDetach),
@@ -709,76 +814,24 @@ void check_byte_vec(const Cursor& c, const std::string& relpath,
 
 }  // namespace
 
-NameIndex collect_names(const LexedFile& lexed) {
-  Cursor c(lexed.tokens);
-  NameIndex out;
-  for (size_t i = 0; i < c.size(); ++i) {
-    if (c.at(i).ident("Task")) {
-      if (auto r = parse_task_function(c, i)) {
-        if (!r->first.name.empty()) out.task_fns.insert(r->first.name);
-        continue;
-      }
-    }
-    // Non-Task declarations that reuse a fop name make that name ambiguous
-    // for IMCA-DETACH. Three shapes cover this codebase:
-    //   `void set(`   — two identifiers then '(' (skipping statement
-    //                   keywords, which precede calls, not declarations)
-    //   `Expected<X> stat(` — '>' then identifier then '(' where the
-    //                   matching '<' does not belong to Task
-    //   `auto stat = [` — a lambda bound to a name
-    if (c.is_ident(i) && c.is_ident(i + 1) && c.is(i + 2, "(")) {
-      static const std::set<std::string> kStmtKeywords = {
-          "return",   "co_return", "co_await", "co_yield", "case",
-          "goto",     "new",       "delete",   "throw",    "else",
-          "do",       "sizeof",    "typedef",  "using",    "typename",
-          "operator", "if",        "while",    "for",      "switch"};
-      if (kStmtKeywords.count(c.at(i).text) == 0 &&
-          kStmtKeywords.count(c.at(i + 1).text) == 0) {
-        out.ambiguous_fns.insert(c.at(i + 1).text);
-      }
-      continue;
-    }
-    if (c.is(i, ">") && c.is_ident(i + 1) && c.is(i + 2, "(")) {
-      // Walk back to the matching '<'; the identifier before it is the
-      // template being returned. Task<…> declarations were already taken by
-      // parse_task_function above, but re-classify defensively.
-      int depth = 1;
-      size_t j = i;
-      while (j > 0 && depth > 0) {
-        --j;
-        if (c.is(j, ">")) ++depth;
-        else if (c.is(j, "<")) --depth;
-      }
-      if (depth == 0 && j > 0 && c.is_ident(j - 1) &&
-          !c.at(j - 1).ident("Task")) {
-        out.ambiguous_fns.insert(c.at(i + 1).text);
-      }
-      continue;
-    }
-    if (c.at(i).ident("auto") && c.is_ident(i + 1) && c.is(i + 2, "=") &&
-        c.is(i + 3, "[")) {
-      out.ambiguous_fns.insert(c.at(i + 1).text);
-    }
-  }
-  return out;
-}
-
 std::vector<Finding> analyze(const std::string& relpath,
-                             const LexedFile& lexed, const NameIndex& names,
+                             const LexedFile& lexed, const SymbolIndex& index,
                              bool all_checks) {
   Cursor c(lexed.tokens);
   std::vector<Finding> raw;
   std::map<int, Suppression> nolints =
       parse_nolints(lexed.comments, &raw, relpath);
 
-  const std::vector<Entity> entities = collect_entities(c);
-  for (const Entity& e : entities) {
+  const std::vector<FnEntity> entities = collect_functions(c);
+  for (const FnEntity& e : entities) {
     if (e.body_hi == 0) continue;
     check_coro_ref(c, e, &raw, relpath);
     check_coro_lambda(e, &raw, relpath);
-    check_coro_this(c, entities, e, &raw, relpath);
+    check_coro_this(c, entities, e, index, &raw, relpath);
+    check_iter_await(c, entities, e, index, &raw, relpath);
+    check_lock_rmw(c, entities, e, index, &raw, relpath);
   }
-  check_detach(c, names, &raw, relpath);
+  check_detach(c, index, &raw, relpath);
   check_moved_buf(c, &raw, relpath);
   check_node_freed(c, &raw, relpath);
   check_byte_vec(c, relpath, all_checks, &raw, relpath);

@@ -1,0 +1,757 @@
+#include "index.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace imca::lint {
+namespace {
+
+using std::size_t;
+
+bool is_coro_keyword(std::string_view s) {
+  return s == "co_await" || s == "co_return" || s == "co_yield";
+}
+
+// Keywords that precede calls or control flow, never a declarator name —
+// and names that are themselves statements, not functions.
+const std::set<std::string>& stmt_keywords() {
+  static const std::set<std::string> kw = {
+      "return",   "co_return", "co_await", "co_yield",  "case",
+      "goto",     "new",       "delete",   "throw",     "else",
+      "do",       "sizeof",    "typedef",  "using",     "typename",
+      "operator", "if",        "while",    "for",       "switch",
+      "catch",    "decltype",  "alignof",  "noexcept",  "requires",
+      "template", "static_assert"};
+  return kw;
+}
+
+// Return-type / declarator specifiers skipped when walking back from the
+// declarator name to the return-type identifier.
+bool is_decl_specifier(std::string_view s) {
+  return s == "const" || s == "constexpr" || s == "volatile" ||
+         s == "inline" || s == "static" || s == "virtual" ||
+         s == "explicit" || s == "friend" || s == "typename" ||
+         s == "unsigned" || s == "signed" || s == "long" || s == "short";
+}
+
+}  // namespace
+
+size_t Cursor::match(size_t i) const {
+  const std::string_view open = t_[i].text;
+  std::string_view close;
+  if (open == "(") close = ")";
+  else if (open == "{") close = "}";
+  else if (open == "[") close = "]";
+  else if (open == "<") close = ">";
+  else return size();
+  int depth = 0;
+  for (size_t j = i; j < t_.size(); ++j) {
+    const std::string_view s = t_[j].text;
+    if (open == "<" && (s == ";" || s == "{" || s == "}")) return size();
+    if (s == open) ++depth;
+    else if (s == close && --depth == 0) return j;
+  }
+  return size();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsers (lambda / Task function / generic function).
+
+// True when a '[' at this position starts a lambda-introducer rather than a
+// subscript (prev token is a value) or an attribute (handled by caller).
+bool lambda_position(const std::vector<Token>& t, size_t i) {
+  if (i == 0) return true;
+  const Token& p = t[i - 1];
+  if (p.kind == Tok::kIdent) {
+    return p.text == "return" || is_coro_keyword(p.text) || p.text == "case" ||
+           p.text == "else" || p.text == "do";
+  }
+  if (p.kind != Tok::kPunct) return false;
+  return p.text != ")" && p.text != "]" && p.text != "}";
+}
+
+std::optional<std::pair<FnEntity, size_t>> parse_lambda(const Cursor& c,
+                                                        size_t i) {
+  FnEntity e;
+  e.is_lambda = true;
+  e.line = c.at(i).line;
+  e.start = i;
+  const size_t cap_end = c.match(i);
+  if (cap_end >= c.size()) return std::nullopt;
+  e.captures = cap_end > i + 1;
+  size_t j = cap_end + 1;
+  if (c.is(j, "<")) {  // template lambda
+    const size_t m = c.match(j);
+    if (m >= c.size()) return std::nullopt;
+    j = m + 1;
+  }
+  if (c.is(j, "(")) {
+    const size_t m = c.match(j);
+    if (m >= c.size()) return std::nullopt;
+    e.params_lo = j + 1;
+    e.params_hi = m;
+    j = m + 1;
+  }
+  // Specifiers / trailing return type, until the body. Anything that cannot
+  // belong to a lambda-declarator means this '[' was not a lambda after all.
+  for (int guard = 0; guard < 64 && j < c.size(); ++guard) {
+    const Token& tk = c.at(j);
+    if (tk.is("{")) {
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      e.body_lo = j + 1;
+      e.body_hi = m;
+      return std::make_pair(e, m + 1);
+    }
+    if (tk.is("(") || tk.is("<")) {  // noexcept(...), Task<...>
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      j = m + 1;
+      continue;
+    }
+    if (tk.kind == Tok::kIdent || tk.is("->") || tk.is("::") || tk.is("&") ||
+        tk.is("&&") || tk.is("*")) {
+      ++j;
+      continue;
+    }
+    return std::nullopt;  // ';' ',' ']' ... — a misparse, not a lambda
+  }
+  return std::nullopt;
+}
+
+// `Task<...> [qualified-]name ( params ) specifiers { body }` with the
+// 'Task' identifier at `i`. Declarations (ending ';' or '=') yield an
+// entity with no body.
+std::optional<std::pair<FnEntity, size_t>> parse_task_function(const Cursor& c,
+                                                               size_t i) {
+  if (!c.is(i + 1, "<")) return std::nullopt;
+  const size_t angle = c.match(i + 1);
+  if (angle >= c.size()) return std::nullopt;
+  size_t j = angle + 1;
+  if (c.is(j, "&") || c.is(j, "&&") || c.is(j, "*")) return std::nullopt;
+  if (!c.is_ident(j)) return std::nullopt;
+  FnEntity e;
+  e.start = i;
+  e.line = c.at(i).line;
+  e.ret = "Task";
+  e.returns_task = true;
+  e.name = c.at(j).text;
+  ++j;
+  while (c.is(j, "::") && c.is_ident(j + 1)) {
+    e.cls = e.name;  // the qualifier before the final component
+    e.name = c.at(j + 1).text;
+    j += 2;
+  }
+  if (!c.is(j, "(")) return std::nullopt;  // a variable, not a function
+  const size_t close = c.match(j);
+  if (close >= c.size()) return std::nullopt;
+  e.params_lo = j + 1;
+  e.params_hi = close;
+  j = close + 1;
+  // const / noexcept / override / final / ref-qualifiers, then body or ';'.
+  for (int guard = 0; guard < 32 && j < c.size(); ++guard) {
+    const Token& tk = c.at(j);
+    if (tk.is("{")) {
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      e.body_lo = j + 1;
+      e.body_hi = m;
+      return std::make_pair(e, m + 1);
+    }
+    if (tk.is(";") || tk.is("=")) return std::make_pair(e, j + 1);  // decl
+    if (tk.is("(")) {  // noexcept(...)
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      j = m + 1;
+      continue;
+    }
+    if (tk.kind == Tok::kIdent || tk.is("&") || tk.is("&&")) {
+      ++j;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// Does the '>' at `i` close a template whose head identifier is `Task`?
+// Guards the generic parser against re-parsing `Task<...> name(` (already
+// taken by parse_task_function).
+bool closes_task_template(const Cursor& c, size_t i) {
+  int depth = 1;
+  size_t j = i;
+  while (j > 0 && depth > 0) {
+    --j;
+    if (c.is(j, ">")) ++depth;
+    else if (c.is(j, "<")) --depth;
+  }
+  return depth == 0 && j > 0 && c.at(j - 1).ident("Task");
+}
+
+// Generic function definition/declaration with the declarator name at `i`
+// (the token after it is '('). The caller has already vetted the token
+// before `i`. Handles constructor initializer lists; qualified `A::name`
+// sets `cls`. A qualified match with no body is discarded by the caller
+// (it is a call like `ns::f(x);`, not a declaration).
+std::optional<std::pair<FnEntity, size_t>> parse_generic_function(
+    const Cursor& c, size_t i) {
+  FnEntity e;
+  e.start = i;
+  e.line = c.at(i).line;
+  e.name = c.at(i).text;
+  size_t lo = i;  // start of the qualified name, for the return-type walk
+  if (i >= 2 && c.is(i - 1, "::") && c.is_ident(i - 2)) {
+    e.cls = c.at(i - 2).text;
+    lo = i - 2;
+  }
+  // Return type: walk back over specifiers / pointers / references.
+  size_t k = lo;
+  while (k > 0) {
+    const Token& p = c.at(k - 1);
+    if (p.is("*") || p.is("&") || p.is("&&") ||
+        (p.kind == Tok::kIdent && is_decl_specifier(p.text))) {
+      --k;
+      continue;
+    }
+    if (p.is(">")) {  // templated return type: ident before the matching '<'
+      int depth = 1;
+      size_t j = k - 1;
+      while (j > 0 && depth > 0) {
+        --j;
+        if (c.is(j, ">")) ++depth;
+        else if (c.is(j, "<")) --depth;
+      }
+      if (depth == 0 && j > 0 && c.is_ident(j - 1)) e.ret = c.at(j - 1).text;
+      break;
+    }
+    if (p.kind == Tok::kIdent) {
+      e.ret = p.text;
+      break;
+    }
+    break;
+  }
+  const size_t open = i + 1;
+  const size_t close = c.match(open);
+  if (close >= c.size()) return std::nullopt;
+  e.params_lo = open + 1;
+  e.params_hi = close;
+  size_t j = close + 1;
+  for (int guard = 0; guard < 48 && j < c.size(); ++guard) {
+    const Token& tk = c.at(j);
+    if (tk.is("{")) {
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      e.body_lo = j + 1;
+      e.body_hi = m;
+      return std::make_pair(e, m + 1);
+    }
+    if (tk.is(";") || tk.is("=")) return std::make_pair(e, j + 1);  // decl
+    if (tk.is(":")) {  // constructor initializer list
+      ++j;
+      for (int g2 = 0; g2 < 256 && j < c.size(); ++g2) {
+        if (c.is(j, "(") || c.is(j, "<")) {
+          const size_t m = c.match(j);
+          if (m >= c.size()) return std::nullopt;
+          j = m + 1;
+          continue;
+        }
+        if (c.is(j, "{")) {
+          // `b_{2}` brace-init (follows an identifier or template args) vs
+          // the constructor body (follows ')' '}' or the ':').
+          if (j > 0 && (c.is_ident(j - 1) || c.is(j - 1, ">"))) {
+            const size_t m = c.match(j);
+            if (m >= c.size()) return std::nullopt;
+            j = m + 1;
+            continue;
+          }
+          const size_t m = c.match(j);
+          if (m >= c.size()) return std::nullopt;
+          e.body_lo = j + 1;
+          e.body_hi = m;
+          return std::make_pair(e, m + 1);
+        }
+        if (c.is_ident(j) || c.is(j, "::") || c.is(j, ",") || c.is(j, ".")) {
+          ++j;
+          continue;
+        }
+        return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    if (tk.kind == Tok::kIdent || tk.is("&") || tk.is("&&") || tk.is("->") ||
+        tk.is("::") || tk.is("*") || tk.is("<")) {
+      if (tk.is("<")) {
+        const size_t m = c.match(j);
+        if (m >= c.size()) return std::nullopt;
+        j = m + 1;
+        continue;
+      }
+      ++j;
+      continue;
+    }
+    if (tk.is("(")) {  // noexcept(...)
+      const size_t m = c.match(j);
+      if (m >= c.size()) return std::nullopt;
+      j = m + 1;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// Is the token at `i` plausibly a declarator name (rather than a call)?
+// The token before it must be type-ish: an identifier that is not a
+// statement keyword, a template/pointer/reference tail, a `::` qualifier,
+// or the `]]` of a preceding attribute.
+bool declarator_position(const Cursor& c, size_t i) {
+  if (i == 0) return false;
+  const Token& p = c.at(i - 1);
+  if (p.kind == Tok::kIdent) return stmt_keywords().count(p.text) == 0;
+  if (p.is(">") || p.is("*") || p.is("&") || p.is("&&") || p.is("::")) {
+    return true;
+  }
+  if (p.is("]") && i >= 2 && c.is(i - 2, "]")) return true;  // [[attr]]
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Class scopes: intervals of tokens inside `struct|class Name { ... }`.
+
+struct ClassScope {
+  std::string name;
+  size_t lo, hi;  // token body range [lo, hi)
+};
+
+std::vector<ClassScope> collect_class_scopes(const Cursor& c) {
+  std::vector<ClassScope> out;
+  for (size_t i = 0; i + 1 < c.size(); ++i) {
+    if (!(c.at(i).ident("struct") || c.at(i).ident("class"))) continue;
+    if (i > 0 && c.at(i - 1).ident("enum")) continue;  // enum class
+    if (!c.is_ident(i + 1)) continue;
+    const std::string name = c.at(i + 1).text;
+    // Walk the class-head (final, bases, template args) to '{' or give up
+    // at anything that means this was not a class definition.
+    size_t j = i + 2;
+    bool found = false;
+    for (int guard = 0; guard < 64 && j < c.size(); ++guard) {
+      if (c.is(j, "{")) {
+        const size_t m = c.match(j);
+        if (m < c.size()) out.push_back({name, j + 1, m});
+        found = true;
+        break;
+      }
+      if (c.is(j, "<")) {
+        const size_t m = c.match(j);
+        if (m >= c.size()) break;
+        j = m + 1;
+        continue;
+      }
+      if (c.is_ident(j) || c.is(j, ":") || c.is(j, ",") || c.is(j, "::")) {
+        ++j;
+        continue;
+      }
+      break;  // ';' (forward decl), '>' (template param), ...
+    }
+    (void)found;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FnEntity> collect_functions(const Cursor& c) {
+  std::vector<FnEntity> out;
+  for (size_t i = 0; i < c.size(); ++i) {
+    const Token& tk = c.at(i);
+    if (tk.ident("Task")) {
+      if (auto r = parse_task_function(c, i)) {
+        out.push_back(r->first);
+        // Continue INSIDE the signature/body so nested entities are found.
+        continue;
+      }
+    }
+    if (tk.is("[") && !c.is(i + 1, "[") && lambda_position(c.t_, i)) {
+      if (auto r = parse_lambda(c, i)) {
+        out.push_back(r->first);
+        continue;
+      }
+    }
+    if (tk.is("[") && c.is(i + 1, "[")) {  // attribute: skip wholesale
+      const size_t m = c.match(i);
+      if (m < c.size()) i = m;
+      continue;
+    }
+    if (tk.kind == Tok::kIdent && c.is(i + 1, "(") &&
+        stmt_keywords().count(tk.text) == 0 && tk.text != "operator" &&
+        declarator_position(c, i) && !(i > 0 && c.is(i - 1, "~"))) {
+      // Task<...> [A::]name( was already taken by parse_task_function
+      // above — walk the qualifier chain back before testing for the
+      // closing '>' of the Task template, or `Task<void> A::f()` would be
+      // parsed twice (the duplicate has no children wired, so a nested
+      // lambda's co_await would leak into its own-token scan).
+      size_t q = i;
+      while (q >= 2 && c.is(q - 1, "::") && c.is_ident(q - 2)) q -= 2;
+      if (c.is(q - 1, ">") && closes_task_template(c, q - 1)) continue;
+      if (auto r = parse_generic_function(c, i)) {
+        // A qualified name with no body is a call (`ns::f(x);`), not an
+        // out-of-line declaration — C++ has no such thing.
+        const bool qualified = c.is(i - 1, "::");
+        const bool dup =
+            r->first.body_hi != 0 &&
+            std::any_of(out.begin(), out.end(), [&](const FnEntity& e) {
+              return e.body_lo == r->first.body_lo &&
+                     e.body_hi == r->first.body_hi;
+            });
+        if ((!qualified || r->first.body_hi != 0) && !dup) {
+          out.push_back(r->first);
+        }
+        continue;
+      }
+    }
+  }
+  // Enclosing class for entities without explicit qualification; ctor flag.
+  const std::vector<ClassScope> classes = collect_class_scopes(c);
+  for (FnEntity& e : out) {
+    if (e.cls.empty() && !e.is_lambda) {
+      size_t best = c.size() + 1;
+      for (const ClassScope& cs : classes) {
+        if (cs.lo <= e.start && e.start < cs.hi && cs.hi - cs.lo < best) {
+          best = cs.hi - cs.lo;
+          e.cls = cs.name;
+        }
+      }
+    }
+    e.is_ctor = !e.name.empty() && e.name == e.cls;
+  }
+  // Parent/child: an entity is a child of the innermost entity whose body
+  // strictly contains it.
+  for (size_t a = 0; a < out.size(); ++a) {
+    size_t parent = out.size();
+    for (size_t b = 0; b < out.size(); ++b) {
+      if (a == b || out[b].body_hi == 0) continue;
+      if (out[b].body_lo <= out[a].start && out[a].start < out[b].body_hi) {
+        if (parent == out.size() || out[b].body_lo > out[parent].body_lo) {
+          parent = b;
+        }
+      }
+    }
+    if (parent != out.size()) out[parent].children.push_back(a);
+  }
+  // Own-body coroutine-ness (children's extents excluded).
+  for (FnEntity& e : out) {
+    if (e.body_hi == 0) continue;
+    for_own_tokens(out, e, [&](size_t i) {
+      if (c.at(i).kind == Tok::kIdent && is_coro_keyword(c.at(i).text)) {
+        e.is_coro = true;
+        return false;
+      }
+      return true;
+    });
+  }
+  return out;
+}
+
+AwaitedCall awaited_call(const Cursor& c, size_t i) {
+  AwaitedCall out;
+  size_t j = i + 1;
+  if (!c.is_ident(j)) {
+    out.past = j;
+    return out;  // `co_await (expr)` / non-ident operand: not a simple call
+  }
+  std::string last = c.at(j).text;
+  size_t k = j + 1;
+  while ((c.is(k, "::") || c.is(k, ".") || c.is(k, "->")) &&
+         c.is_ident(k + 1)) {
+    last = c.at(k + 1).text;
+    k += 2;
+  }
+  if (c.is(k, "(")) {
+    const size_t m = c.match(k);
+    out.callee = last;
+    out.past = m < c.size() ? m + 1 : k + 1;
+  } else {
+    out.past = k;  // plain awaitable variable
+  }
+  return out;
+}
+
+std::optional<LockAcquire> lock_acquire(const Cursor& c, size_t i) {
+  // Walk the chain after co_await collecting identifiers.
+  size_t j = i + 1;
+  if (!c.is_ident(j)) return std::nullopt;
+  std::vector<std::string> chain = {c.at(j).text};
+  size_t k = j + 1;
+  while ((c.is(k, "::") || c.is(k, ".") || c.is(k, "->")) &&
+         c.is_ident(k + 1)) {
+    chain.push_back(c.at(k + 1).text);
+    k += 2;
+  }
+  if (!c.is(k, "(")) return std::nullopt;
+  const size_t close = c.match(k);
+  if (close >= c.size()) return std::nullopt;
+  const std::string& tail = chain.back();
+  if (tail == "lock" && chain.size() >= 2 && close == k + 1) {
+    return LockAcquire{chain[chain.size() - 2], close + 1};
+  }
+  if (tail == "acquire" && close > k + 1) {
+    // Mutex = last identifier of the argument chain: acquire(rig.mu_) -> mu_.
+    std::string m;
+    for (size_t a = k + 1; a < close; ++a) {
+      if (c.is_ident(a)) m = c.at(a).text;
+    }
+    if (!m.empty()) return LockAcquire{m, close + 1};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Per-definition raw summary, before the cross-file merge.
+struct FnRecord {
+  std::string name, cls, ret;
+  bool has_body = false;
+  bool is_coro = false;
+  bool returns_task = false;
+  std::set<std::string> awaited;    // callees of co_await <call> in the body
+  std::set<std::string> forwarded;  // g in `return g(...)` (non-coro body)
+  std::set<std::string> locks;      // mutexes acquired directly in the body
+};
+
+bool member_mutator(std::string_view s) {
+  return s == "insert" || s == "erase" || s == "clear" || s == "emplace" ||
+         s == "emplace_back" || s == "push_back" || s == "pop_back" ||
+         s == "push_front" || s == "pop_front" || s == "resize" ||
+         s == "assign" || s == "swap";
+}
+
+bool trailing_underscore(std::string_view s) {
+  return s.size() > 1 && s.back() == '_';
+}
+
+}  // namespace
+
+SymbolIndex build_index(
+    const std::vector<std::pair<std::string, const LexedFile*>>& files) {
+  SymbolIndex idx;
+  std::vector<FnRecord> records;
+  std::set<std::string> ready_classes = {"suspend_never"};
+
+  // Entities are collected once per file and reused by every pass below.
+  std::vector<std::vector<FnEntity>> per_file;
+  per_file.reserve(files.size());
+  for (const auto& [relpath, lexed] : files) {
+    (void)relpath;
+    per_file.push_back(collect_functions(Cursor(lexed->tokens)));
+  }
+
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string& relpath = files[fi].first;
+    const Cursor c(files[fi].second->tokens);
+    const std::vector<FnEntity>& ents = per_file[fi];
+
+    // Legacy extra ambiguity shape kept from the per-name index: a lambda
+    // bound to a name makes that name a non-Task callable.
+    for (size_t i = 0; i + 3 < c.size(); ++i) {
+      if (c.at(i).ident("auto") && c.is_ident(i + 1) && c.is(i + 2, "=") &&
+          c.is(i + 3, "[")) {
+        idx.ambiguous_fns.insert(c.at(i + 1).text);
+        idx.file_nontask[relpath].insert(c.at(i + 1).text);
+      }
+    }
+
+    for (const FnEntity& e : ents) {
+      if (e.is_lambda || e.name.empty()) continue;
+      if (e.returns_task) {
+        idx.task_fns.insert(e.name);
+        idx.file_task[relpath].insert(e.name);
+      } else {
+        idx.ambiguous_fns.insert(e.name);
+        idx.file_nontask[relpath].insert(e.name);
+      }
+      if (e.is_ctor) continue;  // ctors: named like the class, never summarized
+
+      FnRecord r;
+      r.name = e.name;
+      r.cls = e.cls;
+      r.ret = e.ret;
+      r.returns_task = e.returns_task;
+      r.is_coro = e.is_coro;
+      r.has_body = e.body_hi != 0;
+
+      if (r.has_body) {
+        // A ready awaitable: `bool await_ready()` that is literally
+        // `return true;` — awaiting a value of the enclosing class never
+        // suspends.
+        if (e.name == "await_ready" && e.body_hi == e.body_lo + 3 &&
+            c.at(e.body_lo).ident("return") &&
+            c.at(e.body_lo + 1).ident("true") && c.is(e.body_lo + 2, ";") &&
+            !e.cls.empty()) {
+          ready_classes.insert(e.cls);
+        }
+        const bool lock_wrapper = e.name == "lock" || e.name == "acquire";
+        for_own_tokens(ents, e, [&](size_t i) {
+          const Token& tk = c.at(i);
+          if (tk.ident("co_await")) {
+            if (!lock_wrapper) {
+              if (auto la = lock_acquire(c, i)) {
+                r.locks.insert(la->mutex);
+                return true;
+              }
+            }
+            const AwaitedCall ac = awaited_call(c, i);
+            if (!ac.callee.empty()) r.awaited.insert(ac.callee);
+            return true;
+          }
+          if (!e.is_coro && tk.ident("return") && c.is_ident(i + 1)) {
+            const AwaitedCall ac = awaited_call(c, i);  // same chain shape
+            if (!ac.callee.empty() && c.is(ac.past, ";")) {
+              r.forwarded.insert(ac.callee);
+            }
+          }
+          // this_touching (direct): literal `this` in the body.
+          if (tk.ident("this") && !e.cls.empty()) {
+            idx.this_touching[e.cls].insert(e.name);
+          }
+          // mutated_members: member_ assigned / compound-assigned /
+          // container-mutated (other objects' members skipped).
+          if (tk.kind == Tok::kIdent && trailing_underscore(tk.text) &&
+              !(i > 0 && (c.is(i - 1, ".") || c.is(i - 1, "->") ||
+                          c.is(i - 1, "::"))) &&
+              !e.cls.empty()) {
+            size_t after = i + 1;
+            if (c.is(after, "[")) {  // m_[k] = ...
+              const size_t m = c.match(after);
+              if (m < c.size()) after = m + 1;
+            }
+            const std::string_view nx =
+                after < c.size() ? std::string_view(c.at(after).text) : "";
+            const bool assigned =
+                nx == "=" || nx == "+=" || nx == "-=" || nx == "|=" ||
+                nx == "&=" || nx == "^=" || nx == "++" || nx == "--";
+            const bool mutated_call =
+                (c.is(after, ".") || c.is(after, "->")) &&
+                c.is_ident(after + 1) && member_mutator(c.at(after + 1).text) &&
+                c.is(after + 2, "(");
+            if (assigned || mutated_call) {
+              idx.mutated_members[e.cls].insert(tk.text);
+            }
+          }
+          return true;
+        });
+      }
+      records.push_back(std::move(r));
+    }
+  }
+
+  // --- known_ready fixpoint -----------------------------------------------
+  // A name is proven ready iff every definition/declaration of it either
+  // returns a ready-awaitable type, or has a body that only forwards
+  // `return g(...)` to proven-ready callees. Coroutines, Task-returners and
+  // unknown names never qualify. Monotone: the ready set only grows.
+  std::map<std::string, std::vector<const FnRecord*>> by_name;
+  for (const FnRecord& r : records) by_name[r.name].push_back(&r);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, recs] : by_name) {
+      if (idx.known_ready.count(name) != 0) continue;
+      bool all_ready = true;
+      for (const FnRecord* r : recs) {
+        if (r->is_coro || r->returns_task) {
+          all_ready = false;
+          break;
+        }
+        if (ready_classes.count(r->ret) != 0) continue;
+        const bool fwd_ready =
+            r->has_body && !r->forwarded.empty() && r->awaited.empty() &&
+            std::all_of(r->forwarded.begin(), r->forwarded.end(),
+                        [&](const std::string& g) {
+                          return idx.known_ready.count(g) != 0;
+                        });
+        if (!fwd_ready) {
+          all_ready = false;
+          break;
+        }
+      }
+      if (all_ready) {
+        idx.known_ready.insert(name);
+        changed = true;
+      }
+    }
+  }
+
+  // --- fn_locks fixpoint ---------------------------------------------------
+  // locks(f) = direct locks ∪ locks(awaited callees) ∪ locks(forwarded
+  // callees), merged by name (widening across overloads/virtual dispatch).
+  // `lock` / `acquire` themselves are excluded: their direct locks are
+  // parameter names, and call sites resolve the actual mutex syntactically.
+  for (const FnRecord& r : records) {
+    if (r.name == "lock" || r.name == "acquire") continue;
+    if (!r.locks.empty()) {
+      idx.fn_locks[r.name].insert(r.locks.begin(), r.locks.end());
+    }
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const FnRecord& r : records) {
+      if (r.name == "lock" || r.name == "acquire") continue;
+      auto& mine = idx.fn_locks[r.name];
+      const size_t before = mine.size();
+      for (const std::set<std::string>* callees : {&r.awaited, &r.forwarded}) {
+        for (const std::string& g : *callees) {
+          auto it = idx.fn_locks.find(g);
+          if (it != idx.fn_locks.end()) {
+            mine.insert(it->second.begin(), it->second.end());
+          }
+        }
+      }
+      if (mine.size() != before) changed = true;
+    }
+  }
+  for (auto it = idx.fn_locks.begin(); it != idx.fn_locks.end();) {
+    it = it->second.empty() ? idx.fn_locks.erase(it) : std::next(it);
+  }
+
+  // --- this_touching fixpoint ----------------------------------------------
+  // A method that calls (bare, unqualified) a sibling method that touches
+  // `this` touches `this` itself.
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t fi = 0; fi < files.size(); ++fi) {
+      const Cursor c(files[fi].second->tokens);
+      const std::vector<FnEntity>& ents = per_file[fi];
+      for (const FnEntity& e : ents) {
+        if (e.is_lambda || e.cls.empty() || e.body_hi == 0 || e.is_ctor) {
+          continue;
+        }
+        auto cls_it = idx.this_touching.find(e.cls);
+        if (cls_it == idx.this_touching.end()) continue;
+        if (cls_it->second.count(e.name) != 0) continue;
+        bool calls_toucher = false;
+        for_own_tokens(ents, e, [&](size_t i) {
+          if (c.is_ident(i) && c.is(i + 1, "(") &&
+              !(i > 0 && (c.is(i - 1, ".") || c.is(i - 1, "->") ||
+                          c.is(i - 1, "::"))) &&
+              idx.touches_this(e.cls, c.at(i).text)) {
+            calls_toucher = true;
+            return false;
+          }
+          return true;
+        });
+        if (calls_toucher) {
+          idx.this_touching[e.cls].insert(e.name);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  return idx;
+}
+
+}  // namespace imca::lint

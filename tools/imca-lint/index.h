@@ -1,0 +1,195 @@
+// Whole-tree symbol index for imca-lint: pass 1 of the interprocedural
+// engine (DESIGN.md §5k).
+//
+// The per-file analyzer (analyzer.cc) can only see a suspension where a
+// literal `co_await` appears; whether that await can actually *suspend*,
+// and what state the awaited callee reaches, lives in other functions —
+// often other files. Pass 1 closes that gap without a real AST: it parses
+// every function-ish entity in every file (not just Task-returning ones),
+// builds per-function summaries, and merges them **by name** across the
+// whole file set. Name-merging is deliberate widening: a call through a
+// virtual xlator interface or an overload set resolves to "any function
+// with this name", so if any of them can suspend (or lock, or touch
+// `this`) the call site is treated as if it does.
+//
+// Summaries computed here, all transitive fixpoints:
+//
+//   known_ready      names whose call result provably cannot suspend when
+//                    awaited: every definition either returns a type whose
+//                    await_ready() is literally `return true;` (or
+//                    std::suspend_never), or forwards `return g(...)` to a
+//                    known-ready g. Everything else — coroutines,
+//                    Task-returners, unknown names — may suspend. This is
+//                    what lets a check distinguish `co_await poll()` (ready
+//                    relay, no suspension) from `co_await relay()` that
+//                    bottoms out in a real coroutine two calls down.
+//   fn_locks         name -> sim mutex member names the function's await
+//                    chain can acquire (`co_await m_.lock()`,
+//                    `ScopedLock::acquire(m_)`), propagated through awaited
+//                    and forwarded calls. Used by IMCA-LOCK-AWAIT to catch
+//                    re-entry of a non-reentrant SimMutex.
+//   this_touching    class -> methods whose body uses a literal `this`
+//                    (directly, or by calling a sibling method that does).
+//                    The codebase convention is to spell lifetime-relevant
+//                    member access after a suspension as `this->...`, so
+//                    these are exactly the methods IMCA-CORO-THIS must see
+//                    through at call sites after a suspension.
+//   mutated_members  class -> trailing-underscore members some non-ctor
+//                    method mutates (assignment, compound assignment, or a
+//                    mutating container call). IMCA-ITER-AWAIT only flags
+//                    iteration of members that some interleaving could
+//                    actually mutate; fixed-at-construction topology
+//                    (children_, subvols_) stays silent.
+//   task_fns / file_task / file_nontask
+//                    IMCA-DETACH name resolution. The old analyzer kept one
+//                    global ambiguous-name set; the index keeps per-file
+//                    declaration sets so a file whose own declarations
+//                    disambiguate a name (Task-only, or non-Task-only) is
+//                    resolved locally, and the global set is only the
+//                    cross-file fallback.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+
+namespace imca::lint {
+
+// ---------------------------------------------------------------------------
+// Token-range cursor shared by the index builder and the checks.
+
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<Token>& t) : t_(t) {}
+  const std::vector<Token>& t_;
+
+  std::size_t size() const { return t_.size(); }
+  const Token& at(std::size_t i) const { return t_[i]; }
+  bool is(std::size_t i, std::string_view s) const {
+    return i < t_.size() && t_[i].text == s;
+  }
+  bool is_ident(std::size_t i) const {
+    return i < t_.size() && t_[i].kind == Tok::kIdent;
+  }
+
+  // Index of the token matching the opener at `i` ('(', '{', '[' or '<'),
+  // or size() if unbalanced. Angle matching bails out on tokens that cannot
+  // occur in a template argument list, so expression '<' never matches.
+  std::size_t match(std::size_t i) const;
+};
+
+// ---------------------------------------------------------------------------
+// Entity extraction: every function-ish thing, not just Task-returning ones.
+
+struct FnEntity {
+  int line = 0;            // signature start (reporting line for lambdas)
+  std::string name;        // declarator name; "" for lambdas
+  std::string cls;         // `A` in `A::name`, or the enclosing class; "" unknown
+  std::string ret;         // last return-type identifier ("Task", "void", ...)
+  bool is_lambda = false;
+  bool captures = false;   // lambda with a non-empty capture list
+  bool is_ctor = false;    // name == enclosing/qualifying class
+  bool returns_task = false;
+  std::size_t start = 0;   // first token of the entity
+  std::size_t params_lo = 0, params_hi = 0;  // tokens strictly inside ( )
+  std::size_t body_lo = 0, body_hi = 0;      // tokens strictly inside { }
+  std::vector<std::size_t> children;  // indices of directly nested entities
+  bool is_coro = false;    // own body (children excluded) has a co_* keyword
+};
+
+// One linear scan collecting every function, method and lambda; nested
+// entities are found because the scan continues into bodies. `cls` is
+// resolved from explicit `A::name` qualification or the innermost enclosing
+// struct/class.
+std::vector<FnEntity> collect_functions(const Cursor& c);
+
+// Iterate an entity's own body tokens, skipping nested entities' extents.
+template <typename F>
+void for_own_tokens(const std::vector<FnEntity>& all, const FnEntity& e,
+                    F&& f) {
+  std::vector<std::pair<std::size_t, std::size_t>> skip;
+  skip.reserve(e.children.size());
+  for (std::size_t ci : e.children) {
+    skip.emplace_back(all[ci].start, all[ci].body_hi + 1);
+  }
+  std::sort(skip.begin(), skip.end());
+  std::size_t s = 0;
+  for (std::size_t i = e.body_lo; i < e.body_hi; ++i) {
+    while (s < skip.size() && skip[s].second <= i) ++s;
+    if (s < skip.size() && skip[s].first <= i) {
+      i = skip[s].second - 1;
+      continue;
+    }
+    if (!f(i)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Await-expression helpers shared by the index builder and the checks.
+
+// The callee of the expression awaited at `i` (a `co_await` token):
+// `co_await a.b::c(...)` -> "c"; "" when the operand is not a call (a plain
+// awaitable variable — always treated as may-suspend). `past` is the index
+// just after the awaited primary expression (past the call's closing ')').
+struct AwaitedCall {
+  std::string callee;  // "" = not a call
+  std::size_t past = 0;
+};
+AwaitedCall awaited_call(const Cursor& c, std::size_t i);
+
+// Recognizes the two mutex-acquisition idioms with the `co_await` at `i`:
+// `co_await M.lock()` / `co_await M->lock()` and
+// `co_await [sim::][ScopedLock::]acquire(M)`. Returns the mutex's member
+// name (the last identifier of M) and the index past the expression.
+struct LockAcquire {
+  std::string mutex;
+  std::size_t past = 0;
+};
+std::optional<LockAcquire> lock_acquire(const Cursor& c, std::size_t i);
+
+// ---------------------------------------------------------------------------
+// The merged whole-tree index (pass 1 result).
+
+struct SymbolIndex {
+  std::set<std::string> known_ready;
+  std::map<std::string, std::set<std::string>> fn_locks;
+  std::map<std::string, std::set<std::string>> this_touching;
+  std::map<std::string, std::set<std::string>> mutated_members;
+
+  std::set<std::string> task_fns;       // names with a Task declaration anywhere
+  std::set<std::string> ambiguous_fns;  // names with a non-Task declaration anywhere
+  std::map<std::string, std::set<std::string>> file_task;
+  std::map<std::string, std::set<std::string>> file_nontask;
+
+  // Can awaiting the result of a call to `callee` suspend? Unknown names
+  // widen to "yes"; only a proven-ready summary says "no".
+  bool may_suspend(const std::string& callee) const {
+    return callee.empty() || known_ready.count(callee) == 0;
+  }
+
+  const std::set<std::string>* locks_of(const std::string& callee) const {
+    auto it = fn_locks.find(callee);
+    return it == fn_locks.end() ? nullptr : &it->second;
+  }
+  bool touches_this(const std::string& cls, const std::string& method) const {
+    auto it = this_touching.find(cls);
+    return it != this_touching.end() && it->second.count(method) > 0;
+  }
+  bool mutated(const std::string& cls, const std::string& member) const {
+    auto it = mutated_members.find(cls);
+    return it != mutated_members.end() && it->second.count(member) > 0;
+  }
+};
+
+// Builds the index over the whole file set (relpath -> lexed tokens).
+SymbolIndex build_index(
+    const std::vector<std::pair<std::string, const LexedFile*>>& files);
+
+}  // namespace imca::lint

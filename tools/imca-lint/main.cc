@@ -1,15 +1,25 @@
-// imca-lint — coroutine-lifetime & suspension-safety analyzer (DESIGN.md §5g).
+// imca-lint — coroutine-lifetime & suspension-safety analyzer (DESIGN.md
+// §5g/§5k).
 //
 // Usage:
 //   imca-lint [--root DIR] PATH...        lint files / directories
 //   imca-lint --verify PATH...            corpus mode: findings must match
 //                                         `// EXPECT: IMCA-…` comments exactly
+//   imca-lint --json=FILE ...             also write a BENCH_lint.json
+//                                         self-timing record (imca-bench/v1)
 //   imca-lint --list-checks               print the check catalogue
 //
 // Paths are made relative to --root (default: cwd) for path-scoped checks
 // (IMCA-BYTE-VEC applies under src/ only) and for stable output. Exit 0 iff
 // clean (or, in --verify mode, iff findings == expectations).
+//
+// The run is two passes: pass 1 lexes every file and builds the whole-tree
+// symbol index (per-function suspension / lock / this / mutation summaries,
+// see index.h); pass 2 runs the checks per file against that index.
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -17,9 +27,11 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analyzer.h"
+#include "index.h"
 #include "lexer.h"
 
 namespace fs = std::filesystem;
@@ -33,9 +45,19 @@ constexpr const char* kChecks[][2] = {
      "coroutine parameter by const-ref, rvalue-ref, string_view or BufView"},
     {"IMCA-CORO-LAMBDA", "capturing lambda that is itself a coroutine"},
     {"IMCA-CORO-THIS",
-     "`this` used after co_await without a liveness token (alive_)"},
+     "`this` reached (directly or via a member call) after a real suspension "
+     "without a liveness token (alive_)"},
+    {"IMCA-ITER-AWAIT",
+     "member container iterated across a suspension while same-class methods "
+     "can mutate it"},
+    {"IMCA-LOCK-AWAIT",
+     "sim::Mutex re-entry across co_await, or an unguarded member RMW "
+     "spanning a suspension"},
+    {"IMCA-STAT-RMW",
+     "stats/ledger counter written from a value captured before a suspension"},
     {"IMCA-DETACH", "Task created and dropped without await/store/spawn"},
     {"IMCA-MOVED-BUF", "Buffer/ByteBuf used after std::move in the same scope"},
+    {"IMCA-NODE-FREED", "EventNode* used after arena release in the same scope"},
     {"IMCA-BYTE-VEC",
      "std::vector<std::byte> payload signature under src/ (use Buffer)"},
     {"IMCA-NOLINT-BARE", "NOLINT(imca-…) without a ': justification'"},
@@ -109,11 +131,46 @@ std::set<Finding> parse_expectations(const std::string& relpath,
   return out;
 }
 
+#ifndef IMCA_GIT_REV
+#define IMCA_GIT_REV "unknown"
+#endif
+
+// Self-timing in the same imca-bench/v1 shape the perf trajectory uses
+// (tools/check_bench_schema.py validates it): one record for sweep
+// throughput (events = files linted) and one for the finding count, so the
+// trajectory catches both an analyzer slowdown and a finding-count jump.
+void write_bench_json(const std::string& path, std::size_t nfiles,
+                      std::size_t nfindings, double wall_ms) {
+  long rss_kb = 0;
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) rss_kb = ru.ru_maxrss;
+  const double secs = wall_ms / 1000.0;
+  const double files_per_sec =
+      secs > 0 ? static_cast<double>(nfiles) / secs : 0.0;
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"imca-bench/v1\",\n  \"git_rev\": \""
+      << IMCA_GIT_REV << "\",\n  \"results\": [\n";
+  const auto record = [&](const char* bench, std::size_t events,
+                          double eps, bool last) {
+    out << "    {\n      \"schema\": \"imca-bench/v1\",\n      \"git_rev\": \""
+        << IMCA_GIT_REV << "\",\n      \"bench\": \"" << bench
+        << "\",\n      \"events\": " << events << ",\n      \"wall_ms\": "
+        << wall_ms << ",\n      \"events_per_sec\": " << eps
+        << ",\n      \"peak_rss_kb\": " << rss_kb << "\n    }"
+        << (last ? "\n" : ",\n");
+  };
+  record("imca_lint/sweep", nfiles, files_per_sec, false);
+  record("imca_lint/findings", nfindings,
+         secs > 0 ? static_cast<double>(nfindings) / secs : 0.0, true);
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool verify = false;
   fs::path root = fs::current_path();
+  std::string json_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -123,13 +180,16 @@ int main(int argc, char** argv) {
       root = fs::path(argv[++i]);
     } else if (a.rfind("--root=", 0) == 0) {
       root = fs::path(a.substr(7));
+    } else if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
     } else if (a == "--list-checks") {
       for (const auto& c : kChecks) {
         std::cout << c[0] << "  " << c[1] << "\n";
       }
       return 0;
     } else if (a == "--help" || a == "-h") {
-      std::cout << "usage: imca-lint [--root DIR] [--verify] PATH...\n";
+      std::cout << "usage: imca-lint [--root DIR] [--verify] [--json=FILE] "
+                   "PATH...\n";
       return 0;
     } else {
       paths.push_back(a);
@@ -147,29 +207,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Pass 1: lex everything, collect function names globally so IMCA-DETACH
-  // sees cross-file calls (and cross-file name collisions).
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Pass 1: lex everything, build the whole-tree symbol index.
   std::vector<std::pair<std::string, LexedFile>> lexed;
-  imca::lint::NameIndex names;
+  lexed.reserve(files.size());
   for (const fs::path& f : files) {
     std::ifstream in(f, std::ios::binary);
     std::stringstream ss;
     ss << in.rdbuf();
     lexed.emplace_back(rel_to(f, root), imca::lint::lex(ss.str()));
-    const imca::lint::NameIndex ni =
-        imca::lint::collect_names(lexed.back().second);
-    names.task_fns.insert(ni.task_fns.begin(), ni.task_fns.end());
-    names.ambiguous_fns.insert(ni.ambiguous_fns.begin(),
-                               ni.ambiguous_fns.end());
   }
+  std::vector<std::pair<std::string, const LexedFile*>> refs;
+  refs.reserve(lexed.size());
+  for (const auto& [relpath, lx] : lexed) refs.emplace_back(relpath, &lx);
+  const imca::lint::SymbolIndex index = imca::lint::build_index(refs);
 
-  // Pass 2: analyze. In --verify mode every check applies to every file and
-  // findings are diffed against the corpus EXPECT annotations.
+  // Pass 2: analyze each file against the index. In --verify mode every
+  // check applies to every file and findings are diffed against the corpus
+  // EXPECT annotations.
   std::vector<Finding> findings;
   std::set<Finding> expected;
   for (const auto& [relpath, lx] : lexed) {
     std::vector<Finding> fs_ =
-        imca::lint::analyze(relpath, lx, names, verify);
+        imca::lint::analyze(relpath, lx, index, verify);
     findings.insert(findings.end(), fs_.begin(), fs_.end());
     if (verify) {
       std::set<Finding> ex = parse_expectations(relpath, lx);
@@ -177,6 +238,14 @@ int main(int argc, char** argv) {
     }
   }
   std::sort(findings.begin(), findings.end());
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!json_path.empty()) {
+    write_bench_json(json_path, files.size(), findings.size(), wall_ms);
+  }
 
   if (!verify) {
     for (const Finding& f : findings) {
